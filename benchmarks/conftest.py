@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+simulations are deterministic, so each experiment runs once
+(``benchmark.pedantic(rounds=1)``) — pytest-benchmark records the wall
+time of the experiment itself, while the paper-style output table is
+printed and saved under ``results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,75 @@
+"""§7 ablation: right-sizing GPU partitions per workload.
+
+The paper's second future-work direction: "a tool that will give hints on
+what the expected GPU compute resources would be based on static analysis
+of applications".  We right-size every evaluation workload and check the
+recommendations against Fig. 2's knee and the §3.4 observations.
+"""
+
+from repro.bench import format_table, rightsizing_study, save_results
+from repro.gpu import A100_40GB
+from repro.partition import RuntimePredictor
+from repro.workloads import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+
+def test_rightsizing_study(run_once):
+    rows_data = run_once(rightsizing_study)
+
+    rows = [
+        [r.workload, r.knee_sms, f"{r.mps_percentage}%",
+         r.mig_profile or "-", f"{r.latency_penalty_pct:.1f}%",
+         f"{100 * r.freed_fraction:.0f}%"]
+        for r in rows_data
+    ]
+    table = format_table(
+        ["workload", "knee SMs", "MPS %", "MIG profile", "latency penalty",
+         "GPU freed"],
+        rows,
+        title="§7 ablation — right-sized partitions (A100-40GB, 5% SLO)",
+    )
+    print("\n" + table)
+    save_results("ablation_rightsizing", table)
+
+    by_name = {r.workload: r for r in rows_data}
+    # Fig. 2's knee: the fp32 LLaMa-2 7B decode needs only ~20-35 SMs.
+    llama = by_name["llama2-7b fp32 decode"]
+    assert 15 <= llama.knee_sms <= 40
+    assert llama.freed_fraction > 0.6
+    # Every recommendation honours the 5% SLO.
+    for r in rows_data:
+        assert r.latency_penalty_pct <= 5.0 + 1e-6, r.workload
+    # Batch-32 CNN inference needs more of the GPU than batch-1 (§3.4).
+    assert (by_name["resnet50 b32"].knee_sms
+            >= by_name["resnet50 b1"].knee_sms)
+
+
+def test_runtime_predictor_against_simulator(run_once):
+    """Fit the §7 scaling-law predictor on a few profiled points and
+    validate its predictions against the cost model elsewhere."""
+    llm = LlamaInference(LLAMA2_7B, InferenceRuntime(dtype_bytes=4))
+    fn = lambda sms: llm.completion_seconds(A100_40GB, sms)
+
+    def fit_and_validate():
+        predictor = RuntimePredictor()
+        samples = [(s, fn(s)) for s in (4, 8, 16, 32, 64, 108)]
+        rmse = predictor.fit(samples)
+        errors = [abs(predictor.predict(s) - fn(s)) / fn(s)
+                  for s in (6, 12, 24, 48, 96)]
+        return predictor, rmse, max(errors)
+
+    predictor, rmse, worst = run_once(fit_and_validate)
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["fit RMSE (s)", rmse],
+            ["worst relative error", f"{100 * worst:.1f}%"],
+            ["fitted saturation SMs", f"{predictor.saturation_sms:.0f}"],
+            ["fitted serial floor (s)", predictor.serial_seconds],
+            ["SM requirement (5% SLO)", predictor.sm_requirement(0.05)],
+        ],
+        title="§7 — runtime predictor fitted to profiled samples",
+    )
+    print("\n" + table)
+    save_results("ablation_runtime_predictor", table)
+    assert worst < 0.15
+    assert 10 <= predictor.sm_requirement(0.05) <= 45

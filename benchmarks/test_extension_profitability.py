@@ -1,0 +1,64 @@
+"""Extension study: the abstract's profitability claim, in dollars.
+
+"These accelerators are expensive to acquire and operate; consequently,
+multiplexing them can increase their financial profitability."  We price
+the Fig. 4 grid at an A100's on-demand rate and report $/1000
+completions per mode and process count.
+"""
+
+from repro.bench import fig4_fig5_sweep, format_table, save_results
+from repro.telemetry import GpuCostModel, cost_report
+
+N_COMPLETIONS = 100
+
+
+def test_profitability(run_once):
+    def study():
+        results = fig4_fig5_sweep(n_completions=N_COMPLETIONS)
+        model = GpuCostModel()
+        reports = {}
+        for (mode, k), r in results.items():
+            reports[(mode, k)] = cost_report(
+                label=f"{mode}-{k}",
+                makespan_seconds=r.total_seconds,
+                completions=r.n_completions,
+                mean_sm_utilization=1.0,  # rental view: whole device bills
+                model=model,
+            )
+        return reports
+
+    reports = run_once(study)
+    base = reports[("timeshare", 1)]
+    rows = []
+    for (mode, k), report in sorted(reports.items()):
+        rows.append([
+            mode, k, report.total_usd, report.usd_per_1000,
+            base.usd_per_1000 / report.usd_per_1000,
+        ])
+    table = format_table(
+        ["mode", "processes", "run cost $", "$ per 1000 completions",
+         "profitability x"],
+        rows,
+        title=(f"Extension — renting one A100-80GB at "
+               f"${GpuCostModel().hourly_usd}/h, {N_COMPLETIONS} "
+               "completions"),
+    )
+    print("\n" + table)
+    save_results("extension_profitability", table)
+
+    # Multiplexing multiplies profitability: cost per completion under
+    # 4-way MPS is ~2.5x lower than one-model-at-a-time (the throughput
+    # headline, restated in dollars).
+    mps4 = reports[("mps", 4)]
+    assert base.usd_per_1000 / mps4.usd_per_1000 > 2.2
+    # Every multiplexed mode is more profitable than the single-process
+    # default.
+    for (mode, k), report in reports.items():
+        if k > 1:
+            assert report.usd_per_1000 < base.usd_per_1000, (mode, k)
+    # And MPS is the most profitable at every k.
+    for k in (2, 3, 4):
+        assert (reports[("mps", k)].usd_per_1000
+                <= reports[("mig", k)].usd_per_1000 + 1e-9)
+        assert (reports[("mps", k)].usd_per_1000
+                <= reports[("timeshare", k)].usd_per_1000 + 1e-9)

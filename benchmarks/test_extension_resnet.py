@@ -1,0 +1,96 @@
+"""Extension study: ResNet inference under GPU partitioning.
+
+The paper names ResNet-50/101 among its evaluated applications (§3.3)
+but prints no ResNet figure.  This bench fills that gap with the same
+methodology as Figs. 4/5: image-classification services multiplexed on
+one A100 under time-sharing vs MPS, across batch sizes.
+
+Expected shape (from §3.4's Fig. 1 discussion): batch-1 inference leaves
+most of the GPU idle, so partitioning multiplies throughput almost
+linearly; batch-32 inference can nearly fill the device, so partitioning
+buys much less — the right-sizing knee moves with batch size.
+"""
+
+import pytest
+
+from repro.bench import format_table, save_results
+from repro.gpu import A100_40GB, CudaStream, MpsControlDaemon, SimulatedGPU
+from repro.sim import Environment
+from repro.workloads import RESNET50
+
+N_SERVICES = 4
+INFERENCES_EACH = 25
+HOST_GAP = 0.004  # per-inference host-side time (input decode, dispatch)
+
+
+def _run(mode: str, batch: int) -> float:
+    """Total time for 4 services to finish their inference quota."""
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    if mode == "mps":
+        daemon = MpsControlDaemon(gpu)
+        daemon.start()
+        clients = [daemon.client(f"svc{i}", active_thread_percentage=25)
+                   for i in range(N_SERVICES)]
+    elif mode == "timeshare":
+        clients = [gpu.timeshare_client(f"svc{i}")
+                   for i in range(N_SERVICES)]
+    else:  # single: one service does all the work alone
+        clients = [gpu.timeshare_client("solo")]
+
+    group = RESNET50.inference_kernels(batch_size=batch)
+    quota = (INFERENCES_EACH * N_SERVICES // len(clients))
+
+    def service(env, client):
+        stream = CudaStream(client)
+        for _ in range(quota):
+            yield stream.launch_group(group)
+            yield env.timeout(HOST_GAP)
+
+    procs = [env.process(service(env, c)) for c in clients]
+    env.run(until=env.all_of(procs))
+    return env.now
+
+
+def test_resnet_partitioning(run_once):
+    def study():
+        out = {}
+        for batch in (1, 8, 32):
+            single = _run("single", batch)
+            out[batch] = {
+                "single": single,
+                "timeshare": _run("timeshare", batch),
+                "mps": _run("mps", batch),
+            }
+        return out
+
+    results = run_once(study)
+    rows = []
+    for batch, modes in sorted(results.items()):
+        rows.append([
+            batch,
+            modes["single"],
+            modes["timeshare"] / modes["single"],
+            modes["mps"] / modes["single"],
+            modes["single"] / modes["mps"],
+        ])
+    table = format_table(
+        ["batch", "single s", "timeshare vs single", "MPS vs single",
+         "MPS speedup"],
+        rows,
+        title=(f"Extension — {N_SERVICES} ResNet-50 services x "
+               f"{INFERENCES_EACH} inferences (A100-40GB)"),
+    )
+    print("\n" + table)
+    save_results("extension_resnet", table)
+
+    # Batch-1: small kernels -> MPS multiplexing wins big.
+    assert results[1]["mps"] < 0.55 * results[1]["single"]
+    # The benefit shrinks as the batch fills the GPU (§3.4).
+    gain = {b: results[b]["single"] / results[b]["mps"]
+            for b in (1, 8, 32)}
+    assert gain[1] > gain[8] > gain[32]
+    assert gain[32] < 1.5
+    # MPS never loses to time-sharing.
+    for batch, modes in results.items():
+        assert modes["mps"] <= modes["timeshare"] * (1 + 1e-9), batch

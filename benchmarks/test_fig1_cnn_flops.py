@@ -1,0 +1,69 @@
+"""Fig. 1: per-convolution-layer FLOPs of popular CNNs.
+
+Regenerates the series the paper plots to show that "the compute
+requirement changes very rapidly" from layer to layer, and that the
+variability persists across batch sizes.
+"""
+
+from repro.bench import fig1_layer_flops, format_table, save_results
+from repro.workloads import CNN_ZOO
+
+
+def test_fig1_layer_flops(run_once):
+    data = run_once(fig1_layer_flops, ("alexnet", "vgg16", "resnet50",
+                                       "resnet101"), (1, 8, 32))
+
+    rows = []
+    for (model, batch), series in sorted(data.items()):
+        flops = [f for _, f in series]
+        rows.append([
+            model,
+            batch,
+            len(series),
+            min(flops) / 1e6,
+            max(flops) / 1e6,
+            sum(flops) / 1e9,
+            max(flops) / min(flops),
+        ])
+    table = format_table(
+        ["model", "batch", "conv layers", "min MFLOP", "max MFLOP",
+         "total GFLOP", "max/min"],
+        rows,
+        title="Fig. 1 — per-conv-layer FLOP variation",
+    )
+
+    # The figure itself: one line per layer for batch size 1.
+    series_lines = ["", "per-layer series (batch=1, GFLOPs):"]
+    for (model, batch), series in sorted(data.items()):
+        if batch != 1:
+            continue
+        values = " ".join(f"{f / 1e9:.3f}" for _, f in series)
+        series_lines.append(f"{model}: {values}")
+    out = table + "\n" + "\n".join(series_lines)
+    print("\n" + out)
+    save_results("fig1_cnn_flops", out)
+
+    # Paper claims encoded as assertions:
+    for (model, batch), series in data.items():
+        flops = [f for _, f in series]
+        variation = max(flops) / min(flops)
+        assert variation > 3.0, (model, batch)  # "changes very rapidly"
+    # "Even with different batch sizes, this variability remains."
+    for model in ("alexnet", "vgg16", "resnet50", "resnet101"):
+        v1 = _variation(data[(model, 1)])
+        v32 = _variation(data[(model, 32)])
+        assert abs(v1 - v32) / v1 < 1e-9
+
+
+def _variation(series):
+    flops = [f for _, f in series]
+    return max(flops) / min(flops)
+
+
+def test_fig1_extended_zoo(run_once):
+    """Extended check over the whole zoo (beyond the four plotted)."""
+    names = tuple(CNN_ZOO)
+    data = run_once(fig1_layer_flops, names, (1,))
+    for (model, _), series in data.items():
+        assert len(series) >= 5, model
+        assert all(f > 0 for _, f in series), model

@@ -1,0 +1,66 @@
+"""Fig. 2: LLaMa-2 7B/13B inference time vs number of SMs (MPS GPU%).
+
+The paper's observations, asserted below:
+- GPU inference is ~40x faster than CPU (180 s / 360 s CPU anchors);
+- latency falls steeply at small SM counts;
+- latency stops improving beyond roughly 20-30 SMs (the plateau that
+  motivates fine-grained partitioning);
+- 13B on two A100s is roughly twice the 7B latency.
+"""
+
+import pytest
+
+from repro.bench import fig2_sm_sweep, format_table, save_results
+from repro.gpu import A100_40GB
+from repro.workloads import LLAMA2_7B, LLAMA2_13B, InferenceRuntime, LlamaInference
+
+FP32 = InferenceRuntime(dtype_bytes=4)
+
+
+def test_fig2_sm_sweep(run_once):
+    sweep = run_once(fig2_sm_sweep, tuple(range(5, 101, 5)))
+
+    llm7 = LlamaInference(LLAMA2_7B, FP32)
+    llm13 = LlamaInference(LLAMA2_13B, FP32, n_gpus=2)
+    cpu7 = llm7.cpu_completion_seconds(A100_40GB)
+    cpu13 = 2 * cpu7  # the paper reports 180 s and 360 s
+
+    rows = []
+    for p7, p13 in zip(sweep["llama2-7b"], sweep["llama2-13b"]):
+        rows.append([p7.mps_percentage, p7.sms, p7.completion_seconds,
+                     p13.completion_seconds])
+    table = format_table(
+        ["MPS %", "SMs", "7b seconds (1xA100)", "13b seconds (2xA100)"],
+        rows,
+        title="Fig. 2 — inference time of one 20-token completion vs SMs",
+    )
+    table += (f"\nCPU baseline: 7b={cpu7:.1f}s 13b={cpu13:.1f}s "
+              f"(paper: 180 s / 360 s, ~40x slower than full GPU)")
+    print("\n" + table)
+    save_results("fig2_llm_sm_sweep", table)
+
+    seven = {p.sms: p.completion_seconds for p in sweep["llama2-7b"]}
+    full = seven[max(seven)]
+    smallest = seven[min(seven)]
+
+    # Steep improvement from few SMs to the plateau.
+    assert smallest > 2.5 * full
+    # Plateau: past ~30 SMs adding SMs does not help materially.
+    for sms, seconds in seven.items():
+        if sms >= 33:
+            assert seconds <= 1.05 * full
+    # 40x CPU/GPU gap.
+    assert cpu7 / full == pytest.approx(40.0, rel=0.05)
+    # 13B ~2x slower than 7B at every allocation.
+    thirteen = {p.sms: p.completion_seconds for p in sweep["llama2-13b"]}
+    ratio = thirteen[max(thirteen)] / full
+    assert 1.3 < ratio < 3.0
+
+
+def test_fig2_monotonicity(run_once):
+    """Latency never increases when SMs are added (sanity of the curve)."""
+    sweep = run_once(fig2_sm_sweep, tuple(range(10, 101, 10)))
+    for series in sweep.values():
+        ordered = sorted(series, key=lambda p: p.sms)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.completion_seconds <= a.completion_seconds + 1e-9

@@ -1,0 +1,64 @@
+"""Fig. 4: time to complete 100 LLaMa-2 text completions with 1-4
+processes under time-sharing, MPS (equal GPU%), and MIG (the 3g/2g/1g
+ladder), on one A100-80GB.
+
+Asserted observations from §5.2:
+- "any form of multiplexing, even time sharing decreases total task
+  completion time";
+- spatial multiplexing reduces completion time "by up to 60%" vs the
+  single-process default -> 4-way MPS <= 0.45x the baseline;
+- 4-way MPS throughput ~2.5x the one-model-at-a-time baseline;
+- MPS ~= MIG at 2 processes; MPS clearly better at 3 (1/3 vs 2/7 of the
+  GPU) and better at 4 (1/4 vs 1/7).
+"""
+
+import pytest
+
+from repro.bench import fig4_fig5_sweep, format_table, save_results
+
+N_COMPLETIONS = 100
+
+
+def test_fig4_completion_time(run_once):
+    results = run_once(fig4_fig5_sweep, n_completions=N_COMPLETIONS)
+    base = results[("timeshare", 1)]
+
+    rows = []
+    for (mode, k), r in sorted(results.items()):
+        rows.append([
+            mode, k, r.total_seconds,
+            r.total_seconds / base.total_seconds,
+            r.throughput / base.throughput,
+        ])
+    table = format_table(
+        ["mode", "processes", "total seconds", "vs 1-process",
+         "throughput x"],
+        rows,
+        title=(f"Fig. 4 — time to finish {N_COMPLETIONS} LLaMa-2 7B "
+               "completions (A100-80GB)"),
+    )
+    print("\n" + table)
+    save_results("fig4_completion_time", table)
+
+    # Every multiplexed configuration beats the single-process default.
+    for (mode, k), r in results.items():
+        if k > 1:
+            assert r.total_seconds < base.total_seconds, (mode, k)
+
+    # Headline: 4-way MPS cuts completion time by ~60% (2.5x throughput).
+    mps4 = results[("mps", 4)]
+    assert mps4.total_seconds < 0.45 * base.total_seconds
+    assert mps4.throughput / base.throughput == pytest.approx(2.5, rel=0.1)
+
+    # MPS vs MIG crossover structure.
+    assert results[("mps", 2)].total_seconds == pytest.approx(
+        results[("mig", 2)].total_seconds, rel=0.02)  # "similar time"
+    assert results[("mps", 3)].total_seconds < \
+        0.9 * results[("mig", 3)].total_seconds  # "much better"
+    assert results[("mps", 4)].total_seconds < \
+        results[("mig", 4)].total_seconds  # "slightly faster"
+
+    # Spatial sharing beats time-sharing at every k > 2.
+    for k in (3, 4):
+        assert results[("mps", k)].total_seconds < \
+            results[("timeshare", k)].total_seconds

@@ -1,0 +1,69 @@
+"""Fig. 5: average LLaMa-2 inference latency under default time-sharing,
+MPS, and MIG as the process count grows.
+
+Asserted observations from §5.2:
+- time-sharing latency "increases rapidly" with the number of processes
+  (kernels from different models interleave);
+- MPS and MIG show "a slower increase in latency";
+- at 4 processes, spatial sharing's latency is well below time-sharing
+  (the paper reports 44% lower; see EXPERIMENTS.md for the measured gap);
+- isolation: an application in one MPS/MIG partition does not blow up
+  another's latency.
+"""
+
+import pytest
+
+from repro.bench import fig4_fig5_sweep, format_table, save_results
+from repro.telemetry import summarize
+
+N_COMPLETIONS = 100
+
+
+def test_fig5_latency(run_once):
+    results = run_once(fig4_fig5_sweep, n_completions=N_COMPLETIONS)
+    base = results[("timeshare", 1)]
+
+    rows = []
+    for (mode, k), r in sorted(results.items()):
+        stats = summarize(r.latencies)
+        rows.append([mode, k, stats.mean, stats.p95,
+                     stats.mean / base.mean_latency])
+    table = format_table(
+        ["mode", "processes", "mean latency s", "p95 latency s",
+         "vs 1-process"],
+        rows,
+        title="Fig. 5 — average LLaMa-2 inference latency (A100-80GB)",
+    )
+    print("\n" + table)
+    save_results("fig5_latency", table)
+
+    ts = {k: results[("timeshare", k)].mean_latency for k in (1, 2, 3, 4)}
+    mps = {k: results[("mps", k)].mean_latency for k in (1, 2, 3, 4)}
+    mig = {k: results[("mig", k)].mean_latency for k in (1, 2, 3, 4)}
+
+    # Time-sharing latency grows rapidly and monotonically.
+    assert ts[4] > ts[3] > ts[2] > ts[1]
+    assert ts[4] > 2.0 * ts[1]
+
+    # Spatial modes grow strictly slower than time-sharing.
+    assert mps[4] / mps[1] < ts[4] / ts[1]
+    assert mig[4] / mig[1] <= ts[4] / ts[1]
+
+    # At 4 processes MPS latency sits clearly below time-sharing.
+    assert mps[4] < 0.85 * ts[4]
+
+    # Latency ordering at every k: MPS <= MIG <= time-sharing.
+    for k in (2, 3, 4):
+        assert mps[k] <= mig[k] * (1 + 1e-9), k
+        assert mig[k] <= ts[k] * (1 + 1e-6), k
+
+
+def test_fig5_latency_distribution_is_tight(run_once):
+    """Within one spatial configuration, per-completion latencies are
+    stable (isolated partitions do not interfere)."""
+    results = run_once(fig4_fig5_sweep, process_counts=(4,), modes=("mps",
+                                                                    "mig"),
+                       n_completions=40)
+    for r in results.values():
+        stats = summarize(r.latencies)
+        assert stats.maximum < 1.2 * stats.minimum, r.mode

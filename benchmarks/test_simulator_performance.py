@@ -1,0 +1,81 @@
+"""Performance of the simulation engine itself.
+
+Unlike the reproduction benches (which run once — they are
+deterministic), these measure the *wall-clock* cost of the simulator so
+regressions in the hot paths (event heap, fluid reallocation, the GPU
+allocator) are caught.  Run with ``pytest --benchmark-only`` and compare
+against a stored baseline via pytest-benchmark's own tooling.
+"""
+
+from repro.gpu import A100_80GB, Kernel, MpsControlDaemon, SimulatedGPU
+from repro.sim import Environment, FluidPool, FluidTask
+from repro.workloads import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+FP16 = InferenceRuntime(dtype_bytes=2)
+
+
+def _drain_timeouts(n: int) -> float:
+    env = Environment()
+    for i in range(n):
+        env.timeout(float(i % 97))
+    env.run()
+    return env.now
+
+
+def test_event_queue_throughput(benchmark):
+    """Schedule-and-drain cost of 20k timeout events."""
+    result = benchmark(_drain_timeouts, 20_000)
+    assert result == 96.0
+
+
+def _fluid_churn(n_tasks: int) -> float:
+    env = Environment()
+
+    def equal(tasks):
+        share = 100.0 / len(tasks)
+        for t in tasks:
+            t.rate = share
+
+    pool = FluidPool(env, equal)
+
+    def submitter(env):
+        for i in range(n_tasks):
+            pool.add(FluidTask(env, work=float(1 + i % 13)))
+            yield env.timeout(0.05)
+
+    env.process(submitter(env))
+    env.run()
+    return pool.work_drained
+
+
+def test_fluid_pool_reallocation_churn(benchmark):
+    """2k staggered fluid tasks => ~4k reallocations of the pool."""
+    drained = benchmark(_fluid_churn, 2_000)
+    assert drained > 0
+
+
+def _gpu_decode_storm(n_clients: int, tokens: int) -> int:
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    llm = LlamaInference(LLAMA2_7B, FP16)
+
+    def client_proc(env, client):
+        for _ in range(tokens):
+            yield client.launch(llm.decode_kernel())
+            yield env.timeout(llm.host_seconds_per_token)
+
+    procs = [
+        env.process(client_proc(env, daemon.client(f"c{i}")))
+        for i in range(n_clients)
+    ]
+    env.run(until=env.all_of(procs))
+    return gpu.kernels_completed
+
+
+def test_gpu_allocator_throughput(benchmark):
+    """4 MPS clients x 250 decode kernels through the roofline
+    allocator and water-filler."""
+    completed = benchmark(_gpu_decode_storm, 4, 250)
+    assert completed == 1000

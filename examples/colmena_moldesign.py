@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Molecular design as a Colmena Thinker (the paper's actual stack).
+
+§3.1: "These calculations were performed using the Colmena framework in
+an implementation backed by Globus Compute and Parsl."  This example
+rebuilds the campaign in the Colmena idiom — a Thinker whose agents
+*overlap* simulation submission with model (re)training — and compares
+the resulting GPU idle time with the strictly sequential loop of
+``examples/molecular_design.py``.
+
+Run:  python examples/colmena_moldesign.py
+"""
+
+import numpy as np
+
+from repro.colmena import ColmenaQueues, TaskServer, Thinker, agent
+from repro.faas import (
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    LocalProvider,
+    gpu_app,
+    python_app,
+)
+from repro.gpu import A100_40GB
+from repro.telemetry import timeline_from_tasks
+from repro.workloads import MoleculeSpace, RidgeEmulator
+from repro.workloads.chemistry import simulate_ionization_potential
+
+N_INITIAL = 24
+N_BATCHES = 4
+BATCH_SIZE = 8
+POOL_SIZE = 512
+SIM_SECONDS = 12.0
+
+
+class MolDesignThinker(Thinker):
+    """Colmena-style steering: simulate / train / select concurrently."""
+
+    def __init__(self, queues, space, emulator):
+        super().__init__(queues)
+        self.space = space
+        self.emulator = emulator
+        self.dataset_mols = []
+        self.dataset_ips = []
+        self.batches_selected = 0
+        self.next_mol_id = 0
+        self.best_ip = -np.inf
+
+    def _draw(self, n):
+        mols = self.space.sample(n, offset=self.next_mol_id)
+        self.next_mol_id += n
+        return mols
+
+    @agent
+    def bootstrap(self):
+        """Seed the campaign with the initial random pool."""
+        for mol in self._draw(N_INITIAL):
+            self.queues.send_inputs(mol, method="simulate", topic="simulate")
+        yield self.env.timeout(0)
+
+    @agent
+    def simulation_consumer(self):
+        """Collect simulation results; retrain as data arrives."""
+        expected = N_INITIAL + N_BATCHES * BATCH_SIZE
+        while len(self.dataset_ips) < expected:
+            result = yield self.queues.get_result("simulate")
+            mol, ip = result.value
+            self.dataset_mols.append(mol)
+            self.dataset_ips.append(ip)
+            self.best_ip = max(self.best_ip, ip)
+            # Retrain opportunistically once per completed batch.
+            if (len(self.dataset_ips) >= N_INITIAL
+                    and len(self.dataset_ips) % BATCH_SIZE == 0
+                    and self.batches_selected < N_BATCHES):
+                features = self.space.features(self.dataset_mols)
+                labels = np.asarray(self.dataset_ips)
+                self.queues.send_inputs(features, labels, method="train",
+                                        topic="ml")
+        self.set_done()
+
+    @agent
+    def ml_consumer(self):
+        """When a model finishes training, score and select candidates."""
+        while not self.done and self.batches_selected < N_BATCHES:
+            result = yield self.queues.get_result("ml")
+            if result.method == "train":
+                candidates = self._draw(POOL_SIZE)
+                self.queues.send_inputs(
+                    self.space.features(candidates), candidates,
+                    method="infer", topic="ml")
+            else:  # infer
+                predictions, candidates = result.value
+                order = np.argsort(predictions)[::-1][:BATCH_SIZE]
+                for i in order:
+                    self.queues.send_inputs(candidates[i],
+                                            method="simulate",
+                                            topic="simulate")
+                self.batches_selected += 1
+
+
+def main() -> None:
+    dfk = DataFlowKernel(Config(executors=[
+        HighThroughputExecutor(label="cpu", max_workers=16),
+        HighThroughputExecutor(
+            label="gpu", available_accelerators=["0"],
+            provider=LocalProvider(cores=24, gpu_specs=[A100_40GB])),
+    ]))
+    queues = ColmenaQueues(dfk.env, ["simulate", "ml"])
+    space = MoleculeSpace(seed=0)
+    emulator = RidgeEmulator(seed=0)
+
+    @python_app(executors=["cpu"], walltime=SIM_SECONDS, dfk=dfk)
+    def simulate(mol):
+        return mol, simulate_ionization_potential(mol)
+
+    @gpu_app(executors=["gpu"], dfk=dfk)
+    def train(ctx, features, labels):
+        rmse = emulator.train(features, labels)
+        yield ctx.compute(1.0)
+        yield ctx.launch(emulator.training_kernel(len(features)))
+        return rmse
+
+    @gpu_app(executors=["gpu"], dfk=dfk)
+    def infer(ctx, features, candidates):
+        predictions = emulator.predict(features)
+        yield ctx.compute(0.25)
+        yield ctx.launch(emulator.inference_kernel(len(features)))
+        return predictions, candidates
+
+    TaskServer(queues, dfk, {"simulate": simulate, "train": train,
+                             "infer": infer})
+    thinker = MolDesignThinker(queues, space, emulator)
+    thinker.run_to_completion()
+
+    timeline = timeline_from_tasks(dfk.tasks)
+    idle = timeline.idle_fraction(["train", "infer"])
+    print(f"Colmena-style campaign finished at t={dfk.env.now:.0f}s")
+    print(f"molecules simulated: {len(thinker.dataset_ips)}  "
+          f"best IP: {thinker.best_ip:.2f} eV")
+    print(f"GPU idle fraction: {idle:.0%}")
+    print("\nCompared with examples/molecular_design.py's sequential loop,")
+    print("the steering agents overlap candidate selection with running")
+    print("simulations — Colmena's raison d'etre, and the §3.4 pipelining")
+    print("observation in action.")
+
+
+if __name__ == "__main__":
+    main()

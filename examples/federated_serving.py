@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Federated serving: Globus-Compute-style endpoints + model-aware routing.
+
+Three sites each expose a GPU endpoint through the (simulated) cloud
+service.  A router dispatches LLaMa-2 inference tasks; with model
+affinity it sticks to endpoints whose GPU already holds the weights,
+dodging the §6 cold-start penalty on every request after the first.
+A mid-run worker crash shows the retry machinery recovering.
+
+Run:  python examples/federated_serving.py
+"""
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    Endpoint,
+    FailureInjector,
+    GlobusComputeService,
+    GpuTaskRouter,
+    HighThroughputExecutor,
+    LocalProvider,
+    ModelAffinityRouter,
+    RoundRobinRouter,
+    gpu_app,
+)
+from repro.gpu import A100_80GB
+from repro.sim import Environment
+from repro.workloads import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+LLM = LlamaInference(LLAMA2_7B, InferenceRuntime(dtype_bytes=2))
+N_REQUESTS = 12
+
+
+def build_federation(policy):
+    env = Environment()
+    service = GlobusComputeService(env, wan_latency_seconds=0.02)
+    dfks = []
+    endpoints = []
+    for i in range(3):
+        executor = HighThroughputExecutor(
+            label="gpu", available_accelerators=["0"],
+            cold_start=ColdStartModel(),
+            provider=LocalProvider(cores=8, gpu_specs=[A100_80GB]))
+        dfk = DataFlowKernel(Config(executors=[executor], retries=1),
+                             env=env)
+        dfks.append(dfk)
+        endpoints.append(Endpoint(f"site-{i}", dfk, service))
+    router = GpuTaskRouter(service, endpoints, policy=policy)
+
+    @gpu_app(dfk=dfks[0])
+    def completion(ctx, n_tokens=20):
+        yield from ctx.load_model(LLM.spec.name, LLM.memory_per_gpu,
+                                  LLM.load_seconds)
+        t0 = ctx.now
+        for _ in range(n_tokens):
+            yield ctx.launch(LLM.decode_kernel())
+            yield ctx.compute(LLM.host_seconds_per_token)
+        return ctx.now - t0
+
+    return env, router, router.register_function(completion), dfks
+
+
+def run(policy, label, crash=False):
+    env, router, fid, dfks = build_federation(policy)
+    futures = []
+    e2e = []
+
+    def driver(env):
+        for i in range(N_REQUESTS):
+            fut = router.submit(fid, model_key=LLM.spec.name,
+                                payload_bytes=2048)
+            submitted = env.now
+            fut.callbacks.append(
+                lambda ev, t=submitted: e2e.append(env.now - t))
+            futures.append(fut)
+            yield env.timeout(8.0)
+
+    env.process(driver(env))
+    if crash:
+        def saboteur(env):
+            yield env.timeout(30.0)
+            executor = next(iter(dfks[0].executors.values()))
+            FailureInjector(env).crash_worker(executor.workers[0],
+                                              respawn_after=2.0)
+            print(f"  [t={env.now:.0f}s] injected worker crash on site-0 "
+                  "(task retries on the respawned worker)")
+
+        env.process(saboteur(env))
+    env.run()
+    for f in futures:
+        f.result()  # surface any failure
+    mean_e2e = sum(e2e) / len(e2e)
+    print(f"{label}:")
+    print(f"  routed: {router.routed}")
+    print(f"  mean end-to-end latency {mean_e2e:.2f}s "
+          "(includes WAN, cold starts, model loads)")
+    if isinstance(policy, ModelAffinityRouter):
+        print(f"  affinity hits/misses: {policy.affinity_hits}/"
+              f"{policy.affinity_misses}")
+    return mean_e2e
+
+
+def main() -> None:
+    lat_rr = run(RoundRobinRouter(), "round-robin routing")
+    print()
+    lat_aff = run(ModelAffinityRouter(), "model-affinity routing")
+    print()
+    run(ModelAffinityRouter(), "model-affinity + worker crash", crash=True)
+    print(f"\nAffinity routing cut mean end-to-end latency by "
+          f"{100 * (1 - lat_aff / lat_rr):.0f}%: one model load instead of "
+          "three (§6's cold-start cost, dodged by scheduling).")
+
+
+if __name__ == "__main__":
+    main()

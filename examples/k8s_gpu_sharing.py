@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Kubernetes GPU sharing vs. the paper's approach, side by side.
+
+The paper's introduction motivates extending Parsl by noting that FaaS
+platforms often sit on Kubernetes, "which only has limited GPU sharing
+support".  This example schedules the same eight quarter-GPU inference
+pods through each of Kubernetes' real GPU exposure mechanisms, then runs
+the identical workload through the paper's partitioned Parsl executor.
+
+Run:  python examples/k8s_gpu_sharing.py
+"""
+
+from repro.bench import format_table
+from repro.faas import (
+    ColdStartModel,
+    ComputeNode,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    StaticProvider,
+    gpu_app,
+)
+from repro.gpu import A100_80GB
+from repro.k8s import (
+    Cluster,
+    MigDevicePlugin,
+    Pod,
+    PodPhase,
+    ResourceSpec,
+    TimeSlicingPlugin,
+    WholeGpuPlugin,
+)
+from repro.sim import Environment
+from repro.workloads import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+LLM = LlamaInference(LLAMA2_7B, InferenceRuntime(dtype_bytes=2))
+N_PODS = 8
+TOKENS = 40
+
+
+def pod_main(ctx):
+    for _ in range(TOKENS):
+        yield ctx.gpu.launch(LLM.decode_kernel())
+        yield ctx.env.timeout(LLM.host_seconds_per_token)
+
+
+def run_k8s(plugin, request, mig_profiles=None):
+    env = Environment()
+    node = ComputeNode(env, cores=32, gpu_specs=[A100_80GB])
+    if mig_profiles:
+        mig = node.mig_manager(0)
+        env.run(until=env.process(mig.enable()))
+        for profile in mig_profiles:
+            mig.create_instance(profile)
+    cluster = Cluster(env, [node], plugin=plugin)
+    t0 = env.now
+    pods = [cluster.submit(Pod(f"infer{i}",
+                               ResourceSpec(cpu=1.0, extended=request),
+                               main=pod_main)) for i in range(N_PODS)]
+    cluster.run_until_done()
+    assert all(p.phase is PodPhase.SUCCEEDED for p in pods)
+    return env.now - t0
+
+
+def run_parsl():
+    env = Environment()
+    node = ComputeNode(env, cores=32, gpu_specs=[A100_80GB])
+    node.start_mps()
+    executor = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0"] * 4,
+        gpu_percentage=[25] * 4, provider=StaticProvider([node]),
+        cold_start=ColdStartModel(function_init_seconds=0.0,
+                                  gpu_context_seconds=0.0))
+    dfk = DataFlowKernel(Config(executors=[executor]), env=env)
+
+    @gpu_app(dfk=dfk)
+    def infer(ctx):
+        yield from pod_main(ctx)
+
+    t0 = env.now
+    dfk.wait([infer() for _ in range(N_PODS)])
+    return env.now - t0
+
+
+def main() -> None:
+    results = {
+        "k8s whole-GPU plugin (stock)": run_k8s(
+            WholeGpuPlugin(), {"nvidia.com/gpu": 1}),
+        "k8s time-slicing plugin (4 replicas)": run_k8s(
+            TimeSlicingPlugin(replicas=4), {"nvidia.com/gpu": 1}),
+        "k8s MIG plugin (4x 1g.20gb)": run_k8s(
+            MigDevicePlugin(), {"nvidia.com/mig-1g.20gb": 1},
+            mig_profiles=["1g.20gb"] * 4),
+        "Parsl + MPS 25% x4 (this paper)": run_parsl(),
+    }
+    base = results["k8s whole-GPU plugin (stock)"]
+    rows = [[name, f"{seconds:.1f}", f"{seconds / base:.2f}"]
+            for name, seconds in results.items()]
+    print(format_table(
+        ["mechanism", "makespan s", "vs whole-GPU"],
+        rows,
+        title=f"{N_PODS} quarter-GPU LLaMa-2 pods on one A100-80GB"))
+    print("\nThe stock device plugin gives each pod a whole GPU (and thus")
+    print("serialises them); fine-grained spatial partitioning — the")
+    print("paper's contribution — finishes the same work in about a third")
+    print("of the time.")
+
+
+if __name__ == "__main__":
+    main()

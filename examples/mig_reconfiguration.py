@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""MIG lifecycle and repartitioning costs (§4.2 + §6 + §7).
+
+Walks through the full MIG workflow on a simulated A100-80GB:
+
+1. enable MIG mode (GPU reset);
+2. create the paper's 2-way partition (3g.40gb x2) and serve from it;
+3. repartition to 4-way (1g.20gb x4) — which requires shutting every
+   application down (§6) — and measure the cost;
+4. repeat an MPS repartition with and without the §7 GPU-resident
+   weight cache to show the fast path.
+
+Run:  python examples/mig_reconfiguration.py
+"""
+
+from repro.faas import ColdStartModel, ComputeNode
+from repro.gpu import A100_80GB
+from repro.partition import ReconfigurationPlanner, WeightCache
+from repro.sim import Environment
+from repro.workloads import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+
+def main() -> None:
+    env = Environment()
+    node = ComputeNode(env, cores=24, gpu_specs=[A100_80GB])
+    llm = LlamaInference(LLAMA2_7B, InferenceRuntime(dtype_bytes=2))
+    mig = node.mig_manager(0)
+
+    def scenario(env):
+        # 1. Enter MIG mode: a full GPU reset.
+        t0 = env.now
+        yield from mig.enable()
+        print(f"[t={env.now:6.1f}s] MIG enabled "
+              f"(reset cost {env.now - t0:.1f}s)")
+
+        # 2. Two 3g.40gb instances, one chatbot each.
+        i1 = mig.create_instance("3g.40gb")
+        i2 = mig.create_instance("3g.40gb")
+        c1, c2 = i1.client("bot-a"), i2.client("bot-b")
+        for c in (c1, c2):
+            c.alloc(llm.memory_per_gpu)
+            yield env.timeout(llm.load_seconds)
+        print(f"[t={env.now:6.1f}s] two chatbots serving from "
+              f"{i1.profile.name} instances ({i1.sm_count} SMs each)")
+        for _ in range(10):
+            yield env.all_of([c1.launch(llm.decode_kernel()),
+                              c2.launch(llm.decode_kernel())])
+        print(f"[t={env.now:6.1f}s] served 10 tokens per bot")
+
+        # 3. Demand doubles: repartition to 4x 1g.20gb.  Everything must
+        #    shut down first (§6), then the GPU resets.
+        t0 = env.now
+        c1.close()
+        c2.close()
+        planner = ReconfigurationPlanner(A100_80GB, ColdStartModel())
+        instances = yield from planner.execute_mig_repartition(
+            node, 0, ["1g.20gb"] * 4)
+        clients = [inst.client(f"bot-{i}") for i, inst in
+                   enumerate(instances)]
+        for c in clients:
+            c.alloc(llm.memory_per_gpu)
+            yield env.timeout(llm.load_seconds)  # reload weights (x4!)
+        print(f"[t={env.now:6.1f}s] repartitioned to 4x 1g.20gb in "
+              f"{env.now - t0:.1f}s — every bot was interrupted and "
+              "reloaded its model")
+        for c in clients:
+            c.close()
+
+        # 4. The same resize under MPS, with and without the weight cache.
+        yield from teardown_and_compare(env, llm)
+
+    def teardown_and_compare(env, llm):
+        node2 = ComputeNode(env, cores=24, gpu_specs=[A100_80GB])
+        node2.start_mps()
+        planner = ReconfigurationPlanner(A100_80GB, ColdStartModel())
+
+        # Without the cache.
+        client = node2.mps_daemons[0].client("bot", 50)
+        client.alloc(llm.memory_per_gpu)
+        t0 = env.now
+        client = yield from planner.execute_mps_repartition(
+            node2, 0, client, 25, model_key=llm.spec.name,
+            model_bytes=llm.memory_per_gpu,
+            model_load_seconds=llm.load_seconds)
+        cold = env.now - t0
+        client.close()
+
+        # With the §7 GPU-resident weight cache.
+        node3 = ComputeNode(env, cores=24, gpu_specs=[A100_80GB])
+        node3.start_mps()
+        node3.weight_cache = WeightCache()
+        client = node3.mps_daemons[0].client("bot", 50)
+        node3.weight_cache.acquire(client, llm.spec.name, llm.memory_per_gpu)
+        t0 = env.now
+        yield from planner.execute_mps_repartition(
+            node3, 0, client, 25, model_key=llm.spec.name,
+            model_bytes=llm.memory_per_gpu,
+            model_load_seconds=llm.load_seconds)
+        warm = env.now - t0
+        print(f"\nMPS repartition 50% -> 25%:")
+        print(f"  without weight cache: {cold:.1f}s "
+              "(process restart + model reload, §6's 10-20s band)")
+        print(f"  with weight cache:    {warm:.1f}s "
+              f"({cold / warm:.1f}x faster — §7's fast path)")
+
+    env.run(until=env.process(scenario(env)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Right-sizing GPU partitions for functions (§7 future work).
+
+Profiles each workload's latency-vs-SMs curve on the simulator, finds
+the knee, and emits the deployable artefacts: an MPS GPU percentage and
+the smallest adequate MIG profile.  Then fits the §7 runtime predictor
+to a handful of profile points and shows its extrapolations.
+
+Run:  python examples/rightsizing.py
+"""
+
+from repro.bench import format_table
+from repro.gpu import A100_40GB
+from repro.partition import RightSizer, RuntimePredictor, StaticAnalyzer
+from repro.workloads import (
+    LLAMA2_7B,
+    RESNET50,
+    VGG16,
+    InferenceRuntime,
+    LlamaInference,
+)
+
+
+def main() -> None:
+    spec = A100_40GB
+    sizer = RightSizer(spec, tolerance=0.05)
+    analyzer = StaticAnalyzer(spec)
+
+    workloads = {}
+    llm = LlamaInference(LLAMA2_7B, InferenceRuntime(dtype_bytes=4))
+    workloads["llama2-7b decode"] = (
+        lambda sms: llm.completion_seconds(spec, sms))
+    for model, batch in ((RESNET50, 1), (RESNET50, 32), (VGG16, 1)):
+        kernels = model.inference_kernels(batch_size=batch)
+        workloads[f"{model.name} b{batch}"] = (
+            lambda sms, k=kernels: analyzer.predict_seconds(
+                k, sms, host_seconds=0.002))
+
+    rows = []
+    for name, latency_fn in workloads.items():
+        rec = sizer.recommend(latency_fn)
+        rows.append([
+            name, rec.knee_sms, f"{rec.mps_percentage}%",
+            rec.mig_profile or "-",
+            f"{rec.predicted_latency * 1000:.0f} ms",
+            f"{100 * rec.freed_fraction:.0f}%",
+        ])
+    print(format_table(
+        ["workload", "knee SMs", "MPS %", "MIG profile", "latency",
+         "GPU freed for co-tenants"],
+        rows,
+        title=f"Right-sized partitions on {spec.name} (5% latency SLO)",
+    ))
+
+    # -- the runtime predictor: few samples -> full scaling law --------------
+    print("\nRuntime predictor (fit on 6 profiled points):")
+    predictor = RuntimePredictor()
+    fn = workloads["llama2-7b decode"]
+    predictor.fit([(s, fn(s)) for s in (4, 8, 16, 32, 64, 108)])
+    for sms in (10, 20, 54, 108):
+        print(f"  T({sms:>3} SMs): predicted {predictor.predict(sms):.2f} s, "
+              f"actual {fn(sms):.2f} s")
+    print(f"  fitted saturation point: {predictor.saturation_sms:.0f} SMs "
+          f"(Fig. 2's plateau)")
+
+    # -- knees -> a concrete heterogeneous MIG layout ------------------------
+    from repro.partition import WorkloadRequirement, plan_mig_layout
+
+    requirements = []
+    for name, latency_fn in workloads.items():
+        rec = sizer.recommend(latency_fn)
+        memory = 15e9 if "llama" in name else 2e9
+        requirements.append(WorkloadRequirement(
+            name, min_sms=rec.knee_sms, min_memory_bytes=memory))
+    try:
+        plan = plan_mig_layout(spec, requirements)
+        print("\nHeterogeneous MIG layout for all four workloads:")
+        for workload, profile in plan.assignments:
+            print(f"  {workload:<18} -> {profile}")
+        print(f"  slices used: {plan.used_compute_slices}/7 compute, "
+              f"{plan.used_memory_slices}/8 memory; "
+              f"room left for a {plan.leftover_profile or 'nothing'}")
+    except ValueError as exc:
+        print(f"\nNo single-GPU MIG layout fits all four workloads: {exc}")
+        print("(batch-32 ResNet wants nearly the whole device — schedule "
+              "it on its own GPU or fall back to MPS percentages)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — reproduction of "Fine-grained accelerator partitioning for
+Machine Learning and Scientific Computing in Function as a Service
+Platform" (SC-W 2023).
+
+Subpackages
+-----------
+- :mod:`repro.sim` — deterministic discrete-event simulation kernel.
+- :mod:`repro.gpu` — calibrated GPU simulator: devices, kernels, memory,
+  and the multiplexing techniques of Table 1 (time-sharing, MPS, MPS with
+  GPU percentage, MIG, vGPU).
+- :mod:`repro.faas` — Parsl-workalike FaaS framework whose
+  ``HighThroughputExecutor`` carries the paper's GPU-partitioning
+  extensions.
+- :mod:`repro.partition` — partitioning toolkit: policies, a
+  reconfiguration planner with MPS/MIG cost semantics, the GPU-resident
+  weight cache and the right-sizing estimator from §7.
+- :mod:`repro.workloads` — the evaluation applications: CNN conv
+  arithmetic (Fig. 1), the LLaMa-2 inference cost model (Figs. 2/4/5),
+  and the molecular-design campaign (Fig. 3).
+- :mod:`repro.telemetry` — timelines, latency statistics, throughput.
+- :mod:`repro.bench` — harness that regenerates every table and figure.
+
+Quickstart
+----------
+>>> from repro.faas import Config, HighThroughputExecutor, DataFlowKernel
+>>> from repro.faas import python_app
+>>> config = Config(executors=[HighThroughputExecutor(label="cpu")])
+>>> dfk = DataFlowKernel(config)
+>>> @python_app(dfk=dfk, walltime=1.0)
+... def double(x):
+...     return x * 2
+>>> future = double(21)
+>>> dfk.wait([future])
+[42]
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,49 @@
+"""Benchmark harness: one experiment function per paper table/figure.
+
+Each function runs the full stack (FaaS framework over the simulated
+GPU) and returns structured results; the ``benchmarks/`` pytest modules
+wrap them with pytest-benchmark and print the paper-style tables.
+
+=====================  =============================================
+Paper artifact         Harness entry point
+=====================  =============================================
+Fig. 1                 :func:`repro.bench.app_experiments.fig1_layer_flops`
+Fig. 2                 :func:`repro.bench.llm_experiments.fig2_sm_sweep`
+Fig. 3                 :func:`repro.bench.app_experiments.fig3_moldesign`
+Fig. 4 / Fig. 5        :func:`repro.bench.llm_experiments.run_llm_multiplexing`
+Table 1                :func:`repro.bench.overhead_experiments.table1_comparison`
+§6 overheads           :func:`repro.bench.overhead_experiments.discussion_overheads`
+§7 ablations           :func:`repro.bench.overhead_experiments.weightcache_ablation`,
+                       :func:`repro.bench.overhead_experiments.rightsizing_study`
+=====================  =============================================
+"""
+
+from repro.bench.harness import format_table, save_results
+from repro.bench.llm_experiments import (
+    MultiplexResult,
+    fig2_sm_sweep,
+    fig4_fig5_sweep,
+    run_llm_multiplexing,
+)
+from repro.bench.app_experiments import fig1_layer_flops, fig3_moldesign
+from repro.bench.overhead_experiments import (
+    discussion_overheads,
+    rightsizing_study,
+    table1_comparison,
+    weightcache_ablation,
+)
+
+__all__ = [
+    "MultiplexResult",
+    "discussion_overheads",
+    "fig1_layer_flops",
+    "fig2_sm_sweep",
+    "fig3_moldesign",
+    "fig4_fig5_sweep",
+    "format_table",
+    "rightsizing_study",
+    "run_llm_multiplexing",
+    "save_results",
+    "table1_comparison",
+    "weightcache_ablation",
+]

@@ -1,0 +1,246 @@
+"""LLaMa-2 experiments: Fig. 2 (SM sweep) and Figs. 4/5 (multiplexing).
+
+These run the full stack: a compute node with a simulated A100, the
+enhanced HighThroughputExecutor binding workers to partitions through env
+vars, and LLaMa-2 serving functions generating per-token decode kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.core import Environment
+from repro.sim.resources import Store
+from repro.faas import (
+    ColdStartModel,
+    ComputeNode,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    StaticProvider,
+    gpu_app,
+)
+from repro.gpu.specs import A100_40GB, A100_80GB, GPUSpec
+from repro.partition import EqualSharePolicy, GpuPartitionManager
+from repro.workloads.llm import (
+    LLAMA2_7B,
+    LLAMA2_13B,
+    InferenceRuntime,
+    LlamaInference,
+    LlamaSpec,
+)
+
+__all__ = [
+    "MultiplexResult",
+    "SmSweepPoint",
+    "fig2_sm_sweep",
+    "fig4_fig5_sweep",
+    "run_llm_multiplexing",
+    "MODES",
+]
+
+#: The three §5.2 sharing configurations.
+MODES = ("timeshare", "mps", "mig")
+
+#: Evaluation uses fp16 7B so four instances fit in 80 GB (§5.2).
+FIG4_RUNTIME = InferenceRuntime(dtype_bytes=2)
+#: Fig. 2 runs fp32 ("32 bit floating point parameters").
+FIG2_RUNTIME = InferenceRuntime(dtype_bytes=4)
+
+
+@dataclass
+class MultiplexResult:
+    """One cell of Figs. 4/5: a (mode, process-count) measurement."""
+
+    mode: str
+    n_processes: int
+    n_completions: int
+    #: Wall time from all models warm until the last completion (Fig. 4).
+    total_seconds: float
+    #: Per-completion latencies across all processes (Fig. 5 averages them).
+    latencies: list[float] = field(repr=False)
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies))
+
+    @property
+    def throughput(self) -> float:
+        """Completions per second over the measured window."""
+        return self.n_completions / self.total_seconds
+
+
+def _split_evenly(total: int, k: int) -> list[int]:
+    """'Work was divided equally across number of processes' (Fig. 4)."""
+    base, extra = divmod(total, k)
+    return [base + (1 if i < extra else 0) for i in range(k)]
+
+
+def run_llm_multiplexing(
+    mode: str,
+    n_processes: int,
+    n_completions: int = 100,
+    n_tokens: int = 20,
+    model: LlamaSpec = LLAMA2_7B,
+    runtime: InferenceRuntime = FIG4_RUNTIME,
+    spec: GPUSpec = A100_80GB,
+) -> MultiplexResult:
+    """Run the §5.2 experiment for one (mode, process count) cell.
+
+    ``n_processes`` serving functions share one GPU under ``mode``; the
+    ``n_completions`` text completions are divided equally among them.
+    Measurement starts once every model is loaded (the paper's task
+    completion time excludes the initial load, which §6 treats
+    separately).
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if n_processes <= 0 or n_completions <= 0 or n_tokens <= 0:
+        raise ValueError("counts must be positive")
+
+    env = Environment()
+    node = ComputeNode(env, cores=24, gpu_specs=[spec])
+    manager = GpuPartitionManager(node)
+    llm = LlamaInference(model, runtime)
+    if mode == "timeshare":
+        htex_config = manager.timeshare_config(n_processes)
+    elif mode == "mps":
+        htex_config = manager.apply_mps_policy(EqualSharePolicy(n_processes))
+    else:  # mig
+        policy = EqualSharePolicy(n_processes,
+                                  min_memory_bytes=llm.memory_per_gpu)
+        proc = env.process(manager.apply_mig_policy(policy))
+        htex_config = env.run(until=proc)
+
+    executor = HighThroughputExecutor(
+        label="gpu",
+        available_accelerators=htex_config.available_accelerators,
+        gpu_percentage=htex_config.gpu_percentage,
+        provider=StaticProvider([node]),
+        cold_start=ColdStartModel(),
+    )
+    dfk = DataFlowKernel(Config(executors=[executor]), env=env)
+
+    ready = Store(env, name="ready")
+    go = env.event(name="go")
+
+    @gpu_app(dfk=dfk)
+    def serve(ctx, completions: int):
+        yield from ctx.load_model(model.name, llm.memory_per_gpu,
+                                  llm.load_seconds)
+        yield ready.put(ctx.worker.name)
+        yield go
+        latencies = []
+        for _ in range(completions):
+            t0 = ctx.now
+            for _token in range(n_tokens):
+                yield ctx.launch(llm.decode_kernel())
+                yield ctx.compute(llm.host_seconds_per_token)
+            latencies.append(ctx.now - t0)
+        return latencies
+
+    futures = [serve(c) for c in _split_evenly(n_completions, n_processes)]
+
+    measured = {}
+
+    def driver(env):
+        for _ in range(n_processes):
+            yield ready.get()
+        measured["t0"] = env.now
+        go.succeed()
+
+    env.process(driver(env))
+    results = dfk.wait(futures)
+    total = env.now - measured["t0"]
+    latencies = [lat for worker_latencies in results
+                 for lat in worker_latencies]
+    return MultiplexResult(
+        mode=mode,
+        n_processes=n_processes,
+        n_completions=n_completions,
+        total_seconds=total,
+        latencies=latencies,
+    )
+
+
+def fig4_fig5_sweep(
+    process_counts: Sequence[int] = (1, 2, 3, 4),
+    modes: Sequence[str] = MODES,
+    n_completions: int = 100,
+    n_tokens: int = 20,
+) -> dict[tuple[str, int], MultiplexResult]:
+    """The full Figs. 4/5 grid.  ``(mode, 1)`` cells coincide by design."""
+    results: dict[tuple[str, int], MultiplexResult] = {}
+    for mode in modes:
+        for k in process_counts:
+            results[(mode, k)] = run_llm_multiplexing(
+                mode, k, n_completions=n_completions, n_tokens=n_tokens)
+    return results
+
+
+# ---------------------------------------------------------------- Fig. 2
+
+@dataclass(frozen=True)
+class SmSweepPoint:
+    """One Fig. 2 sample: completion latency at an SM allocation."""
+
+    model: str
+    sms: int
+    mps_percentage: int
+    completion_seconds: float
+
+
+def fig2_sm_sweep(
+    percentages: Sequence[int] = tuple(range(5, 101, 5)),
+    n_tokens: int = 20,
+    spec: GPUSpec = A100_40GB,
+    runtime: InferenceRuntime = FIG2_RUNTIME,
+) -> dict[str, list[SmSweepPoint]]:
+    """Fig. 2: LLaMa-2 inference time vs SM share via MPS percentages.
+
+    7B runs on one A100; 13B spans two A100s tensor-parallel ("for llama2
+    13 billion parameters 2 A100 GPUs were used").  Each point is one
+    measured completion on the live simulator (not the closed form).
+    """
+    out: dict[str, list[SmSweepPoint]] = {"llama2-7b": [], "llama2-13b": []}
+    for pct in percentages:
+        if not 0 < pct <= 100:
+            raise ValueError(f"percentage {pct} outside (0, 100]")
+        out["llama2-7b"].append(
+            _measure_completion(LLAMA2_7B, 1, pct, n_tokens, spec, runtime))
+        out["llama2-13b"].append(
+            _measure_completion(LLAMA2_13B, 2, pct, n_tokens, spec, runtime))
+    return out
+
+
+def _measure_completion(model: LlamaSpec, n_gpus: int, pct: int,
+                        n_tokens: int, spec: GPUSpec,
+                        runtime: InferenceRuntime) -> SmSweepPoint:
+    env = Environment()
+    node = ComputeNode(env, cores=24, gpu_specs=[spec] * n_gpus)
+    node.start_mps()
+    llm = LlamaInference(model, runtime, n_gpus=n_gpus)
+    clients = [
+        node.mps_daemons[i].client(f"shard{i}", active_thread_percentage=pct)
+        for i in range(n_gpus)
+    ]
+    for client in clients:
+        client.alloc(llm.memory_per_gpu)
+
+    def completion(env):
+        t0 = env.now
+        for _token in range(n_tokens):
+            # Tensor-parallel shards execute their slice concurrently;
+            # the token finishes when the slowest shard does.
+            kernel = llm.decode_kernel()
+            yield env.all_of([c.launch(kernel.scaled(1.0)) for c in clients])
+            yield env.timeout(llm.host_seconds_per_token)
+        return env.now - t0
+
+    seconds = env.run(until=env.process(completion(env)))
+    sms = clients[0].sm_cap
+    return SmSweepPoint(model=model.name, sms=sms, mps_percentage=pct,
+                        completion_seconds=seconds)

@@ -1,0 +1,297 @@
+"""Table 1, the §6 overhead discussion, and the §7 ablations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.core import Environment
+from repro.faas import ColdStartModel, ComputeNode
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.mig import MigManager
+from repro.gpu.modes import MultiplexMode, mode_capabilities
+from repro.gpu.mps import MpsControlDaemon
+from repro.gpu.specs import A100_40GB, A100_80GB, GPUSpec
+from repro.gpu.vgpu import VgpuManager
+from repro.partition import (
+    ReconfigurationPlanner,
+    RightSizer,
+    StaticAnalyzer,
+    WeightCache,
+)
+from repro.workloads.cnn import CNN_ZOO
+from repro.workloads.llm import (
+    LLAMA2_13B,
+    LLAMA2_7B,
+    InferenceRuntime,
+    LlamaInference,
+)
+
+__all__ = [
+    "Table1Row",
+    "table1_comparison",
+    "discussion_overheads",
+    "weightcache_ablation",
+    "rightsizing_study",
+]
+
+FP16 = InferenceRuntime(dtype_bytes=2)
+FP32 = InferenceRuntime(dtype_bytes=4)
+
+
+# ------------------------------------------------------------------ Table 1
+
+@dataclass
+class Table1Row:
+    """One technique's measured + qualitative comparison entry."""
+
+    mode: MultiplexMode
+    measured_utilization: float
+    measured_throughput: float
+    description: str
+    utilization_class: str
+    amd_equivalent: str
+    reconfiguration: str
+    software_required: str
+    drawbacks: str
+
+
+def _reference_workload(env: Environment, clients, n_rounds: int = 50,
+                        runtime: InferenceRuntime = FP16):
+    """The Table 1 probe: each client decodes tokens with host gaps."""
+    llm = LlamaInference(LLAMA2_7B, runtime)
+
+    def stream(env, client):
+        for _ in range(n_rounds):
+            yield client.launch(llm.decode_kernel())
+            yield env.timeout(llm.host_seconds_per_token)
+
+    return [env.process(stream(env, c)) for c in clients]
+
+
+def table1_comparison(n_clients: int = 4,
+                      spec: GPUSpec = A100_80GB) -> list[Table1Row]:
+    """Reproduce Table 1: static attributes plus *measured* utilization.
+
+    The same reference workload (``n_clients`` LLaMa-2 decode streams)
+    runs under each technique; utilization and aggregate token throughput
+    are measured on the simulator.
+    """
+    rows = []
+    for mode in MultiplexMode:
+        env = Environment()
+        gpu = SimulatedGPU(env, spec)
+        clients = _make_clients(env, gpu, mode, n_clients)
+        t0 = env.now
+        procs = _reference_workload(env, clients)
+        env.run(until=env.all_of(procs))
+        elapsed = env.now - t0
+        utilization = gpu.sm_utilization(since=t0)
+        throughput = gpu.kernels_completed / elapsed
+        caps = mode_capabilities(mode)
+        rows.append(Table1Row(
+            mode=mode,
+            measured_utilization=utilization,
+            measured_throughput=throughput,
+            description=caps.description,
+            utilization_class=caps.utilization_class,
+            amd_equivalent=caps.amd_equivalent,
+            reconfiguration=caps.reconfiguration,
+            software_required=caps.software_required,
+            drawbacks=caps.drawbacks,
+        ))
+    return rows
+
+
+def _make_clients(env: Environment, gpu: SimulatedGPU, mode: MultiplexMode,
+                  n: int):
+    if mode is MultiplexMode.TIME_SHARING:
+        return [gpu.timeshare_client(f"c{i}") for i in range(n)]
+    if mode is MultiplexMode.MPS_DEFAULT:
+        daemon = MpsControlDaemon(gpu)
+        daemon.start()
+        return [daemon.client(f"c{i}") for i in range(n)]
+    if mode is MultiplexMode.MPS_PERCENTAGE:
+        daemon = MpsControlDaemon(gpu)
+        daemon.start()
+        pct = max(1, round(100 / n))
+        return [daemon.client(f"c{i}", active_thread_percentage=pct)
+                for i in range(n)]
+    if mode is MultiplexMode.MIG:
+        manager = MigManager(gpu)
+        env.run(until=env.process(manager.enable()))
+        from repro.partition.policy import mig_profiles_for
+
+        instances = [manager.create_instance(p)
+                     for p in mig_profiles_for(gpu.spec, n)]
+        return [inst.client(f"c{i}") for i, inst in enumerate(instances)]
+    if mode is MultiplexMode.VGPU:
+        vgpu = VgpuManager(gpu, n)
+        return [vgpu.vm(i).client(f"c{i}") for i in range(n)]
+    raise AssertionError(mode)
+
+
+# --------------------------------------------------------------- §6 overheads
+
+@dataclass
+class ColdStartBreakdown:
+    """§6's three-component cold start for one model configuration."""
+
+    model: str
+    dtype: str
+    function_init_seconds: float
+    gpu_context_seconds: float
+    model_load_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.function_init_seconds + self.gpu_context_seconds
+                + self.model_load_seconds)
+
+
+@dataclass
+class OverheadReport:
+    cold_starts: list[ColdStartBreakdown]
+    mps_repartition_seconds: float
+    mps_repartition_cached_seconds: float
+    mig_repartition_seconds: float
+    mig_extra_over_mps_seconds: float
+    mig_disturbs_cotenants: bool
+
+
+def discussion_overheads(spec: GPUSpec = A100_80GB,
+                         n_cotenants: int = 3) -> OverheadReport:
+    """Reproduce §6: cold-start decomposition and repartitioning costs."""
+    cold = ColdStartModel()
+    breakdowns = []
+    for model, runtime, dtype in (
+        (LLAMA2_7B, FP16, "fp16"),
+        (LLAMA2_7B, FP32, "fp32"),
+        (LLAMA2_13B, FP16, "fp16"),
+        (LLAMA2_13B, FP32, "fp32"),
+    ):
+        n_gpus = 2 if model is LLAMA2_13B and runtime.dtype_bytes == 4 else 1
+        llm = LlamaInference(model, runtime, n_gpus=n_gpus)
+        breakdowns.append(ColdStartBreakdown(
+            model=model.name,
+            dtype=dtype,
+            function_init_seconds=cold.function_init_seconds,
+            gpu_context_seconds=cold.gpu_context_seconds,
+            model_load_seconds=llm.load_seconds,
+        ))
+    planner = ReconfigurationPlanner(spec, cold)
+    llm7 = LlamaInference(LLAMA2_7B, FP16)
+    mps = planner.mps_repartition_cost(llm7.load_seconds)
+    mps_cached = planner.mps_repartition_cost(llm7.load_seconds,
+                                              weight_cache_hit=True)
+    mig = planner.mig_repartition_cost(llm7.load_seconds,
+                                       n_cotenants=n_cotenants)
+    mig_solo = planner.mig_repartition_cost(llm7.load_seconds, n_cotenants=0)
+    return OverheadReport(
+        cold_starts=breakdowns,
+        mps_repartition_seconds=mps.total_seconds,
+        mps_repartition_cached_seconds=mps_cached.total_seconds,
+        mig_repartition_seconds=mig.total_seconds,
+        mig_extra_over_mps_seconds=mig_solo.total_seconds - mps.total_seconds,
+        mig_disturbs_cotenants=mig.disturbs_cotenants,
+    )
+
+
+# ---------------------------------------------------------------- §7 ablations
+
+@dataclass
+class WeightCacheAblation:
+    """Repartition storm cost with and without the GPU-resident cache."""
+
+    n_repartitions: int
+    seconds_without_cache: float
+    seconds_with_cache: float
+
+    @property
+    def speedup(self) -> float:
+        return self.seconds_without_cache / self.seconds_with_cache
+
+
+def weightcache_ablation(n_repartitions: int = 4,
+                         spec: GPUSpec = A100_80GB) -> WeightCacheAblation:
+    """§7 ablation: repartition a LLaMa-2 7B client repeatedly.
+
+    Without the cache every resize pays the model reload; with it, only
+    the first load streams weights.  Both variants execute on the live
+    simulator through the reconfiguration planner.
+    """
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    durations = {}
+    for cached in (False, True):
+        env = Environment()
+        node = ComputeNode(env, cores=8, gpu_specs=[spec])
+        node.start_mps()
+        if cached:
+            node.weight_cache = WeightCache()
+        planner = ReconfigurationPlanner(spec)
+        client = node.mps_daemons[0].client("w", active_thread_percentage=50)
+        if cached:
+            node.weight_cache.acquire(client, llm.spec.name, llm.memory_per_gpu)
+        else:
+            client.alloc(llm.memory_per_gpu)
+
+        def storm(env, client=client):
+            current = client
+            pct_cycle = [25, 50, 25, 50, 25, 50]
+            for i in range(n_repartitions):
+                current = yield from planner.execute_mps_repartition(
+                    node, 0, current, pct_cycle[i % len(pct_cycle)],
+                    model_key=llm.spec.name,
+                    model_bytes=llm.memory_per_gpu,
+                    model_load_seconds=llm.load_seconds,
+                )
+
+        env.run(until=env.process(storm(env)))
+        durations[cached] = env.now
+    return WeightCacheAblation(
+        n_repartitions=n_repartitions,
+        seconds_without_cache=durations[False],
+        seconds_with_cache=durations[True],
+    )
+
+
+@dataclass
+class RightsizingRow:
+    workload: str
+    knee_sms: int
+    mps_percentage: int
+    mig_profile: str | None
+    latency_penalty_pct: float
+    freed_fraction: float
+
+
+def rightsizing_study(spec: GPUSpec = A100_40GB,
+                      tolerance: float = 0.05) -> list[RightsizingRow]:
+    """§7 ablation: right-size the paper's workloads on one GPU model."""
+    sizer = RightSizer(spec, tolerance=tolerance)
+    rows: list[RightsizingRow] = []
+
+    def add(name: str, latency_fn):
+        rec = sizer.recommend(latency_fn)
+        penalty = 100.0 * (rec.predicted_latency / rec.full_gpu_latency - 1.0)
+        rows.append(RightsizingRow(
+            workload=name,
+            knee_sms=rec.knee_sms,
+            mps_percentage=rec.mps_percentage,
+            mig_profile=rec.mig_profile,
+            latency_penalty_pct=penalty,
+            freed_fraction=rec.freed_fraction,
+        ))
+
+    llm7 = LlamaInference(LLAMA2_7B, FP32)
+    add("llama2-7b fp32 decode", lambda s: llm7.completion_seconds(spec, s))
+    llm7h = LlamaInference(LLAMA2_7B, FP16)
+    add("llama2-7b fp16 decode", lambda s: llm7h.completion_seconds(spec, s))
+    analyzer = StaticAnalyzer(spec)
+    for cnn_name, batch in (("resnet50", 1), ("resnet50", 32),
+                            ("resnet101", 1), ("vgg16", 1)):
+        kernels = CNN_ZOO[cnn_name].inference_kernels(batch_size=batch)
+        add(f"{cnn_name} b{batch}",
+            lambda s, k=kernels: analyzer.predict_seconds(k, s,
+                                                          host_seconds=0.002))
+    return rows

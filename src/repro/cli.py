@@ -1,0 +1,204 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+::
+
+    python -m repro fig1 --models resnet50 vgg16
+    python -m repro fig2
+    python -m repro fig3
+    python -m repro fig4 --completions 100
+    python -m repro fig5
+    python -m repro table1
+    python -m repro overheads
+    python -m repro rightsizing
+    python -m repro weightcache
+
+Every subcommand prints the paper-style table on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench import (
+    discussion_overheads,
+    fig1_layer_flops,
+    fig2_sm_sweep,
+    fig3_moldesign,
+    fig4_fig5_sweep,
+    format_table,
+    rightsizing_study,
+    table1_comparison,
+    weightcache_ablation,
+)
+from repro.telemetry import render_ascii_gantt, summarize
+from repro.workloads import CNN_ZOO
+
+__all__ = ["main"]
+
+
+def _cmd_fig1(args) -> str:
+    data = fig1_layer_flops(tuple(args.models), (args.batch,))
+    rows = []
+    for (model, batch), series in sorted(data.items()):
+        flops = [f for _, f in series]
+        rows.append([model, batch, len(series), sum(flops) / 1e9,
+                     max(flops) / min(flops)])
+    return format_table(
+        ["model", "batch", "conv layers", "total GFLOP", "max/min"],
+        rows, title="Fig. 1 — per-layer FLOP variation")
+
+
+def _cmd_fig2(args) -> str:
+    sweep = fig2_sm_sweep(tuple(range(args.step, 101, args.step)))
+    rows = [
+        [p7.mps_percentage, p7.sms, p7.completion_seconds,
+         p13.completion_seconds]
+        for p7, p13 in zip(sweep["llama2-7b"], sweep["llama2-13b"])
+    ]
+    return format_table(
+        ["MPS %", "SMs", "7b seconds", "13b seconds"], rows,
+        title="Fig. 2 — completion latency vs SMs")
+
+
+def _cmd_fig3(args) -> str:
+    result = fig3_moldesign()
+    table = format_table(
+        ["phase", "busy seconds"],
+        [["simulation", result.simulation_busy],
+         ["training", result.training_busy],
+         ["inference", result.inference_busy]],
+        title="Fig. 3 — molecular-design phases")
+    return (f"{table}\nGPU idle fraction: {result.gpu_idle_fraction:.2f}\n\n"
+            + render_ascii_gantt(result.timeline, width=args.width))
+
+
+def _cmd_fig4(args) -> str:
+    results = fig4_fig5_sweep(n_completions=args.completions)
+    base = results[("timeshare", 1)]
+    rows = [
+        [mode, k, r.total_seconds, r.total_seconds / base.total_seconds,
+         r.throughput / base.throughput]
+        for (mode, k), r in sorted(results.items())
+    ]
+    return format_table(
+        ["mode", "processes", "total s", "vs 1-process", "throughput x"],
+        rows, title=f"Fig. 4 — {args.completions} completions")
+
+
+def _cmd_fig5(args) -> str:
+    results = fig4_fig5_sweep(n_completions=args.completions)
+    rows = []
+    for (mode, k), r in sorted(results.items()):
+        stats = summarize(r.latencies)
+        rows.append([mode, k, stats.mean, stats.p95])
+    return format_table(
+        ["mode", "processes", "mean latency s", "p95 s"], rows,
+        title="Fig. 5 — average inference latency")
+
+
+def _cmd_table1(args) -> str:
+    rows = [
+        [r.mode.value, f"{r.measured_utilization:.2f}",
+         f"{r.measured_throughput:.1f}", r.utilization_class,
+         r.reconfiguration]
+        for r in table1_comparison(args.clients)
+    ]
+    return format_table(
+        ["technique", "SM util", "tokens/s", "paper class",
+         "reconfiguration"],
+        rows, title="Table 1 — multiplexing techniques")
+
+
+def _cmd_overheads(args) -> str:
+    report = discussion_overheads()
+    rows = [[b.model, b.dtype, b.total_seconds, b.model_load_seconds]
+            for b in report.cold_starts]
+    table = format_table(
+        ["model", "dtype", "cold start s", "of which model load s"],
+        rows, title="§6 — cold starts")
+    return table + (
+        f"\nMPS repartition: {report.mps_repartition_seconds:.1f}s"
+        f" (cached: {report.mps_repartition_cached_seconds:.1f}s);"
+        f" MIG repartition: {report.mig_repartition_seconds:.1f}s"
+    )
+
+
+def _cmd_rightsizing(args) -> str:
+    rows = [
+        [r.workload, r.knee_sms, f"{r.mps_percentage}%",
+         r.mig_profile or "-", f"{100 * r.freed_fraction:.0f}%"]
+        for r in rightsizing_study()
+    ]
+    return format_table(
+        ["workload", "knee SMs", "MPS %", "MIG profile", "GPU freed"],
+        rows, title="§7 — right-sizing study")
+
+
+def _cmd_weightcache(args) -> str:
+    result = weightcache_ablation(args.repartitions)
+    return format_table(
+        ["configuration", "downtime s"],
+        [["no cache", result.seconds_without_cache],
+         ["weight cache", result.seconds_with_cache]],
+        title=f"§7 — weight cache over {result.n_repartitions} repartitions",
+    ) + f"\nspeedup: {result.speedup:.1f}x"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="per-layer CNN FLOPs")
+    p.add_argument("--models", nargs="+", default=["alexnet", "vgg16",
+                                                   "resnet50", "resnet101"],
+                   choices=sorted(CNN_ZOO))
+    p.add_argument("--batch", type=int, default=1)
+    p.set_defaults(fn=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="LLaMa-2 latency vs SMs")
+    p.add_argument("--step", type=int, default=10)
+    p.set_defaults(fn=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="molecular-design timeline")
+    p.add_argument("--width", type=int, default=96)
+    p.set_defaults(fn=_cmd_fig3)
+
+    p = sub.add_parser("fig4", help="multiplexed completion time")
+    p.add_argument("--completions", type=int, default=100)
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="multiplexed inference latency")
+    p.add_argument("--completions", type=int, default=100)
+    p.set_defaults(fn=_cmd_fig5)
+
+    p = sub.add_parser("table1", help="multiplexing technique comparison")
+    p.add_argument("--clients", type=int, default=4)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("overheads", help="§6 cold start & repartitioning")
+    p.set_defaults(fn=_cmd_overheads)
+
+    p = sub.add_parser("rightsizing", help="§7 right-sizing study")
+    p.set_defaults(fn=_cmd_rightsizing)
+
+    p = sub.add_parser("weightcache", help="§7 weight-cache ablation")
+    p.add_argument("--repartitions", type=int, default=4)
+    p.set_defaults(fn=_cmd_weightcache)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.fn(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

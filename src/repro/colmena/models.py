@@ -1,0 +1,50 @@
+"""Colmena data model: the Result record that travels the queues."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["ColmenaResult"]
+
+_result_ids = itertools.count()
+
+
+@dataclass
+class ColmenaResult:
+    """One method invocation's record, timestamped at every hop.
+
+    Mirrors Colmena's ``Result`` object: the thinker reads ``value`` on
+    success (or ``failure`` otherwise) and the timestamps expose the
+    queueing/compute breakdown the framework is instrumented for.
+    """
+
+    method: str
+    topic: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    rid: int = field(default_factory=lambda: next(_result_ids))
+    #: Set by the queues/server as the task moves through the system.
+    time_created: Optional[float] = None
+    time_started: Optional[float] = None
+    time_completed: Optional[float] = None
+    time_returned: Optional[float] = None
+    value: Any = None
+    failure: Optional[BaseException] = None
+
+    @property
+    def success(self) -> bool:
+        return self.time_completed is not None and self.failure is None
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        if self.time_created is None or self.time_started is None:
+            return None
+        return self.time_started - self.time_created
+
+    @property
+    def compute_seconds(self) -> Optional[float]:
+        if self.time_started is None or self.time_completed is None:
+            return None
+        return self.time_completed - self.time_started

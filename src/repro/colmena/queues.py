@@ -1,0 +1,74 @@
+"""Topic-routed request/result queues between Thinker and Task Server."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Store
+from repro.colmena.models import ColmenaResult
+
+__all__ = ["ColmenaQueues"]
+
+
+class ColmenaQueues:
+    """One request queue plus per-topic result queues.
+
+    The thinker calls :meth:`send_inputs` (non-blocking) and yields
+    :meth:`get_result` for a topic; the task server drains
+    :meth:`get_task` and pushes through :meth:`send_result`.
+    """
+
+    def __init__(self, env: Environment, topics: Iterable[str]):
+        self.env = env
+        self.topics = tuple(topics)
+        if not self.topics:
+            raise ValueError("need at least one topic")
+        if len(set(self.topics)) != len(self.topics):
+            raise ValueError("duplicate topics")
+        self._requests = Store(env, name="colmena-requests")
+        self._results = {t: Store(env, name=f"colmena-results-{t}")
+                         for t in self.topics}
+        self.sent = 0
+        self.returned = 0
+
+    # -- thinker side ---------------------------------------------------------
+    def send_inputs(self, *args: Any, method: str, topic: str,
+                    **kwargs: Any) -> ColmenaResult:
+        """Enqueue one method invocation; returns its (pending) record."""
+        self._check_topic(topic)
+        result = ColmenaResult(method=method, topic=topic, args=args,
+                               kwargs=kwargs, time_created=self.env.now)
+        self._requests.put(result)
+        self.sent += 1
+        return result
+
+    def get_result(self, topic: str) -> Event:
+        """Event yielding the next completed result on ``topic``."""
+        self._check_topic(topic)
+        return self._results[topic].get()
+
+    def outstanding(self, topic: str | None = None) -> int:
+        """Results sent but not yet returned (optionally per topic)."""
+        if topic is None:
+            return self.sent - self.returned
+        raise NotImplementedError(
+            "per-topic outstanding tracking is not recorded; track it in "
+            "the thinker if needed"
+        )
+
+    # -- server side --------------------------------------------------------------
+    def get_task(self) -> Event:
+        """Event yielding the next request (server side)."""
+        return self._requests.get()
+
+    def send_result(self, result: ColmenaResult) -> None:
+        result.time_returned = self.env.now
+        self._results[result.topic].put(result)
+        self.returned += 1
+
+    def _check_topic(self, topic: str) -> None:
+        if topic not in self._results:
+            raise KeyError(
+                f"unknown topic {topic!r}; configured: {list(self.topics)}"
+            )

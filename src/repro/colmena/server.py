@@ -1,0 +1,83 @@
+"""The Colmena Task Server: method registry + dispatch loop."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.sim.core import Event
+from repro.faas.apps import AppBase
+from repro.faas.dataflow import DataFlowKernel
+from repro.colmena.models import ColmenaResult
+from repro.colmena.queues import ColmenaQueues
+
+__all__ = ["TaskServer"]
+
+
+class TaskServer:
+    """Executes queued method invocations as FaaS apps.
+
+    ``methods`` maps method names to registered apps (``@python_app`` /
+    ``@gpu_app``); the server pulls requests from the queues, submits
+    them through the DataFlowKernel (so executor selection, retries and
+    GPU partition binding all apply), and returns timestamped results.
+    """
+
+    def __init__(self, queues: ColmenaQueues, dfk: DataFlowKernel,
+                 methods: Mapping[str, AppBase], submit=None):
+        """``submit(app, args, kwargs) -> future`` overrides local
+        dispatch — pass a Globus-backed submitter to run methods on a
+        remote endpoint, which is exactly the paper's deployment
+        ("Colmena ... backed by Globus Compute and Parsl")."""
+        if not methods:
+            raise ValueError("TaskServer needs at least one method")
+        for name, app in methods.items():
+            if not isinstance(app, AppBase):
+                raise TypeError(
+                    f"method {name!r} must be a decorated app, got "
+                    f"{type(app).__name__}"
+                )
+        self.queues = queues
+        self.dfk = dfk
+        self.methods = dict(methods)
+        self._submit = submit if submit is not None else (
+            lambda app, args, kwargs: dfk.submit(app, args, kwargs))
+        self.tasks_dispatched = 0
+        self._proc = dfk.env.process(self._serve())
+
+    def _serve(self):
+        env = self.dfk.env
+        while True:
+            request: ColmenaResult = yield self.queues.get_task()
+            try:
+                app = self.methods[request.method]
+            except KeyError:
+                request.failure = KeyError(
+                    f"task server has no method {request.method!r}; "
+                    f"registered: {sorted(self.methods)}"
+                )
+                self.queues.send_result(request)
+                continue
+            request.time_started = env.now
+            self.tasks_dispatched += 1
+            future = self._submit(app, request.args, request.kwargs)
+            future.callbacks.append(
+                lambda ev, req=request: self._finish(req, ev))
+
+    def _finish(self, request: ColmenaResult, future_event: Event) -> None:
+        request.time_completed = self.dfk.env.now
+        # Replace the dispatch timestamp with the true worker start time
+        # (the queue delay between them is Colmena's backlog metric).
+        task = getattr(future_event, "task", None)
+        start_time = getattr(task, "start_time", None)
+        if start_time is not None:
+            request.time_started = start_time
+        if future_event.ok:
+            request.value = future_event.value
+        else:
+            request.failure = future_event.value
+        self.queues.send_result(request)
+
+    def stop(self) -> None:
+        if self._proc.is_alive:
+            self._proc.interrupt("task server stopped")
+            self._proc.defuse()

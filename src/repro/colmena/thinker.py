@@ -1,0 +1,77 @@
+"""The Colmena Thinker: concurrent decision-making agents.
+
+A Thinker subclass declares *agents* — generator methods decorated with
+:func:`agent` — that run as concurrent simulation processes.  Agents
+typically pair up: one submits tasks when capacity is available, another
+consumes results and updates shared state.  That overlap (submit more
+simulations while training runs) is exactly the pipelining §3.4 says
+"will yield higher accelerator utilization".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.core import Environment, Event
+from repro.colmena.queues import ColmenaQueues
+
+__all__ = ["Thinker", "agent"]
+
+_AGENT_FLAG = "_colmena_agent"
+
+
+def agent(fn: Callable) -> Callable:
+    """Mark a Thinker generator method as an agent process."""
+    import inspect
+
+    if not inspect.isgeneratorfunction(fn):
+        raise TypeError(
+            f"@agent method {fn.__name__!r} must be a generator function"
+        )
+    setattr(fn, _AGENT_FLAG, True)
+    return fn
+
+
+class Thinker:
+    """Base class: collects ``@agent`` methods and runs them as processes.
+
+    The thinker is *done* when every agent returns (or when
+    :meth:`set_done` is called — agents should check :attr:`done` in
+    their loops, mirroring Colmena's ``done`` event).
+    """
+
+    def __init__(self, queues: ColmenaQueues):
+        self.queues = queues
+        self.env: Environment = queues.env
+        self.done = False
+        self._agents = [
+            getattr(self, name)
+            for name in dir(type(self))
+            if getattr(getattr(type(self), name, None), _AGENT_FLAG, False)
+        ]
+        if not self._agents:
+            raise TypeError(
+                f"{type(self).__name__} declares no @agent methods"
+            )
+        self._processes: list = []
+
+    def start(self) -> Event:
+        """Launch every agent; returns an event firing when all finish."""
+        if self._processes:
+            raise RuntimeError("thinker already started")
+        self._processes = [self.env.process(fn()) for fn in self._agents]
+        return self.env.all_of(self._processes)
+
+    def run_to_completion(self) -> None:
+        """Start (if needed) and run the simulation until agents finish."""
+        condition = self.start() if not self._processes \
+            else self.env.all_of(self._processes)
+        self.env.run(until=condition)
+
+    def set_done(self) -> None:
+        """Signal agents (which must poll :attr:`done`) to wind down."""
+        self.done = True
+
+    @property
+    def agent_count(self) -> int:
+        return len(self._agents)

@@ -1,0 +1,94 @@
+"""Parsl-workalike FaaS framework over the simulated substrate.
+
+Mirrors the Parsl surface the paper works with (§2.2, Listings 1-3):
+
+- :func:`~repro.faas.apps.python_app` / :func:`~repro.faas.apps.gpu_app`
+  decorators turn functions into *apps* whose invocation returns an
+  :class:`~repro.faas.futures.AppFuture`;
+- the :class:`~repro.faas.dataflow.DataFlowKernel` resolves future-valued
+  arguments, retries failures, and dispatches to executors;
+- :class:`~repro.faas.executors.HighThroughputExecutor` implements the
+  pilot-job worker pool — extended, as the paper's contribution, with
+  ``available_accelerators`` entries that may repeat GPUs or name MIG
+  UUIDs, and a ``gpu_percentage`` list enforced through the simulated
+  ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE``;
+- providers (:class:`~repro.faas.providers.LocalProvider`,
+  :class:`~repro.faas.providers.SlurmProvider`) stand up simulated compute
+  nodes;
+- :mod:`repro.faas.coldstart` decomposes §6's startup overhead (function
+  init, GPU context init, application/model loading).
+"""
+
+from repro.faas.futures import AppFuture, TaskRecord, TaskState
+from repro.faas.apps import AppBase, bash_app, gpu_app, join_app, python_app
+from repro.faas.config import Config
+from repro.faas.coldstart import ColdStartModel
+from repro.faas.dataflow import DataFlowKernel, clear, current_dfk, load
+from repro.faas.environment import FunctionEnvironment
+from repro.faas.providers import (
+    ComputeNode,
+    LocalProvider,
+    SlurmProvider,
+    StaticProvider,
+)
+from repro.faas.executors import (
+    ExecutorBase,
+    HighThroughputExecutor,
+    ThreadPoolExecutor,
+)
+from repro.faas.monitoring import MonitoringHub, TaskTransition
+from repro.faas.failures import (
+    FailureInjector,
+    GpuEccError,
+    WorkerCrash,
+    inject_gpu_error,
+)
+from repro.faas.globus import (
+    Endpoint,
+    GlobusComputeClient,
+    GlobusComputeService,
+)
+from repro.faas.routing import (
+    GpuTaskRouter,
+    LeastLoadedRouter,
+    ModelAffinityRouter,
+    RoundRobinRouter,
+)
+
+__all__ = [
+    "AppBase",
+    "AppFuture",
+    "ColdStartModel",
+    "ComputeNode",
+    "Config",
+    "DataFlowKernel",
+    "Endpoint",
+    "ExecutorBase",
+    "FailureInjector",
+    "FunctionEnvironment",
+    "GpuEccError",
+    "GlobusComputeClient",
+    "GlobusComputeService",
+    "GpuTaskRouter",
+    "HighThroughputExecutor",
+    "LeastLoadedRouter",
+    "LocalProvider",
+    "ModelAffinityRouter",
+    "RoundRobinRouter",
+    "MonitoringHub",
+    "TaskTransition",
+    "SlurmProvider",
+    "StaticProvider",
+    "TaskRecord",
+    "TaskState",
+    "ThreadPoolExecutor",
+    "WorkerCrash",
+    "bash_app",
+    "clear",
+    "inject_gpu_error",
+    "current_dfk",
+    "gpu_app",
+    "join_app",
+    "load",
+    "python_app",
+]

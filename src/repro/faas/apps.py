@@ -1,0 +1,153 @@
+"""App decorators: the user-facing function registration API.
+
+Parsl calls decorated functions "apps"; invoking one submits a task and
+returns an :class:`~repro.faas.futures.AppFuture` immediately.  Two kinds:
+
+``@python_app``
+    A plain Python function.  It executes for real (its Python body runs —
+    e.g. training the numpy emulator) and occupies a worker for
+    ``walltime`` simulated seconds (default 0: instantaneous logic).
+
+``@gpu_app``
+    A *generator* function whose first parameter is a
+    :class:`~repro.faas.workers.TaskContext`.  Its yields drive simulated
+    time: ``ctx.gpu.launch(kernel)``, ``ctx.compute(seconds)``,
+    ``ctx.sleep(seconds)``.  The worker supplies a GPU client bound to the
+    worker's accelerator partition (whole GPU, MPS percentage slice, or
+    MIG instance) — the paper's contribution is precisely the plumbing
+    that makes this binding configurable.
+
+``@join_app``
+    A function returning a future (or list of futures); its own future
+    resolves to the inner result — Parsl's mechanism for dynamic
+    workflows, used by the molecular-design campaign.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.faas.futures import AppFuture
+
+__all__ = ["AppBase", "python_app", "gpu_app", "join_app"]
+
+
+class AppBase:
+    """A registered app: callable returning an :class:`AppFuture`."""
+
+    kind = "python"
+
+    def __init__(self, fn: Callable, executors: str | Sequence[str] = "all",
+                 walltime: float = 0.0, cpu_cores: int = 1,
+                 dfk: Optional["DataFlowKernel"] = None):  # noqa: F821
+        if walltime < 0:
+            raise ValueError("walltime must be non-negative")
+        if cpu_cores <= 0:
+            raise ValueError("cpu_cores must be positive")
+        functools.update_wrapper(self, fn)
+        self.fn = fn
+        self.executors = executors
+        self.walltime = walltime
+        self.cpu_cores = cpu_cores
+        self._dfk = dfk
+
+    @property
+    def name(self) -> str:
+        return getattr(self.fn, "__name__", "app")
+
+    def _resolve_dfk(self):
+        if self._dfk is not None:
+            return self._dfk
+        from repro.faas.dataflow import current_dfk
+
+        dfk = current_dfk()
+        if dfk is None:
+            raise RuntimeError(
+                f"app {self.name!r} invoked with no DataFlowKernel loaded; "
+                "call repro.faas.load(config) first"
+            )
+        return dfk
+
+    def __call__(self, *args: Any, **kwargs: Any) -> AppFuture:
+        return self._resolve_dfk().submit(self, args, kwargs)
+
+
+class GpuApp(AppBase):
+    """An app that drives the simulated GPU through a TaskContext."""
+
+    kind = "gpu"
+
+    def __init__(self, fn: Callable, **kw: Any):
+        if not inspect.isgeneratorfunction(fn):
+            raise TypeError(
+                f"@gpu_app function {getattr(fn, '__name__', fn)!r} must be "
+                "a generator function taking a TaskContext first argument "
+                "(its yields advance simulated time)"
+            )
+        super().__init__(fn, **kw)
+
+
+class JoinApp(AppBase):
+    """An app whose return value is one or more futures to flatten."""
+
+    kind = "join"
+
+
+class BashApp(AppBase):
+    """An app whose function *renders a shell command line*.
+
+    Mirrors Parsl's ``@bash_app``: the Python body returns the command
+    string (so tests can assert what would run); the simulated execution
+    charges ``walltime`` and returns the rendered command.  The paper
+    leans on this mechanism to launch ``nvidia-cuda-mps-control`` before
+    GPU functions run (§4.1).
+    """
+
+    kind = "bash"
+
+
+def _decorate(cls, fn=None, **kw):
+    if fn is None:
+        return lambda f: cls(f, **kw)
+    return cls(fn, **kw)
+
+
+def python_app(fn: Callable | None = None, *,
+               executors: str | Sequence[str] = "all",
+               walltime: float = 0.0, cpu_cores: int = 1,
+               dfk=None) -> Callable:
+    """Register a plain Python function as an app.
+
+    Parameters mirror Parsl's where they exist; ``walltime`` additionally
+    declares the simulated duration the function's real computation stands
+    for (a 12 s quantum-chemistry task runs its numpy body instantly but
+    holds its worker for 12 simulated seconds).
+    """
+    return _decorate(AppBase, fn, executors=executors, walltime=walltime,
+                     cpu_cores=cpu_cores, dfk=dfk)
+
+
+def gpu_app(fn: Callable | None = None, *,
+            executors: str | Sequence[str] = "all",
+            walltime: float = 0.0, cpu_cores: int = 1,
+            dfk=None) -> Callable:
+    """Register a GPU generator function as an app (see module docs)."""
+    return _decorate(GpuApp, fn, executors=executors, walltime=walltime,
+                     cpu_cores=cpu_cores, dfk=dfk)
+
+
+def join_app(fn: Callable | None = None, *,
+             executors: str | Sequence[str] = "all", dfk=None) -> Callable:
+    """Register an app that returns futures to be joined."""
+    return _decorate(JoinApp, fn, executors=executors, dfk=dfk)
+
+
+def bash_app(fn: Callable | None = None, *,
+             executors: str | Sequence[str] = "all",
+             walltime: float = 0.0, cpu_cores: int = 1,
+             dfk=None) -> Callable:
+    """Register a shell-command app (see :class:`BashApp`)."""
+    return _decorate(BashApp, fn, executors=executors, walltime=walltime,
+                     cpu_cores=cpu_cores, dfk=dfk)

@@ -1,0 +1,42 @@
+"""Cold-start cost decomposition (§6 of the paper).
+
+The paper identifies three components of GPU serverless startup overhead:
+
+1. *function initialization* — package download, decompression, imports;
+2. *GPU context initialization* — creating the CUDA context;
+3. *application loading* — e.g. copying model weights into HBM (measured
+   at up to 10 s for LLaMa-2 13B).
+
+Components 1 and 2 are worker-level and modelled here; component 3 is
+workload-level (the weights' size divided by the load bandwidth, see
+:class:`repro.workloads.llm.LlamaInference.load_seconds`) and can be
+bypassed by the GPU-resident weight cache of
+:mod:`repro.partition.weightcache` (§7 future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ColdStartModel"]
+
+
+@dataclass(frozen=True)
+class ColdStartModel:
+    """Worker-level cold start costs, in seconds."""
+
+    #: Function environment setup: download, decompress, import.
+    function_init_seconds: float = 1.5
+    #: CUDA context creation on first GPU use by a process.
+    gpu_context_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.function_init_seconds < 0 or self.gpu_context_seconds < 0:
+            raise ValueError("cold start components must be non-negative")
+
+    def worker_start_seconds(self, uses_gpu: bool) -> float:
+        """Total worker cold start before the first task can run."""
+        total = self.function_init_seconds
+        if uses_gpu:
+            total += self.gpu_context_seconds
+        return total

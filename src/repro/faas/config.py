@@ -1,0 +1,35 @@
+"""The Parsl-style ``Config`` object (Listing 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["Config"]
+
+
+@dataclass
+class Config:
+    """Top-level configuration handed to :func:`repro.faas.load`.
+
+    Mirrors the fields the paper's Listing 1 exercises: a list of
+    executors (e.g. one CPU and one GPU ``HighThroughputExecutor``), a
+    retry budget, and a run directory label (we keep logs in memory, but
+    preserve the field for config compatibility).  ``monitoring``
+    optionally attaches a :class:`~repro.faas.monitoring.MonitoringHub`
+    (Listing 1's "monitoring DB").
+    """
+
+    executors: Sequence = field(default_factory=tuple)
+    retries: int = 0
+    run_dir: str = "runinfo"
+    monitoring: Optional["MonitoringHub"] = None  # noqa: F821
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        labels = [e.label for e in self.executors]
+        if len(labels) != len(set(labels)):
+            raise ValueError(f"duplicate executor labels in {labels}")
+        if not self.executors:
+            raise ValueError("Config needs at least one executor")

@@ -1,0 +1,221 @@
+"""The DataFlowKernel: dependency resolution, retries, dispatch.
+
+The simulated counterpart of Parsl's DFK.  Invoking an app creates a
+:class:`~repro.faas.futures.TaskRecord`; future-valued arguments are
+awaited, then the task is dispatched to the executor selected by the
+app's ``executors=`` list.  ``repro.faas.load(config)`` installs a global
+kernel so module-level apps work exactly like Parsl scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.sim.core import Environment, Event
+from repro.faas.apps import AppBase
+from repro.faas.config import Config
+from repro.faas.futures import AppFuture, TaskRecord, TaskState
+
+__all__ = ["DataFlowKernel", "DependencyError", "load", "clear", "current_dfk"]
+
+_active_dfk: Optional["DataFlowKernel"] = None
+
+
+class DependencyError(RuntimeError):
+    """A task's dependency failed, so the task never ran."""
+
+    def __init__(self, task_label: str, dep_label: str,
+                 cause: BaseException):
+        self.cause = cause
+        super().__init__(
+            f"dependency {dep_label} of task {task_label} failed: {cause!r}"
+        )
+
+
+def load(config: Config, env: Optional[Environment] = None) -> "DataFlowKernel":
+    """Create a DataFlowKernel from ``config`` and make it current."""
+    global _active_dfk
+    if _active_dfk is not None:
+        raise RuntimeError(
+            "a DataFlowKernel is already loaded; call repro.faas.clear() first"
+        )
+    _active_dfk = DataFlowKernel(config, env=env)
+    return _active_dfk
+
+
+def clear() -> None:
+    """Forget the current DataFlowKernel."""
+    global _active_dfk
+    _active_dfk = None
+
+
+def current_dfk() -> Optional["DataFlowKernel"]:
+    return _active_dfk
+
+
+class DataFlowKernel:
+    """Tracks tasks, resolves dependencies, and dispatches to executors."""
+
+    def __init__(self, config: Config, env: Optional[Environment] = None):
+        self.config = config
+        self.env = env if env is not None else Environment()
+        self.hub = config.monitoring
+        self.executors = {e.label: e for e in config.executors}
+        for executor in config.executors:
+            executor.start(self.env)
+            executor.hub = self.hub
+        self.tasks: list[TaskRecord] = []
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, app: AppBase, args: tuple, kwargs: dict) -> AppFuture:
+        label = self._select_executor(app)
+        record = TaskRecord(
+            app_name=app.name,
+            fn=app,
+            args=args,
+            kwargs=kwargs,
+            executor_label=label,
+            retries_allowed=self.config.retries,
+            submit_time=self.env.now,
+        )
+        future = AppFuture(self.env, record)
+        record.future = future
+        self.tasks.append(record)
+        if self.hub is not None:
+            self.hub.record(self.env.now, record, "submitted")
+
+        deps = _collect_futures(args) + _collect_futures(tuple(kwargs.values()))
+        record.dependencies = tuple(d.task.tid for d in deps)
+        if deps:
+            cond = self.env.all_of(deps)
+            cond._defused = True
+            cond.callbacks.append(
+                lambda ev: self._deps_resolved(record, deps, ev)
+            )
+        else:
+            self._launch(record)
+        return future
+
+    def _deps_resolved(self, record: TaskRecord, deps: list[AppFuture],
+                       cond: Event) -> None:
+        if not cond.ok:
+            failed = next(d for d in deps if d.processed and not d.ok)
+            record.state = TaskState.FAILED
+            record.future.fail(
+                DependencyError(record.label, failed.task.label, cond.value)
+            )
+            return
+        record.args = _substitute(record.args)
+        record.kwargs = {k: _substitute_one(v)
+                         for k, v in record.kwargs.items()}
+        self._launch(record)
+
+    def _launch(self, record: TaskRecord) -> None:
+        app: AppBase = record.fn
+        if app.kind == "join":
+            self._run_join(record)
+            return
+        self.executors[record.executor_label].submit(record)
+
+    def _run_join(self, record: TaskRecord) -> None:
+        """Join apps run in the DFK itself and flatten returned futures."""
+        record.state = TaskState.RUNNING
+        record.start_time = self.env.now
+        try:
+            inner = record.fn.fn(*record.args, **record.kwargs)
+        except Exception as exc:  # noqa: BLE001
+            record.state = TaskState.FAILED
+            record.end_time = self.env.now
+            record.future.fail(exc)
+            return
+        inner_futures = (
+            list(inner) if isinstance(inner, (list, tuple)) else [inner]
+        )
+        for f in inner_futures:
+            if not isinstance(f, AppFuture):
+                record.state = TaskState.FAILED
+                record.end_time = self.env.now
+                record.future.fail(
+                    TypeError(
+                        f"join app {record.app_name!r} must return futures, "
+                        f"got {type(f).__name__}"
+                    )
+                )
+                return
+        cond = self.env.all_of(inner_futures)
+        cond._defused = True
+
+        def _finish(ev: Event) -> None:
+            record.end_time = self.env.now
+            if not ev.ok:
+                record.state = TaskState.FAILED
+                record.future.fail(ev.value)
+                return
+            record.state = TaskState.DONE
+            values = [f.value for f in inner_futures]
+            record.future.succeed(
+                values if isinstance(inner, (list, tuple)) else values[0]
+            )
+
+        cond.callbacks.append(_finish)
+
+    def _select_executor(self, app: AppBase) -> str:
+        if app.executors == "all":
+            return next(iter(self.executors))
+        wanted: Sequence[str] = (
+            [app.executors] if isinstance(app.executors, str)
+            else list(app.executors)
+        )
+        for label in wanted:
+            if label in self.executors:
+                return label
+        raise KeyError(
+            f"app {app.name!r} wants executors {list(wanted)}, but only "
+            f"{sorted(self.executors)} are configured"
+        )
+
+    # -- driving the simulation ------------------------------------------------
+    def run(self, until: float | Event | None = None) -> Any:
+        """Advance the simulation (thin wrapper over the Environment)."""
+        return self.env.run(until=until)
+
+    def wait(self, futures: Sequence[AppFuture]) -> list[Any]:
+        """Run until every future resolves; returns their results."""
+        pending = [f for f in futures if not f.triggered]
+        if pending:
+            cond = self.env.all_of(pending)
+            cond._defused = True
+            self.env.run(until=cond)
+        return [f.result() for f in futures]
+
+    # -- introspection ------------------------------------------------------------
+    def task_summary(self) -> dict[str, int]:
+        """Count of tasks by state name."""
+        summary: dict[str, int] = {}
+        for record in self.tasks:
+            summary[record.state.value] = summary.get(record.state.value, 0) + 1
+        return summary
+
+
+def _collect_futures(values: tuple) -> list[AppFuture]:
+    deps: list[AppFuture] = []
+    for value in values:
+        if isinstance(value, AppFuture):
+            deps.append(value)
+        elif isinstance(value, (list, tuple)):
+            deps.extend(v for v in value if isinstance(v, AppFuture))
+    return deps
+
+
+def _substitute_one(value: Any) -> Any:
+    if isinstance(value, AppFuture):
+        return value.value
+    if isinstance(value, list):
+        return [_substitute_one(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_substitute_one(v) for v in value)
+    return value
+
+
+def _substitute(args: tuple) -> tuple:
+    return tuple(_substitute_one(a) for a in args)

@@ -1,0 +1,79 @@
+"""Environment-variable plumbing between executor and worker.
+
+The paper's entire mechanism is environment variables (§4):
+
+- ``CUDA_VISIBLE_DEVICES`` selects a GPU index *or a MIG instance UUID*
+  (Listing 3);
+- ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`` caps the SM share of an MPS
+  client and is read once at process start (§4.1).
+
+:class:`FunctionEnvironment` is the simulated process environment a
+worker runs its functions under; the executor fills it from its
+``available_accelerators`` / ``gpu_percentage`` configuration and the
+worker materialises it into a :class:`~repro.gpu.device.GpuClient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FunctionEnvironment"]
+
+CUDA_VISIBLE_DEVICES = "CUDA_VISIBLE_DEVICES"
+CUDA_MPS_ACTIVE_THREAD_PERCENTAGE = "CUDA_MPS_ACTIVE_THREAD_PERCENTAGE"
+
+
+@dataclass
+class FunctionEnvironment:
+    """The env-var view a worker process sees."""
+
+    variables: dict[str, str] = field(default_factory=dict)
+
+    def set(self, key: str, value: str) -> None:
+        self.variables[key] = str(value)
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self.variables.get(key, default)
+
+    # -- typed accessors for the two variables the paper manipulates --------
+    @property
+    def visible_device(self) -> Optional[str]:
+        """The GPU index or MIG UUID this process may use (None = any)."""
+        return self.get(CUDA_VISIBLE_DEVICES)
+
+    @visible_device.setter
+    def visible_device(self, value: str) -> None:
+        self.set(CUDA_VISIBLE_DEVICES, value)
+
+    @property
+    def mps_percentage(self) -> Optional[int]:
+        """``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`` as an int, if set."""
+        raw = self.get(CUDA_MPS_ACTIVE_THREAD_PERCENTAGE)
+        if raw is None:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{CUDA_MPS_ACTIVE_THREAD_PERCENTAGE}={raw!r} is not an "
+                "integer"
+            ) from None
+        if not 0 < value <= 100:
+            raise ValueError(
+                f"{CUDA_MPS_ACTIVE_THREAD_PERCENTAGE} must be in (0, 100], "
+                f"got {value}"
+            )
+        return value
+
+    @mps_percentage.setter
+    def mps_percentage(self, value: int) -> None:
+        self.set(CUDA_MPS_ACTIVE_THREAD_PERCENTAGE, str(int(value)))
+
+    def is_mig_uuid(self) -> bool:
+        """Whether CUDA_VISIBLE_DEVICES names a MIG instance (Listing 3)."""
+        dev = self.visible_device
+        return dev is not None and dev.startswith("MIG-")
+
+    def copy(self) -> "FunctionEnvironment":
+        return FunctionEnvironment(dict(self.variables))

@@ -1,0 +1,7 @@
+"""Executor implementations (§2.2.1)."""
+
+from repro.faas.executors.base import ExecutorBase
+from repro.faas.executors.thread_pool import ThreadPoolExecutor
+from repro.faas.executors.htex import HighThroughputExecutor
+
+__all__ = ["ExecutorBase", "HighThroughputExecutor", "ThreadPoolExecutor"]

@@ -1,0 +1,76 @@
+"""Common executor machinery: task queue, completion, retry plumbing."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+from repro.sim.core import Environment
+from repro.sim.resources import Store
+from repro.faas.futures import TaskRecord, TaskState
+
+__all__ = ["ExecutorBase"]
+
+
+class ExecutorBase(abc.ABC):
+    """Base class: owns the queue, completion accounting, and retries."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.env: Optional[Environment] = None
+        self.queue: Optional[Store] = None
+        #: Optional MonitoringHub, attached by the DataFlowKernel.
+        self.hub = None
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self, env: Environment) -> None:
+        """Attach to the simulation and stand up workers."""
+        if self._started:
+            raise RuntimeError(f"executor {self.label!r} already started")
+        self.env = env
+        self.queue = Store(env, name=f"{self.label}-queue")
+        self._start_workers()
+        self._started = True
+
+    @abc.abstractmethod
+    def _start_workers(self) -> None:
+        """Provision resources and launch worker processes."""
+
+    # -- task flow --------------------------------------------------------------
+    def submit(self, record: TaskRecord) -> None:
+        """Enqueue a launched task for a worker to pick up."""
+        if not self._started:
+            raise RuntimeError(f"executor {self.label!r} not started")
+        record.state = TaskState.LAUNCHED
+        self.tasks_submitted += 1
+        self.queue.put(record)
+
+    def _task_done(self, record: TaskRecord, result: Any) -> None:
+        self.tasks_completed += 1
+        if self.hub is not None:
+            self.hub.record(self.env.now, record, "done")
+        record.future.succeed(result)
+
+    def _task_failed(self, record: TaskRecord, exc: Exception) -> None:
+        record.tries += 1
+        if record.tries <= record.retries_allowed:
+            # Parsl-style retry: the task goes back to the queue.
+            record.state = TaskState.LAUNCHED
+            if self.hub is not None:
+                self.hub.record(self.env.now, record, "retry")
+            self.queue.put(record)
+            return
+        self.tasks_failed += 1
+        record.state = TaskState.FAILED
+        if self.hub is not None:
+            self.hub.record(self.env.now, record, "failed")
+        record.future.fail(exc)
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks submitted but not yet finished."""
+        return self.tasks_submitted - self.tasks_completed - self.tasks_failed

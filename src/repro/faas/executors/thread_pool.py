@@ -1,0 +1,48 @@
+"""Thread-pool executor: Parsl's wrapper over concurrent.futures (§2.2.1).
+
+CPU-only, no cold start, no accelerator binding — the baseline executor
+the paper contrasts the HighThroughputExecutor against.
+"""
+
+from __future__ import annotations
+
+from repro.faas.coldstart import ColdStartModel
+from repro.faas.environment import FunctionEnvironment
+from repro.faas.executors.base import ExecutorBase
+from repro.faas.providers import ComputeNode
+from repro.faas.workers import Worker
+
+__all__ = ["ThreadPoolExecutor"]
+
+
+class ThreadPoolExecutor(ExecutorBase):
+    """A pool of ``max_threads`` CPU workers on one local node."""
+
+    def __init__(self, label: str = "threads", max_threads: int = 2,
+                 cores: int | None = None):
+        super().__init__(label)
+        if max_threads <= 0:
+            raise ValueError("max_threads must be positive")
+        self.max_threads = max_threads
+        self.cores = cores if cores is not None else max_threads
+        self.node: ComputeNode | None = None
+        self.workers: list[Worker] = []
+
+    def _start_workers(self) -> None:
+        self.node = ComputeNode(self.env, self.cores, (),
+                                name=f"{self.label}-node")
+        # Threads share the parent's warm environment: zero cold start.
+        cold = ColdStartModel(function_init_seconds=0.0,
+                              gpu_context_seconds=0.0)
+        for i in range(self.max_threads):
+            self.workers.append(
+                Worker(
+                    env=self.env,
+                    name=f"{self.label}-{i}",
+                    node=self.node,
+                    queue=self.queue,
+                    fenv=FunctionEnvironment(),
+                    cold_start=cold,
+                    executor=self,
+                )
+            )

@@ -1,0 +1,143 @@
+"""Failure injection: worker crashes and GPU errors.
+
+Serverless platforms must absorb infrastructure failures; the retry
+machinery (§2.2's ``retries=`` config) only earns its keep under fault
+load.  This module injects two fault classes into a running simulation:
+
+- **worker crashes** — the worker process dies mid-task; its in-flight
+  task fails with :class:`WorkerCrash` (and retries on another worker);
+  an optional respawn brings a replacement up after the restart delay
+  (paying the full cold start again);
+- **GPU errors** (ECC/Xid-style) — every kernel resident on the device
+  is killed; the owning functions observe :class:`GpuEccError` from
+  their ``ctx.launch`` and may retry.
+
+:class:`FailureInjector` drives both from seeded exponential processes,
+so failure schedules are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.core import Environment
+from repro.gpu.device import SimulatedGPU
+from repro.faas.executors.base import ExecutorBase
+from repro.faas.workers import Worker
+
+__all__ = ["FailureInjector", "GpuEccError", "WorkerCrash",
+           "inject_gpu_error"]
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died while (possibly) executing a task."""
+
+
+class GpuEccError(RuntimeError):
+    """An uncorrectable GPU memory error killed the resident kernels."""
+
+
+def inject_gpu_error(device: SimulatedGPU) -> int:
+    """Kill every kernel currently resident on ``device``.
+
+    Returns the number of kernels killed.  Queued (time-shared) kernels
+    are unaffected — they had not begun executing.
+    """
+    killed = 0
+    for task in list(device.pool.tasks):
+        device.pool.cancel(task)
+        kernel = task.meta["kernel"]
+        task.done.fail(GpuEccError(
+            f"{device.name}: uncorrectable memory error killed kernel "
+            f"{kernel.name!r}"
+        ))
+        killed += 1
+    return killed
+
+
+class FailureInjector:
+    """Schedules reproducible crash/error processes."""
+
+    def __init__(self, env: Environment, seed: int = 0):
+        self.env = env
+        self.rng = np.random.default_rng(seed)
+        self.worker_crashes = 0
+        self.gpu_errors = 0
+        self.kernels_killed = 0
+
+    # -- one-shot operations --------------------------------------------------
+    def crash_worker(self, worker: Worker,
+                     respawn_after: Optional[float] = None) -> Optional[Worker]:
+        """Crash ``worker`` now; optionally respawn a replacement.
+
+        Returns the replacement worker (or None).  The replacement pays
+        the full cold start and loads no models (its
+        ``loaded_models`` starts empty — crashed state is gone).
+        """
+        worker.crash(WorkerCrash(f"{worker.name}: injected crash"))
+        self.worker_crashes += 1
+        if respawn_after is None:
+            return None
+        executor = worker.executor
+        ready = self.env.timeout(respawn_after)
+        replacement = Worker(
+            env=self.env,
+            name=f"{worker.name}-r{self.worker_crashes}",
+            node=worker.node,
+            queue=worker.queue,
+            fenv=worker.fenv,
+            cold_start=worker.cold_start,
+            executor=executor,
+            ready=ready,
+        )
+        try:
+            index = executor.workers.index(worker)
+            executor.workers[index] = replacement
+        except (ValueError, AttributeError):
+            pass
+        return replacement
+
+    def gpu_error(self, device: SimulatedGPU) -> int:
+        killed = inject_gpu_error(device)
+        self.gpu_errors += 1
+        self.kernels_killed += killed
+        return killed
+
+    # -- background fault processes --------------------------------------------
+    def start_worker_crashes(self, executor: ExecutorBase,
+                             mtbf_seconds: float,
+                             respawn_after: float = 5.0,
+                             horizon: Optional[float] = None):
+        """Crash a random live worker of ``executor`` at exponential times."""
+        if mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be positive")
+
+        def run(env):
+            while horizon is None or env.now < horizon:
+                yield env.timeout(float(self.rng.exponential(mtbf_seconds)))
+                if horizon is not None and env.now >= horizon:
+                    return
+                live = [w for w in executor.workers if w.alive]
+                if not live:
+                    return
+                victim = live[int(self.rng.integers(len(live)))]
+                self.crash_worker(victim, respawn_after=respawn_after)
+
+        return self.env.process(run(self.env))
+
+    def start_gpu_errors(self, device: SimulatedGPU, mtbf_seconds: float,
+                         horizon: Optional[float] = None):
+        """Inject device-wide kernel kills at exponential times."""
+        if mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be positive")
+
+        def run(env):
+            while horizon is None or env.now < horizon:
+                yield env.timeout(float(self.rng.exponential(mtbf_seconds)))
+                if horizon is not None and env.now >= horizon:
+                    return
+                self.gpu_error(device)
+
+        return self.env.process(run(self.env))

@@ -1,0 +1,112 @@
+"""Futures and task records.
+
+:class:`AppFuture` follows Parsl's semantics — returned immediately on app
+invocation, resolved when the task finishes — but lives on the simulated
+timeline: simulation processes wait on it by ``yield``-ing it, and test
+code reads ``.result()`` after ``env.run()``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Environment, Event
+
+__all__ = ["AppFuture", "TaskRecord", "TaskState"]
+
+_task_ids = itertools.count()
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the DataFlowKernel."""
+
+    PENDING = "pending"          # waiting on future-valued dependencies
+    LAUNCHED = "launched"        # handed to an executor
+    RUNNING = "running"          # picked up by a worker
+    DONE = "done"
+    FAILED = "failed"
+
+
+class AppFuture(Event):
+    """The future returned by invoking an app.
+
+    It *is* a simulation event, so a process may ``yield future`` to wait
+    for it; outside of processes, call :meth:`result` after running the
+    simulation.
+    """
+
+    __slots__ = ("task",)
+
+    def __init__(self, env: Environment, task: "TaskRecord"):
+        super().__init__(env, name=f"future({task.label})")
+        self.task = task
+        # App failures are reported through .result()/.exception();
+        # they must not crash the simulation loop.
+        self._defused = True
+
+    def done(self) -> bool:
+        """Whether the task has finished (successfully or not)."""
+        return self.triggered
+
+    def result(self) -> Any:
+        """The task's return value.
+
+        Raises the task's exception if it failed, or ``RuntimeError`` if
+        the simulation has not been run far enough for it to finish.
+        """
+        if not self.triggered:
+            raise RuntimeError(
+                f"task {self.task.label!r} has not completed; run the "
+                "simulation (dfk.run()) before calling result()"
+            )
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        """The task's exception, or None if it succeeded."""
+        if not self.triggered:
+            raise RuntimeError(f"task {self.task.label!r} has not completed")
+        return None if self._ok else self._value
+
+
+@dataclass
+class TaskRecord:
+    """Bookkeeping for one app invocation."""
+
+    app_name: str
+    fn: Callable
+    args: tuple
+    kwargs: dict
+    executor_label: str
+    retries_allowed: int
+    tid: int = field(default_factory=lambda: next(_task_ids))
+    state: TaskState = TaskState.PENDING
+    tries: int = 0
+    #: tids of the tasks whose futures this task's arguments depended on.
+    dependencies: tuple[int, ...] = ()
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    worker_name: Optional[str] = None
+    future: Optional[AppFuture] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.app_name}#{self.tid}"
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        """Time from submission until a worker picked the task up."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time

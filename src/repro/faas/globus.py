@@ -1,0 +1,181 @@
+"""A Globus Compute (FuncX) style federated layer over the DFK.
+
+The paper runs its workloads through Globus Compute, whose model (§2.2)
+is: users *register* functions with a cloud service, then *submit* tasks
+by function id to a named *endpoint* — a user-deployed Parsl deployment
+on some remote machine.  The cloud service relays tasks and results over
+the WAN.
+
+This module reproduces that federation on the simulated timeline:
+
+- :class:`GlobusComputeService` — the cloud broker: function registry,
+  endpoint registry, WAN relay latency;
+- :class:`Endpoint` — wraps a DataFlowKernel (with its executors) and
+  drains tasks relayed to it;
+- :class:`GlobusComputeClient` — the user-facing SDK:
+  ``register_function`` / ``submit`` / result futures.
+
+Payload sizes matter across a WAN, so submissions carry a serialized-size
+estimate and the relay delay is ``latency + size / bandwidth``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Environment, Event
+from repro.faas.apps import AppBase
+from repro.faas.dataflow import DataFlowKernel
+from repro.faas.futures import AppFuture
+
+__all__ = ["Endpoint", "GlobusComputeClient", "GlobusComputeService"]
+
+_function_ids = itertools.count(1)
+
+
+@dataclass
+class _RegisteredFunction:
+    function_id: str
+    app: AppBase
+    name: str
+
+
+class GlobusComputeService:
+    """The cloud broker relaying tasks between clients and endpoints."""
+
+    def __init__(self, env: Environment, wan_latency_seconds: float = 0.05,
+                 wan_bandwidth_bytes_per_s: float = 50e6):
+        if wan_latency_seconds < 0 or wan_bandwidth_bytes_per_s <= 0:
+            raise ValueError("invalid WAN parameters")
+        self.env = env
+        self.wan_latency = wan_latency_seconds
+        self.wan_bandwidth = wan_bandwidth_bytes_per_s
+        self._functions: dict[str, _RegisteredFunction] = {}
+        self._endpoints: dict[str, "Endpoint"] = {}
+        self.tasks_relayed = 0
+
+    # -- registries -----------------------------------------------------------
+    def register_function(self, app: AppBase) -> str:
+        function_id = f"fn-{next(_function_ids):06d}"
+        self._functions[function_id] = _RegisteredFunction(
+            function_id=function_id, app=app, name=app.name)
+        return function_id
+
+    def register_endpoint(self, endpoint: "Endpoint") -> None:
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.name!r} already registered")
+        self._endpoints[endpoint.name] = endpoint
+
+    def lookup_function(self, function_id: str) -> _RegisteredFunction:
+        try:
+            return self._functions[function_id]
+        except KeyError:
+            raise KeyError(f"unknown function id {function_id!r}") from None
+
+    def endpoint(self, name: str) -> "Endpoint":
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise KeyError(f"unknown endpoint {name!r}") from None
+
+    # -- relay ------------------------------------------------------------------
+    def relay_delay(self, payload_bytes: float) -> float:
+        return self.wan_latency + payload_bytes / self.wan_bandwidth
+
+    def submit(self, function_id: str, endpoint_name: str, args: tuple,
+               kwargs: dict, payload_bytes: float) -> AppFuture:
+        """Relay one task to an endpoint; returns the client-side future.
+
+        The returned future resolves only after the result has travelled
+        back over the WAN — both directions pay the relay delay.
+        """
+        registered = self.lookup_function(function_id)
+        endpoint = self.endpoint(endpoint_name)
+        self.tasks_relayed += 1
+        return endpoint._accept(registered.app, args, kwargs,
+                                self.relay_delay(payload_bytes),
+                                self.relay_delay(1024.0))
+
+
+class Endpoint:
+    """A user-deployed compute endpoint: a DFK behind the cloud service."""
+
+    def __init__(self, name: str, dfk: DataFlowKernel,
+                 service: GlobusComputeService):
+        if dfk.env is not service.env:
+            raise ValueError("endpoint DFK and service must share an "
+                             "Environment")
+        self.name = name
+        self.dfk = dfk
+        self.service = service
+        self.tasks_received = 0
+        service.register_endpoint(self)
+
+    def _accept(self, app: AppBase, args: tuple, kwargs: dict,
+                inbound_delay: float, outbound_delay: float) -> AppFuture:
+        env = self.dfk.env
+        self.tasks_received += 1
+        # The client-side future the SDK hands back.
+        proxy_record = _ProxyRecord(app.name)
+        client_future = AppFuture(env, proxy_record)
+
+        def deliver(_ev: Event) -> None:
+            inner = self.dfk.submit(app, args, kwargs)
+
+            def send_back(inner_ev: Event) -> None:
+                back = env.timeout(outbound_delay)
+
+                def finish(_b: Event) -> None:
+                    if inner_ev.ok:
+                        client_future.succeed(inner_ev.value)
+                    else:
+                        client_future.fail(inner_ev.value)
+
+                back.callbacks.append(finish)
+
+            inner.callbacks.append(send_back)
+
+        env.timeout(inbound_delay).callbacks.append(deliver)
+        return client_future
+
+
+@dataclass
+class _ProxyRecord:
+    """Minimal record behind a client-side (WAN) future."""
+
+    app_name: str
+    tid: int = field(default_factory=lambda: -1)
+
+    @property
+    def label(self) -> str:
+        return f"globus:{self.app_name}"
+
+
+class GlobusComputeClient:
+    """The user-facing SDK: register once, submit many."""
+
+    def __init__(self, service: GlobusComputeService,
+                 default_endpoint: Optional[str] = None):
+        self.service = service
+        self.default_endpoint = default_endpoint
+
+    def register_function(self, app: AppBase) -> str:
+        """Register an app with the cloud service; returns its id."""
+        if not isinstance(app, AppBase):
+            raise TypeError(
+                "register_function expects a decorated app "
+                "(@python_app / @gpu_app)"
+            )
+        return self.service.register_function(app)
+
+    def submit(self, function_id: str, *args: Any,
+               endpoint: Optional[str] = None,
+               payload_bytes: float = 4096.0, **kwargs: Any) -> AppFuture:
+        """Submit a task by function id to an endpoint."""
+        target = endpoint or self.default_endpoint
+        if target is None:
+            raise ValueError("no endpoint given and no default configured")
+        return self.service.submit(function_id, target, args, kwargs,
+                                   payload_bytes)

@@ -1,0 +1,99 @@
+"""Container images: the download/decompress half of cold starts.
+
+§6 decomposes GPU serverless cold start into (1) *function
+initialization (including download, decompression)*, (2) GPU context
+init, (3) application loading.  The static
+:class:`~repro.faas.coldstart.ColdStartModel` charges a flat cost for
+(1); this module makes it dynamic: functions reference a
+:class:`ContainerImage`, nodes keep an image cache, the first worker on
+a node pulls (network) and extracts (CPU) the image, and later workers —
+or concurrent ones, which wait on the in-flight pull — start warm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.core import Environment, Event
+
+__all__ = ["ContainerImage", "ImageRegistry", "NodeImageCache"]
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An OCI-style image: a name, a compressed size, an extract cost."""
+
+    name: str
+    size_bytes: float
+    extract_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0 or self.extract_seconds < 0:
+            raise ValueError("image costs must be non-negative")
+
+
+class ImageRegistry:
+    """The remote registry images are pulled from."""
+
+    def __init__(self, pull_bandwidth_bytes_per_s: float = 125e6):
+        if pull_bandwidth_bytes_per_s <= 0:
+            raise ValueError("pull bandwidth must be positive")
+        self.pull_bandwidth = pull_bandwidth_bytes_per_s
+        self._images: dict[str, ContainerImage] = {}
+        self.pulls_served = 0
+
+    def push(self, image: ContainerImage) -> ContainerImage:
+        self._images[image.name] = image
+        return image
+
+    def lookup(self, name: str) -> ContainerImage:
+        try:
+            return self._images[name]
+        except KeyError:
+            raise KeyError(f"image {name!r} not in registry; "
+                           f"pushed: {sorted(self._images)}") from None
+
+    def pull_seconds(self, image: ContainerImage) -> float:
+        return image.size_bytes / self.pull_bandwidth
+
+
+class NodeImageCache:
+    """Per-node image store with in-flight pull deduplication."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._cached: set[str] = set()
+        self._in_flight: dict[str, Event] = {}
+        self.hits = 0
+        self.pulls = 0
+
+    def is_cached(self, image: ContainerImage) -> bool:
+        return image.name in self._cached
+
+    def ensure(self, image: ContainerImage, registry: ImageRegistry):
+        """Generator: make ``image`` available locally.
+
+        Cache hit: free.  Miss: pull + extract.  A concurrent request for
+        the same image waits on the in-flight pull instead of pulling
+        again (containerd's behaviour).
+        """
+        if image.name in self._cached:
+            self.hits += 1
+            return
+        pending = self._in_flight.get(image.name)
+        if pending is not None:
+            self.hits += 1
+            yield pending
+            return
+        done = self.env.event(name=f"pull-{image.name}")
+        self._in_flight[image.name] = done
+        self.pulls += 1
+        registry.pulls_served += 1
+        yield self.env.timeout(registry.pull_seconds(image))
+        yield self.env.timeout(image.extract_seconds)
+        self._cached.add(image.name)
+        del self._in_flight[image.name]
+        done.succeed()
+
+    def evict(self, image: ContainerImage) -> None:
+        self._cached.discard(image.name)

@@ -1,0 +1,130 @@
+"""Task monitoring — the simulated analogue of Parsl's monitoring DB.
+
+Listing 1's configuration stores a "monitoring DB and parsl logs"; this
+module records the same information in memory: every task state
+transition with its timestamp and worker, queryable per app / worker /
+executor, exportable as JSON lines.
+
+Attach through the config::
+
+    hub = MonitoringHub()
+    Config(executors=[...], monitoring=hub)
+
+and query after (or during) the run::
+
+    hub.app_stats("simulation")["mean_run_seconds"]
+    hub.worker_busy_fraction("gpu-worker0", makespan)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+__all__ = ["MonitoringHub", "TaskTransition"]
+
+
+@dataclass(frozen=True)
+class TaskTransition:
+    """One task state transition."""
+
+    time: float
+    tid: int
+    app_name: str
+    state: str
+    executor_label: str
+    worker_name: Optional[str] = None
+    tries: int = 0
+
+
+class MonitoringHub:
+    """In-memory store of task transitions with aggregate queries."""
+
+    def __init__(self):
+        self.transitions: list[TaskTransition] = []
+
+    # -- recording hooks (called by DFK / executors / workers) --------------
+    def record(self, time: float, record, state: str) -> None:
+        self.transitions.append(TaskTransition(
+            time=time,
+            tid=record.tid,
+            app_name=record.app_name,
+            state=state,
+            executor_label=record.executor_label,
+            worker_name=record.worker_name,
+            tries=record.tries,
+        ))
+
+    # -- queries ------------------------------------------------------------
+    def by_state(self, state: str) -> list[TaskTransition]:
+        return [t for t in self.transitions if t.state == state]
+
+    def task_history(self, tid: int) -> list[TaskTransition]:
+        return [t for t in self.transitions if t.tid == tid]
+
+    def app_stats(self, app_name: str) -> dict[str, float]:
+        """Aggregate queue/run statistics for one app."""
+        starts: dict[int, float] = {}
+        submits: dict[int, float] = {}
+        runs: list[float] = []
+        queues: list[float] = []
+        done = 0
+        failed = 0
+        retries = 0
+        for t in self.transitions:
+            if t.app_name != app_name:
+                continue
+            if t.state == "submitted":
+                submits[t.tid] = t.time
+            elif t.state == "running":
+                starts[t.tid] = t.time
+                if t.tid in submits:
+                    queues.append(t.time - submits[t.tid])
+            elif t.state == "done":
+                done += 1
+                if t.tid in starts:
+                    runs.append(t.time - starts[t.tid])
+            elif t.state == "failed":
+                failed += 1
+            elif t.state == "retry":
+                retries += 1
+        return {
+            "completed": done,
+            "failed": failed,
+            "retries": retries,
+            "mean_run_seconds": sum(runs) / len(runs) if runs else 0.0,
+            "mean_queue_seconds": (sum(queues) / len(queues)
+                                   if queues else 0.0),
+        }
+
+    def worker_busy_fraction(self, worker_name: str,
+                             horizon: float) -> float:
+        """Fraction of ``horizon`` the worker spent running tasks."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        running_since: dict[int, float] = {}
+        busy = 0.0
+        for t in self.transitions:
+            if t.worker_name != worker_name:
+                continue
+            if t.state == "running":
+                running_since[t.tid] = t.time
+            elif t.state in ("done", "failed", "retry"):
+                if t.tid in running_since:
+                    busy += t.time - running_since.pop(t.tid)
+        return min(1.0, busy / horizon)
+
+    def executors(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for t in self.transitions:
+            seen.setdefault(t.executor_label, None)
+        return list(seen)
+
+    # -- export -----------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The monitoring log as JSON lines (Parsl's DB-dump analogue)."""
+        return "\n".join(json.dumps(asdict(t)) for t in self.transitions)
+
+    def __len__(self) -> int:
+        return len(self.transitions)

@@ -1,0 +1,177 @@
+"""Execution providers: where worker nodes come from (§2.2.1).
+
+Parsl separates *how* tasks run (executors) from *where* resources come
+from (providers).  The paper's testbed uses the ``LocalProvider`` on a
+24-core, 2-GPU VM; we also supply a simulated ``SlurmProvider`` whose
+nodes arrive after a queue wait, since Globus Compute endpoints commonly
+sit behind SLURM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Resource
+from repro.gpu.device import GpuClient, SimulatedGPU
+from repro.gpu.mig import MigManager
+from repro.gpu.mps import MpsControlDaemon
+from repro.gpu.specs import GPUSpec
+from repro.gpu.transfer import TransferEngine
+from repro.faas.environment import FunctionEnvironment
+
+__all__ = ["ComputeNode", "LocalProvider", "SlurmProvider", "StaticProvider"]
+
+_node_ids = itertools.count()
+
+
+class ComputeNode:
+    """A simulated compute node: CPU cores plus zero or more GPUs."""
+
+    def __init__(self, env: Environment, cores: int,
+                 gpu_specs: Sequence[GPUSpec] = (), name: str | None = None):
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.env = env
+        self.name = name or f"node{next(_node_ids)}"
+        self.cpu = Resource(env, cores, name=f"{self.name}-cpu")
+        self.gpus = [
+            SimulatedGPU(env, spec, name=f"{self.name}-gpu{i}")
+            for i, spec in enumerate(gpu_specs)
+        ]
+        self.mps_daemons = [MpsControlDaemon(gpu) for gpu in self.gpus]
+        self._mig_managers: dict[int, MigManager] = {}
+        #: Optional GPU-resident weight cache (repro.partition.weightcache).
+        self.weight_cache = None
+        #: Shared host->device transfer path: concurrent model loads on
+        #: this node contend here (§6's cold-start component 3).
+        self.transfer_engine = TransferEngine(env, name=f"{self.name}-h2d")
+        #: Container image cache (§6's cold-start component 1).
+        from repro.faas.images import NodeImageCache
+
+        self.image_cache = NodeImageCache(env)
+
+    @property
+    def cores(self) -> int:
+        return self.cpu.capacity
+
+    def start_mps(self, gpu_index: int | None = None) -> None:
+        """Launch the MPS daemon(s) — the paper's pre-task bash step."""
+        indices = range(len(self.gpus)) if gpu_index is None else [gpu_index]
+        for i in indices:
+            if not self.mps_daemons[i].running:
+                self.mps_daemons[i].start()
+
+    def mig_manager(self, gpu_index: int) -> MigManager:
+        """The MIG controller for one GPU (created on first use)."""
+        if gpu_index not in self._mig_managers:
+            self._mig_managers[gpu_index] = MigManager(self.gpus[gpu_index])
+        return self._mig_managers[gpu_index]
+
+    def make_gpu_client(self, fenv: FunctionEnvironment,
+                        client_name: str) -> Optional[GpuClient]:
+        """Materialise a function environment into a GPU client.
+
+        This is the simulated equivalent of what the CUDA runtime does
+        when a function process starts: honour ``CUDA_VISIBLE_DEVICES``
+        (index or MIG UUID) and, if the MPS daemon is up,
+        ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE``.
+        """
+        device = fenv.visible_device
+        if device is None:
+            return None
+        if fenv.is_mig_uuid():
+            for manager in self._mig_managers.values():
+                try:
+                    return manager.lookup(device).client(client_name)
+                except KeyError:
+                    continue
+            raise KeyError(
+                f"{self.name}: CUDA_VISIBLE_DEVICES={device!r} does not "
+                "match any MIG instance"
+            )
+        index = int(device)
+        if not 0 <= index < len(self.gpus):
+            raise IndexError(
+                f"{self.name}: CUDA_VISIBLE_DEVICES={device!r} but the node "
+                f"has {len(self.gpus)} GPUs"
+            )
+        daemon = self.mps_daemons[index]
+        pct = fenv.mps_percentage
+        if pct is not None:
+            if not daemon.running:
+                raise RuntimeError(
+                    f"{self.name}: CUDA_MPS_ACTIVE_THREAD_PERCENTAGE set "
+                    "but nvidia-cuda-mps-control is not running on "
+                    f"gpu{index}; start it first (§4.1)"
+                )
+            return daemon.client(client_name, active_thread_percentage=pct)
+        if daemon.running:
+            return daemon.client(client_name)
+        return self.gpus[index].timeshare_client(client_name)
+
+
+class LocalProvider:
+    """Resources from the local system (workstation, laptop) — §2.2.1."""
+
+    def __init__(self, cores: int = 24, gpu_specs: Sequence[GPUSpec] = ()):
+        self.cores = cores
+        self.gpu_specs = tuple(gpu_specs)
+
+    def provision(self, env: Environment) -> tuple[Event, list[ComputeNode]]:
+        """Returns (ready-event, nodes); local nodes are ready immediately."""
+        node = ComputeNode(env, self.cores, self.gpu_specs)
+        ready = env.event(name="local-ready")
+        ready.succeed()
+        return ready, [node]
+
+
+class StaticProvider:
+    """Hands out pre-built nodes.
+
+    Used when the node must be prepared *before* the executor starts —
+    e.g. MIG instances have to exist so their UUIDs can be listed in
+    ``available_accelerators`` (Listing 3's workflow).
+    """
+
+    def __init__(self, nodes: Sequence[ComputeNode]):
+        if not nodes:
+            raise ValueError("StaticProvider needs at least one node")
+        self._nodes = list(nodes)
+
+    def provision(self, env: Environment) -> tuple[Event, list[ComputeNode]]:
+        for node in self._nodes:
+            if node.env is not env:
+                raise ValueError(
+                    "StaticProvider nodes belong to a different Environment"
+                )
+        ready = env.event(name="static-ready")
+        ready.succeed()
+        return ready, list(self._nodes)
+
+
+class SlurmProvider:
+    """Nodes obtained through a batch scheduler, after a queue wait."""
+
+    def __init__(self, nodes: int = 1, cores_per_node: int = 24,
+                 gpu_specs: Sequence[GPUSpec] = (),
+                 queue_wait_seconds: float = 60.0, partition: str = "gpu"):
+        if nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if queue_wait_seconds < 0:
+            raise ValueError("queue_wait_seconds must be non-negative")
+        self.nodes = nodes
+        self.cores_per_node = cores_per_node
+        self.gpu_specs = tuple(gpu_specs)
+        self.queue_wait_seconds = queue_wait_seconds
+        self.partition = partition
+
+    def provision(self, env: Environment) -> tuple[Event, list[ComputeNode]]:
+        """Returns (ready-event, nodes); ready fires after the queue wait."""
+        nodes = [
+            ComputeNode(env, self.cores_per_node, self.gpu_specs)
+            for _ in range(self.nodes)
+        ]
+        ready = env.timeout(self.queue_wait_seconds, value=nodes)
+        return ready, nodes

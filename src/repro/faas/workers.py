@@ -1,0 +1,245 @@
+"""Worker processes and the TaskContext handed to GPU apps.
+
+A worker is the unit the paper's contribution configures: each worker is
+pinned to an accelerator partition via its function environment
+(``CUDA_VISIBLE_DEVICES`` + ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE``), pays
+its cold start once, then pulls tasks from the executor queue forever.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.core import Environment, Event, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Store
+from repro.gpu.device import GpuClient
+from repro.gpu.kernel import Kernel
+from repro.faas.coldstart import ColdStartModel
+from repro.faas.environment import FunctionEnvironment
+from repro.faas.futures import TaskRecord, TaskState
+from repro.faas.providers import ComputeNode
+
+__all__ = ["TaskContext", "Worker"]
+
+
+class TaskContext:
+    """The handle a ``@gpu_app`` generator receives as its first argument."""
+
+    def __init__(self, env: Environment, worker: "Worker",
+                 gpu: Optional[GpuClient], node: ComputeNode):
+        self.env = env
+        self.worker = worker
+        self.gpu = gpu
+        self.node = node
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def sleep(self, seconds: float) -> Timeout:
+        """Idle wait (I/O, polling, think time)."""
+        return self.env.timeout(seconds)
+
+    def compute(self, seconds: float) -> Timeout:
+        """Host-side CPU work of the function body."""
+        return self.env.timeout(seconds)
+
+    def launch(self, kernel: Kernel) -> Event:
+        """Launch a kernel on this worker's GPU partition."""
+        if self.gpu is None:
+            raise RuntimeError(
+                f"worker {self.worker.name!r} has no accelerator assigned; "
+                "configure available_accelerators on its executor"
+            )
+        return self.gpu.launch(kernel)
+
+    def load_model(self, key: str, nbytes: float, load_seconds: float):
+        """Load model weights into the partition's memory (generator).
+
+        Allocates ``nbytes`` in device memory and waits ``load_seconds``.
+        Idempotent per worker: a warm worker that already holds ``key``
+        pays nothing (the model stays resident between invocations, which
+        is why §6 singles out cold starts).  If the node carries a
+        GPU-resident weight cache (:mod:`repro.partition.weightcache`)
+        holding ``key`` on this GPU, the load is skipped and the weights
+        are shared across workers — §7's future-work optimisation.
+        Returns True when the load was skipped (warm worker or cache hit).
+        """
+        if self.gpu is None:
+            raise RuntimeError("load_model requires an accelerator")
+        if key in self.worker.loaded_models:
+            return True
+        cache = self.node.weight_cache
+        if cache is not None:
+            hit = cache.acquire(self.gpu, key, nbytes)
+            self.worker.loaded_models.add(key)
+            if hit:
+                return True
+            # Miss: the cache now accounts for the weights; stream them in
+            # through the node's shared host->device path.
+            yield self.node.transfer_engine.copy(load_seconds)
+            return False
+        self.gpu.alloc(nbytes)
+        self.worker.loaded_models.add(key)
+        yield self.node.transfer_engine.copy(load_seconds)
+        return False
+
+
+class Worker:
+    """One pilot-job worker: cold start, then a pull loop."""
+
+    def __init__(self, env: Environment, name: str, node: ComputeNode,
+                 queue: Store, fenv: FunctionEnvironment,
+                 cold_start: ColdStartModel, executor: "ExecutorBase",  # noqa: F821
+                 ready: Event | None = None, image=None, registry=None):
+        self.env = env
+        self.name = name
+        self.node = node
+        self.queue = queue
+        self.fenv = fenv
+        self.cold_start = cold_start
+        self.executor = executor
+        #: Optional container image + registry (dynamic §6 component 1).
+        self.image = image
+        self.registry = registry
+        self.gpu: Optional[GpuClient] = None
+        #: Model keys resident in this worker's partition (warm starts).
+        self.loaded_models: set[str] = set()
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self.started = False
+        #: False once the worker has crashed or been shut down.
+        self.alive = True
+        #: When True, the worker exits after its current task (scale-in).
+        self.draining = False
+        self._ready = ready
+        self._current_record: Optional[TaskRecord] = None
+        self._inner: Optional[Process] = None
+        self._pending_get: Optional[Event] = None
+        self.process = env.process(self._run())
+
+    def crash(self, cause: Exception | None = None) -> None:
+        """Kill the worker now (failure injection / shutdown).
+
+        The in-flight task, if any, fails with ``cause`` and goes through
+        the executor's retry path; the worker's GPU context dies with it
+        (memory freed, loaded models lost) — exactly what §6's process
+        restart semantics imply.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        if cause is None:
+            cause = RuntimeError(f"{self.name}: worker crashed")
+        if self._inner is not None and self._inner.is_alive:
+            self._inner.interrupt(cause)
+            self._inner.defuse()
+        if self.process.is_alive:
+            self.process.interrupt(cause)
+
+    def _run(self):
+        try:
+            if self._ready is not None and not self._ready.processed:
+                yield self._ready
+            # Cold start component 1, dynamic part: pull + extract the
+            # container image unless the node already caches it.
+            if self.image is not None:
+                if self.registry is None:
+                    raise RuntimeError(
+                        f"{self.name}: worker has an image but no registry"
+                    )
+                yield from self.node.image_cache.ensure(self.image,
+                                                        self.registry)
+            # Cold start (§6 components 1 and 2): function init + context.
+            uses_gpu = self.fenv.visible_device is not None
+            startup = self.cold_start.worker_start_seconds(uses_gpu)
+            if startup > 0:
+                yield self.env.timeout(startup)
+            if uses_gpu:
+                self.gpu = self.node.make_gpu_client(self.fenv, self.name)
+            self.started = True
+            while True:
+                if self.draining:
+                    self.alive = False
+                    return
+                self._pending_get = self.queue.get()
+                record: TaskRecord = yield self._pending_get
+                self._pending_get = None
+                self._current_record = record
+                yield from self._execute(record)
+                self._current_record = None
+        except Interrupt as interrupt:
+            self.alive = False
+            # An idle worker dies while a queue get is outstanding: the
+            # get must not swallow a future task.  If it already fired,
+            # the popped task goes back to the queue for a live worker.
+            pending = self._pending_get
+            self._pending_get = None
+            if pending is not None:
+                if not pending.triggered:
+                    self.queue.cancel(pending)
+                else:
+                    self.queue.put(pending.value)
+            record = self._current_record
+            self._current_record = None
+            if record is not None:
+                record.end_time = self.env.now
+                self.tasks_failed += 1
+                cause = interrupt.cause
+                if not isinstance(cause, Exception):
+                    cause = RuntimeError(f"{self.name}: worker crashed")
+                self.executor._task_failed(record, cause)
+        finally:
+            if self.gpu is not None and self.gpu.alive:
+                self.gpu.close()
+                self.gpu = None
+
+    def _execute(self, record: TaskRecord):
+        env = self.env
+        record.state = TaskState.RUNNING
+        record.start_time = env.now
+        record.worker_name = self.name
+        if self.executor.hub is not None:
+            self.executor.hub.record(env.now, record, "running")
+        app = record.fn
+        cores = getattr(app, "cpu_cores", 1)
+        grant = yield self.node.cpu.request(min(cores, self.node.cpu.capacity))
+        try:
+            if app.kind == "gpu":
+                ctx = TaskContext(env, self, self.gpu, self.node)
+                inner = env.process(app.fn(ctx, *record.args, **record.kwargs))
+                inner.defuse()
+                self._inner = inner
+                yield inner
+                self._inner = None
+                if not inner.ok:
+                    raise inner.value
+                result = inner.value
+                if app.walltime > 0:
+                    yield env.timeout(app.walltime)
+            else:
+                result = app.fn(*record.args, **record.kwargs)
+                if app.kind == "bash" and not isinstance(result, str):
+                    raise TypeError(
+                        f"bash app {app.name!r} must return the command "
+                        f"line as a string, got {type(result).__name__}"
+                    )
+                if app.walltime > 0:
+                    yield env.timeout(app.walltime)
+        except Interrupt:
+            # Worker crash: handled (and the task failed) by _run's
+            # interrupt handler, not the per-task failure path.
+            raise
+        except Exception as exc:  # noqa: BLE001 - app failure path
+            record.end_time = env.now
+            self.tasks_failed += 1
+            self.executor._task_failed(record, exc)
+            return
+        finally:
+            self._inner = None
+            self.node.cpu.release(grant.amount)
+        record.end_time = env.now
+        record.state = TaskState.DONE
+        self.tasks_completed += 1
+        self.executor._task_done(record, result)

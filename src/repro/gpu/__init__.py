@@ -1,0 +1,67 @@
+"""Simulated-GPU substrate.
+
+The paper's testbed is two NVIDIA A100s partitioned with CUDA MPS and MIG.
+This package replaces that hardware with a calibrated fluid discrete-event
+model (see DESIGN.md §5):
+
+- :mod:`repro.gpu.specs` — device catalog (A100/H100/V100/MI210) and MIG
+  profile tables.
+- :mod:`repro.gpu.kernel` — kernels as (flops, bytes, max-SMs) work items.
+- :mod:`repro.gpu.device` — the roofline fluid engine: SM allocation plus
+  water-filled memory-bandwidth sharing.
+- :mod:`repro.gpu.memory` — HBM allocator with OOM semantics.
+- :mod:`repro.gpu.timeshare` / :mod:`~repro.gpu.mps` / :mod:`~repro.gpu.mig`
+  / :mod:`~repro.gpu.vgpu` — the multiplexing techniques of Table 1.
+- :mod:`repro.gpu.monitor` — an ``nvidia-smi``-style utilization sampler.
+"""
+
+from repro.gpu.specs import (
+    A100_40GB,
+    A100_80GB,
+    H100_80GB,
+    MI210,
+    V100_32GB,
+    GPUSpec,
+    MIGProfile,
+    get_spec,
+)
+from repro.gpu.kernel import Kernel, KernelGroup
+from repro.gpu.memory import GpuOutOfMemory, MemoryPool
+from repro.gpu.device import GpuClient, SimulatedGPU
+from repro.gpu.modes import MultiplexMode, mode_capabilities
+from repro.gpu.mps import MpsControlDaemon
+from repro.gpu.mig import MigInstance, MigManager
+from repro.gpu.vgpu import VgpuManager, VirtualMachine
+from repro.gpu.monitor import GpuMonitor
+from repro.gpu.transfer import TransferEngine
+from repro.gpu.cumask import CuMaskManager
+from repro.gpu.streams import CudaEvent, CudaStream
+
+__all__ = [
+    "A100_40GB",
+    "A100_80GB",
+    "CuMaskManager",
+    "CudaEvent",
+    "CudaStream",
+    "GPUSpec",
+    "GpuClient",
+    "GpuMonitor",
+    "GpuOutOfMemory",
+    "H100_80GB",
+    "Kernel",
+    "KernelGroup",
+    "MI210",
+    "MIGProfile",
+    "MemoryPool",
+    "MigInstance",
+    "MigManager",
+    "MpsControlDaemon",
+    "MultiplexMode",
+    "SimulatedGPU",
+    "TransferEngine",
+    "V100_32GB",
+    "VgpuManager",
+    "VirtualMachine",
+    "get_spec",
+    "mode_capabilities",
+]

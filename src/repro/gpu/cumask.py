@@ -1,0 +1,88 @@
+"""AMD compute-unit (CU) masking — Table 1's MPS-percentage equivalent.
+
+ROCm lets a process restrict itself to an explicit bitmask of compute
+units (``ROC_GLOBAL_CU_MASK`` / ``hipExtStreamCreateWithCUMask``).
+Semantically it is the AMD counterpart of ``CUDA_MPS_ACTIVE_THREAD_
+PERCENTAGE`` — a per-process compute cap with no memory isolation — but
+the interface is a *mask*, so specific CUs are named and two processes
+can deliberately overlap or avoid each other's CUs.
+
+Model: a client's cap is the popcount of its mask; disjointness is
+tracked so schedulers can reason about interference.  AMD's default
+multiplexing runs kernels concurrently (Table 1: "Default multiplexing
+method in AMD ROCm"), so clients are spatial like MPS clients.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import GpuClient, SimulatedGPU
+
+__all__ = ["CuMaskManager", "parse_mask"]
+
+
+def parse_mask(mask: int, n_cus: int) -> list[int]:
+    """The CU indices selected by ``mask`` (validated against the device)."""
+    if mask <= 0:
+        raise ValueError("CU mask must select at least one CU")
+    if mask >= (1 << n_cus):
+        raise ValueError(
+            f"mask selects CUs beyond the device's {n_cus} compute units"
+        )
+    return [i for i in range(n_cus) if mask & (1 << i)]
+
+
+class CuMaskManager:
+    """Per-device CU-mask multiplexing (ROCm-style)."""
+
+    def __init__(self, device: SimulatedGPU):
+        if device.spec.mig_capable:
+            # Real systems don't forbid this, but in this reproduction
+            # CU masking marks the AMD path; keep the modes distinct.
+            raise ValueError(
+                f"{device.spec.name} is an NVIDIA part; use MPS/MIG "
+                "(CU masking models the AMD equivalent)"
+            )
+        self.device = device
+        # ROCm runs kernels from different processes concurrently by
+        # default — flip the device's default group to spatial.
+        if device.default_group.clients:
+            raise RuntimeError(
+                f"{device.name}: cannot enable CU masking with active "
+                "clients"
+            )
+        device.default_group.discipline = "spatial"
+        self._masks: dict[int, int] = {}
+
+    def client(self, name: str, cu_mask: int) -> GpuClient:
+        """Create a client limited to the CUs selected by ``cu_mask``."""
+        cus = parse_mask(cu_mask, self.device.spec.sms)
+        client = GpuClient(self.device, self.device.default_group, name,
+                           sm_cap=len(cus))
+        self._masks[client.cid] = cu_mask
+        return client
+
+    def equal_masks(self, n: int) -> list[int]:
+        """Disjoint masks splitting the device's CUs evenly among ``n``."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        total = self.device.spec.sms
+        if n > total:
+            raise ValueError(f"cannot split {total} CUs {n} ways")
+        per = total // n
+        masks = []
+        for i in range(n):
+            lo = i * per
+            hi = (i + 1) * per if i < n - 1 else total
+            masks.append(((1 << (hi - lo)) - 1) << lo)
+        return masks
+
+    def mask_of(self, client: GpuClient) -> int:
+        try:
+            return self._masks[client.cid]
+        except KeyError:
+            raise KeyError(f"{client.name!r} is not a CU-masked client") \
+                from None
+
+    def overlapping(self, a: GpuClient, b: GpuClient) -> bool:
+        """Whether two clients' masks contend for the same CUs."""
+        return bool(self.mask_of(a) & self.mask_of(b))

@@ -1,0 +1,475 @@
+"""The simulated GPU: SM and bandwidth sharing across multiplexed clients.
+
+Model (DESIGN.md §5)
+--------------------
+Every running kernel is a fluid task whose progress rate is the roofline
+minimum of
+
+- a *compute* rate: ``flops_per_sm x efficiency x allocated_SMs / flops``;
+- a *memory* rate: ``allocated_bandwidth / bytes_moved``.
+
+Clients are grouped into *share groups*, the unit of isolation:
+
+=============  ==========================  =============================
+Technique      Share groups                Discipline
+=============  ==========================  =============================
+time-sharing   one device-wide group       temporal (one kernel at a time,
+                                           context-switch cost between
+                                           clients)
+MPS (default)  one device-wide group       spatial (all kernels resident)
+MPS + GPU %    one device-wide group,      spatial; *bandwidth is not
+               per-client SM caps          capped* — matches real MPS
+MIG            one group per instance      spatial; SM *and* bandwidth
+                                           *and* memory hard-capped
+vGPU           one group per VM            temporal within a VM; fair
+                                           fluid share across VMs
+=============  ==========================  =============================
+
+SM allocation: within a group, each kernel demands
+``min(kernel.max_sms, client.sm_cap, group SM budget)``; demands exceeding
+the budget are scaled back proportionally.  Groups with a ``fair`` SM
+policy (vGPU) split the device SMs evenly among *active* groups.
+
+Bandwidth allocation: water-filling of the device bandwidth over all
+resident kernels, with per-group hard caps for MIG-style isolation.  A
+compute-bound kernel only demands the bandwidth needed to keep memory off
+its critical path, so leftover bandwidth flows to memory-bound kernels —
+this work-conserving behaviour is exactly why MPS outperforms MIG in the
+paper's 3- and 4-way experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.sim.core import Environment, Event
+from repro.sim.fluid import FluidPool, FluidTask
+from repro.gpu.kernel import Kernel
+from repro.gpu.memory import MemoryPool
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["GpuClient", "ShareGroup", "SimulatedGPU"]
+
+_client_ids = itertools.count()
+
+
+@dataclass
+class ShareGroup:
+    """A contention domain on the device (whole GPU, MIG instance, or VM)."""
+
+    name: str
+    device: "SimulatedGPU"
+    #: Hard SM budget for the whole group.
+    sm_budget: int
+    #: Hard bandwidth cap (bytes/s); ``None`` means the device bandwidth.
+    bw_cap: Optional[float]
+    #: Memory pool backing this group's clients.
+    memory: MemoryPool
+    #: "spatial": all kernels resident; "temporal": one at a time.
+    discipline: str = "spatial"
+    #: "cap": sm_budget is absolute; "fair": split device SMs evenly
+    #: among active groups with this policy (vGPU time-slicing model).
+    sm_policy: str = "cap"
+    #: Multiplicative slowdown applied to this group's compute rates
+    #: (models vGPU/hypervisor scheduling inefficiency).
+    overhead_factor: float = 1.0
+    clients: list["GpuClient"] = field(default_factory=list)
+    # -- temporal-discipline state --
+    _queues: dict | None = None        # client id -> deque of tasks
+    _rr: "deque | None" = None         # round-robin of client ids with work
+    _idle: Optional[Event] = None      # pump sleeps on this when empty
+    _resident: FluidTask | None = None
+    _serving_cid: Optional[int] = None  # client whose quantum is active
+    _last_cid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.discipline not in ("spatial", "temporal"):
+            raise ValueError(f"unknown discipline {self.discipline!r}")
+        if self.sm_policy not in ("cap", "fair"):
+            raise ValueError(f"unknown sm_policy {self.sm_policy!r}")
+        if self.discipline == "temporal":
+            self._queues = {}
+            self._rr = deque()
+            self.device.env.process(self._pump())
+
+    @property
+    def effective_bw_cap(self) -> float:
+        return self.device.spec.bandwidth if self.bw_cap is None else self.bw_cap
+
+    def _pump(self):
+        """Temporal discipline: quantum-based round-robin time-slicing.
+
+        One context is resident at a time.  Within a quantum, the
+        resident client's queued kernels run back to back (a workload of
+        many tiny kernels is not charged a context switch per kernel);
+        when the quantum expires and other clients are waiting, the pump
+        pays the switch cost and rotates — NVIDIA's default behaviour.
+        """
+        env = self.device.env
+        spec = self.device.spec
+        while True:
+            while not self._rr:
+                self._idle = env.event(name=f"{self.name}-idle")
+                yield self._idle
+                self._idle = None
+            cid = self._rr.popleft()
+            if self._last_cid is not None and self._last_cid != cid:
+                yield env.timeout(spec.timeslice_switch_seconds)
+            self._last_cid = cid
+            self._serving_cid = cid
+            quantum_end = env.now + spec.timeslice_quantum_seconds
+            queue = self._queues[cid]
+            while True:
+                if not queue:
+                    # Let same-instant continuations (stream callbacks)
+                    # enqueue the client's next kernel before deciding.
+                    yield env.timeout(0)
+                    if not queue:
+                        break
+                task = queue.popleft()
+                self._resident = task
+                self.device._admit(task)
+                try:
+                    yield task.done
+                except Exception:  # noqa: BLE001
+                    # Kernel killed (e.g. injected GPU error); the
+                    # launcher observes the failure — the pump survives.
+                    pass
+                self._resident = None
+                if env.now >= quantum_end and self._rr:
+                    break  # quantum used up and someone else is waiting
+            self._serving_cid = None
+            if queue:
+                self._rr.append(cid)  # unfinished: back of the rotation
+
+    def submit(self, task: FluidTask) -> None:
+        if self.discipline == "temporal":
+            cid = task.meta["client"].cid
+            queue = self._queues.get(cid)
+            if queue is None:
+                queue = deque()
+                self._queues[cid] = queue
+            was_empty = not queue
+            queue.append(task)
+            if (was_empty and cid not in self._rr
+                    and cid != self._serving_cid):
+                self._rr.append(cid)
+            if self._idle is not None and not self._idle.triggered:
+                self._idle.succeed()
+        else:
+            self.device._admit(task)
+
+
+class GpuClient:
+    """A process using the GPU (one FaaS function instance).
+
+    Clients are created through the multiplexing managers
+    (:class:`~repro.gpu.mps.MpsControlDaemon`,
+    :class:`~repro.gpu.mig.MigInstance`, ...) or
+    :meth:`SimulatedGPU.timeshare_client`, never directly.
+    """
+
+    def __init__(self, device: "SimulatedGPU", group: ShareGroup, name: str,
+                 sm_cap: Optional[int] = None):
+        self.device = device
+        self.group = group
+        self.name = name
+        self.cid = next(_client_ids)
+        #: Per-client SM cap (MPS active-thread-percentage); immutable —
+        #: real MPS requires a process restart to change it (§6).
+        self._sm_cap = group.sm_budget if sm_cap is None else int(sm_cap)
+        if self._sm_cap <= 0:
+            raise ValueError("sm_cap must be positive")
+        self._alive = True
+        self.kernels_launched = 0
+        group.clients.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<GpuClient {self.name!r} group={self.group.name!r}>"
+
+    @property
+    def sm_cap(self) -> int:
+        return self._sm_cap
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    # -- memory -----------------------------------------------------------
+    def alloc(self, nbytes: float) -> None:
+        """Reserve device memory (raises :class:`GpuOutOfMemory`)."""
+        self._check_alive()
+        self.group.memory.allocate(self.name, nbytes)
+
+    def free(self, nbytes: float | None = None) -> float:
+        return self.group.memory.release(self.name, nbytes)
+
+    @property
+    def memory_used(self) -> float:
+        return self.group.memory.usage_of(self.name)
+
+    # -- kernels ------------------------------------------------------------
+    def launch(self, kernel: Kernel) -> Event:
+        """Submit a kernel; the returned event fires on completion."""
+        self._check_alive()
+        self.kernels_launched += 1
+        return self.device.submit(self, kernel)
+
+    def run(self, kernel: Kernel):
+        """Generator helper: launch overhead + completion (yield from it)."""
+        yield self.device.env.timeout(self.device.spec.launch_overhead)
+        yield self.launch(kernel)
+
+    def close(self) -> None:
+        """Tear the client down, releasing all memory it holds."""
+        if not self._alive:
+            return
+        self._alive = False
+        self.group.memory.release(self.name)
+        self.group.clients.remove(self)
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise RuntimeError(f"client {self.name!r} has been closed")
+
+
+class SimulatedGPU:
+    """One simulated GPU device."""
+
+    def __init__(self, env: Environment, spec: GPUSpec, name: str = "gpu0"):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.memory = MemoryPool(spec.memory_bytes, name=f"{name}-hbm")
+        self.pool = FluidPool(env, self._allocate, name=f"{name}-pool")
+        self.groups: list[ShareGroup] = []
+        #: Device-wide default group (used by time-sharing and MPS).
+        self.default_group = ShareGroup(
+            name=f"{name}-default",
+            device=self,
+            sm_budget=spec.sms,
+            bw_cap=None,
+            memory=self.memory,
+            discipline="temporal",  # NVIDIA default: time-sliced contexts
+        )
+        self.groups.append(self.default_group)
+        # Utilization accounting (integrals of current allocations).
+        self._cur_sm_alloc = 0.0
+        self._cur_bw_alloc = 0.0
+        self._integral_t0 = env.now
+        self.sm_seconds = 0.0
+        self.bw_byte_seconds = 0.0
+        self.kernels_completed = 0
+
+    # -- client factories ---------------------------------------------------
+    def timeshare_client(self, name: str) -> GpuClient:
+        """A client under the default time-sliced context scheduling."""
+        if self.default_group.discipline != "temporal":
+            raise RuntimeError(
+                f"{self.name}: default group is not time-sharing "
+                "(an MPS daemon owns it); use the daemon to create clients"
+            )
+        return GpuClient(self, self.default_group, name)
+
+    def add_group(self, group: ShareGroup) -> ShareGroup:
+        self.groups.append(group)
+        self.pool.poke()
+        return group
+
+    def remove_group(self, group: ShareGroup) -> None:
+        if group.clients:
+            raise RuntimeError(
+                f"cannot remove group {group.name!r}: {len(group.clients)} "
+                "clients still attached"
+            )
+        self.groups.remove(group)
+        self.pool.poke()
+
+    # -- kernel path ----------------------------------------------------------
+    def submit(self, client: GpuClient, kernel: Kernel) -> Event:
+        task = FluidTask(self.env, work=1.0,
+                         meta={"client": client, "kernel": kernel})
+        task.done.callbacks.append(self._on_complete)
+        client.group.submit(task)
+        return task.done
+
+    def _admit(self, task: FluidTask) -> None:
+        self.pool.add(task)
+
+    def _on_complete(self, ev: Event) -> None:
+        if ev.ok:
+            self.kernels_completed += 1
+        if len(self.pool) == 0:
+            # Allocator will not be called again until new work arrives;
+            # close the utilization integral now.
+            self._integrate()
+            self._cur_sm_alloc = 0.0
+            self._cur_bw_alloc = 0.0
+
+    # -- utilization ------------------------------------------------------------
+    def _integrate(self) -> None:
+        dt = self.env.now - self._integral_t0
+        if dt > 0:
+            self.sm_seconds += self._cur_sm_alloc * dt
+            self.bw_byte_seconds += self._cur_bw_alloc * dt
+        self._integral_t0 = self.env.now
+
+    def sm_utilization(self, since: float = 0.0) -> float:
+        """Mean SM utilization in [0,1] from ``since`` until now."""
+        self._integrate()
+        horizon = self.env.now - since
+        if horizon <= 0:
+            return 0.0
+        return self.sm_seconds / (self.spec.sms * horizon)
+
+    # -- the allocator ------------------------------------------------------------
+    def _allocate(self, tasks: list[FluidTask]) -> None:
+        self._integrate()
+        spec = self.spec
+
+        by_group: dict[int, list[FluidTask]] = {}
+        group_of: dict[int, ShareGroup] = {}
+        for t in tasks:
+            g = t.meta["client"].group
+            by_group.setdefault(id(g), []).append(t)
+            group_of[id(g)] = g
+
+        # SM budgets: "fair" groups (vGPU VMs) split the device evenly.
+        fair_groups = [gid for gid, g in group_of.items() if g.sm_policy == "fair"]
+        fair_share = spec.sms / len(fair_groups) if fair_groups else 0.0
+
+        sm_alloc: dict[int, float] = {}
+        bw_demand: dict[int, float] = {}
+        bw_group_cap: dict[int, float] = {}
+
+        for gid, group_tasks in by_group.items():
+            group = group_of[gid]
+            budget = fair_share if group.sm_policy == "fair" else float(group.sm_budget)
+            demands = {}
+            by_client: dict[int, list[FluidTask]] = {}
+            for t in group_tasks:
+                client: GpuClient = t.meta["client"]
+                kernel: Kernel = t.meta["kernel"]
+                demands[t.tid] = float(min(kernel.max_sms, client.sm_cap, budget))
+                by_client.setdefault(id(client), []).append(t)
+            # The MPS percentage caps a *client's aggregate* SM usage, not
+            # each kernel: several concurrent streams from one capped
+            # client must share the client's slice.
+            for client_tasks in by_client.values():
+                cap = float(client_tasks[0].meta["client"].sm_cap)
+                subtotal = sum(demands[t.tid] for t in client_tasks)
+                if subtotal > cap:
+                    shrink = cap / subtotal
+                    for t in client_tasks:
+                        demands[t.tid] *= shrink
+            total = sum(demands.values())
+            scale = min(1.0, budget / total) if total > 0 else 0.0
+            for t in group_tasks:
+                sm_alloc[t.tid] = demands[t.tid] * scale
+
+            cap = group.effective_bw_cap
+            if group.sm_policy == "fair":
+                cap = min(cap, spec.bandwidth / max(1, len(fair_groups)))
+            bw_group_cap[gid] = cap
+
+            for t in group_tasks:
+                kernel = t.meta["kernel"]
+                if kernel.bytes_moved == 0:
+                    bw_demand[t.tid] = 0.0
+                    continue
+                # Bandwidth that keeps memory off the critical path given
+                # the SM allocation (compute-rate-matched demand).
+                if kernel.flops > 0:
+                    compute_rate = (
+                        spec.flops_per_sm * kernel.efficiency * sm_alloc[t.tid]
+                        / kernel.flops
+                    )
+                    bw_demand[t.tid] = kernel.bytes_moved * compute_rate
+                else:
+                    bw_demand[t.tid] = float("inf")
+
+        bw_alloc = _hierarchical_waterfill(
+            by_group, bw_demand, bw_group_cap, spec.bandwidth
+        )
+
+        total_sm = 0.0
+        total_bw = 0.0
+        for t in tasks:
+            kernel = t.meta["kernel"]
+            group = t.meta["client"].group
+            sms = sm_alloc[t.tid]
+            bw = bw_alloc[t.tid]
+            total_sm += sms
+            total_bw += bw
+            rate_c = float("inf")
+            if kernel.flops > 0:
+                rate_c = (
+                    spec.flops_per_sm * kernel.efficiency * sms / kernel.flops
+                ) * group.overhead_factor
+            rate_m = float("inf")
+            if kernel.bytes_moved > 0 and bw_demand[t.tid] > 0:
+                # A zero bandwidth *demand* (possible by underflow for
+                # kernels moving a handful of bytes) means memory can
+                # never be this kernel's bottleneck — leave it unthrottled
+                # rather than dividing a zero allocation.
+                rate_m = bw / kernel.bytes_moved
+            rate = min(rate_c, rate_m)
+            t.rate = 0.0 if rate == float("inf") else rate
+
+        self._cur_sm_alloc = total_sm
+        self._cur_bw_alloc = total_bw
+
+
+def _hierarchical_waterfill(
+    by_group: dict[int, list[FluidTask]],
+    demand: dict[int, float],
+    group_cap: dict[int, float],
+    total_bw: float,
+) -> dict[int, float]:
+    """Water-fill ``total_bw`` over tasks honouring per-group hard caps.
+
+    Phase 1 fixes each group's aggregate share: groups whose demand is below
+    both their cap and the fair share are fully satisfied, and the surplus
+    is re-filled over the rest.  Phase 2 water-fills within each group.
+    """
+    group_demand = {
+        gid: min(sum(demand[t.tid] for t in ts), group_cap[gid])
+        for gid, ts in by_group.items()
+    }
+    group_share = _waterfill(group_demand, group_cap, total_bw)
+
+    alloc: dict[int, float] = {}
+    for gid, ts in by_group.items():
+        task_demand = {t.tid: demand[t.tid] for t in ts}
+        task_cap = {t.tid: group_share[gid] for t in ts}
+        alloc.update(_waterfill(task_demand, task_cap, group_share[gid]))
+    return alloc
+
+
+def _waterfill(demand: dict, cap: dict, total: float) -> dict:
+    """Classic water-filling: satisfy small demands, split the rest fairly.
+
+    The loop terminates in at most ``len(demand)`` iterations: every pass
+    either fully satisfies at least one client (removing it) or returns.
+    The remaining-budget test is exact on purpose — an absolute epsilon
+    here would zero out legitimately tiny allocations (e.g. a kernel
+    moving a few bytes) and stall its fluid task forever.
+    """
+    alloc = {k: 0.0 for k in demand}
+    active = [k for k in demand if min(demand[k], cap[k]) > 0]
+    remaining = total
+    while active and remaining > 0.0:
+        share = remaining / len(active)
+        satisfied = [k for k in active if min(demand[k], cap[k]) <= share]
+        if not satisfied:
+            for k in active:
+                alloc[k] = min(cap[k], share)
+            return alloc
+        for k in satisfied:
+            alloc[k] = min(demand[k], cap[k])
+            remaining -= alloc[k]
+        active = [k for k in active if k not in set(satisfied)]
+    return alloc

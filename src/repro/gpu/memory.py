@@ -1,0 +1,82 @@
+"""HBM capacity accounting with OOM semantics.
+
+The evaluation's four-concurrent-LLaMa limit ("due to memory constraints,
+we could fit only four concurrent instances ... in an 80 GB A100") comes
+straight from this allocator: admission fails with
+:class:`GpuOutOfMemory` when a client's working set does not fit in the
+device (or MIG-instance / vGPU-slice) pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["GpuOutOfMemory", "MemoryPool"]
+
+
+class GpuOutOfMemory(RuntimeError):
+    """Raised when an allocation exceeds the pool's free capacity."""
+
+    def __init__(self, pool: "MemoryPool", requested: float):
+        self.pool = pool
+        self.requested = requested
+        super().__init__(
+            f"{pool.name}: cannot allocate {requested / 1e9:.2f} GB "
+            f"({pool.free / 1e9:.2f} GB free of {pool.capacity / 1e9:.2f} GB)"
+        )
+
+
+class MemoryPool:
+    """A named pool of device memory with per-owner accounting."""
+
+    def __init__(self, capacity: float, name: str = "hbm"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.name = name
+        self._allocations: Dict[str, float] = {}
+
+    @property
+    def used(self) -> float:
+        return sum(self._allocations.values())
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    def owners(self) -> tuple[str, ...]:
+        return tuple(self._allocations)
+
+    def usage_of(self, owner: str) -> float:
+        return self._allocations.get(owner, 0.0)
+
+    def allocate(self, owner: str, nbytes: float) -> None:
+        """Reserve ``nbytes`` for ``owner``; raises :class:`GpuOutOfMemory`."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.free + 1e-6:
+            raise GpuOutOfMemory(self, nbytes)
+        self._allocations[owner] = self._allocations.get(owner, 0.0) + nbytes
+
+    def release(self, owner: str, nbytes: float | None = None) -> float:
+        """Free ``nbytes`` (or everything) held by ``owner``; returns freed."""
+        held = self._allocations.get(owner, 0.0)
+        if nbytes is None:
+            nbytes = held
+        if nbytes < 0:
+            raise ValueError("release size must be non-negative")
+        if nbytes > held + 1e-6:
+            raise ValueError(
+                f"{self.name}: owner {owner!r} holds {held / 1e9:.2f} GB, "
+                f"cannot release {nbytes / 1e9:.2f} GB"
+            )
+        remaining = held - nbytes
+        if remaining <= 1e-6:
+            self._allocations.pop(owner, None)
+            return held
+        self._allocations[owner] = remaining
+        return nbytes
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether an allocation of ``nbytes`` would currently succeed."""
+        return nbytes <= self.free + 1e-6

@@ -1,0 +1,201 @@
+"""Multi-Instance GPU (MIG) model.
+
+MIG carves an Ampere-or-newer GPU into hardware-isolated instances chosen
+from a fixed profile grid (``1g.5gb`` ... ``7g.40gb`` on an A100-40GB).
+Each instance owns a compute slice (SMs), memory slices (capacity *and*
+bandwidth), and is addressed by a UUID that functions receive through
+``CUDA_VISIBLE_DEVICES`` (§4.2).
+
+Faithfully modelled constraints:
+
+- entering/leaving MIG mode and re-partitioning require a **GPU reset**
+  (``spec.reset_seconds``), and all workloads on the GPU must be shut
+  down first (§6: "To reallocate MIG, we must shut down all the
+  applications that are running on the GPU");
+- at most 7 compute slices and 8 memory slices may be allocated;
+- an instance's clients can never exceed the instance's SM, bandwidth, or
+  memory capacity — full isolation, unlike MPS.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.gpu.device import GpuClient, ShareGroup, SimulatedGPU
+from repro.gpu.memory import MemoryPool
+from repro.gpu.specs import MIGProfile
+
+__all__ = ["MigInstance", "MigManager"]
+
+_uuid_counter = itertools.count(1)
+
+
+class MigInstance:
+    """One MIG instance: an isolated share group with its own memory pool."""
+
+    def __init__(self, manager: "MigManager", profile: MIGProfile):
+        self.manager = manager
+        self.profile = profile
+        device = manager.device
+        self.uuid = f"MIG-{device.name}-{next(_uuid_counter):04d}"
+        self.group = ShareGroup(
+            name=self.uuid,
+            device=device,
+            sm_budget=profile.sm_count(device.spec),
+            bw_cap=profile.bandwidth(device.spec),
+            memory=MemoryPool(profile.memory_bytes, name=f"{self.uuid}-mem"),
+            # Processes sharing one instance time-slice by default, just
+            # like on a bare GPU; enable_mps() makes them concurrent.
+            discipline="temporal",
+        )
+        device.add_group(self.group)
+        self._mps_daemon = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MigInstance {self.uuid} {self.profile.name}>"
+
+    @property
+    def sm_count(self) -> int:
+        return self.group.sm_budget
+
+    @property
+    def clients(self) -> tuple[GpuClient, ...]:
+        return tuple(self.group.clients)
+
+    def client(self, name: str) -> GpuClient:
+        """Create a client pinned to this instance (CUDA_VISIBLE_DEVICES)."""
+        if self not in self.manager.instances:
+            raise RuntimeError(f"{self.uuid} has been destroyed")
+        return GpuClient(self.manager.device, self.group, name)
+
+    def enable_mps(self):
+        """Run an MPS daemon *inside* this instance (nested sharing).
+
+        Returns the daemon; its clients share the instance's slice
+        spatially with per-client percentage caps of the slice's SMs.
+        """
+        from repro.gpu.mps import MpsControlDaemon
+
+        if self._mps_daemon is None:
+            self._mps_daemon = MpsControlDaemon(self.manager.device,
+                                                group=self.group)
+        if not self._mps_daemon.running:
+            self._mps_daemon.start()
+        return self._mps_daemon
+
+
+class MigManager:
+    """Per-device MIG mode controller (the ``nvidia-smi mig`` surface)."""
+
+    def __init__(self, device: SimulatedGPU):
+        if not device.spec.mig_capable:
+            raise RuntimeError(f"{device.spec.name} does not support MIG")
+        self.device = device
+        self.enabled = False
+        self.instances: list[MigInstance] = []
+
+    # -- mode toggling (generators: yield from them inside a process) ------
+    def enable(self):
+        """Enter MIG mode.  Requires an idle GPU; costs a full reset."""
+        if self.enabled:
+            raise RuntimeError(f"{self.device.name}: MIG already enabled")
+        if self.device.default_group.clients:
+            raise RuntimeError(
+                f"{self.device.name}: cannot enable MIG while "
+                f"{len(self.device.default_group.clients)} clients are active"
+            )
+        yield self.device.env.timeout(self.device.spec.reset_seconds)
+        self.enabled = True
+        # The monolithic device context disappears in MIG mode.
+        self.device.default_group.sm_budget = 0
+
+    def disable(self):
+        """Leave MIG mode.  All instances must be destroyed first."""
+        self._check_enabled()
+        if self.instances:
+            raise RuntimeError(
+                f"{self.device.name}: destroy {len(self.instances)} "
+                "instances before disabling MIG"
+            )
+        yield self.device.env.timeout(self.device.spec.reset_seconds)
+        self.enabled = False
+        self.device.default_group.sm_budget = self.device.spec.sms
+
+    # -- instance lifecycle ---------------------------------------------------
+    @property
+    def used_compute_slices(self) -> int:
+        return sum(i.profile.compute_slices for i in self.instances)
+
+    @property
+    def used_memory_slices(self) -> int:
+        return sum(i.profile.memory_slices for i in self.instances)
+
+    def create_instance(self, profile_name: str) -> MigInstance:
+        """Create an instance of ``profile_name`` (e.g. ``"1g.10gb"``)."""
+        self._check_enabled()
+        profile = self.device.spec.profile(profile_name)
+        spec = self.device.spec
+        if (self.used_compute_slices + profile.compute_slices
+                > spec.mig_compute_slices):
+            raise RuntimeError(
+                f"{self.device.name}: profile {profile_name} needs "
+                f"{profile.compute_slices} compute slices, only "
+                f"{spec.mig_compute_slices - self.used_compute_slices} free"
+            )
+        if (self.used_memory_slices + profile.memory_slices
+                > spec.mig_memory_slices):
+            raise RuntimeError(
+                f"{self.device.name}: profile {profile_name} needs "
+                f"{profile.memory_slices} memory slices, only "
+                f"{spec.mig_memory_slices - self.used_memory_slices} free"
+            )
+        instance = MigInstance(self, profile)
+        self.instances.append(instance)
+        return instance
+
+    def destroy_instance(self, instance: MigInstance) -> None:
+        """Destroy an instance.  Its clients must be closed first."""
+        if instance not in self.instances:
+            raise RuntimeError(f"{instance.uuid}: not an instance of this GPU")
+        if instance.group.clients:
+            raise RuntimeError(
+                f"{instance.uuid}: {len(instance.group.clients)} clients "
+                "still attached; shut them down before reconfiguring MIG"
+            )
+        self.device.remove_group(instance.group)
+        self.instances.remove(instance)
+
+    def reconfigure(self, profile_names: Iterable[str]):
+        """Tear down all instances and create a new partition (generator).
+
+        Models §6's observation that MIG repartitioning interferes with
+        everything on the GPU: every instance must be empty, and the
+        operation costs a GPU reset on top of instance creation.
+        """
+        self._check_enabled()
+        for instance in self.instances:
+            if instance.group.clients:
+                raise RuntimeError(
+                    f"{self.device.name}: client(s) still running on "
+                    f"{instance.uuid}; MIG reconfiguration requires shutting "
+                    "down all applications on the GPU"
+                )
+        for instance in list(self.instances):
+            self.destroy_instance(instance)
+        yield self.device.env.timeout(self.device.spec.reset_seconds)
+        return [self.create_instance(p) for p in profile_names]
+
+    def lookup(self, uuid: str) -> MigInstance:
+        """Resolve a MIG UUID (as passed via CUDA_VISIBLE_DEVICES)."""
+        for instance in self.instances:
+            if instance.uuid == uuid:
+                return instance
+        raise KeyError(f"no MIG instance {uuid!r} on {self.device.name}")
+
+    def _check_enabled(self) -> None:
+        if not self.enabled:
+            raise RuntimeError(
+                f"{self.device.name}: MIG mode is not enabled "
+                "(yield from manager.enable() first)"
+            )

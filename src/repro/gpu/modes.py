@@ -1,0 +1,120 @@
+"""Multiplexing technique taxonomy — the static half of Table 1.
+
+The measured half (utilization under a reference workload) is produced by
+``benchmarks/test_table1_modes.py``; this module records the qualitative
+columns so the bench can print the full table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["MultiplexMode", "ModeCapabilities", "mode_capabilities"]
+
+
+class MultiplexMode(enum.Enum):
+    """The five techniques compared in Table 1."""
+
+    TIME_SHARING = "time-sharing"
+    MPS_DEFAULT = "mps-default"
+    MPS_PERCENTAGE = "mps-percentage"
+    MIG = "mig"
+    VGPU = "vgpu"
+
+
+@dataclass(frozen=True)
+class ModeCapabilities:
+    """Qualitative attributes of one multiplexing technique."""
+
+    mode: MultiplexMode
+    description: str
+    utilization_class: str
+    amd_equivalent: str
+    reconfiguration: str
+    software_required: str
+    drawbacks: str
+    #: Spatial sharing (concurrent kernels from different clients)?
+    spatial: bool
+    #: Hardware memory-capacity + bandwidth isolation between clients?
+    memory_isolation: bool
+    #: Can a client's share change without restarting the client process?
+    live_reconfigurable: bool
+
+
+_CAPABILITIES: dict[MultiplexMode, ModeCapabilities] = {
+    MultiplexMode.TIME_SHARING: ModeCapabilities(
+        mode=MultiplexMode.TIME_SHARING,
+        description="Every kernel gets exclusive access to the GPU for a time",
+        utilization_class="Low",
+        amd_equivalent="None",
+        reconfiguration="No",
+        software_required="None",
+        drawbacks="Low hardware utilization when an application cannot "
+                  "saturate the GPU",
+        spatial=False,
+        memory_isolation=False,
+        live_reconfigurable=True,  # nothing to reconfigure
+    ),
+    MultiplexMode.MPS_DEFAULT: ModeCapabilities(
+        mode=MultiplexMode.MPS_DEFAULT,
+        description="Kernels from different applications run concurrently "
+                    "when possible",
+        utilization_class="Highest",
+        amd_equivalent="Default multiplexing method in AMD ROCm",
+        reconfiguration="No",
+        software_required="nvidia-cuda-mps-control",
+        drawbacks="Some applications can be resource starved due to "
+                  "contention",
+        spatial=True,
+        memory_isolation=False,
+        live_reconfigurable=True,
+    ),
+    MultiplexMode.MPS_PERCENTAGE: ModeCapabilities(
+        mode=MultiplexMode.MPS_PERCENTAGE,
+        description="Applications are restricted to the maximum number of "
+                    "SMs they can utilize",
+        utilization_class="High",
+        amd_equivalent="Compute unit (CU) masking",
+        reconfiguration="App process restart to reconfigure GPU resources",
+        software_required="nvidia-cuda-mps-control",
+        drawbacks="Application restart for GPU resource reallocation; "
+                  "no memory isolation",
+        spatial=True,
+        memory_isolation=False,
+        live_reconfigurable=False,
+    ),
+    MultiplexMode.MIG: ModeCapabilities(
+        mode=MultiplexMode.MIG,
+        description="GPU divided into multiple smaller instances with "
+                    "compute and memory isolation",
+        utilization_class="High (lower than CUDA MPS)",
+        amd_equivalent="None",
+        reconfiguration="Requires GPU reset",
+        software_required="nvidia-smi",
+        drawbacks="Requires GPU reset and application restart to change "
+                  "resource allocation",
+        spatial=True,
+        memory_isolation=True,
+        live_reconfigurable=False,
+    ),
+    MultiplexMode.VGPU: ModeCapabilities(
+        mode=MultiplexMode.VGPU,
+        description="Designed for sharing GPU via VMs",
+        utilization_class="High (multiplexes at VM level rather than "
+                          "process level)",
+        amd_equivalent="MxGPU",
+        reconfiguration="Requires restarting a VM",
+        software_required="NVIDIA vGPU driver",
+        drawbacks="Homogeneous resource division; requires proprietary "
+                  "drivers",
+        spatial=False,  # VM-level time slicing
+        memory_isolation=True,
+        live_reconfigurable=False,
+    ),
+}
+
+
+def mode_capabilities(mode: MultiplexMode) -> ModeCapabilities:
+    """Return the Table 1 attribute row for ``mode``."""
+    return _CAPABILITIES[mode]

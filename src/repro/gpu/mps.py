@@ -1,0 +1,97 @@
+"""CUDA Multi-Process Service (MPS) model.
+
+Mirrors ``nvidia-cuda-mps-control`` semantics as the paper uses them:
+
+- The daemon must be running on the node before any GPU function starts
+  (§4.1: "We need to make sure that nvidia-cuda-mps-control is launched in
+  the compute node before any function with GPU code runs").
+- While the daemon runs, client kernels execute *concurrently* (spatial
+  sharing) instead of the default time-slicing.
+- ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`` caps the SMs a client may occupy;
+  it is read once at process start, so *changing a client's percentage
+  requires restarting the client process* (§6) — enforced here by making
+  the cap immutable on a live client.
+- MPS does **not** partition memory or memory bandwidth (Table 1: "No
+  memory isolation"), so clients water-fill the full device bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import GpuClient, SimulatedGPU
+
+__all__ = ["MpsControlDaemon"]
+
+
+class MpsControlDaemon:
+    """An MPS control daemon for one GPU — or one MIG instance.
+
+    Real deployments can run ``nvidia-cuda-mps-control`` *inside* a MIG
+    instance, nesting percentage-capped clients within a hardware slice;
+    pass the instance's share group as ``group`` to model that (see
+    :meth:`repro.gpu.mig.MigInstance.enable_mps`).
+    """
+
+    def __init__(self, device: SimulatedGPU, group=None):
+        self.device = device
+        self.group = group if group is not None else device.default_group
+        if self.group.device is not device:
+            raise ValueError("group belongs to a different device")
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Switch the scope from time-slicing to concurrent execution.
+
+        Fails if clients already hold contexts in the scope — just like
+        the real daemon refuses to adopt live CUDA contexts.
+        """
+        if self._running:
+            raise RuntimeError(f"MPS daemon already running on {self.group.name}")
+        if self.group.clients:
+            raise RuntimeError(
+                f"{self.group.name}: cannot start MPS with "
+                f"{len(self.group.clients)} active time-shared clients"
+            )
+        self.group.discipline = "spatial"
+        self._running = True
+
+    def stop(self) -> None:
+        """Stop the daemon, restoring default time-slicing."""
+        if not self._running:
+            raise RuntimeError(f"MPS daemon not running on {self.group.name}")
+        if self.group.clients:
+            raise RuntimeError(
+                f"{self.group.name}: cannot stop MPS with "
+                f"{len(self.group.clients)} active MPS clients"
+            )
+        self.group.discipline = "temporal"
+        self._running = False
+
+    def client(self, name: str,
+               active_thread_percentage: int = 100) -> GpuClient:
+        """Create an MPS client process.
+
+        ``active_thread_percentage`` maps to
+        ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE``: the client may occupy at
+        most ``pct%`` of the scope's SMs — the whole device (e.g. 50% of
+        an A100 = 54 of 108 SMs, the example in §4.1), or the MIG
+        instance's slice when nested.  The cap is fixed for the client's
+        lifetime; re-partitioning means closing the client and creating a
+        new one (the restart cost is modelled by the FaaS cold-start
+        machinery, :mod:`repro.faas.coldstart`).
+        """
+        if not self._running:
+            raise RuntimeError(
+                f"{self.group.name}: MPS daemon must be started before "
+                "creating MPS clients"
+            )
+        if not 0 < active_thread_percentage <= 100:
+            raise ValueError(
+                "active_thread_percentage must be an integer in (0, 100]"
+            )
+        sm_cap = max(1, round(self.group.sm_budget
+                              * active_thread_percentage / 100.0))
+        return GpuClient(self.device, self.group, name, sm_cap=sm_cap)

@@ -1,0 +1,205 @@
+"""GPU device catalog and MIG profile tables.
+
+Numbers are the published datasheet values the paper itself quotes (A100:
+108 SMs, 19.5 fp32 TFLOPs; MI210: 104 CUs, 22.6 TFLOPs).  MIG slice
+fractions follow the NVIDIA MIG user guide: an A100 exposes 7 compute
+slices and 8 memory slices, so e.g. ``1g.5gb`` owns 1/7 of the SMs but 1/8
+of the DRAM bandwidth and capacity — an asymmetry the evaluation leans on
+(MPS can hand a client 1/4 of the GPU where MIG can only hand out 1/7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GPUSpec",
+    "MIGProfile",
+    "A100_40GB",
+    "A100_80GB",
+    "H100_80GB",
+    "V100_32GB",
+    "MI210",
+    "get_spec",
+    "GiB",
+]
+
+#: Bytes per gibibyte; memory sizes below use GB = 1e9 to match datasheets.
+GiB = 1024 ** 3
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class MIGProfile:
+    """One row of a device's MIG profile table.
+
+    Attributes
+    ----------
+    name:
+        Profile string, e.g. ``"2g.10gb"``.
+    compute_slices:
+        Number of GPU-compute slices (out of ``GPUSpec.mig_compute_slices``).
+    memory_slices:
+        Number of memory slices (out of ``GPUSpec.mig_memory_slices``);
+        governs both capacity *and* bandwidth share.
+    memory_bytes:
+        DRAM capacity of an instance with this profile.
+    """
+
+    name: str
+    compute_slices: int
+    memory_slices: int
+    memory_bytes: float
+
+    def sm_count(self, spec: "GPUSpec") -> int:
+        """SMs owned by one instance of this profile on ``spec``."""
+        per_slice = spec.mig_usable_sms // spec.mig_compute_slices
+        return per_slice * self.compute_slices
+
+    def bandwidth(self, spec: "GPUSpec") -> float:
+        """DRAM bandwidth (bytes/s) owned by one instance on ``spec``."""
+        return spec.bandwidth * self.memory_slices / spec.mig_memory_slices
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU model."""
+
+    name: str
+    #: Streaming multiprocessors (NVIDIA) or compute units (AMD).
+    sms: int
+    #: Peak fp32 throughput, FLOP/s.
+    fp32_flops: float
+    #: DRAM capacity, bytes.
+    memory_bytes: float
+    #: DRAM bandwidth, bytes/s.
+    bandwidth: float
+    #: Whether the device supports MIG partitioning.
+    mig_capable: bool = False
+    #: Compute slices exposed in MIG mode (7 on A100/H100).
+    mig_compute_slices: int = 7
+    #: Memory slices exposed in MIG mode (8 on A100/H100).
+    mig_memory_slices: int = 8
+    #: SMs usable in MIG mode (98 of 108 on A100: 7 slices x 14 SMs).
+    mig_usable_sms: int = 0
+    #: MIG profile table (empty when not MIG-capable).
+    mig_profiles: tuple[MIGProfile, ...] = ()
+    #: Interconnect bandwidth for multi-GPU model parallelism, bytes/s.
+    nvlink_bandwidth: float = 600 * GB
+    #: Cost of a full GPU reset (required to enter/exit/repartition MIG), s.
+    reset_seconds: float = 1.5
+    #: Per-kernel-launch host-side overhead, s.
+    launch_overhead: float = 5e-6
+    #: Context-switch penalty between time-shared clients, s.  Default
+    #: time-slicing swaps the full CUDA context between clients; measured
+    #: costs are single-digit milliseconds, which is what makes it lose
+    #: to spatial sharing in Figs. 4/5.
+    timeslice_switch_seconds: float = 5e-3
+    #: Time-slicing quantum, s: once a context is resident, its queued
+    #: kernels keep running until the quantum expires (so workloads with
+    #: many tiny kernels are not charged a context switch per kernel).
+    timeslice_quantum_seconds: float = 2e-3
+
+    @property
+    def flops_per_sm(self) -> float:
+        """Peak fp32 FLOP/s contributed by one SM."""
+        return self.fp32_flops / self.sms
+
+    def profile(self, name: str) -> MIGProfile:
+        """Look up a MIG profile by name (raises ``KeyError`` if absent)."""
+        for prof in self.mig_profiles:
+            if prof.name == name:
+                return prof
+        raise KeyError(f"{self.name} has no MIG profile {name!r}")
+
+
+def _a100_profiles(mem_gb: int) -> tuple[MIGProfile, ...]:
+    """A100 MIG profile grid; ``mem_gb`` is 40 or 80.
+
+    Includes the double-memory ``1g.{2u}gb`` profile (1 compute slice, 2
+    memory slices, at most 4 instances) that NVIDIA added for exactly the
+    workload the paper runs: models whose weights outgrow a single memory
+    slice but need only 1/7 of the compute.
+    """
+    unit = mem_gb // 8
+    return (
+        MIGProfile(f"1g.{unit}gb", 1, 1, unit * GB),
+        MIGProfile(f"1g.{2 * unit}gb", 1, 2, 2 * unit * GB),
+        MIGProfile(f"2g.{2 * unit}gb", 2, 2, 2 * unit * GB),
+        MIGProfile(f"3g.{4 * unit}gb", 3, 4, 4 * unit * GB),
+        MIGProfile(f"4g.{4 * unit}gb", 4, 4, 4 * unit * GB),
+        MIGProfile(f"7g.{8 * unit}gb", 7, 8, 8 * unit * GB),
+    )
+
+
+A100_40GB = GPUSpec(
+    name="A100-SXM4-40GB",
+    sms=108,
+    fp32_flops=19.5e12,
+    memory_bytes=40 * GB,
+    bandwidth=1555 * GB,
+    mig_capable=True,
+    mig_usable_sms=98,
+    mig_profiles=_a100_profiles(40),
+)
+
+A100_80GB = GPUSpec(
+    name="A100-SXM4-80GB",
+    sms=108,
+    fp32_flops=19.5e12,
+    memory_bytes=80 * GB,
+    bandwidth=2039 * GB,
+    mig_capable=True,
+    mig_usable_sms=98,
+    mig_profiles=_a100_profiles(80),
+)
+
+H100_80GB = GPUSpec(
+    name="H100-SXM5-80GB",
+    sms=132,
+    fp32_flops=67e12,
+    memory_bytes=80 * GB,
+    bandwidth=3350 * GB,
+    mig_capable=True,
+    mig_usable_sms=126,
+    mig_compute_slices=7,
+    mig_memory_slices=8,
+    mig_profiles=(
+        MIGProfile("1g.10gb", 1, 1, 10 * GB),
+        MIGProfile("1g.20gb", 1, 2, 20 * GB),
+        MIGProfile("2g.20gb", 2, 2, 20 * GB),
+        MIGProfile("3g.40gb", 3, 4, 40 * GB),
+        MIGProfile("4g.40gb", 4, 4, 40 * GB),
+        MIGProfile("7g.80gb", 7, 8, 80 * GB),
+    ),
+)
+
+V100_32GB = GPUSpec(
+    name="V100-SXM2-32GB",
+    sms=80,
+    fp32_flops=15.7e12,
+    memory_bytes=32 * GB,
+    bandwidth=900 * GB,
+    mig_capable=False,
+)
+
+MI210 = GPUSpec(
+    name="AMD-MI210",
+    sms=104,  # compute units
+    fp32_flops=22.6e12,
+    memory_bytes=64 * GB,
+    bandwidth=1638 * GB,
+    mig_capable=False,  # AMD offers CU masking instead (Table 1)
+)
+
+_CATALOG = {s.name: s for s in (A100_40GB, A100_80GB, H100_80GB, V100_32GB, MI210)}
+
+
+def get_spec(name: str) -> GPUSpec:
+    """Return the catalog spec called ``name`` (see module constants)."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU {name!r}; known: {sorted(_CATALOG)}"
+        ) from None

@@ -1,0 +1,116 @@
+"""CUDA streams and events: ordered kernel queues per client.
+
+Kernels launched on one stream execute in order; kernels on different
+streams (of the same or different clients) may overlap, subject to the
+client's SM cap — the standard CUDA concurrency model.  ``CudaEvent``
+provides the cross-stream ``record`` / ``wait_event`` dependency
+mechanism, enough to express the DAG-shaped inference/training pipelines
+real frameworks emit.
+
+Failure semantics mirror CUDA's sticky errors: once a kernel in a stream
+fails (e.g. an injected ECC kill), every subsequently launched kernel on
+that stream fails immediately with the same error.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.sim.core import Event
+from repro.gpu.device import GpuClient
+from repro.gpu.kernel import Kernel, KernelGroup
+
+__all__ = ["CudaEvent", "CudaStream"]
+
+_stream_ids = itertools.count()
+
+
+class CudaStream:
+    """An ordered kernel queue on one GPU client."""
+
+    def __init__(self, client: GpuClient, name: str | None = None):
+        self.client = client
+        self.env = client.device.env
+        self.name = name or f"stream{next(_stream_ids)}"
+        # The tail: fires when all work launched so far has completed.
+        tail = self.env.event(name=f"{self.name}-origin")
+        tail._defused = True
+        tail.succeed()
+        self._tail: Event = tail
+        self.kernels_launched = 0
+
+    def launch(self, kernel: Kernel) -> Event:
+        """Enqueue a kernel; returns its completion event.
+
+        The kernel starts only after everything previously enqueued on
+        this stream (including awaited events) has finished.
+        """
+        done = self.env.event(name=f"{self.name}-k{self.kernels_launched}")
+        done._defused = True
+        self.kernels_launched += 1
+        prev = self._tail
+
+        def start(trigger: Event) -> None:
+            if not trigger.ok:
+                done.fail(trigger.value)  # sticky stream error
+                return
+            completion = self.client.launch(kernel)
+            completion._defused = True
+
+            def finish(ev: Event) -> None:
+                if ev.ok:
+                    done.succeed(ev.value)
+                else:
+                    done.fail(ev.value)
+
+            completion.callbacks.append(finish)
+
+        if prev.processed:
+            start(prev)
+        else:
+            prev.callbacks.append(start)
+        self._tail = done
+        return done
+
+    def launch_group(self, group: KernelGroup) -> Event:
+        """Enqueue every kernel of a group in order; returns the last's
+        completion event."""
+        last: Event | None = None
+        for kernel in group:
+            last = self.launch(kernel)
+        assert last is not None  # groups are non-empty by construction
+        return last
+
+    def wait_event(self, event: Event) -> None:
+        """Make all *subsequent* launches wait for ``event`` too."""
+        combined = self.env.all_of([self._tail, event])
+        combined._defused = True
+        self._tail = combined
+
+    def synchronize(self) -> Event:
+        """An event firing once all currently enqueued work completes."""
+        return self._tail
+
+    def record_event(self) -> "CudaEvent":
+        """Capture this stream's current position (cudaEventRecord)."""
+        return CudaEvent(self._tail)
+
+
+class CudaEvent:
+    """A recorded stream position other streams can wait on."""
+
+    def __init__(self, marker: Event):
+        self._marker = marker
+
+    @property
+    def completed(self) -> bool:
+        return self._marker.processed
+
+    @property
+    def event(self) -> Event:
+        return self._marker
+
+    def wait_into(self, stream: CudaStream) -> None:
+        """Insert this event as a dependency of ``stream``'s future work."""
+        stream.wait_event(self._marker)

@@ -1,0 +1,82 @@
+"""NVIDIA vGPU model (Table 1's last row).
+
+vGPU shares a device between *virtual machines*: memory is divided into
+homogeneous slices, compute is time-sliced at VM granularity, and
+reconfiguration requires restarting a VM.  We model the VM-level
+time-slicing fluidly: every VM with runnable work receives an equal share
+of the device's SM throughput (``sm_policy="fair"``), degraded by a
+hypervisor scheduling overhead.  Within a VM, processes time-share the
+virtual GPU exactly like they would a bare one.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import GpuClient, ShareGroup, SimulatedGPU
+from repro.gpu.memory import MemoryPool
+
+__all__ = ["VgpuManager", "VirtualMachine"]
+
+#: Fraction of peak throughput a VM retains under hypervisor scheduling.
+VGPU_SCHEDULING_EFFICIENCY = 0.93
+
+#: Restarting a VM to change its vGPU profile (order: tens of seconds).
+VM_RESTART_SECONDS = 30.0
+
+
+class VirtualMachine:
+    """One VM holding a homogeneous vGPU slice."""
+
+    def __init__(self, manager: "VgpuManager", index: int):
+        self.manager = manager
+        self.index = index
+        device = manager.device
+        memory = MemoryPool(
+            device.spec.memory_bytes / manager.num_vms,
+            name=f"{device.name}-vm{index}-mem",
+        )
+        self.group = ShareGroup(
+            name=f"{device.name}-vm{index}",
+            device=device,
+            sm_budget=device.spec.sms,
+            bw_cap=None,
+            memory=memory,
+            discipline="temporal",  # processes inside a VM time-share
+            sm_policy="fair",  # VMs split the device evenly when active
+            overhead_factor=VGPU_SCHEDULING_EFFICIENCY,
+        )
+        device.add_group(self.group)
+
+    def client(self, name: str) -> GpuClient:
+        return GpuClient(self.manager.device, self.group, name)
+
+    def restart(self):
+        """Restart the VM (generator) — required to resize its slice."""
+        if self.group.clients:
+            raise RuntimeError(
+                f"vm{self.index}: close {len(self.group.clients)} clients "
+                "before restarting"
+            )
+        yield self.manager.device.env.timeout(VM_RESTART_SECONDS)
+
+
+class VgpuManager:
+    """Homogeneously slice a device among ``num_vms`` virtual machines.
+
+    vGPU profiles are homogeneous by design (Table 1: "Homogeneous
+    resource division"), so a single VM count fixes every slice.
+    """
+
+    def __init__(self, device: SimulatedGPU, num_vms: int):
+        if num_vms <= 0:
+            raise ValueError("num_vms must be positive")
+        if device.default_group.clients:
+            raise RuntimeError(
+                f"{device.name}: cannot enable vGPU with active bare-metal "
+                "clients"
+            )
+        self.device = device
+        self.num_vms = num_vms
+        self.vms = [VirtualMachine(self, i) for i in range(num_vms)]
+
+    def vm(self, index: int) -> VirtualMachine:
+        return self.vms[index]

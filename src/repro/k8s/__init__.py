@@ -1,0 +1,39 @@
+"""A miniature Kubernetes-style orchestrator over the simulated nodes.
+
+Why it exists: the paper's introduction motivates the Parsl extension by
+observing that "many FaaS platforms (e.g., KNative, Parsl) can run on the
+container orchestration service Kubernetes which only has *limited GPU
+sharing support*".  This package makes that claim measurable: a pod
+scheduler plus the three real GPU exposure mechanisms Kubernetes offers —
+
+- :class:`~repro.k8s.deviceplugin.WholeGpuPlugin` — the stock NVIDIA
+  device plugin: one pod per GPU, exclusive (the limitation);
+- :class:`~repro.k8s.deviceplugin.TimeSlicingPlugin` — the device
+  plugin's time-slicing config: N pods share a GPU temporally, no
+  isolation and no partitioning;
+- :class:`~repro.k8s.deviceplugin.MigDevicePlugin` — MIG instances
+  exposed as extended resources (``nvidia.com/mig-1g.5gb`` etc.).
+
+``benchmarks/test_extension_k8s.py`` runs the same inference pods under
+each plugin and against the paper's MPS-partitioned FaaS executor.
+"""
+
+from repro.k8s.resources import ResourceSpec
+from repro.k8s.pod import Pod, PodPhase
+from repro.k8s.deviceplugin import (
+    MigDevicePlugin,
+    TimeSlicingPlugin,
+    WholeGpuPlugin,
+)
+from repro.k8s.cluster import Cluster, K8sNode
+
+__all__ = [
+    "Cluster",
+    "K8sNode",
+    "MigDevicePlugin",
+    "Pod",
+    "PodPhase",
+    "ResourceSpec",
+    "TimeSlicingPlugin",
+    "WholeGpuPlugin",
+]

@@ -1,0 +1,171 @@
+"""The cluster: nodes, the scheduler loop, and pod execution.
+
+A deliberately small but honest kube-scheduler: FIFO pending queue with
+head-of-line retry, feasibility filtering against per-node allocatable
+resources, and a least-allocated score for spreading.  Extended GPU
+resources come from a device plugin (see
+:mod:`repro.k8s.deviceplugin`), which also performs the container-level
+GPU binding at pod start.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.core import Environment
+from repro.faas.providers import ComputeNode
+from repro.k8s.pod import Pod, PodContext, PodPhase
+from repro.k8s.resources import ResourceSpec
+
+__all__ = ["Cluster", "K8sNode"]
+
+
+class K8sNode:
+    """A schedulable node: a ComputeNode plus allocatable accounting."""
+
+    def __init__(self, node: ComputeNode, plugin=None):
+        self.node = node
+        self.plugin = plugin
+        extended = plugin.advertise(node) if plugin is not None else {}
+        self.allocatable = ResourceSpec(
+            cpu=float(node.cores),
+            memory_bytes=float("inf"),
+            extended=extended,
+        )
+        self.free = self.allocatable
+        self.pods: list[Pod] = []
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def can_fit(self, pod: Pod) -> bool:
+        return pod.requests.fits_within(self.free)
+
+    def bind(self, pod: Pod) -> None:
+        self.free = self.free.minus(pod.requests)
+        self.pods.append(pod)
+        pod.node_name = self.name
+
+    def unbind(self, pod: Pod) -> None:
+        self.free = self.free.plus(pod.requests)
+        self.pods.remove(pod)
+
+    def score(self) -> float:
+        """Least-allocated spreading score (higher = preferred)."""
+        if self.allocatable.cpu == 0:
+            return 0.0
+        return self.free.cpu / self.allocatable.cpu
+
+
+class Cluster:
+    """Nodes + scheduler; submit pods, run the simulation, read phases.
+
+    ``strategy`` selects the scoring plugin: ``"least-allocated"``
+    (spread — the kube-scheduler default) or ``"most-allocated"``
+    (bin-pack, the usual choice for expensive GPU nodes so idle ones can
+    be scaled away).
+    """
+
+    STRATEGIES = ("least-allocated", "most-allocated")
+
+    def __init__(self, env: Environment, nodes: Sequence[ComputeNode],
+                 plugin=None, scheduler_interval: float = 0.25,
+                 strategy: str = "least-allocated"):
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        if scheduler_interval <= 0:
+            raise ValueError("scheduler_interval must be positive")
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from "
+                f"{self.STRATEGIES}"
+            )
+        self.env = env
+        self.plugin = plugin
+        self.strategy = strategy
+        self.nodes = [K8sNode(n, plugin) for n in nodes]
+        self.pending: list[Pod] = []
+        self.all_pods: list[Pod] = []
+        self.scheduler_interval = scheduler_interval
+        self.preempted_schedule_attempts = 0
+        self._proc = env.process(self._scheduler_loop())
+
+    # -- API ------------------------------------------------------------------
+    def submit(self, pod: Pod) -> Pod:
+        if pod.phase is not PodPhase.PENDING:
+            raise ValueError(f"pod {pod.name!r} already {pod.phase.value}")
+        self.pending.append(pod)
+        self.all_pods.append(pod)
+        return pod
+
+    def pods_in_phase(self, phase: PodPhase) -> list[Pod]:
+        return [p for p in self.all_pods if p.phase is phase]
+
+    @property
+    def done(self) -> bool:
+        return all(p.phase in (PodPhase.SUCCEEDED, PodPhase.FAILED)
+                   for p in self.all_pods)
+
+    def run_until_done(self, max_seconds: float = 1e7) -> None:
+        """Advance the simulation until every submitted pod finishes."""
+        deadline = self.env.now + max_seconds
+        while not self.done:
+            if self.env.peek() > deadline:
+                raise TimeoutError(
+                    f"pods still pending after {max_seconds} s: "
+                    f"{[p.name for p in self.pending]}"
+                )
+            self.env.step()
+
+    # -- scheduler ----------------------------------------------------------------
+    def _scheduler_loop(self):
+        while True:
+            yield self.env.timeout(self.scheduler_interval)
+            self._schedule_round()
+
+    def _schedule_round(self) -> None:
+        # FIFO with retry: unschedulable pods stay pending (no eviction).
+        still_pending: list[Pod] = []
+        for pod in self.pending:
+            feasible = [n for n in self.nodes if n.can_fit(pod)]
+            if not feasible:
+                self.preempted_schedule_attempts += 1
+                still_pending.append(pod)
+                continue
+            if self.strategy == "least-allocated":
+                target = max(feasible, key=lambda n: (n.score(), n.name))
+            else:  # most-allocated: pack onto the fullest feasible node
+                target = min(feasible, key=lambda n: (n.score(), n.name))
+            target.bind(pod)
+            self.env.process(self._run_pod(target, pod))
+        self.pending = still_pending
+
+    def _run_pod(self, k8s_node: K8sNode, pod: Pod):
+        pod.phase = PodPhase.RUNNING
+        pod.start_time = self.env.now
+        gpu_client = None
+        try:
+            if self.plugin is not None and pod.wants_gpu:
+                gpu_client = self.plugin.allocate(k8s_node.node, pod)
+            if pod.duration is not None:
+                yield self.env.timeout(pod.duration)
+                pod.result = None
+            else:
+                ctx = PodContext(env=self.env, pod=pod, node=k8s_node.node,
+                                 gpu=gpu_client)
+                inner = self.env.process(pod.main(ctx))
+                inner.defuse()
+                yield inner
+                if not inner.ok:
+                    raise inner.value
+                pod.result = inner.value
+            pod.phase = PodPhase.SUCCEEDED
+        except Exception as exc:  # noqa: BLE001 - pod failure path
+            pod.phase = PodPhase.FAILED
+            pod.failure = exc
+        finally:
+            pod.end_time = self.env.now
+            if gpu_client is not None and gpu_client.alive:
+                self.plugin.release(gpu_client)
+            k8s_node.unbind(pod)

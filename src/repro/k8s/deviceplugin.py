@@ -1,0 +1,141 @@
+"""GPU device plugins: how Kubernetes exposes GPUs to pods.
+
+Each plugin does two jobs, mirroring the real device-plugin API:
+
+1. **advertise** — report extended resources for a node's GPUs;
+2. **allocate** — given a pod that was granted such a resource, produce
+   the :class:`~repro.gpu.device.GpuClient` its container will use (and
+   release it afterwards).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.faas.providers import ComputeNode
+from repro.gpu.device import GpuClient
+from repro.k8s.pod import Pod
+from repro.k8s.resources import ResourceSpec
+
+__all__ = ["MigDevicePlugin", "TimeSlicingPlugin", "WholeGpuPlugin"]
+
+GPU_RESOURCE = "nvidia.com/gpu"
+_alloc_ids = itertools.count()
+
+
+class WholeGpuPlugin:
+    """The stock NVIDIA device plugin: whole GPUs, exclusive.
+
+    This is the "limited GPU sharing support" the paper's introduction
+    refers to — a pod either owns an entire GPU or none.
+    """
+
+    def advertise(self, node: ComputeNode) -> dict[str, int]:
+        return {GPU_RESOURCE: len(node.gpus)} if node.gpus else {}
+
+    def allocate(self, node: ComputeNode, pod: Pod) -> Optional[GpuClient]:
+        count = pod.requests.extended.get(GPU_RESOURCE, 0)
+        if count == 0:
+            return None
+        if count != 1:
+            raise ValueError(
+                f"pod {pod.name!r}: this reproduction models 1 GPU per pod"
+            )
+        # Find a GPU with no clients (exclusive ownership).
+        for gpu in node.gpus:
+            if not gpu.default_group.clients:
+                return gpu.timeshare_client(
+                    f"{pod.name}-{next(_alloc_ids)}")
+        raise RuntimeError(
+            f"{node.name}: scheduler granted {GPU_RESOURCE} but every GPU "
+            "is occupied (accounting bug)"
+        )
+
+    def release(self, client: GpuClient) -> None:
+        client.close()
+
+
+class TimeSlicingPlugin:
+    """The device plugin's time-slicing configuration.
+
+    Advertises ``replicas`` copies of each GPU; pods granted a replica
+    share the device under the driver's default time-slicing — no memory
+    or fault isolation, no partitioning (the plugin's own documentation
+    warns exactly this).
+    """
+
+    def __init__(self, replicas: int = 4):
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+
+    def advertise(self, node: ComputeNode) -> dict[str, int]:
+        if not node.gpus:
+            return {}
+        return {GPU_RESOURCE: len(node.gpus) * self.replicas}
+
+    def allocate(self, node: ComputeNode, pod: Pod) -> Optional[GpuClient]:
+        count = pod.requests.extended.get(GPU_RESOURCE, 0)
+        if count == 0:
+            return None
+        # Pick the GPU with the fewest time-shared tenants.
+        gpu = min(node.gpus, key=lambda g: len(g.default_group.clients))
+        return gpu.timeshare_client(f"{pod.name}-{next(_alloc_ids)}")
+
+    def release(self, client: GpuClient) -> None:
+        client.close()
+
+
+class MigDevicePlugin:
+    """MIG instances as extended resources (``nvidia.com/mig-<profile>``).
+
+    The node's GPUs must already be partitioned (MIG mode enabled,
+    instances created); the plugin advertises one resource unit per
+    instance and binds pods to free instances of the requested profile.
+    """
+
+    @staticmethod
+    def resource_name(profile_name: str) -> str:
+        return f"nvidia.com/mig-{profile_name}"
+
+    def advertise(self, node: ComputeNode) -> dict[str, int]:
+        resources: dict[str, int] = {}
+        for index in range(len(node.gpus)):
+            manager = node._mig_managers.get(index)
+            if manager is None or not manager.enabled:
+                continue
+            for instance in manager.instances:
+                name = self.resource_name(instance.profile.name)
+                resources[name] = resources.get(name, 0) + 1
+        return resources
+
+    def allocate(self, node: ComputeNode, pod: Pod) -> Optional[GpuClient]:
+        wanted = [
+            (name, count) for name, count in pod.requests.extended.items()
+            if name.startswith("nvidia.com/mig-") and count > 0
+        ]
+        if not wanted:
+            return None
+        if len(wanted) > 1 or wanted[0][1] != 1:
+            raise ValueError(
+                f"pod {pod.name!r}: this reproduction models one MIG "
+                "instance per pod"
+            )
+        profile_name = wanted[0][0].removeprefix("nvidia.com/mig-")
+        for index in range(len(node.gpus)):
+            manager = node._mig_managers.get(index)
+            if manager is None or not manager.enabled:
+                continue
+            for instance in manager.instances:
+                if (instance.profile.name == profile_name
+                        and not instance.clients):
+                    return instance.client(
+                        f"{pod.name}-{next(_alloc_ids)}")
+        raise RuntimeError(
+            f"{node.name}: scheduler granted mig-{profile_name} but no "
+            "free instance exists (accounting bug)"
+        )
+
+    def release(self, client: GpuClient) -> None:
+        client.close()

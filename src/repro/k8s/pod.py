@@ -1,0 +1,74 @@
+"""Pods: the unit the orchestrator schedules."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.k8s.resources import ResourceSpec
+
+__all__ = ["Pod", "PodPhase"]
+
+_pod_ids = itertools.count()
+
+
+class PodPhase(enum.Enum):
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
+
+
+@dataclass
+class Pod:
+    """One pod: resource requests plus a workload.
+
+    The workload is either a fixed ``duration`` (a container that runs
+    that long) or a generator ``main(pod_context)`` driving simulated
+    time — pods that received a GPU find their
+    :class:`~repro.gpu.device.GpuClient` at ``pod_context.gpu``.
+    """
+
+    name: str
+    requests: ResourceSpec
+    duration: Optional[float] = None
+    main: Optional[Callable] = None
+    uid: int = field(default_factory=lambda: next(_pod_ids))
+    phase: PodPhase = PodPhase.PENDING
+    node_name: Optional[str] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    result: object = None
+    failure: Optional[BaseException] = None
+
+    def __post_init__(self) -> None:
+        if (self.duration is None) == (self.main is None):
+            raise ValueError(
+                f"pod {self.name!r}: provide exactly one of duration= or "
+                "main="
+            )
+        if self.duration is not None and self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+    @property
+    def wants_gpu(self) -> bool:
+        return any(name.startswith("nvidia.com/")
+                   for name in self.requests.extended)
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+@dataclass
+class PodContext:
+    """What a running pod's ``main`` generator receives."""
+
+    env: object
+    pod: Pod
+    node: object
+    gpu: object = None  # GpuClient when a GPU resource was allocated

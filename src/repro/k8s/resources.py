@@ -1,0 +1,63 @@
+"""Pod resource requests and node allocatable accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResourceSpec"]
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """A bundle of resource quantities (requests or allocatable).
+
+    ``cpu`` is in whole cores (k8s millicores / 1000); ``extended`` holds
+    integer-countable extended resources, e.g. ``{"nvidia.com/gpu": 1}``
+    or ``{"nvidia.com/mig-2g.10gb": 1}``.
+    """
+
+    cpu: float = 0.0
+    memory_bytes: float = 0.0
+    extended: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0 or self.memory_bytes < 0:
+            raise ValueError("resource quantities must be non-negative")
+        for name, count in self.extended.items():
+            if count < 0:
+                raise ValueError(f"extended resource {name!r} negative")
+
+    def fits_within(self, other: "ResourceSpec") -> bool:
+        """Whether this request fits inside ``other`` (free capacity)."""
+        if self.cpu > other.cpu + 1e-9:
+            return False
+        if self.memory_bytes > other.memory_bytes + 1e-6:
+            return False
+        for name, count in self.extended.items():
+            if count > other.extended.get(name, 0):
+                return False
+        return True
+
+    def plus(self, other: "ResourceSpec") -> "ResourceSpec":
+        extended = dict(self.extended)
+        for name, count in other.extended.items():
+            extended[name] = extended.get(name, 0) + count
+        return ResourceSpec(cpu=self.cpu + other.cpu,
+                            memory_bytes=self.memory_bytes + other.memory_bytes,
+                            extended=extended)
+
+    def minus(self, other: "ResourceSpec") -> "ResourceSpec":
+        extended = dict(self.extended)
+        for name, count in other.extended.items():
+            remaining = extended.get(name, 0) - count
+            if remaining < 0:
+                raise ValueError(f"extended resource {name!r} underflow")
+            extended[name] = remaining
+        if self.cpu - other.cpu < -1e-9:
+            raise ValueError("cpu underflow")
+        if self.memory_bytes - other.memory_bytes < -1e-6:
+            raise ValueError("memory underflow")
+        return ResourceSpec(cpu=max(0.0, self.cpu - other.cpu),
+                            memory_bytes=max(0.0, self.memory_bytes
+                                             - other.memory_bytes),
+                            extended=extended)

@@ -1,0 +1,68 @@
+"""GPU partitioning toolkit.
+
+The operational half of the paper's contribution plus its §7 future-work
+directions:
+
+- :mod:`repro.partition.policy` — how to split a GPU among k functions
+  (equal MPS percentages; the paper's MIG ladder 2→3g, 3→2g, 4→1g).
+- :mod:`repro.partition.manager` — applies a policy to a compute node and
+  emits the matching ``HighThroughputExecutor`` configuration (the
+  Listing 2/3 glue).
+- :mod:`repro.partition.reconfig` — what repartitioning costs: MPS needs
+  a client process restart (reload the model, 10-20 s for LLMs); MIG
+  needs a GPU reset and disturbs every co-tenant (§6).
+- :mod:`repro.partition.weightcache` — GPU-resident weight sharing so a
+  restarted function skips the model reload (§7 "Re-configuring GPU
+  resources Faster").
+- :mod:`repro.partition.rightsizing` — find the smallest partition whose
+  latency is within tolerance of the full GPU (§7 "Understanding GPU
+  resource requirement").
+- :mod:`repro.partition.predictor` — approximate runtime from GPU
+  resources via static kernel analysis or profile fitting (§7).
+"""
+
+from repro.partition.policy import (
+    DemandBasedPolicy,
+    EqualSharePolicy,
+    StaticPolicy,
+    mig_profiles_for,
+)
+from repro.partition.manager import GpuPartitionManager
+from repro.partition.autoscaler import (
+    ManagedFunction,
+    PartitionAutoscaler,
+    ScalingDecision,
+)
+from repro.partition.reconfig import ReconfigCost, ReconfigurationPlanner
+from repro.partition.weightcache import WeightCache
+from repro.partition.rightsizing import PartitionRecommendation, RightSizer
+from repro.partition.predictor import RuntimePredictor, StaticAnalyzer
+from repro.partition.profiler import PartitionProfiler, ProfileReport
+from repro.partition.layout import (
+    MigLayoutPlan,
+    WorkloadRequirement,
+    plan_mig_layout,
+)
+
+__all__ = [
+    "DemandBasedPolicy",
+    "EqualSharePolicy",
+    "GpuPartitionManager",
+    "ManagedFunction",
+    "MigLayoutPlan",
+    "PartitionAutoscaler",
+    "PartitionProfiler",
+    "PartitionRecommendation",
+    "ProfileReport",
+    "ScalingDecision",
+    "ReconfigCost",
+    "ReconfigurationPlanner",
+    "RightSizer",
+    "RuntimePredictor",
+    "StaticAnalyzer",
+    "StaticPolicy",
+    "WeightCache",
+    "WorkloadRequirement",
+    "mig_profiles_for",
+    "plan_mig_layout",
+]

@@ -1,0 +1,195 @@
+"""Demand-driven partition autoscaling (§7's end goal).
+
+The paper's future-work motivation: "This challenge becomes crucial as we
+multiplex the applications and aim to change GPU resources depending on
+demand."  This controller closes that loop on the simulator:
+
+1. each managed function declares a latency SLO and a latency-vs-SMs
+   model (a profiled :class:`~repro.partition.predictor.RuntimePredictor`
+   or any callable);
+2. a periodic control loop converts each function's current request rate
+   into an SM requirement — enough SMs that the SLO holds *and* the
+   function is stable (utilisation below a safety ceiling);
+3. when requirements drift beyond a threshold and the cooldown has
+   passed, the loop repartitions via the
+   :class:`~repro.partition.reconfig.ReconfigurationPlanner`, paying the
+   real MPS restart cost (which the §7 weight cache shrinks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.faas.providers import ComputeNode
+from repro.gpu.device import GpuClient
+from repro.partition.reconfig import ReconfigurationPlanner
+
+__all__ = ["ManagedFunction", "PartitionAutoscaler", "ScalingDecision"]
+
+
+@dataclass
+class ManagedFunction:
+    """One serving function under autoscaler control."""
+
+    name: str
+    client: GpuClient
+    #: Isolated latency (seconds) as a function of allocated SMs.
+    latency_fn: Callable[[int], float]
+    #: Latency SLO, seconds.
+    slo_seconds: float
+    #: Current offered load, requests per second (mutable).
+    demand_rps: float = 0.0
+    #: Weights metadata for the restart path.
+    model_key: Optional[str] = None
+    model_bytes: float = 0.0
+    model_load_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if self.demand_rps < 0:
+            raise ValueError("demand_rps must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One control-loop outcome (kept for post-hoc analysis)."""
+
+    time: float
+    percentages: dict[str, int]
+    applied: bool
+    reason: str
+
+
+class PartitionAutoscaler:
+    """Periodic MPS-repartitioning controller for one GPU."""
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        functions: list[ManagedFunction],
+        gpu_index: int = 0,
+        planner: Optional[ReconfigurationPlanner] = None,
+        interval_seconds: float = 30.0,
+        cooldown_seconds: float = 60.0,
+        change_threshold_pct: int = 5,
+        utilization_ceiling: float = 0.8,
+        min_percentage: int = 5,
+    ):
+        if not functions:
+            raise ValueError("need at least one managed function")
+        if interval_seconds <= 0 or cooldown_seconds < 0:
+            raise ValueError("invalid control intervals")
+        if not 0 < utilization_ceiling <= 1:
+            raise ValueError("utilization_ceiling must be in (0, 1]")
+        self.node = node
+        self.gpu_index = gpu_index
+        self.functions = {f.name: f for f in functions}
+        if len(self.functions) != len(functions):
+            raise ValueError("function names must be unique")
+        spec = node.gpus[gpu_index].spec
+        self.spec = spec
+        self.planner = planner if planner is not None else \
+            ReconfigurationPlanner(spec)
+        self.interval = interval_seconds
+        self.cooldown = cooldown_seconds
+        self.change_threshold = change_threshold_pct
+        self.utilization_ceiling = utilization_ceiling
+        self.min_percentage = min_percentage
+        self.decisions: list[ScalingDecision] = []
+        self.reconfigurations = 0
+        self.reconfiguration_downtime = 0.0
+        self._last_applied = -math.inf
+        self._proc = None
+
+    # -- demand input ---------------------------------------------------------
+    def set_demand(self, name: str, requests_per_second: float) -> None:
+        if requests_per_second < 0:
+            raise ValueError("demand must be non-negative")
+        self.functions[name].demand_rps = requests_per_second
+
+    # -- sizing logic -----------------------------------------------------------
+    def required_sms(self, fn: ManagedFunction) -> int:
+        """Smallest SM count meeting the SLO and the stability ceiling."""
+        if fn.demand_rps == 0:
+            return 1  # keep the model warm on a sliver
+        for sms in range(1, self.spec.sms + 1):
+            latency = fn.latency_fn(sms)
+            if latency <= fn.slo_seconds and \
+                    fn.demand_rps * latency <= self.utilization_ceiling:
+                return sms
+        return self.spec.sms  # best effort: the SLO is infeasible
+
+    def desired_percentages(self) -> dict[str, int]:
+        """Per-function MPS percentages for the current demand."""
+        needed = {name: self.required_sms(fn)
+                  for name, fn in self.functions.items()}
+        total = sum(needed.values())
+        scale = min(1.0, self.spec.sms / total) if total else 1.0
+        return {
+            name: max(self.min_percentage,
+                      min(100, math.ceil(100 * sms * scale / self.spec.sms)))
+            for name, sms in needed.items()
+        }
+
+    def current_percentages(self) -> dict[str, int]:
+        return {
+            name: round(100 * fn.client.sm_cap / self.spec.sms)
+            for name, fn in self.functions.items()
+        }
+
+    # -- control loop ------------------------------------------------------------
+    def start(self):
+        """Launch the control loop; returns the process handle."""
+        if self._proc is not None:
+            raise RuntimeError("autoscaler already started")
+        self._proc = self.node.env.process(self._run())
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("autoscaler stopped")
+            self._proc.defuse()
+
+    def _run(self):
+        env = self.node.env
+        while True:
+            yield env.timeout(self.interval)
+            yield from self._tick()
+
+    def _tick(self):
+        """One control decision (exposed for deterministic tests)."""
+        env = self.node.env
+        desired = self.desired_percentages()
+        current = self.current_percentages()
+        drift = {
+            name: abs(desired[name] - current[name])
+            for name in self.functions
+        }
+        if max(drift.values()) < self.change_threshold:
+            self.decisions.append(ScalingDecision(
+                env.now, desired, False, "within threshold"))
+            return
+        if env.now - self._last_applied < self.cooldown:
+            self.decisions.append(ScalingDecision(
+                env.now, desired, False, "cooldown"))
+            return
+        t0 = env.now
+        for name, fn in self.functions.items():
+            if drift[name] < self.change_threshold:
+                continue
+            new_client = yield from self.planner.execute_mps_repartition(
+                self.node, self.gpu_index, fn.client,
+                new_percentage=desired[name],
+                model_key=fn.model_key,
+                model_bytes=fn.model_bytes,
+                model_load_seconds=fn.model_load_seconds,
+            )
+            fn.client = new_client
+            self.reconfigurations += 1
+        self.reconfiguration_downtime += env.now - t0
+        self._last_applied = env.now
+        self.decisions.append(ScalingDecision(
+            env.now, desired, True, "repartitioned"))

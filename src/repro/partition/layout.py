@@ -1,0 +1,149 @@
+"""Heterogeneous MIG layout planning.
+
+The paper's evaluation uses *uniform* MIG ladders (k equal instances);
+real multi-tenant nodes host functions with different knees and memory
+footprints.  Given per-function requirements (from the right-sizer),
+this planner searches the profile grid for a feasible layout — each
+function gets the cheapest profile covering its SM knee and memory need,
+subject to the device's 7 compute / 8 memory slice budgets — and reports
+what is left for future tenants.
+
+The search is exact (DFS with pruning): at most 7 instances fit a GPU
+and the profile grid is tiny, so enumeration is trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.gpu.specs import GPUSpec, MIGProfile
+
+__all__ = ["WorkloadRequirement", "MigLayoutPlan", "plan_mig_layout"]
+
+
+@dataclass(frozen=True)
+class WorkloadRequirement:
+    """What one function needs from its MIG instance."""
+
+    name: str
+    min_sms: int
+    min_memory_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_sms <= 0:
+            raise ValueError("min_sms must be positive")
+        if self.min_memory_bytes < 0:
+            raise ValueError("min_memory_bytes must be non-negative")
+
+    def satisfied_by(self, profile: MIGProfile, spec: GPUSpec) -> bool:
+        return (profile.sm_count(spec) >= self.min_sms
+                and profile.memory_bytes >= self.min_memory_bytes)
+
+
+@dataclass(frozen=True)
+class MigLayoutPlan:
+    """A feasible assignment of workloads to MIG profiles."""
+
+    spec_name: str
+    assignments: tuple[tuple[str, str], ...]  # (workload, profile)
+    used_compute_slices: int
+    used_memory_slices: int
+    #: Largest additional profile that still fits (None if the GPU is full).
+    leftover_profile: Optional[str]
+
+    @property
+    def profile_names(self) -> list[str]:
+        return [profile for _, profile in self.assignments]
+
+    def profile_for(self, workload: str) -> str:
+        for name, profile in self.assignments:
+            if name == workload:
+                return profile
+        raise KeyError(f"no assignment for workload {workload!r}")
+
+
+def plan_mig_layout(spec: GPUSpec,
+                    requirements: Sequence[WorkloadRequirement]
+                    ) -> MigLayoutPlan:
+    """Find a minimum-footprint feasible MIG layout.
+
+    Minimises total compute slices first, memory slices second (leaving
+    the most room for co-tenants).  Raises ``ValueError`` when no layout
+    exists — including per-workload diagnostics.
+    """
+    if not spec.mig_capable:
+        raise ValueError(f"{spec.name} does not support MIG")
+    if not requirements:
+        raise ValueError("no workload requirements given")
+    names = [r.name for r in requirements]
+    if len(set(names)) != len(names):
+        raise ValueError("workload names must be unique")
+
+    candidates: list[list[MIGProfile]] = []
+    for req in requirements:
+        fitting = sorted(
+            (p for p in spec.mig_profiles if req.satisfied_by(p, spec)),
+            key=lambda p: (p.compute_slices, p.memory_slices),
+        )
+        if not fitting:
+            raise ValueError(
+                f"workload {req.name!r} needs {req.min_sms} SMs and "
+                f"{req.min_memory_bytes / 1e9:.1f} GB; no {spec.name} MIG "
+                "profile provides that"
+            )
+        candidates.append(fitting)
+
+    # Search hardest-to-place workloads first for early pruning.
+    order = sorted(range(len(requirements)),
+                   key=lambda i: candidates[i][0].compute_slices,
+                   reverse=True)
+    best: Optional[list[MIGProfile]] = None
+    best_cost = (spec.mig_compute_slices + 1, spec.mig_memory_slices + 1)
+    chosen: list[Optional[MIGProfile]] = [None] * len(requirements)
+
+    def dfs(position: int, compute_used: int, memory_used: int) -> None:
+        nonlocal best, best_cost
+        if (compute_used, memory_used) >= best_cost:
+            return
+        if position == len(order):
+            best = list(chosen)  # type: ignore[arg-type]
+            best_cost = (compute_used, memory_used)
+            return
+        index = order[position]
+        for profile in candidates[index]:
+            c = compute_used + profile.compute_slices
+            m = memory_used + profile.memory_slices
+            if c > spec.mig_compute_slices or m > spec.mig_memory_slices:
+                continue
+            chosen[index] = profile
+            dfs(position + 1, c, m)
+            chosen[index] = None
+
+    dfs(0, 0, 0)
+    if best is None:
+        raise ValueError(
+            f"no feasible MIG layout on {spec.name} for "
+            f"{[(r.name, r.min_sms) for r in requirements]}: the slice "
+            "budgets (7 compute / 8 memory) are exceeded"
+        )
+    compute_used = sum(p.compute_slices for p in best)
+    memory_used = sum(p.memory_slices for p in best)
+    leftover = None
+    for profile in sorted(spec.mig_profiles,
+                          key=lambda p: p.compute_slices, reverse=True):
+        if (compute_used + profile.compute_slices <= spec.mig_compute_slices
+                and memory_used + profile.memory_slices
+                <= spec.mig_memory_slices):
+            leftover = profile.name
+            break
+    return MigLayoutPlan(
+        spec_name=spec.name,
+        assignments=tuple(
+            (req.name, profile.name)
+            for req, profile in zip(requirements, best)
+        ),
+        used_compute_slices=compute_used,
+        used_memory_slices=memory_used,
+        leftover_profile=leftover,
+    )

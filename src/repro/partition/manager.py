@@ -1,0 +1,104 @@
+"""Partition manager: from policy to executor configuration.
+
+Glues a :mod:`~repro.partition.policy` onto a compute node and emits the
+``(available_accelerators, gpu_percentage)`` pair that configures the
+paper's enhanced ``HighThroughputExecutor`` (Listings 2 and 3) — so the
+whole pipeline *policy → env vars → workers → GPU clients* is one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.faas.providers import ComputeNode
+from repro.gpu.mig import MigInstance
+
+__all__ = ["GpuPartitionManager", "HtexGpuConfig"]
+
+
+@dataclass(frozen=True)
+class HtexGpuConfig:
+    """The executor-facing artefact of a partitioning decision."""
+
+    available_accelerators: tuple[str, ...]
+    gpu_percentage: Optional[tuple[int, ...]]
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.available_accelerators)
+
+
+class GpuPartitionManager:
+    """Manages the partitions of one GPU on one node."""
+
+    def __init__(self, node: ComputeNode, gpu_index: int = 0):
+        if not 0 <= gpu_index < len(node.gpus):
+            raise ValueError(
+                f"node {node.name} has {len(node.gpus)} GPUs, "
+                f"index {gpu_index} invalid"
+            )
+        self.node = node
+        self.gpu_index = gpu_index
+
+    @property
+    def device(self):
+        return self.node.gpus[self.gpu_index]
+
+    # -- MPS ---------------------------------------------------------------
+    def apply_mps_policy(self, policy) -> HtexGpuConfig:
+        """Start MPS and emit a Listing-2 style config from the policy."""
+        percentages = policy.mps_percentages()
+        self.node.start_mps(self.gpu_index)
+        return HtexGpuConfig(
+            available_accelerators=tuple(
+                str(self.gpu_index) for _ in percentages
+            ),
+            gpu_percentage=tuple(percentages),
+        )
+
+    # -- MIG ------------------------------------------------------------------
+    def apply_mig_policy(self, policy):
+        """Enable MIG if needed and create the policy's instances.
+
+        Generator (MIG changes cost a GPU reset); returns the Listing-3
+        style config with one worker per instance UUID.
+        """
+        profiles = policy.mig_profiles(self.device.spec)
+        manager = self.node.mig_manager(self.gpu_index)
+        if not manager.enabled:
+            yield from manager.enable()
+        instances: list[MigInstance] = yield self.node.env.process(
+            manager.reconfigure(profiles)
+        )
+        return HtexGpuConfig(
+            available_accelerators=tuple(i.uuid for i in instances),
+            gpu_percentage=None,
+        )
+
+    # -- time-sharing baseline ------------------------------------------------
+    def timeshare_config(self, n_workers: int) -> HtexGpuConfig:
+        """The unpartitioned baseline: n workers share the GPU temporally."""
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        return HtexGpuConfig(
+            available_accelerators=tuple(
+                str(self.gpu_index) for _ in range(n_workers)
+            ),
+            gpu_percentage=None,
+        )
+
+    # -- introspection -----------------------------------------------------------
+    def describe(self) -> str:
+        device = self.device
+        manager = self.node._mig_managers.get(self.gpu_index)
+        if manager is not None and manager.enabled:
+            profiles = ", ".join(i.profile.name for i in manager.instances)
+            return f"{device.name}: MIG [{profiles or 'no instances'}]"
+        if self.node.mps_daemons[self.gpu_index].running:
+            clients = device.default_group.clients
+            pcts = ", ".join(
+                f"{round(100 * c.sm_cap / device.spec.sms)}%" for c in clients
+            )
+            return f"{device.name}: MPS [{pcts or 'no clients'}]"
+        return f"{device.name}: time-sharing"

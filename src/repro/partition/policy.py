@@ -1,0 +1,141 @@
+"""Partition policies: how to split a GPU among k concurrent functions.
+
+The evaluation (§5.2) uses two concrete policies we reproduce verbatim:
+
+- **MPS equal split** — "when running 2 LLaMa2 processes we give each of
+  them 50% GPU and so on";
+- **the MIG ladder** — 2 models → ``3g`` each, 3 → ``2g``, 4 → ``1g``
+  (MIG cannot split finer than the profile grid, which is exactly why it
+  loses to MPS at 3- and 4-way sharing).
+
+``DemandBasedPolicy`` generalises to heterogeneous functions using their
+right-sizing knees as demands.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gpu.specs import GPUSpec
+
+__all__ = [
+    "EqualSharePolicy",
+    "StaticPolicy",
+    "DemandBasedPolicy",
+    "mig_profiles_for",
+]
+
+
+def mig_profiles_for(spec: GPUSpec, n_partitions: int,
+                     min_memory_bytes: float = 0.0) -> list[str]:
+    """The paper's MIG ladder: the largest equal profile fitting n times.
+
+    Picks the profile with the most compute slices such that ``n`` copies
+    respect both the compute-slice (7) and memory-slice (8) budgets and
+    each instance holds at least ``min_memory_bytes`` (e.g. the model's
+    working set — a LLaMa-2 7B fp16 instance cannot live in a 1g.10gb
+    slice, so four-way sharing must use 1g.20gb).  Ties on compute slices
+    are broken toward the *fewest* memory slices that still satisfy the
+    requirement, leaving memory for co-tenants.
+    """
+    if not spec.mig_capable:
+        raise ValueError(f"{spec.name} does not support MIG")
+    if n_partitions <= 0:
+        raise ValueError("n_partitions must be positive")
+    if n_partitions > spec.mig_compute_slices:
+        raise ValueError(
+            f"{spec.name} supports at most {spec.mig_compute_slices} MIG "
+            f"instances, asked for {n_partitions}"
+        )
+    best = None
+    for profile in spec.mig_profiles:
+        if (n_partitions * profile.compute_slices <= spec.mig_compute_slices
+                and n_partitions * profile.memory_slices
+                <= spec.mig_memory_slices
+                and profile.memory_bytes >= min_memory_bytes):
+            if (best is None
+                    or profile.compute_slices > best.compute_slices
+                    or (profile.compute_slices == best.compute_slices
+                        and profile.memory_slices < best.memory_slices)):
+                best = profile
+    if best is None:
+        raise ValueError(
+            f"no MIG profile of {spec.name} fits {n_partitions} times with "
+            f">= {min_memory_bytes / 1e9:.1f} GB per instance"
+        )
+    return [best.name] * n_partitions
+
+
+class EqualSharePolicy:
+    """Split one GPU evenly among ``n`` workers (the §5.2 policy).
+
+    ``min_memory_bytes`` optionally declares the per-worker device memory
+    requirement so the MIG ladder never selects an instance too small for
+    the model (see :func:`mig_profiles_for`).
+    """
+
+    def __init__(self, n_partitions: int, min_memory_bytes: float = 0.0):
+        if n_partitions <= 0:
+            raise ValueError("n_partitions must be positive")
+        if min_memory_bytes < 0:
+            raise ValueError("min_memory_bytes must be non-negative")
+        self.n_partitions = n_partitions
+        self.min_memory_bytes = min_memory_bytes
+
+    def mps_percentages(self) -> list[int]:
+        """Equal ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`` values."""
+        return [max(1, round(100 / self.n_partitions))] * self.n_partitions
+
+    def mig_profiles(self, spec: GPUSpec) -> list[str]:
+        return mig_profiles_for(spec, self.n_partitions,
+                                self.min_memory_bytes)
+
+
+class StaticPolicy:
+    """Operator-specified percentages (Listing 2's [50, 25, 30] style)."""
+
+    def __init__(self, percentages: Sequence[int]):
+        if not percentages:
+            raise ValueError("percentages must be non-empty")
+        for pct in percentages:
+            if not 0 < pct <= 100:
+                raise ValueError(f"percentage {pct} outside (0, 100]")
+        self.percentages = list(percentages)
+
+    def mps_percentages(self) -> list[int]:
+        return list(self.percentages)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.percentages)
+
+
+class DemandBasedPolicy:
+    """Divide the GPU proportionally to each function's SM demand.
+
+    Demands are SM counts — typically the right-sizing knee of each
+    function (:class:`repro.partition.rightsizing.RightSizer`).  When the
+    demands fit outright, each function gets exactly its knee; otherwise
+    shares shrink proportionally (minimum 1%).
+    """
+
+    def __init__(self, demands_sms: Sequence[int], spec: GPUSpec):
+        if not demands_sms:
+            raise ValueError("demands_sms must be non-empty")
+        for d in demands_sms:
+            if d <= 0:
+                raise ValueError("SM demands must be positive")
+        self.demands = list(demands_sms)
+        self.spec = spec
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.demands)
+
+    def mps_percentages(self) -> list[int]:
+        total = sum(self.demands)
+        scale = min(1.0, self.spec.sms / total)
+        return [
+            max(1, min(100, round(100 * d * scale / self.spec.sms)))
+            for d in self.demands
+        ]

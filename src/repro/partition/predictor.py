@@ -1,0 +1,136 @@
+"""Runtime approximation from GPU resources (§7's second direction).
+
+Two complementary predictors:
+
+- :class:`StaticAnalyzer` — "static analysis of applications": given the
+  kernels a function will launch (a :class:`~repro.gpu.kernel.KernelGroup`),
+  predict its runtime at any SM allocation from the roofline, with no
+  profiling runs at all.
+- :class:`RuntimePredictor` — fit the scaling law
+  ``T(s) = a / min(s, c) + b`` to a handful of measured (SMs, latency)
+  points, then predict latency at unseen allocations.  ``a`` captures
+  parallelisable work, ``b`` the serial floor (memory-bound + host time),
+  ``c`` the saturation point — the same knee Fig. 2 exhibits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.gpu.kernel import KernelGroup
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["RuntimePredictor", "StaticAnalyzer"]
+
+
+class StaticAnalyzer:
+    """Closed-form runtime hints from a function's kernel inventory."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+
+    def predict_seconds(self, kernels: KernelGroup, sms: int,
+                        bandwidth: float | None = None,
+                        host_seconds: float = 0.0) -> float:
+        """Predicted isolated runtime of the kernel sequence on ``sms``."""
+        if sms <= 0:
+            raise ValueError("sms must be positive")
+        bw = self.spec.bandwidth if bandwidth is None else bandwidth
+        gpu_time = sum(
+            k.duration(sms, self.spec.flops_per_sm, bw) for k in kernels
+        )
+        return gpu_time + host_seconds
+
+    def sm_requirement(self, kernels: KernelGroup,
+                       tolerance: float = 0.05) -> int:
+        """Smallest SM count within tolerance of the full-GPU runtime."""
+        best = self.predict_seconds(kernels, self.spec.sms)
+        for sms in range(1, self.spec.sms + 1):
+            if self.predict_seconds(kernels, sms) <= best * (1 + tolerance):
+                return sms
+        return self.spec.sms
+
+
+@dataclass(frozen=True)
+class _Fit:
+    a: float
+    b: float
+    c: float
+    rmse: float
+
+
+class RuntimePredictor:
+    """Fits ``T(s) = a / min(s, c) + b`` to profiled latencies."""
+
+    def __init__(self):
+        self._fit: _Fit | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fit is not None
+
+    @property
+    def saturation_sms(self) -> float:
+        """The fitted saturation point ``c`` (Fig. 2's plateau onset)."""
+        self._require_fit()
+        return self._fit.c
+
+    @property
+    def serial_seconds(self) -> float:
+        """The fitted serial floor ``b``."""
+        self._require_fit()
+        return self._fit.b
+
+    def fit(self, samples: Sequence[tuple[int, float]]) -> float:
+        """Fit to ``(sms, latency)`` samples; returns the fit RMSE.
+
+        Grid-searches the saturation point ``c`` over the sampled SM
+        range; for each candidate, ``a`` and ``b`` come from ordinary
+        least squares on the design ``[1/min(s, c), 1]`` with ``a, b``
+        clipped to be non-negative.
+        """
+        if len(samples) < 3:
+            raise ValueError("need at least 3 (sms, latency) samples")
+        s = np.asarray([p[0] for p in samples], dtype=float)
+        t = np.asarray([p[1] for p in samples], dtype=float)
+        if np.any(s <= 0) or np.any(t <= 0):
+            raise ValueError("samples must be positive")
+        best: _Fit | None = None
+        for c in np.unique(np.concatenate([s, np.linspace(s.min(), s.max(),
+                                                          64)])):
+            x = 1.0 / np.minimum(s, c)
+            design = np.stack([x, np.ones_like(x)], axis=1)
+            coef, *_ = np.linalg.lstsq(design, t, rcond=None)
+            a, b = max(coef[0], 0.0), max(coef[1], 0.0)
+            pred = a * x + b
+            rmse = float(np.sqrt(np.mean((pred - t) ** 2)))
+            if best is None or rmse < best.rmse:
+                best = _Fit(a=float(a), b=float(b), c=float(c), rmse=rmse)
+        self._fit = best
+        return best.rmse
+
+    def predict(self, sms: int | float) -> float:
+        """Predicted latency at ``sms`` SMs."""
+        self._require_fit()
+        if sms <= 0:
+            raise ValueError("sms must be positive")
+        f = self._fit
+        return f.a / min(float(sms), f.c) + f.b
+
+    def sm_requirement(self, tolerance: float = 0.05) -> int:
+        """Smallest integer SM count within tolerance of the asymptote."""
+        self._require_fit()
+        f = self._fit
+        floor = f.a / f.c + f.b
+        for sms in range(1, int(math.ceil(f.c)) + 1):
+            if self.predict(sms) <= floor * (1 + tolerance):
+                return sms
+        return int(math.ceil(f.c))
+
+    def _require_fit(self) -> None:
+        if self._fit is None:
+            raise RuntimeError("call fit() before predicting")

@@ -1,0 +1,100 @@
+"""Online partition profiling: measure, fit, recommend.
+
+The right-sizer (:mod:`repro.partition.rightsizing`) needs a
+latency-vs-SMs curve.  For analytic workloads the closed form suffices;
+for arbitrary ``@gpu_app`` functions this profiler obtains the curve the
+way an operator would — by *running the function* on a sweep of MPS
+partitions of a scratch device — then fits the
+:class:`~repro.partition.predictor.RuntimePredictor` scaling law and
+emits a :class:`~repro.partition.rightsizing.PartitionRecommendation`.
+
+This is the concrete realisation of §7's proposed tool pipeline:
+profile → approximate runtime from GPU resources → right-size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.sim.core import Environment
+from repro.faas.providers import ComputeNode
+from repro.faas.workers import TaskContext, Worker
+from repro.faas.coldstart import ColdStartModel
+from repro.faas.environment import FunctionEnvironment
+from repro.gpu.specs import GPUSpec
+from repro.partition.predictor import RuntimePredictor
+from repro.partition.rightsizing import PartitionRecommendation, RightSizer
+
+__all__ = ["PartitionProfiler", "ProfileReport"]
+
+#: Default MPS percentage sweep (kept short: each point is a full run).
+DEFAULT_SWEEP = (10, 20, 35, 50, 75, 100)
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Everything the profiling pipeline produced."""
+
+    samples: tuple[tuple[int, float], ...]  # (sms, measured seconds)
+    predictor: RuntimePredictor
+    fit_rmse: float
+    recommendation: PartitionRecommendation
+
+
+class PartitionProfiler:
+    """Profiles a GPU app generator across MPS partition sizes."""
+
+    def __init__(self, spec: GPUSpec, tolerance: float = 0.05,
+                 percentages: Sequence[int] = DEFAULT_SWEEP):
+        if len(percentages) < 3:
+            raise ValueError("need at least 3 sweep points to fit")
+        for pct in percentages:
+            if not 0 < pct <= 100:
+                raise ValueError(f"percentage {pct} outside (0, 100]")
+        self.spec = spec
+        self.tolerance = tolerance
+        self.percentages = tuple(sorted(set(percentages)))
+
+    def measure(self, app_fn: Callable, percentage: int,
+                *args, **kwargs) -> tuple[int, float]:
+        """Run ``app_fn(ctx, ...)`` once at ``percentage``; returns
+        ``(sms, seconds)``.  Each measurement uses a fresh scratch
+        environment so runs are independent and reproducible."""
+        env = Environment()
+        node = ComputeNode(env, cores=8, gpu_specs=[self.spec])
+        node.start_mps()
+        client = node.mps_daemons[0].client("probe",
+                                            active_thread_percentage=percentage)
+        worker = _ProbeWorker(env, node, client)
+        ctx = TaskContext(env, worker, client, node)
+        t0 = env.now
+        proc = env.process(app_fn(ctx, *args, **kwargs))
+        env.run(until=proc)
+        return client.sm_cap, env.now - t0
+
+    def profile(self, app_fn: Callable, *args, **kwargs) -> ProfileReport:
+        """Sweep, fit the scaling law, and right-size."""
+        samples = tuple(
+            self.measure(app_fn, pct, *args, **kwargs)
+            for pct in self.percentages
+        )
+        predictor = RuntimePredictor()
+        rmse = predictor.fit(list(samples))
+        sizer = RightSizer(self.spec, tolerance=self.tolerance)
+        recommendation = sizer.recommend(
+            lambda sms: predictor.predict(sms))
+        return ProfileReport(samples=samples, predictor=predictor,
+                             fit_rmse=rmse, recommendation=recommendation)
+
+
+class _ProbeWorker:
+    """A minimal stand-in worker so TaskContext works outside executors."""
+
+    def __init__(self, env: Environment, node: ComputeNode, client):
+        self.env = env
+        self.node = node
+        self.name = "profiler-probe"
+        self.gpu = client
+        self.loaded_models: set[str] = set()
+        self.alive = True

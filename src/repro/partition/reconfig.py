@@ -1,0 +1,159 @@
+"""Repartitioning cost semantics (§6's discussion, §7's motivation).
+
+The paper measures two awkward facts about changing a running partition:
+
+- **MPS**: the SM percentage is fixed at process start, so resizing means
+  killing and restarting the client — and "for LLMs like LLaMa, it
+  results in 10-20 seconds of setup time" (mostly the model reload).
+- **MIG**: repartitioning requires *shutting down every application on
+  the GPU* and a reset, adding 1-2 s on top and disturbing co-tenants.
+
+:class:`ReconfigurationPlanner` computes those costs analytically and can
+execute the corresponding sequence against a live simulated node, with or
+without the :mod:`~repro.partition.weightcache` that removes the reload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.faas.coldstart import ColdStartModel
+from repro.faas.providers import ComputeNode
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["ReconfigCost", "ReconfigurationPlanner"]
+
+
+@dataclass(frozen=True)
+class ReconfigCost:
+    """Breakdown of one repartitioning operation."""
+
+    technique: str
+    #: Stopping affected clients / instances.
+    teardown_seconds: float
+    #: GPU reset (MIG only).
+    reset_seconds: float
+    #: Process restart: function init + GPU context.
+    restart_seconds: float
+    #: Re-loading application state (model weights) into the partition.
+    model_reload_seconds: float
+    #: Whether applications *not* being resized are interrupted too.
+    disturbs_cotenants: bool
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.teardown_seconds + self.reset_seconds
+                + self.restart_seconds + self.model_reload_seconds)
+
+
+class ReconfigurationPlanner:
+    """Analytic costs plus executable reconfiguration sequences."""
+
+    #: Time to terminate one client process cleanly.
+    TEARDOWN_SECONDS = 0.25
+
+    def __init__(self, spec: GPUSpec,
+                 cold_start: ColdStartModel | None = None):
+        self.spec = spec
+        self.cold_start = cold_start if cold_start is not None else ColdStartModel()
+
+    # -- analytic costs -----------------------------------------------------
+    def mps_repartition_cost(self, model_load_seconds: float,
+                             weight_cache_hit: bool = False) -> ReconfigCost:
+        """Cost of changing one MPS client's GPU percentage.
+
+        Only the resized client restarts; co-tenants keep running.  With a
+        GPU-resident weight cache the reload drops out — the §7 payoff.
+        """
+        if model_load_seconds < 0:
+            raise ValueError("model_load_seconds must be non-negative")
+        return ReconfigCost(
+            technique="mps",
+            teardown_seconds=self.TEARDOWN_SECONDS,
+            reset_seconds=0.0,
+            restart_seconds=self.cold_start.worker_start_seconds(True),
+            model_reload_seconds=0.0 if weight_cache_hit else model_load_seconds,
+            disturbs_cotenants=False,
+        )
+
+    def mig_repartition_cost(self, model_load_seconds: float,
+                             n_cotenants: int,
+                             weight_cache_hit: bool = False) -> ReconfigCost:
+        """Cost of changing the MIG partition layout.
+
+        Every application on the GPU must stop (``n_cotenants`` of them
+        plus the resized one), the GPU resets, and every one restarts.
+
+        Note: a MIG repartition destroys the instances' memory pools, so
+        weights cached inside them are lost — ``weight_cache_hit`` only
+        applies if the cache lives outside the repartitioned instances.
+        """
+        if model_load_seconds < 0:
+            raise ValueError("model_load_seconds must be non-negative")
+        if n_cotenants < 0:
+            raise ValueError("n_cotenants must be non-negative")
+        n_restarts = n_cotenants + 1
+        return ReconfigCost(
+            technique="mig",
+            teardown_seconds=self.TEARDOWN_SECONDS * n_restarts,
+            reset_seconds=self.spec.reset_seconds,
+            restart_seconds=(
+                self.cold_start.worker_start_seconds(True) * n_restarts
+            ),
+            model_reload_seconds=(
+                0.0 if weight_cache_hit else model_load_seconds * n_restarts
+            ),
+            disturbs_cotenants=n_cotenants > 0,
+        )
+
+    # -- executable sequences (generators; yield from inside a process) -----
+    def execute_mps_repartition(self, node: ComputeNode, gpu_index: int,
+                                client, new_percentage: int,
+                                model_key: str | None = None,
+                                model_bytes: float = 0.0,
+                                model_load_seconds: float = 0.0):
+        """Restart ``client`` under ``new_percentage``; returns new client.
+
+        Uses the node's weight cache when attached and ``model_key`` is
+        given, reproducing the §7 fast path.
+        """
+        env = node.env
+        daemon = node.mps_daemons[gpu_index]
+        if not daemon.running:
+            raise RuntimeError("MPS daemon is not running on this GPU")
+        cache = node.weight_cache
+        if cache is not None and model_key is not None:
+            # The cache owns the weights; releasing the client's reference
+            # keeps them resident across the restart.
+            if model_key in cache.resident_keys(client):
+                cache.release(client, model_key)
+        name = client.name
+        client.close()
+        yield env.timeout(self.TEARDOWN_SECONDS)
+        yield env.timeout(self.cold_start.worker_start_seconds(True))
+        new_client = daemon.client(name, active_thread_percentage=new_percentage)
+        if model_key is not None:
+            if cache is not None:
+                hit = cache.acquire(new_client, model_key, model_bytes)
+                if not hit:
+                    yield env.timeout(model_load_seconds)
+            else:
+                new_client.alloc(model_bytes)
+                yield env.timeout(model_load_seconds)
+        return new_client
+
+    def execute_mig_repartition(self, node: ComputeNode, gpu_index: int,
+                                profiles: Sequence[str]):
+        """Tear down all instances, reset, create ``profiles``.
+
+        All clients on the GPU must already be closed (the MIG manager
+        enforces it — the §6 "shut down all the applications" rule).
+        Returns the new instances.
+        """
+        env = node.env
+        manager = node.mig_manager(gpu_index)
+        n_instances = len(manager.instances)
+        yield env.timeout(self.TEARDOWN_SECONDS * max(1, n_instances))
+        instances = yield env.process(manager.reconfigure(profiles))
+        return instances

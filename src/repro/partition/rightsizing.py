@@ -1,0 +1,109 @@
+"""Right-sizing GPU partitions (§7 "Understanding GPU resource
+requirement").
+
+Fig. 2's observation — LLaMa-2 latency stops improving past ~20 SMs — is
+operationalised here: profile a workload's latency-vs-SMs curve, find the
+*knee* (smallest SM count within a tolerance of the full-GPU latency),
+and translate it into the deployable partition artefacts: an MPS GPU
+percentage and the smallest adequate MIG profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["PartitionRecommendation", "RightSizer"]
+
+
+@dataclass(frozen=True)
+class PartitionRecommendation:
+    """The output of right-sizing one workload on one GPU model."""
+
+    #: Smallest SM count within tolerance of the full-GPU latency.
+    knee_sms: int
+    #: ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`` realising the knee.
+    mps_percentage: int
+    #: Smallest MIG profile with at least ``knee_sms`` SMs (None if the
+    #: workload needs more than the largest profile provides).
+    mig_profile: Optional[str]
+    #: Predicted latency at the knee and on the full GPU, seconds.
+    predicted_latency: float
+    full_gpu_latency: float
+    #: Latency tolerance the knee was computed for.
+    tolerance: float
+    #: Fraction of the device the workload can release to co-tenants.
+    freed_fraction: float
+
+
+class RightSizer:
+    """Finds the knee of a latency-vs-SMs curve for a GPU model."""
+
+    def __init__(self, spec: GPUSpec, tolerance: float = 0.05):
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.spec = spec
+        self.tolerance = tolerance
+
+    def profile_curve(self, latency_fn: Callable[[int], float],
+                      sms_list: Sequence[int] | None = None
+                      ) -> list[tuple[int, float]]:
+        """Evaluate ``latency_fn`` over an SM sweep (Fig. 2's x-axis)."""
+        if sms_list is None:
+            sms_list = list(range(1, self.spec.sms + 1))
+        curve = []
+        for sms in sms_list:
+            if not 1 <= sms <= self.spec.sms:
+                raise ValueError(f"sms {sms} outside [1, {self.spec.sms}]")
+            latency = latency_fn(sms)
+            if latency <= 0 or not math.isfinite(latency):
+                raise ValueError(
+                    f"latency_fn({sms}) returned invalid value {latency!r}"
+                )
+            curve.append((sms, latency))
+        return curve
+
+    def knee(self, curve: Sequence[tuple[int, float]]) -> int:
+        """Smallest SM count within ``(1 + tolerance)`` of the best."""
+        if not curve:
+            raise ValueError("empty profile curve")
+        best = min(latency for _, latency in curve)
+        for sms, latency in sorted(curve):
+            if latency <= best * (1.0 + self.tolerance):
+                return sms
+        raise AssertionError("unreachable: the best point satisfies itself")
+
+    def recommend(self, latency_fn: Callable[[int], float],
+                  sms_list: Sequence[int] | None = None
+                  ) -> PartitionRecommendation:
+        """Profile, find the knee, and map it to MPS% / MIG profile."""
+        curve = self.profile_curve(latency_fn, sms_list)
+        knee_sms = self.knee(curve)
+        by_sms = dict(curve)
+        full_sms = max(by_sms)
+        mps_pct = max(1, min(100, math.ceil(100.0 * knee_sms / self.spec.sms)))
+        mig_profile = self._smallest_profile(knee_sms)
+        return PartitionRecommendation(
+            knee_sms=knee_sms,
+            mps_percentage=mps_pct,
+            mig_profile=mig_profile,
+            predicted_latency=by_sms[knee_sms],
+            full_gpu_latency=by_sms[full_sms],
+            tolerance=self.tolerance,
+            freed_fraction=1.0 - knee_sms / self.spec.sms,
+        )
+
+    def _smallest_profile(self, knee_sms: int) -> Optional[str]:
+        if not self.spec.mig_capable:
+            return None
+        fitting = [
+            p for p in self.spec.mig_profiles
+            if p.sm_count(self.spec) >= knee_sms
+        ]
+        if not fitting:
+            return None
+        best = min(fitting, key=lambda p: p.compute_slices)
+        return best.name

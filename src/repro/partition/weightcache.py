@@ -1,0 +1,139 @@
+"""GPU-resident model weight sharing (§7 "Re-configuring GPU resources
+Faster").
+
+The paper's future-work proposal: keep DNN weights cached in GPU memory
+across function instances, so a restarted instance (e.g. after an MPS
+repartition, which *requires* a process restart) can "refer to cached
+weights in the GPU and proceed with inference" instead of paying the
+10-20 s reload.
+
+The cache owns the weight allocations in each memory pool; function
+instances acquire references.  Entries persist after the last reference
+drops (that is the point) until evicted explicitly or by memory pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import GpuClient
+from repro.gpu.memory import GpuOutOfMemory, MemoryPool
+
+__all__ = ["WeightCache", "CacheEntry"]
+
+
+@dataclass
+class CacheEntry:
+    key: str
+    nbytes: float
+    refcount: int = 0
+    hits: int = 0
+    last_used: float = 0.0
+
+
+class WeightCache:
+    """Per-node cache of GPU-resident model weights.
+
+    Attach with ``node.weight_cache = WeightCache()``; workers then route
+    :meth:`TaskContext.load_model` through it automatically.
+    """
+
+    def __init__(self):
+        # Keyed by (memory pool, model key): weights live in a specific
+        # pool — a whole-device HBM pool or one MIG instance's slice —
+        # and are only shareable by clients of that same pool.
+        self._entries: dict[tuple[int, str], CacheEntry] = {}
+        self._pools: dict[int, MemoryPool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.bytes_saved = 0.0
+
+    def _pool_key(self, client: GpuClient) -> int:
+        pool = client.group.memory
+        self._pools[id(pool)] = pool
+        return id(pool)
+
+    def acquire(self, client: GpuClient, key: str, nbytes: float) -> bool:
+        """Take a reference on ``key`` for ``client``'s memory pool.
+
+        Returns True on a hit (weights already resident — no load needed).
+        On a miss the cache allocates the weights and the caller must
+        stream them in; the allocation is owned by the cache, not the
+        client, so it survives the client's restart.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        entry_key = (self._pool_key(client), key)
+        entry = self._entries.get(entry_key)
+        if entry is not None:
+            entry.refcount += 1
+            entry.hits += 1
+            entry.last_used = client.device.env.now
+            self.hits += 1
+            self.bytes_saved += nbytes
+            return True
+        pool = client.group.memory
+        try:
+            pool.allocate(f"weight-cache:{key}", nbytes)
+        except GpuOutOfMemory:
+            # Try evicting unreferenced entries from this pool (LRU).
+            if not self._evict_until(pool, nbytes):
+                raise
+            pool.allocate(f"weight-cache:{key}", nbytes)
+        self._entries[entry_key] = CacheEntry(
+            key=key, nbytes=nbytes, refcount=1,
+            last_used=client.device.env.now,
+        )
+        self.misses += 1
+        return False
+
+    def release(self, client: GpuClient, key: str) -> None:
+        """Drop a reference; the entry stays resident for future hits."""
+        entry_key = (self._pool_key(client), key)
+        entry = self._entries.get(entry_key)
+        if entry is None or entry.refcount <= 0:
+            raise KeyError(f"no live reference on {key!r} in this pool")
+        entry.refcount -= 1
+
+    def evict(self, client: GpuClient, key: str) -> None:
+        """Forcibly remove an unreferenced entry, freeing its memory."""
+        entry_key = (self._pool_key(client), key)
+        entry = self._entries.get(entry_key)
+        if entry is None:
+            raise KeyError(f"{key!r} not cached in this pool")
+        if entry.refcount > 0:
+            raise RuntimeError(
+                f"cannot evict {key!r}: {entry.refcount} live references"
+            )
+        client.group.memory.release(f"weight-cache:{key}")
+        del self._entries[entry_key]
+
+    def _evict_until(self, pool: MemoryPool, needed: float) -> bool:
+        """Evict unreferenced entries of ``pool`` (LRU) until fits."""
+        candidates = sorted(
+            (
+                (ek, e) for ek, e in self._entries.items()
+                if ek[0] == id(pool) and e.refcount == 0
+            ),
+            key=lambda item: item[1].last_used,
+        )
+        for entry_key, entry in candidates:
+            if pool.fits(needed):
+                break
+            pool.release(f"weight-cache:{entry.key}")
+            del self._entries[entry_key]
+        return pool.fits(needed)
+
+    # -- introspection -----------------------------------------------------
+    def resident_keys(self, client: GpuClient) -> list[str]:
+        pk = self._pool_key(client)
+        return [k for (p, k) in self._entries if p == pk]
+
+    def resident_bytes(self, client: GpuClient) -> float:
+        pk = self._pool_key(client)
+        return sum(e.nbytes for (p, _), e in self._entries.items() if p == pk)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

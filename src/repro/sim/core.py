@@ -1,0 +1,322 @@
+"""Event queue, virtual clock, and the core event types.
+
+Design notes
+------------
+The scheduler is a binary heap keyed on ``(time, priority, seq)``.  The
+monotonically increasing ``seq`` makes the ordering a *total* order, so
+simulations are bit-for-bit deterministic given the same inputs — a hard
+requirement for the reproduction benchmarks (and for the hypothesis tests
+that shrink failing schedules).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "SimulationError",
+    "Timeout",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Sentinel for an event that has not yet fired.
+PENDING = object()
+
+#: Scheduling priority for events that must pre-empt same-time events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (not model errors)."""
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, is *triggered* when given a value (or an
+    exception), and is *processed* once the environment has run its
+    callbacks.  Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused",
+                 "name")
+
+    def __init__(self, env: "Environment", name: str | None = None):
+        self.env = env
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        # True once some waiter has taken responsibility for the failure.
+        self._defused = False
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        ident = self.name if self.name else f"{id(self):#x}"
+        return f"<{type(self).__name__} {ident} {state}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.env._enqueue(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process that waits on the
+        event, unless it was *defused* (e.g. captured by a future).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = exception
+        self._ok = False
+        self.env._enqueue(self, priority)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 priority: int = NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        env._enqueue(self, priority, delay=delay)
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` combinators.
+
+    Already-processed constituents are resolved eagerly at construction
+    (counting them separately from pending ones — a processed event must
+    never drive the pending counter negative and fire an ``AllOf``
+    early); pending constituents resolve through callbacks.
+    """
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        # Any constituent that already failed decides the condition.
+        for ev in self.events:
+            if ev.processed and not ev.ok:
+                self.fail(ev.value)
+                return
+        pending = [ev for ev in self.events if not ev.processed]
+        self._pending_count = len(pending)
+        if self._resolve_initial(n_processed_ok=len(self.events) - len(pending)):
+            return
+        for ev in pending:
+            ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _resolve_initial(self, n_processed_ok: int) -> bool:
+        """Decide the condition from construction-time state; True if done."""
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once *all* constituent events have fired (dict of values)."""
+
+    __slots__ = ()
+
+    def _resolve_initial(self, n_processed_ok: int) -> bool:
+        if self._pending_count == 0:
+            self.succeed(self._collect())
+            return True
+        return False
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending_count -= 1
+        if self._pending_count <= 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* constituent event fires."""
+
+    __slots__ = ()
+
+    def _resolve_initial(self, n_processed_ok: int) -> bool:
+        if n_processed_ok > 0 or not self.events:
+            self.succeed(self._collect())
+            return True
+        return False
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: Number of events processed so far (diagnostic).
+        self.events_processed = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    # -- event construction helpers ---------------------------------------
+    def event(self, name: str | None = None) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Start a new process from a generator (see :mod:`repro.sim.process`)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling --------------------------------------------------------
+    def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` simulated seconds; returns the event."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, when)
+        callbacks, event.callbacks = event.callbacks, None
+        self.events_processed += 1
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # An un-waited-on failure must not pass silently.
+            exc = event._value
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or event fires.
+
+        Returns the value of ``until`` when it is an event.
+        """
+        if isinstance(until, Event):
+            stop = until
+            stop_holder: list[Any] = []
+
+            def _capture(ev: Event) -> None:
+                stop_holder.append(ev)
+
+            if stop.processed:
+                return stop.value if stop.ok else _raise(stop.value)
+            stop.callbacks.append(_capture)
+            while self._queue and not stop_holder:
+                self.step()
+            if not stop_holder:
+                raise SimulationError(
+                    "event queue drained before the 'until' event fired"
+                )
+            return stop.value if stop.ok else _raise(stop.value)
+
+        horizon = float("inf") if until is None else float(until)
+        if horizon != float("inf") and horizon < self._now:
+            raise ValueError(f"until={horizon!r} is in the past (now={self._now!r})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self._now = max(self._now, horizon)
+        return None
+
+
+def _raise(exc: BaseException) -> Any:
+    raise exc

@@ -1,0 +1,187 @@
+"""Rate-based ("fluid") task pool.
+
+Models a set of concurrently-resident tasks whose progress rates depend on
+how a shared resource is divided among them *right now*.  Whenever the set
+of resident tasks changes, an allocator callback recomputes every task's
+rate and the pool reschedules the next completion.
+
+This is the standard fluid-flow approximation used in network and GPU
+sharing simulators: between membership changes, rates are constant, so the
+next completion time is exact and the event count stays proportional to
+the number of tasks, not to the simulated duration.
+
+The GPU device model layers a roofline allocator on top: a kernel's rate
+is ``min(compute_rate(SMs), memory_rate(bandwidth share))``, and the
+bandwidth share is recomputed by water-filling on every membership change
+(see :mod:`repro.gpu.device`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["FluidTask", "FluidPool"]
+
+#: Relative tolerance for treating remaining work as drained.
+_EPS = 1e-9
+
+_task_ids = itertools.count()
+
+
+class FluidTask:
+    """A unit of divisible work progressing at a pool-assigned rate."""
+
+    __slots__ = ("work", "total_work", "rate", "done", "meta", "tid", "_pool")
+
+    def __init__(self, env: Environment, work: float, meta: Any = None):
+        if work < 0:
+            raise ValueError(f"negative work {work!r}")
+        self.total_work = float(work)
+        #: Remaining work, in abstract units.
+        self.work = float(work)
+        #: Current progress rate (units/second); set by the pool allocator.
+        self.rate = 0.0
+        #: Fires (with this task) when the work drains.
+        self.done: Event = env.event(name="fluid-done")
+        self.meta = meta
+        self.tid = next(_task_ids)
+        self._pool: Optional["FluidPool"] = None
+
+    @property
+    def progress(self) -> float:
+        """Fraction of work completed, in [0, 1]."""
+        if self.total_work == 0:
+            return 1.0
+        return 1.0 - self.work / self.total_work
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FluidTask #{self.tid} work={self.work:.4g}/{self.total_work:.4g}"
+            f" rate={self.rate:.4g}>"
+        )
+
+
+class FluidPool:
+    """A pool of fluid tasks sharing a resource via an allocator callback.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    allocator:
+        Called with the list of resident tasks (sorted by admission order)
+        whenever membership changes; must set ``task.rate`` on each.  Rates
+        must be non-negative and may be zero (a starved task simply does
+        not progress).
+    """
+
+    def __init__(self, env: Environment,
+                 allocator: Callable[[list[FluidTask]], None],
+                 name: str = "fluid-pool"):
+        self.env = env
+        self.allocator = allocator
+        self.name = name
+        self._tasks: list[FluidTask] = []
+        self._last_update = env.now
+        # Generation counter: each reallocation invalidates the wakeups
+        # scheduled by earlier generations (cheaper than heap removal).
+        self._gen = 0
+        #: Total work drained through this pool (conservation checks).
+        self.work_drained = 0.0
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def tasks(self) -> tuple[FluidTask, ...]:
+        return tuple(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def add(self, task: FluidTask) -> FluidTask:
+        """Admit a task; returns it (its ``done`` event fires on drain)."""
+        if task._pool is not None:
+            raise SimulationError("task already resident in a pool")
+        self._advance()
+        task._pool = self
+        self._tasks.append(task)
+        if task.work <= _EPS * max(task.total_work, 1.0):
+            self._finish(task)
+        self._reallocate()
+        return task
+
+    def cancel(self, task: FluidTask) -> float:
+        """Evict a task before completion; returns remaining work."""
+        if task._pool is not self:
+            raise SimulationError("task not resident in this pool")
+        self._advance()
+        self._tasks.remove(task)
+        task._pool = None
+        task.rate = 0.0
+        self._reallocate()
+        return task.work
+
+    def poke(self) -> None:
+        """Force a reallocation (e.g. after an external capacity change)."""
+        self._advance()
+        self._reallocate()
+
+    def utilization_snapshot(self) -> float:
+        """Sum of current rates — callers normalise by device capacity."""
+        return sum(t.rate for t in self._tasks)
+
+    # -- internals ------------------------------------------------------------
+    def _advance(self) -> None:
+        """Apply progress at current rates from the last update until now."""
+        now = self.env.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0:
+            return
+        finished: list[FluidTask] = []
+        for task in self._tasks:
+            if task.rate <= 0:
+                continue
+            drained = min(task.work, task.rate * dt)
+            task.work -= drained
+            self.work_drained += drained
+            if task.work <= _EPS * max(task.total_work, 1.0):
+                task.work = 0.0
+                finished.append(task)
+        for task in finished:
+            self._tasks.remove(task)
+            self._finish(task)
+
+    def _finish(self, task: FluidTask) -> None:
+        task._pool = None
+        task.rate = 0.0
+        task.done.succeed(task)
+
+    def _reallocate(self) -> None:
+        self._gen += 1
+        if not self._tasks:
+            return
+        self.allocator(self._tasks)
+        horizon = math.inf
+        for task in self._tasks:
+            if task.rate < 0:
+                raise SimulationError(
+                    f"allocator produced negative rate for {task!r}"
+                )
+            if task.rate > 0:
+                horizon = min(horizon, task.work / task.rate)
+        if horizon is math.inf:
+            return  # every task starved; an external poke must revive them
+        gen = self._gen
+        wakeup = self.env.timeout(max(horizon, 0.0))
+
+        def _on_wakeup(_ev: Event) -> None:
+            if gen != self._gen:
+                return  # superseded by a later reallocation
+            self._advance()
+            self._reallocate()
+
+        wakeup.callbacks.append(_on_wakeup)

@@ -1,0 +1,164 @@
+"""Queued resources and stores for simulation processes.
+
+:class:`Resource` models a counted resource (CPU cores, worker slots):
+processes ``yield resource.request()`` and must release what they acquire.
+:class:`Store` is an unbounded-or-bounded FIFO buffer of Python objects,
+used for task queues between FaaS components.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    __slots__ = ("resource", "amount")
+
+    def __init__(self, resource: "Resource", amount: int):
+        super().__init__(resource.env, name=f"request({resource.name})")
+        if amount <= 0:
+            raise ValueError("request amount must be positive")
+        if amount > resource.capacity:
+            raise ValueError(
+                f"request of {amount} exceeds capacity {resource.capacity} "
+                f"of resource {resource.name!r}"
+            )
+        self.resource = resource
+        self.amount = amount
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        if self.triggered:
+            raise SimulationError("cannot cancel a granted request")
+        try:
+            self.resource._waiting.remove(self)
+        except ValueError:
+            pass
+
+
+class Resource:
+    """A counted, FIFO-granting resource."""
+
+    def __init__(self, env: Environment, capacity: int, name: str = "resource"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = int(capacity)
+        self.name = name
+        self._in_use = 0
+        self._waiting: list[Request] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, amount: int = 1) -> Request:
+        """Claim ``amount`` units; the returned event fires when granted."""
+        req = Request(self, amount)
+        self._waiting.append(req)
+        self._grant()
+        return req
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units previously granted."""
+        if amount <= 0:
+            raise ValueError("release amount must be positive")
+        if amount > self._in_use:
+            raise SimulationError(
+                f"release of {amount} exceeds {self._in_use} units in use "
+                f"on resource {self.name!r}"
+            )
+        self._in_use -= amount
+        self._grant()
+
+    def _grant(self) -> None:
+        # FIFO with no bypassing: strict ordering keeps the simulation fair
+        # and deterministic, at the cost of head-of-line blocking (which is
+        # what a real worker queue exhibits anyway).
+        while self._waiting and self._waiting[0].amount <= self.available:
+            req = self._waiting.pop(0)
+            self._in_use += req.amount
+            req.succeed(req)
+
+
+class _StoreGet(Event):
+    __slots__ = ()
+
+
+class _StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env, name="store-put")
+        self.item = item
+
+
+class Store:
+    """FIFO object buffer with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 name: str = "store"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[_StoreGet] = deque()
+        self._putters: Deque[_StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; event fires once there is room."""
+        ev = _StorePut(self.env, item)
+        self._putters.append(ev)
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; event fires with the item."""
+        ev = _StoreGet(self.env, name="store-get")
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending get/put (e.g. its waiter died); True if found."""
+        for queue in (self._getters, self._putters):
+            try:
+                queue.remove(event)
+                return True
+            except ValueError:
+                continue
+        return False
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progress = True

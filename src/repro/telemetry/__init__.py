@@ -1,0 +1,37 @@
+"""Telemetry: task timelines (Fig. 3) and metric aggregation."""
+
+from repro.telemetry.timeline import (
+    Span,
+    Timeline,
+    render_ascii_gantt,
+    timeline_from_tasks,
+)
+from repro.telemetry.metrics import LatencyStats, ThroughputMeter, summarize
+from repro.telemetry.export import (
+    series_to_csv,
+    stats_to_dict,
+    timeline_to_csv,
+    timeline_to_jsonl,
+)
+from repro.telemetry.cost import CostReport, GpuCostModel, cost_report
+from repro.telemetry.graph import critical_path, parallelism_profile, task_graph
+
+__all__ = [
+    "CostReport",
+    "GpuCostModel",
+    "LatencyStats",
+    "cost_report",
+    "critical_path",
+    "parallelism_profile",
+    "task_graph",
+    "series_to_csv",
+    "stats_to_dict",
+    "timeline_to_csv",
+    "timeline_to_jsonl",
+    "Span",
+    "ThroughputMeter",
+    "Timeline",
+    "render_ascii_gantt",
+    "summarize",
+    "timeline_from_tasks",
+]

@@ -1,0 +1,90 @@
+"""GPU cost accounting: the paper's profitability argument, quantified.
+
+The abstract's economic motivation: accelerators "are expensive to
+acquire and operate; consequently, multiplexing them can increase their
+financial profitability."  This module turns simulated runs into money:
+a :class:`GpuCostModel` prices GPU-hours; :func:`cost_report` converts a
+workload's makespan and device occupancy into cost per unit of work, so
+the Fig. 4 modes can be compared in $/1000 completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuCostModel", "CostReport", "cost_report"]
+
+#: Representative on-demand cloud price for one A100-80GB, $/hour.
+DEFAULT_A100_HOURLY_USD = 3.67
+
+
+@dataclass(frozen=True)
+class GpuCostModel:
+    """Prices device time.
+
+    ``hourly_usd`` is the whole-device rental price.  With
+    ``bill_by_occupancy`` the operator charges tenants only for the SM
+    share they held (an internal-chargeback view); otherwise the whole
+    device bills for the entire makespan (the cloud-rental view the
+    paper's profitability claim is about).
+    """
+
+    hourly_usd: float = DEFAULT_A100_HOURLY_USD
+    bill_by_occupancy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hourly_usd <= 0:
+            raise ValueError("hourly_usd must be positive")
+
+    def device_seconds_usd(self, seconds: float,
+                           mean_utilization: float = 1.0) -> float:
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if not 0 <= mean_utilization <= 1 + 1e-9:
+            raise ValueError("utilization must be in [0, 1]")
+        billed = seconds * (mean_utilization if self.bill_by_occupancy
+                            else 1.0)
+        return billed * self.hourly_usd / 3600.0
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Economics of one run."""
+
+    label: str
+    makespan_seconds: float
+    completions: int
+    mean_sm_utilization: float
+    total_usd: float
+
+    @property
+    def usd_per_1000(self) -> float:
+        if self.completions == 0:
+            raise ValueError("no completions to amortise over")
+        return 1000.0 * self.total_usd / self.completions
+
+    @property
+    def effective_throughput_per_usd(self) -> float:
+        if self.total_usd == 0:
+            return float("inf")
+        return self.completions / self.total_usd
+
+
+def cost_report(label: str, makespan_seconds: float, completions: int,
+                mean_sm_utilization: float,
+                model: GpuCostModel | None = None) -> CostReport:
+    """Build a :class:`CostReport` for one measured configuration."""
+    if makespan_seconds <= 0:
+        raise ValueError("makespan must be positive")
+    if completions < 0:
+        raise ValueError("completions must be non-negative")
+    if model is None:
+        model = GpuCostModel()
+    total = model.device_seconds_usd(makespan_seconds, mean_sm_utilization)
+    return CostReport(
+        label=label,
+        makespan_seconds=makespan_seconds,
+        completions=completions,
+        mean_sm_utilization=mean_sm_utilization,
+        total_usd=total,
+    )

@@ -1,0 +1,74 @@
+"""Export telemetry artefacts as CSV / JSON lines.
+
+Keeps the bench outputs consumable by external plotting tools without
+adding plotting dependencies to the library itself.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from repro.telemetry.metrics import LatencyStats
+from repro.telemetry.timeline import Timeline
+
+__all__ = ["timeline_to_csv", "timeline_to_jsonl", "series_to_csv",
+           "stats_to_dict"]
+
+
+def timeline_to_csv(timeline: Timeline) -> str:
+    """Spans as ``category,start,end,duration,label`` CSV."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["category", "start", "end", "duration", "label"])
+    for span in sorted(timeline.spans, key=lambda s: (s.start, s.end)):
+        writer.writerow([span.category, f"{span.start:.6f}",
+                         f"{span.end:.6f}", f"{span.duration:.6f}",
+                         span.label])
+    return buf.getvalue()
+
+
+def timeline_to_jsonl(timeline: Timeline) -> str:
+    """Spans as JSON lines."""
+    lines = []
+    for span in sorted(timeline.spans, key=lambda s: (s.start, s.end)):
+        lines.append(json.dumps({
+            "category": span.category,
+            "start": span.start,
+            "end": span.end,
+            "duration": span.duration,
+            "label": span.label,
+        }))
+    return "\n".join(lines)
+
+
+def series_to_csv(headers: Sequence[str],
+                  rows: Sequence[Sequence]) -> str:
+    """A generic (headers, rows) table as CSV — used for figure series."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        writer.writerow(list(row))
+    return buf.getvalue()
+
+
+def stats_to_dict(stats: LatencyStats) -> dict[str, float]:
+    """A LatencyStats as a plain JSON-ready dict."""
+    return {
+        "count": stats.count,
+        "mean": stats.mean,
+        "p50": stats.p50,
+        "p95": stats.p95,
+        "p99": stats.p99,
+        "min": stats.minimum,
+        "max": stats.maximum,
+    }

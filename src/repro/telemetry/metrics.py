@@ -1,0 +1,72 @@
+"""Latency/throughput aggregation used by every benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["LatencyStats", "ThroughputMeter", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"n={self.count} mean={self.mean:.3f}s p50={self.p50:.3f}s "
+            f"p95={self.p95:.3f}s p99={self.p99:.3f}s "
+            f"min={self.minimum:.3f}s max={self.maximum:.3f}s"
+        )
+
+
+def summarize(samples: Sequence[float] | Iterable[float]) -> LatencyStats:
+    """Compute :class:`LatencyStats` over a non-empty latency sample."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if np.any(arr < 0):
+        raise ValueError("latencies must be non-negative")
+    return LatencyStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+class ThroughputMeter:
+    """Counts completions on the simulated clock."""
+
+    def __init__(self, env):
+        self.env = env
+        self.t0 = env.now
+        self.completions = 0
+
+    def record(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.completions += n
+
+    @property
+    def elapsed(self) -> float:
+        return self.env.now - self.t0
+
+    @property
+    def per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.completions / self.elapsed

@@ -1,0 +1,157 @@
+"""Task-span timelines — the data behind Fig. 3.
+
+Fig. 3 plots when each *simulation*, *training* and *inference* task of
+the molecular-design campaign was running, revealing the white gaps where
+the GPU sits idle waiting for CPU simulations.  :class:`Timeline` stores
+the spans; :func:`render_ascii_gantt` draws the figure as text, and the
+idle-gap analysis quantifies the paper's "many white lines" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Span", "Timeline", "timeline_from_tasks", "render_ascii_gantt"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One task execution interval."""
+
+    category: str
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span ends ({self.end}) before it starts "
+                             f"({self.start})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """A collection of spans with per-category analysis."""
+
+    def __init__(self, spans: Iterable[Span] = ()):
+        self.spans: list[Span] = list(spans)
+
+    def add(self, category: str, start: float, end: float,
+            label: str = "") -> Span:
+        span = Span(category, start, end, label)
+        self.spans.append(span)
+        return span
+
+    def categories(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.category, None)
+        return list(seen)
+
+    def by_category(self, category: str) -> list[Span]:
+        return sorted(
+            (s for s in self.spans if s.category == category),
+            key=lambda s: (s.start, s.end),
+        )
+
+    @property
+    def makespan(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    def busy_time(self, category: str) -> float:
+        """Total *union* time at least one span of ``category`` is active."""
+        intervals = [(s.start, s.end) for s in self.by_category(category)]
+        return _union_length(intervals)
+
+    def total_task_time(self, category: str) -> float:
+        """Sum of span durations (counts overlap multiply)."""
+        return sum(s.duration for s in self.by_category(category))
+
+    def idle_gaps(self, categories: Sequence[str],
+                  min_gap: float = 0.0) -> list[tuple[float, float]]:
+        """Gaps where *none* of the given categories is active.
+
+        For Fig. 3, ``categories=("training", "inference")`` yields the
+        white lines: intervals in which the GPU does nothing.
+        """
+        intervals = sorted(
+            (s.start, s.end)
+            for s in self.spans if s.category in categories
+        )
+        if not intervals:
+            return []
+        gaps: list[tuple[float, float]] = []
+        _, cur_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start > cur_end + min_gap:
+                gaps.append((cur_end, start))
+            cur_end = max(cur_end, end)
+        return gaps
+
+    def idle_fraction(self, categories: Sequence[str]) -> float:
+        """Fraction of the makespan with none of ``categories`` active."""
+        if self.makespan == 0:
+            return 1.0
+        busy = _union_length(
+            [(s.start, s.end) for s in self.spans if s.category in categories]
+        )
+        return 1.0 - busy / self.makespan
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    return total + (cur_end - cur_start)
+
+
+def timeline_from_tasks(tasks, category_of=None) -> Timeline:
+    """Build a timeline from finished DFK task records.
+
+    ``category_of`` maps a task record to a category name (default: the
+    app name).  Unfinished tasks are skipped.
+    """
+    timeline = Timeline()
+    for task in tasks:
+        if task.start_time is None or task.end_time is None:
+            continue
+        category = category_of(task) if category_of else task.app_name
+        timeline.add(category, task.start_time, task.end_time,
+                     label=task.label)
+    return timeline
+
+
+def render_ascii_gantt(timeline: Timeline, width: int = 100) -> str:
+    """Draw the timeline as rows of '#' marks — a text Fig. 3."""
+    if not timeline.spans:
+        return "(empty timeline)"
+    t0 = min(s.start for s in timeline.spans)
+    t1 = max(s.end for s in timeline.spans)
+    horizon = max(t1 - t0, 1e-12)
+    lines = []
+    name_width = max(len(c) for c in timeline.categories())
+    for category in timeline.categories():
+        cells = [" "] * width
+        for span in timeline.by_category(category):
+            lo = int((span.start - t0) / horizon * (width - 1))
+            hi = int((span.end - t0) / horizon * (width - 1))
+            for i in range(lo, hi + 1):
+                cells[i] = "#"
+        lines.append(f"{category.rjust(name_width)} |{''.join(cells)}|")
+    lines.append(f"{' ' * name_width} 0{'s'.rjust(width - 1)}"
+                 f" (span {horizon:.1f}s)")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Application models used in the paper's evaluation.
+
+- :mod:`repro.workloads.cnn` — conv-arithmetic CNN zoo (Fig. 1's per-layer
+  FLOP variance; ResNet-50/101 and friends).
+- :mod:`repro.workloads.llm` — analytic LLaMa-2 inference cost model,
+  calibrated to the paper's measured anchors (Figs. 2, 4, 5).
+- :mod:`repro.workloads.moldesign` — the molecular-design active-learning
+  campaign (Fig. 3), with a real numpy emulator and a synthetic
+  quantum-chemistry surrogate.
+- :mod:`repro.workloads.datasets` — synthetic MOSES-like molecule space.
+"""
+
+from repro.workloads.cnn import (
+    ALEXNET,
+    CNN_ZOO,
+    RESNET18,
+    RESNET34,
+    RESNET50,
+    RESNET101,
+    RESNET152,
+    VGG16,
+    CnnModel,
+    ConvLayer,
+    conv_output_size,
+)
+from repro.workloads.llm import (
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    InferenceRuntime,
+    LlamaInference,
+    LlamaSpec,
+)
+from repro.workloads.datasets import Molecule, MoleculeSpace
+from repro.workloads.chemistry import simulate_ionization_potential
+from repro.workloads.mlmodel import RidgeEmulator
+from repro.workloads.moldesign import CampaignConfig, MolecularDesignCampaign
+from repro.workloads.serving import (
+    InferenceRequest,
+    InferenceServer,
+    OpenLoopClient,
+)
+from repro.workloads.traces import (
+    TraceStats,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    to_rate_series,
+    trace_stats,
+)
+
+__all__ = [
+    "ALEXNET",
+    "CNN_ZOO",
+    "CampaignConfig",
+    "CnnModel",
+    "ConvLayer",
+    "InferenceRequest",
+    "InferenceRuntime",
+    "InferenceServer",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "LLAMA2_7B",
+    "LlamaInference",
+    "LlamaSpec",
+    "MolecularDesignCampaign",
+    "Molecule",
+    "MoleculeSpace",
+    "OpenLoopClient",
+    "RESNET101",
+    "RESNET152",
+    "RESNET18",
+    "RESNET34",
+    "RESNET50",
+    "RidgeEmulator",
+    "TraceStats",
+    "VGG16",
+    "bursty_trace",
+    "conv_output_size",
+    "diurnal_trace",
+    "poisson_trace",
+    "simulate_ionization_potential",
+    "to_rate_series",
+    "trace_stats",
+]

@@ -1,0 +1,57 @@
+"""Synthetic quantum-chemistry surrogate.
+
+Stands in for the paper's ionization-potential (IP) calculations — real
+quantum chemistry codes are neither available offline nor needed: the
+active-learning loop only requires an expensive, deterministic,
+*learnable-but-nonlinear* ground-truth function.  This surrogate is a
+random-weight two-layer tanh network over the molecule descriptors,
+fixed by a global seed so every simulation task agrees on the truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.datasets import Molecule
+
+__all__ = [
+    "simulate_ionization_potential",
+    "SIMULATION_CPU_SECONDS",
+    "ground_truth_batch",
+]
+
+#: Simulated wall-clock cost of one quantum-chemistry task (CPU-only).
+#: The paper's Fig. 3 shows simulation phases of tens of seconds.
+SIMULATION_CPU_SECONDS = 12.0
+
+_GROUND_TRUTH_SEED = 1234
+_HIDDEN = 64
+
+
+def _truth_weights(n_descriptors: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(
+        np.random.SeedSequence([_GROUND_TRUTH_SEED, n_descriptors]))
+    w1 = rng.normal(scale=1.0 / np.sqrt(n_descriptors),
+                    size=(n_descriptors, _HIDDEN))
+    w2 = rng.normal(scale=1.0 / np.sqrt(_HIDDEN), size=_HIDDEN)
+    return w1, w2
+
+
+def ground_truth_batch(features: np.ndarray) -> np.ndarray:
+    """Vectorised ground-truth IP for an ``(n, d)`` feature matrix (eV)."""
+    if features.ndim != 2:
+        raise ValueError("features must be 2-D")
+    w1, w2 = _truth_weights(features.shape[1])
+    hidden = np.tanh(features @ w1)
+    # Shift into a plausible IP range (~4-14 eV).
+    return 9.0 + 2.5 * (hidden @ w2)
+
+
+def simulate_ionization_potential(molecule: Molecule) -> float:
+    """Compute the "quantum chemistry" IP of one molecule.
+
+    Deterministic: repeated simulation of the same molecule returns the
+    same value, as a converged QC calculation would.
+    """
+    value = ground_truth_batch(molecule.descriptors[None, :])
+    return float(value[0])

@@ -1,0 +1,269 @@
+"""Convolutional-network arithmetic: the model zoo behind Fig. 1.
+
+Fig. 1 plots the floating-point work of *each convolution layer* of
+popular torchvision classifiers to show that compute demand varies wildly
+within a single network.  We reproduce it with exact closed-form conv
+arithmetic rather than torchvision:
+
+``FLOPs = 2 x K_h x K_w x C_in/groups x C_out x H_out x W_out``
+
+(the factor 2 counts a multiply and an accumulate, as the paper's
+"floating point multiplication and addition" phrasing does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.gpu.kernel import Kernel, KernelGroup
+
+__all__ = [
+    "ConvLayer",
+    "CnnModel",
+    "conv_output_size",
+    "ALEXNET",
+    "VGG16",
+    "RESNET18",
+    "RESNET34",
+    "RESNET50",
+    "RESNET101",
+    "RESNET152",
+    "CNN_ZOO",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a conv/pool along one dimension."""
+    if size <= 0:
+        raise ValueError("input size must be positive")
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"layer reduces size {size} to {out} (kernel={kernel}, "
+            f"stride={stride}, padding={padding})"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution layer (pooling is modelled only for its resizing)."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_channels % self.groups:
+            raise ValueError("in_channels must be divisible by groups")
+
+    def output_size(self, size: int) -> int:
+        return conv_output_size(size, self.kernel_size, self.stride, self.padding)
+
+    def flops_per_image(self, input_size: int) -> float:
+        """Multiply-add FLOPs to process one image of ``input_size``^2."""
+        out = self.output_size(input_size)
+        return (
+            2.0
+            * self.kernel_size ** 2
+            * (self.in_channels / self.groups)
+            * self.out_channels
+            * out ** 2
+        )
+
+    def weight_count(self) -> int:
+        return (self.kernel_size ** 2 * self.in_channels // self.groups
+                * self.out_channels)
+
+    def bytes_per_image(self, input_size: int, dtype_bytes: int = 4) -> float:
+        """DRAM traffic: input + output activations + one weight read."""
+        out = self.output_size(input_size)
+        acts = (self.in_channels * input_size ** 2
+                + self.out_channels * out ** 2)
+        return dtype_bytes * (acts + self.weight_count())
+
+
+@dataclass(frozen=True)
+class _Resize:
+    """A pooling/stride-only stage: contributes no FLOPs to Fig. 1."""
+
+    factor: int
+
+
+@dataclass(frozen=True)
+class CnnModel:
+    """An ordered stack of conv layers with interleaved resizing stages."""
+
+    name: str
+    stages: tuple
+    input_size: int = 224
+
+    def conv_layers(self) -> Iterator[tuple[ConvLayer, int]]:
+        """Yield ``(layer, input_size_at_that_layer)`` in execution order."""
+        size = self.input_size
+        for stage in self.stages:
+            if isinstance(stage, _Resize):
+                size = max(1, size // stage.factor)
+            else:
+                yield stage, size
+                size = stage.output_size(size)
+
+    def layer_flops(self, batch_size: int = 1) -> list[tuple[str, float]]:
+        """Per-conv-layer FLOPs in execution order — the Fig. 1 series."""
+        return [
+            (layer.name, batch_size * layer.flops_per_image(size))
+            for layer, size in self.conv_layers()
+        ]
+
+    def total_flops(self, batch_size: int = 1) -> float:
+        return sum(f for _, f in self.layer_flops(batch_size))
+
+    def flop_variation(self, batch_size: int = 1) -> float:
+        """max/min ratio of per-layer FLOPs (Fig. 1's headline statistic)."""
+        flops = [f for _, f in self.layer_flops(batch_size)]
+        return max(flops) / min(flops)
+
+    def weight_bytes(self, dtype_bytes: int = 4) -> float:
+        return dtype_bytes * sum(
+            layer.weight_count() for layer, _ in self.conv_layers()
+        )
+
+    def training_kernels(self, batch_size: int = 32, dtype_bytes: int = 4,
+                         efficiency: float = 0.5) -> KernelGroup:
+        """Kernels for one training step (forward + backward).
+
+        The backward pass computes both input gradients and weight
+        gradients, so a training step costs roughly 3x the forward FLOPs
+        (the standard rule of thumb); activation traffic roughly doubles
+        (saved activations are re-read).  Training batches are large, so
+        parallelism rarely limits SM usage (§3.4: training *can* fill a
+        GPU — it is inference that cannot).
+        """
+        forward = self.inference_kernels(batch_size, dtype_bytes, efficiency)
+        kernels = []
+        for k in forward:
+            kernels.append(Kernel(
+                flops=3.0 * k.flops,
+                bytes_moved=2.0 * k.bytes_moved,
+                max_sms=min(1024, 3 * k.max_sms),
+                efficiency=efficiency,
+                name=k.name.replace("inference", "train") + ".fwd+bwd",
+            ))
+        return KernelGroup(kernels, name=f"{self.name}-trainstep")
+
+    def inference_kernels(self, batch_size: int = 1, dtype_bytes: int = 4,
+                          efficiency: float = 0.6) -> KernelGroup:
+        """One kernel per conv layer for GPU-simulator inference runs.
+
+        ``max_sms`` grows with the layer's output parallelism (thread
+        blocks of ~256 threads, a few blocks per SM) and with batch size —
+        which is why small-batch inference cannot fill an A100 (§3.4).
+        """
+        kernels = []
+        for layer, size in self.conv_layers():
+            out = layer.output_size(size)
+            parallelism = out * out * layer.out_channels * batch_size
+            max_sms = max(1, min(1024, parallelism // 2048))
+            kernels.append(
+                Kernel(
+                    flops=batch_size * layer.flops_per_image(size),
+                    bytes_moved=batch_size * layer.bytes_per_image(
+                        size, dtype_bytes),
+                    max_sms=max_sms,
+                    efficiency=efficiency,
+                    name=f"{self.name}.{layer.name}",
+                )
+            )
+        return KernelGroup(kernels, name=f"{self.name}-inference")
+
+
+def _vgg_stages() -> tuple:
+    cfg = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+           512, 512, 512, "M", 512, 512, 512, "M"]
+    stages: list = []
+    in_ch = 3
+    idx = 0
+    for item in cfg:
+        if item == "M":
+            stages.append(_Resize(2))
+            continue
+        idx += 1
+        stages.append(ConvLayer(f"conv{idx}", in_ch, item, 3, padding=1))
+        in_ch = item
+    return tuple(stages)
+
+
+def _resnet_stages(block_counts: list[int], bottleneck: bool) -> tuple:
+    """Build ResNet stages (conv layers only, in execution order)."""
+    stages: list = [
+        ConvLayer("conv1", 3, 64, 7, stride=2, padding=3),
+        _Resize(2),  # 3x3 max-pool stride 2
+    ]
+    expansion = 4 if bottleneck else 1
+    in_ch = 64
+    for stage_idx, (blocks, width) in enumerate(
+            zip(block_counts, (64, 128, 256, 512))):
+        for block in range(blocks):
+            stride = 2 if (stage_idx > 0 and block == 0) else 1
+            prefix = f"layer{stage_idx + 1}.{block}"
+            if bottleneck:
+                stages.append(ConvLayer(f"{prefix}.conv1", in_ch, width, 1))
+                stages.append(ConvLayer(f"{prefix}.conv2", width, width, 3,
+                                        stride=stride, padding=1))
+                stages.append(ConvLayer(f"{prefix}.conv3", width,
+                                        width * expansion, 1))
+            else:
+                stages.append(ConvLayer(f"{prefix}.conv1", in_ch, width, 3,
+                                        stride=stride, padding=1))
+                stages.append(ConvLayer(f"{prefix}.conv2", width, width, 3,
+                                        padding=1))
+            if block == 0:
+                # The shortcut 1x1 conv runs on the block *input*, but its
+                # FLOPs are set by the block-output resolution, which is
+                # what the sequential chain carries at this point — so it
+                # is threaded with stride 1 to keep the chain's spatial
+                # size correct (it is a parallel branch, not a stage).
+                stages.append(ConvLayer(f"{prefix}.downsample", in_ch,
+                                        width * expansion, 1, stride=1))
+            in_ch = width * expansion
+    return tuple(stages)
+
+
+ALEXNET = CnnModel(
+    name="alexnet",
+    stages=(
+        ConvLayer("conv1", 3, 64, 11, stride=4, padding=2),
+        _Resize(2),
+        ConvLayer("conv2", 64, 192, 5, padding=2),
+        _Resize(2),
+        ConvLayer("conv3", 192, 384, 3, padding=1),
+        ConvLayer("conv4", 384, 256, 3, padding=1),
+        ConvLayer("conv5", 256, 256, 3, padding=1),
+        _Resize(2),
+    ),
+)
+
+VGG16 = CnnModel(name="vgg16", stages=_vgg_stages())
+
+RESNET18 = CnnModel(name="resnet18",
+                    stages=_resnet_stages([2, 2, 2, 2], bottleneck=False))
+RESNET34 = CnnModel(name="resnet34",
+                    stages=_resnet_stages([3, 4, 6, 3], bottleneck=False))
+RESNET50 = CnnModel(name="resnet50",
+                    stages=_resnet_stages([3, 4, 6, 3], bottleneck=True))
+RESNET101 = CnnModel(name="resnet101",
+                     stages=_resnet_stages([3, 4, 23, 3], bottleneck=True))
+RESNET152 = CnnModel(name="resnet152",
+                     stages=_resnet_stages([3, 8, 36, 3], bottleneck=True))
+
+#: Fig. 1's candidates plus extras for the extended zoo.
+CNN_ZOO: dict[str, CnnModel] = {
+    m.name: m
+    for m in (ALEXNET, VGG16, RESNET18, RESNET34, RESNET50, RESNET101,
+              RESNET152)
+}

@@ -1,0 +1,76 @@
+"""Synthetic MOSES-like molecule space.
+
+The paper's molecular-design application draws candidate molecules from
+the MOSES dataset [Polykovskiy et al. 2020].  We have no licence-free
+offline copy, so we substitute a deterministic synthetic space: each
+molecule is a descriptor vector (think RDKit physico-chemical
+descriptors) drawn from a seeded generator.  The active-learning loop
+only needs (a) an inexhaustible candidate pool and (b) a learnable
+structure-property relationship — both preserved by this substitution
+(see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Molecule", "MoleculeSpace"]
+
+#: Dimensionality of the synthetic descriptor vectors.
+N_DESCRIPTORS = 32
+
+
+@dataclass(frozen=True)
+class Molecule:
+    """A candidate molecule: an id plus its descriptor vector."""
+
+    mol_id: int
+    descriptors: np.ndarray = field(repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.descriptors.ndim != 1:
+            raise ValueError("descriptors must be a 1-D vector")
+
+    def __hash__(self) -> int:
+        return hash(self.mol_id)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Molecule) and other.mol_id == self.mol_id
+
+
+class MoleculeSpace:
+    """A deterministic, lazily-generated pool of candidate molecules."""
+
+    def __init__(self, seed: int = 0, n_descriptors: int = N_DESCRIPTORS):
+        if n_descriptors <= 0:
+            raise ValueError("n_descriptors must be positive")
+        self.seed = seed
+        self.n_descriptors = n_descriptors
+        self._cache: dict[int, Molecule] = {}
+
+    def molecule(self, mol_id: int) -> Molecule:
+        """The molecule with the given id (same id -> same descriptors)."""
+        if mol_id < 0:
+            raise ValueError("mol_id must be non-negative")
+        mol = self._cache.get(mol_id)
+        if mol is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, mol_id]))
+            descriptors = rng.normal(size=self.n_descriptors)
+            mol = Molecule(mol_id=mol_id, descriptors=descriptors)
+            self._cache[mol_id] = mol
+        return mol
+
+    def sample(self, n: int, offset: int = 0) -> list[Molecule]:
+        """The ``n`` molecules with ids ``offset .. offset+n-1``."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return [self.molecule(offset + i) for i in range(n)]
+
+    def features(self, molecules: list[Molecule]) -> np.ndarray:
+        """Stack descriptor vectors into an ``(n, d)`` design matrix."""
+        if not molecules:
+            return np.empty((0, self.n_descriptors))
+        return np.stack([m.descriptors for m in molecules])

@@ -1,0 +1,207 @@
+"""Dynamic-batching LLM inference serving.
+
+An extension study on top of the paper: partitioning (Figs. 4/5) is one
+way to raise GPU utilization for small-batch inference — *batching* is
+the classic other.  This module implements a serving loop with dynamic
+batching over the simulated GPU so the two can be compared (see
+``benchmarks/test_extension_batching.py``).
+
+Batching economics in the cost model: the decode kernel's weight traffic
+is shared across the batch (read once per step), while per-sequence
+KV-cache traffic and FLOPs scale with the batch — so batching amortizes
+exactly the memory-bound component that throttles multi-process MPS
+sharing.  Larger batches also expose more parallelism (higher
+``max_sms``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Store
+from repro.gpu.device import GpuClient
+from repro.gpu.kernel import Kernel
+from repro.workloads.llm import LlamaInference
+
+__all__ = ["InferenceRequest", "InferenceServer", "OpenLoopClient"]
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class InferenceRequest:
+    """One text-completion request."""
+
+    n_tokens: int
+    arrival_time: float
+    rid: int = field(default_factory=lambda: next(_request_ids))
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    done: Optional[Event] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.arrival_time
+
+
+class InferenceServer:
+    """Serves one model from one GPU partition with dynamic batching.
+
+    The loop waits for at least one request, then admits up to
+    ``max_batch_size`` requests that arrive within ``batch_timeout``
+    before running the whole batch's decode steps together.
+    """
+
+    def __init__(self, env: Environment, client: GpuClient,
+                 llm: LlamaInference, max_batch_size: int = 4,
+                 batch_timeout: float = 0.01):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if batch_timeout < 0:
+            raise ValueError("batch_timeout must be non-negative")
+        self.env = env
+        self.client = client
+        self.llm = llm
+        self.max_batch_size = max_batch_size
+        self.batch_timeout = batch_timeout
+        self._queue = Store(env, name="inference-requests")
+        self.completed: list[InferenceRequest] = []
+        self.batch_sizes: list[int] = []
+        self._proc = env.process(self._serve())
+
+    # -- client API ---------------------------------------------------------
+    def submit(self, n_tokens: int = 20) -> InferenceRequest:
+        """Enqueue a request; its ``done`` event fires on completion."""
+        if n_tokens <= 0:
+            raise ValueError("n_tokens must be positive")
+        request = InferenceRequest(n_tokens=n_tokens,
+                                   arrival_time=self.env.now)
+        request.done = self.env.event(name=f"request-{request.rid}")
+        self._queue.put(request)
+        return request
+
+    # -- the serving loop -----------------------------------------------------
+    def _serve(self):
+        env = self.env
+        while True:
+            first = yield self._queue.get()
+            batch = [first]
+            deadline = env.now + self.batch_timeout
+            while (len(batch) < self.max_batch_size
+                   and (self._queue.items or env.now < deadline)):
+                if self._queue.items:
+                    batch.append((yield self._queue.get()))
+                    continue
+                # Wait out the rest of the admission window.
+                yield env.timeout(max(0.0, deadline - env.now))
+                while (self._queue.items
+                       and len(batch) < self.max_batch_size):
+                    batch.append((yield self._queue.get()))
+                break
+            self.batch_sizes.append(len(batch))
+            yield from self._run_batch(batch)
+
+    def _run_batch(self, batch: list[InferenceRequest]):
+        env = self.env
+        for request in batch:
+            request.start_time = env.now
+        steps = max(r.n_tokens for r in batch)
+        remaining = {r.rid: r.n_tokens for r in batch}
+        active = list(batch)
+        for _step in range(steps):
+            kernel = self.batched_decode_kernel(len(active))
+            yield self.client.launch(kernel)
+            yield env.timeout(self.llm.host_seconds_per_token)
+            still_active = []
+            for request in active:
+                remaining[request.rid] -= 1
+                if remaining[request.rid] == 0:
+                    request.finish_time = env.now
+                    self.completed.append(request)
+                    request.done.succeed(request)
+                else:
+                    still_active.append(request)
+            active = still_active
+            if not active:
+                break
+
+    def batched_decode_kernel(self, batch_size: int) -> Kernel:
+        """One decode step for ``batch_size`` concurrent sequences.
+
+        Weight traffic is read once for the whole batch; FLOPs and
+        KV-cache traffic scale linearly; usable parallelism grows with
+        the batch (more rows in every GEMM).
+        """
+        base = self.llm.decode_kernel()
+        rt = self.llm.runtime
+        weight_traffic = rt.traffic_amplification * self.llm.weight_bytes
+        kv_traffic = base.bytes_moved - weight_traffic
+        return Kernel(
+            flops=base.flops * batch_size,
+            bytes_moved=weight_traffic + kv_traffic * batch_size,
+            max_sms=min(self.client.device.spec.sms,
+                        base.max_sms * batch_size),
+            efficiency=base.efficiency,
+            name=f"{base.name}-b{batch_size}",
+        )
+
+    # -- metrics -----------------------------------------------------------------
+    @property
+    def mean_latency(self) -> float:
+        lats = [r.latency for r in self.completed]
+        if not lats:
+            raise RuntimeError("no completed requests yet")
+        return float(np.mean(lats))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+
+class OpenLoopClient:
+    """Open-loop request generator with deterministic or Poisson arrivals."""
+
+    def __init__(self, env: Environment, server: InferenceServer,
+                 rate_rps: float, n_requests: int, n_tokens: int = 20,
+                 rng: Optional[np.random.Generator] = None):
+        if rate_rps <= 0 or n_requests <= 0:
+            raise ValueError("rate and request count must be positive")
+        self.env = env
+        self.server = server
+        self.rate = rate_rps
+        self.n_requests = n_requests
+        self.n_tokens = n_tokens
+        self.rng = rng
+        self.requests: list[InferenceRequest] = []
+        self._proc = env.process(self._generate())
+
+    @property
+    def done(self) -> Event:
+        """Fires when every generated request has completed."""
+        return self._proc
+
+    def _generate(self):
+        env = self.env
+        for _ in range(self.n_requests):
+            if self.rng is None:
+                gap = 1.0 / self.rate
+            else:
+                gap = float(self.rng.exponential(1.0 / self.rate))
+            yield env.timeout(gap)
+            self.requests.append(self.server.submit(self.n_tokens))
+        yield env.all_of([r.done for r in self.requests])

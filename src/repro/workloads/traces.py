@@ -1,0 +1,144 @@
+"""Synthetic arrival traces for serving experiments.
+
+FaaS load is famously bursty and diurnal; the serving and autoscaling
+studies need reproducible open-loop arrival processes richer than a
+constant rate.  Three generators, all deterministic given a seed:
+
+- :func:`poisson_trace` — memoryless arrivals at a constant rate;
+- :func:`diurnal_trace` — a sinusoidal day/night rate profile (thinned
+  Poisson), the classic serverless load shape;
+- :func:`bursty_trace` — a two-state Markov-modulated Poisson process
+  (quiet/burst), producing the flash-crowd pattern that punishes cold
+  starts.
+
+Traces are plain sorted lists of arrival timestamps, so they can feed
+any component (InferenceServer, autoscaler demand, router studies).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TraceStats",
+    "bursty_trace",
+    "diurnal_trace",
+    "poisson_trace",
+    "trace_stats",
+    "to_rate_series",
+]
+
+
+def poisson_trace(rate_rps: float, horizon: float,
+                  seed: int = 0) -> list[float]:
+    """Poisson arrivals at ``rate_rps`` over ``[0, horizon)``."""
+    if rate_rps <= 0 or horizon <= 0:
+        raise ValueError("rate and horizon must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_rps))
+        if t >= horizon:
+            return arrivals
+        arrivals.append(t)
+
+
+def diurnal_trace(mean_rate_rps: float, horizon: float,
+                  period: float = 86_400.0, depth: float = 0.8,
+                  seed: int = 0) -> list[float]:
+    """Sinusoidally-modulated Poisson arrivals (day/night pattern).
+
+    Instantaneous rate: ``mean x (1 + depth x sin(2 pi t / period))``,
+    realised by thinning a Poisson process at the peak rate.
+    """
+    if not 0 <= depth <= 1:
+        raise ValueError("depth must be in [0, 1]")
+    if mean_rate_rps <= 0 or horizon <= 0 or period <= 0:
+        raise ValueError("rates and durations must be positive")
+    peak = mean_rate_rps * (1 + depth)
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= horizon:
+            return arrivals
+        rate = mean_rate_rps * (1 + depth * math.sin(2 * math.pi * t / period))
+        if rng.uniform() < rate / peak:
+            arrivals.append(t)
+
+
+def bursty_trace(base_rate_rps: float, burst_rate_rps: float,
+                 horizon: float, mean_quiet: float = 300.0,
+                 mean_burst: float = 60.0, seed: int = 0) -> list[float]:
+    """Two-state Markov-modulated Poisson process (quiet <-> burst)."""
+    if burst_rate_rps < base_rate_rps:
+        raise ValueError("burst_rate_rps must be >= base_rate_rps")
+    if min(base_rate_rps, horizon, mean_quiet, mean_burst) <= 0:
+        raise ValueError("all rates and durations must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    t = 0.0
+    bursting = False
+    phase_end = float(rng.exponential(mean_quiet))
+    while t < horizon:
+        rate = burst_rate_rps if bursting else base_rate_rps
+        t += float(rng.exponential(1.0 / rate))
+        while t >= phase_end:
+            bursting = not bursting
+            phase_end += float(rng.exponential(
+                mean_burst if bursting else mean_quiet))
+        if t < horizon:
+            arrivals.append(t)
+    return arrivals
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate shape of a trace."""
+
+    count: int
+    horizon: float
+    mean_rate: float
+    peak_rate: float
+    burstiness: float  # squared coeff. of variation of interarrivals
+
+
+def trace_stats(arrivals: list[float], horizon: float,
+                window: float = 60.0) -> TraceStats:
+    """Summary statistics used by tests and reports."""
+    if not arrivals:
+        raise ValueError("empty trace")
+    if horizon <= 0 or window <= 0:
+        raise ValueError("horizon and window must be positive")
+    arr = np.asarray(arrivals)
+    rates = to_rate_series(arrivals, horizon, window)
+    gaps = np.diff(arr)
+    if len(gaps) > 0 and gaps.mean() > 0:
+        cv2 = float(gaps.var() / gaps.mean() ** 2)
+    else:
+        cv2 = 0.0
+    return TraceStats(
+        count=len(arrivals),
+        horizon=horizon,
+        mean_rate=len(arrivals) / horizon,
+        peak_rate=float(max(rates)) if rates else 0.0,
+        burstiness=cv2,
+    )
+
+
+def to_rate_series(arrivals: list[float], horizon: float,
+                   window: float = 60.0) -> list[float]:
+    """Per-window arrival rates — the demand signal for the autoscaler."""
+    if horizon <= 0 or window <= 0:
+        raise ValueError("horizon and window must be positive")
+    n_windows = max(1, int(math.ceil(horizon / window)))
+    counts = [0] * n_windows
+    for t in arrivals:
+        if 0 <= t < horizon:
+            counts[min(int(t // window), n_windows - 1)] += 1
+    return [c / window for c in counts]

@@ -1,0 +1,240 @@
+"""Tests for the Colmena-style steering framework."""
+
+import pytest
+
+from repro.colmena import ColmenaQueues, ColmenaResult, TaskServer, Thinker, agent
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    python_app,
+)
+from repro.sim import Environment
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def make_stack(topics=("sim",), workers=2, retries=0):
+    dfk = DataFlowKernel(Config(
+        executors=[HighThroughputExecutor(label="cpu", max_workers=workers,
+                                          cold_start=NO_COLD)],
+        retries=retries))
+    queues = ColmenaQueues(dfk.env, topics)
+    return dfk, queues
+
+
+# ------------------------------------------------------------------- queues
+
+def test_queue_topic_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ColmenaQueues(env, [])
+    with pytest.raises(ValueError):
+        ColmenaQueues(env, ["a", "a"])
+    queues = ColmenaQueues(env, ["a"])
+    with pytest.raises(KeyError, match="unknown topic"):
+        queues.send_inputs(method="m", topic="b")
+
+
+def test_send_inputs_timestamps_creation():
+    dfk, queues = make_stack()
+    dfk.env.run(until=3.0)
+    record = queues.send_inputs(1, 2, method="add", topic="sim")
+    assert record.time_created == pytest.approx(3.0)
+    assert not record.success
+    assert queues.outstanding() == 1
+
+
+# -------------------------------------------------------------- task server
+
+def test_task_server_roundtrip():
+    dfk, queues = make_stack()
+
+    @python_app(dfk=dfk, walltime=2.0)
+    def double(x):
+        return 2 * x
+
+    TaskServer(queues, dfk, {"double": double})
+
+    def client(env):
+        queues.send_inputs(21, method="double", topic="sim")
+        result = yield queues.get_result("sim")
+        return result
+
+    result = dfk.env.run(until=dfk.env.process(client(dfk.env)))
+    assert result.success
+    assert result.value == 42
+    assert result.compute_seconds == pytest.approx(2.0)
+    assert result.time_returned == pytest.approx(2.0)
+
+
+def test_task_server_unknown_method():
+    dfk, queues = make_stack()
+
+    @python_app(dfk=dfk)
+    def noop():
+        return None
+
+    TaskServer(queues, dfk, {"noop": noop})
+
+    def client(env):
+        queues.send_inputs(method="missing", topic="sim")
+        result = yield queues.get_result("sim")
+        return result
+
+    result = dfk.env.run(until=dfk.env.process(client(dfk.env)))
+    assert not result.success
+    assert isinstance(result.failure, KeyError)
+
+
+def test_task_server_propagates_app_failure():
+    dfk, queues = make_stack()
+
+    @python_app(dfk=dfk)
+    def boom():
+        raise ValueError("method failed")
+
+    TaskServer(queues, dfk, {"boom": boom})
+
+    def client(env):
+        queues.send_inputs(method="boom", topic="sim")
+        result = yield queues.get_result("sim")
+        return result
+
+    result = dfk.env.run(until=dfk.env.process(client(dfk.env)))
+    assert not result.success
+    assert isinstance(result.failure, ValueError)
+
+
+def test_task_server_queue_seconds_reflect_backlog():
+    dfk, queues = make_stack(workers=1)
+
+    @python_app(dfk=dfk, walltime=5.0)
+    def slow():
+        return "x"
+
+    TaskServer(queues, dfk, {"slow": slow})
+
+    def client(env):
+        queues.send_inputs(method="slow", topic="sim")
+        queues.send_inputs(method="slow", topic="sim")
+        first = yield queues.get_result("sim")
+        second = yield queues.get_result("sim")
+        return first, second
+
+    first, second = dfk.env.run(until=dfk.env.process(client(dfk.env)))
+    assert first.queue_seconds == pytest.approx(0.0, abs=1e-9)
+    assert second.queue_seconds == pytest.approx(5.0)
+
+
+def test_task_server_validation():
+    dfk, queues = make_stack()
+    with pytest.raises(ValueError):
+        TaskServer(queues, dfk, {})
+    with pytest.raises(TypeError, match="decorated app"):
+        TaskServer(queues, dfk, {"raw": lambda: 1})
+
+
+# ------------------------------------------------------------------ thinker
+
+def test_thinker_requires_agents():
+    env = Environment()
+    queues = ColmenaQueues(env, ["sim"])
+
+    class Empty(Thinker):
+        pass
+
+    with pytest.raises(TypeError, match="no @agent"):
+        Empty(queues)
+
+
+def test_agent_must_be_generator():
+    with pytest.raises(TypeError, match="generator"):
+        @agent
+        def not_gen(self):
+            return 1
+
+
+def test_thinker_agents_run_concurrently():
+    dfk, queues = make_stack()
+    log = []
+
+    class TwoAgents(Thinker):
+        @agent
+        def a(self):
+            yield self.env.timeout(1.0)
+            log.append(("a", self.env.now))
+
+        @agent
+        def b(self):
+            yield self.env.timeout(2.0)
+            log.append(("b", self.env.now))
+
+    thinker = TwoAgents(queues)
+    assert thinker.agent_count == 2
+    thinker.run_to_completion()
+    assert log == [("a", 1.0), ("b", 2.0)]
+
+
+def test_thinker_submit_consume_pattern():
+    """The canonical Colmena shape: a submitter and a consumer agent."""
+    dfk, queues = make_stack(workers=4)
+
+    @python_app(dfk=dfk, walltime=3.0)
+    def square(x):
+        return x * x
+
+    TaskServer(queues, dfk, {"square": square})
+
+    class Driver(Thinker):
+        N = 6
+
+        def __init__(self, queues):
+            super().__init__(queues)
+            self.results = []
+
+        @agent
+        def submitter(self):
+            for i in range(self.N):
+                self.queues.send_inputs(i, method="square", topic="sim")
+                yield self.env.timeout(0.5)
+
+        @agent
+        def consumer(self):
+            while len(self.results) < self.N:
+                result = yield self.queues.get_result("sim")
+                self.results.append(result.value)
+
+    thinker = Driver(queues)
+    thinker.run_to_completion()
+    assert sorted(thinker.results) == [0, 1, 4, 9, 16, 25]
+    # Overlap: 6 tasks of 3 s on 4 workers, submitted over 2.5 s,
+    # finish well before the serial 18 s.
+    assert dfk.env.now < 9.0
+
+
+def test_thinker_set_done_stops_polling_agent():
+    dfk, queues = make_stack()
+
+    class Poller(Thinker):
+        def __init__(self, queues):
+            super().__init__(queues)
+            self.polls = 0
+
+        @agent
+        def poll(self):
+            while not self.done:
+                self.polls += 1
+                yield self.env.timeout(1.0)
+
+        @agent
+        def stopper(self):
+            yield self.env.timeout(5.5)
+            self.set_done()
+
+    thinker = Poller(queues)
+    thinker.run_to_completion()
+    assert thinker.polls == 6
+    with pytest.raises(RuntimeError, match="already started"):
+        thinker.start()

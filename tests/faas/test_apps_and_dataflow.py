@@ -1,0 +1,314 @@
+"""Tests for app decorators, futures, and the DataFlowKernel."""
+
+import pytest
+
+from repro.faas import (
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    clear,
+    current_dfk,
+    gpu_app,
+    join_app,
+    load,
+    python_app,
+)
+from repro.faas import ColdStartModel
+from repro.faas.dataflow import DependencyError
+from repro.faas.futures import TaskState
+
+NO_COLD_START = ColdStartModel(function_init_seconds=0.0,
+                               gpu_context_seconds=0.0)
+
+
+@pytest.fixture(autouse=True)
+def clean_global_dfk():
+    clear()
+    yield
+    clear()
+
+
+def make_dfk(retries=0, workers=4):
+    config = Config(
+        executors=[HighThroughputExecutor(label="cpu", max_workers=workers,
+                                          cold_start=NO_COLD_START)],
+        retries=retries,
+    )
+    return DataFlowKernel(config)
+
+
+def test_python_app_returns_future_immediately():
+    dfk = make_dfk()
+
+    @python_app(dfk=dfk)
+    def add(a, b):
+        return a + b
+
+    fut = add(1, 2)
+    assert not fut.done()
+    dfk.run()
+    assert fut.done()
+    assert fut.result() == 3
+
+
+def test_result_before_run_raises():
+    dfk = make_dfk()
+
+    @python_app(dfk=dfk)
+    def f():
+        return 1
+
+    fut = f()
+    with pytest.raises(RuntimeError, match="has not completed"):
+        fut.result()
+
+
+def test_walltime_occupies_worker():
+    dfk = make_dfk(workers=1)
+
+    @python_app(dfk=dfk, walltime=5.0)
+    def slow():
+        return "done"
+
+    futs = [slow(), slow()]
+    dfk.wait(futs)
+    # Two 5 s tasks on one worker run back to back.
+    assert dfk.env.now == pytest.approx(10.0)
+
+
+def test_parallel_tasks_on_multiple_workers():
+    dfk = make_dfk(workers=4)
+
+    @python_app(dfk=dfk, walltime=5.0)
+    def slow(i):
+        return i
+
+    results = dfk.wait([slow(i) for i in range(4)])
+    assert results == [0, 1, 2, 3]
+    assert dfk.env.now == pytest.approx(5.0)
+
+
+def test_future_dependencies_chain():
+    dfk = make_dfk()
+    order = []
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def stage(name, value):
+        order.append(name)
+        return value + 1
+
+    a = stage("a", 0)
+    b = stage("b", a)  # depends on a's future
+    c = stage("c", b)
+    assert dfk.wait([c]) == [3]
+    assert order == ["a", "b", "c"]
+    assert dfk.env.now == pytest.approx(3.0)
+
+
+def test_dependencies_inside_lists():
+    dfk = make_dfk()
+
+    @python_app(dfk=dfk)
+    def produce(x):
+        return x
+
+    @python_app(dfk=dfk)
+    def total(values):
+        return sum(values)
+
+    futs = [produce(i) for i in range(5)]
+    assert dfk.wait([total(futs)]) == [10]
+
+
+def test_app_exception_reported_via_future():
+    dfk = make_dfk()
+
+    @python_app(dfk=dfk)
+    def boom():
+        raise ValueError("kapow")
+
+    fut = boom()
+    dfk.run()
+    assert isinstance(fut.exception(), ValueError)
+    with pytest.raises(ValueError, match="kapow"):
+        fut.result()
+
+
+def test_dependency_failure_propagates():
+    dfk = make_dfk()
+
+    @python_app(dfk=dfk)
+    def boom():
+        raise ValueError("dead upstream")
+
+    @python_app(dfk=dfk)
+    def consume(x):
+        return x
+
+    fut = consume(boom())
+    dfk.run()
+    assert isinstance(fut.exception(), DependencyError)
+
+
+def test_retries_rerun_failed_tasks():
+    dfk = make_dfk(retries=2)
+    attempts = []
+
+    @python_app(dfk=dfk)
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise RuntimeError("transient")
+        return "recovered"
+
+    fut = flaky()
+    dfk.run()
+    assert fut.result() == "recovered"
+    assert len(attempts) == 3
+
+
+def test_retries_exhausted():
+    dfk = make_dfk(retries=1)
+    attempts = []
+
+    @python_app(dfk=dfk)
+    def always_fails():
+        attempts.append(1)
+        raise RuntimeError("permanent")
+
+    fut = always_fails()
+    dfk.run()
+    assert len(attempts) == 2
+    assert isinstance(fut.exception(), RuntimeError)
+
+
+def test_join_app_flattens_future():
+    dfk = make_dfk()
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def inner(x):
+        return x * 10
+
+    @join_app(dfk=dfk)
+    def outer(x):
+        return inner(x)
+
+    assert dfk.wait([outer(4)]) == [40]
+
+
+def test_join_app_list_of_futures():
+    dfk = make_dfk()
+
+    @python_app(dfk=dfk)
+    def inner(x):
+        return x
+
+    @join_app(dfk=dfk)
+    def fan_out(n):
+        return [inner(i) for i in range(n)]
+
+    assert dfk.wait([fan_out(3)]) == [[0, 1, 2]]
+
+
+def test_join_app_non_future_return_fails():
+    dfk = make_dfk()
+
+    @join_app(dfk=dfk)
+    def bad():
+        return 42
+
+    fut = bad()
+    dfk.run()
+    assert isinstance(fut.exception(), TypeError)
+
+
+def test_global_load_and_clear():
+    config = Config(executors=[HighThroughputExecutor(label="cpu",
+                                                      max_workers=1)])
+    dfk = load(config)
+    assert current_dfk() is dfk
+
+    @python_app
+    def f():
+        return "global"
+
+    fut = f()
+    dfk.run()
+    assert fut.result() == "global"
+    with pytest.raises(RuntimeError, match="already loaded"):
+        load(config)
+    clear()
+    assert current_dfk() is None
+
+
+def test_app_without_dfk_raises():
+    @python_app
+    def orphan():
+        return 1
+
+    with pytest.raises(RuntimeError, match="no DataFlowKernel"):
+        orphan()
+
+
+def test_executor_selection_by_label():
+    config = Config(executors=[
+        HighThroughputExecutor(label="cpu", max_workers=1),
+        HighThroughputExecutor(label="other", max_workers=1),
+    ])
+    dfk = DataFlowKernel(config)
+
+    @python_app(executors=["other"], dfk=dfk)
+    def f():
+        return "ran"
+
+    fut = f()
+    dfk.run()
+    assert fut.result() == "ran"
+    assert fut.task.executor_label == "other"
+
+
+def test_unknown_executor_label():
+    dfk = make_dfk()
+
+    @python_app(executors=["nonexistent"], dfk=dfk)
+    def f():
+        return 1
+
+    with pytest.raises(KeyError, match="nonexistent"):
+        f()
+
+
+def test_gpu_app_requires_generator():
+    with pytest.raises(TypeError, match="generator"):
+        @gpu_app
+        def not_a_generator(ctx):
+            return 1
+
+
+def test_task_summary_and_records():
+    dfk = make_dfk()
+
+    @python_app(dfk=dfk, walltime=2.0)
+    def f():
+        return 1
+
+    futs = [f() for _ in range(3)]
+    dfk.wait(futs)
+    assert dfk.task_summary() == {"done": 3}
+    for record in dfk.tasks:
+        assert record.state is TaskState.DONE
+        assert record.run_seconds == pytest.approx(2.0)
+        assert record.queue_seconds is not None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="at least one executor"):
+        Config(executors=[])
+    with pytest.raises(ValueError, match="duplicate"):
+        Config(executors=[
+            HighThroughputExecutor(label="x", max_workers=1),
+            HighThroughputExecutor(label="x", max_workers=1),
+        ])
+    with pytest.raises(ValueError, match="retries"):
+        Config(executors=[HighThroughputExecutor(label="x", max_workers=1)],
+               retries=-1)

@@ -1,0 +1,76 @@
+"""Tests for @bash_app (the mechanism that launches the MPS daemon)."""
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    bash_app,
+)
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def make_dfk():
+    return DataFlowKernel(Config(executors=[
+        HighThroughputExecutor(label="cpu", max_workers=2,
+                               cold_start=NO_COLD)]))
+
+
+def test_bash_app_returns_rendered_command():
+    dfk = make_dfk()
+
+    @bash_app(dfk=dfk, walltime=0.5)
+    def start_mps(pipe_dir: str):
+        return (f"CUDA_MPS_PIPE_DIRECTORY={pipe_dir} "
+                "nvidia-cuda-mps-control -d")
+
+    fut = start_mps("/tmp/mps")
+    dfk.run()
+    assert fut.result() == ("CUDA_MPS_PIPE_DIRECTORY=/tmp/mps "
+                            "nvidia-cuda-mps-control -d")
+    assert dfk.env.now == pytest.approx(0.5)
+
+
+def test_bash_app_must_return_string():
+    dfk = make_dfk()
+
+    @bash_app(dfk=dfk)
+    def bad():
+        return 42
+
+    fut = bad()
+    dfk.run()
+    assert isinstance(fut.exception(), TypeError)
+
+
+def test_bash_app_chains_with_futures():
+    dfk = make_dfk()
+
+    @bash_app(dfk=dfk, walltime=1.0)
+    def produce():
+        return "echo ready"
+
+    @bash_app(dfk=dfk, walltime=1.0)
+    def consume(prev_cmd: str):
+        return f"{prev_cmd} && echo done"
+
+    fut = consume(produce())
+    dfk.run()
+    assert fut.result() == "echo ready && echo done"
+    assert dfk.env.now == pytest.approx(2.0)
+
+
+def test_cnn_training_kernels():
+    from repro.workloads import RESNET50
+
+    fwd = RESNET50.inference_kernels(batch_size=32)
+    train = RESNET50.training_kernels(batch_size=32)
+    assert len(train) == len(fwd)
+    assert train.total_flops == pytest.approx(3 * fwd.total_flops)
+    assert train.total_bytes == pytest.approx(2 * fwd.total_bytes)
+    # Training steps can fill the GPU harder than inference.
+    assert (max(k.max_sms for k in train)
+            >= max(k.max_sms for k in fwd))

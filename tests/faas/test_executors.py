@@ -1,0 +1,341 @@
+"""Tests for executors, providers, env-var plumbing, and cold starts."""
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    ComputeNode,
+    Config,
+    DataFlowKernel,
+    FunctionEnvironment,
+    HighThroughputExecutor,
+    LocalProvider,
+    SlurmProvider,
+    ThreadPoolExecutor,
+    gpu_app,
+    python_app,
+)
+from repro.gpu import A100_40GB, Kernel
+from repro.sim import Environment
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def small_kernel(seconds=1.0):
+    spec = A100_40GB
+    return Kernel(flops=spec.flops_per_sm * 20 * seconds, bytes_moved=0.0,
+                  max_sms=20, efficiency=1.0)
+
+
+# ------------------------------------------------------------- configuration
+
+def test_accelerator_int_shorthand():
+    ex = HighThroughputExecutor(label="g", available_accelerators=2)
+    assert ex.accelerators == ["0", "1"]
+    assert ex.max_workers == 2
+
+
+def test_accelerator_list_with_repeats():
+    """Listing 2: repeating a GPU id multiplexes it between workers."""
+    ex = HighThroughputExecutor(
+        label="g",
+        available_accelerators=["1", "2", "4"],
+        gpu_percentage=[50, 25, 30],
+    )
+    env0 = ex.worker_environment(0)
+    env1 = ex.worker_environment(1)
+    env2 = ex.worker_environment(2)
+    assert env0.visible_device == "1" and env0.mps_percentage == 50
+    assert env1.visible_device == "2" and env1.mps_percentage == 25
+    assert env2.visible_device == "4" and env2.mps_percentage == 30
+
+
+def test_gpu_percentage_length_mismatch():
+    with pytest.raises(ValueError, match="must match"):
+        HighThroughputExecutor(label="g", available_accelerators=["0", "0"],
+                               gpu_percentage=[50])
+
+
+def test_gpu_percentage_without_accelerators():
+    with pytest.raises(ValueError, match="requires available_accelerators"):
+        HighThroughputExecutor(label="g", gpu_percentage=[50])
+
+
+def test_gpu_percentage_range_checked():
+    with pytest.raises(ValueError, match="0, 100"):
+        HighThroughputExecutor(label="g", available_accelerators=["0"],
+                               gpu_percentage=[150])
+
+
+def test_gpu_percentage_implies_mps():
+    ex = HighThroughputExecutor(label="g", available_accelerators=["0"],
+                                gpu_percentage=[50])
+    assert ex.start_mps_flag
+    with pytest.raises(ValueError, match="requires the MPS daemon"):
+        HighThroughputExecutor(label="g", available_accelerators=["0"],
+                               gpu_percentage=[50], start_mps=False)
+
+
+# ------------------------------------------------------------ function envs
+
+def test_function_environment_roundtrip():
+    fenv = FunctionEnvironment()
+    fenv.visible_device = "0"
+    fenv.mps_percentage = 30
+    assert fenv.visible_device == "0"
+    assert fenv.mps_percentage == 30
+    assert not fenv.is_mig_uuid()
+    fenv.visible_device = "MIG-gpu0-0001"
+    assert fenv.is_mig_uuid()
+
+
+def test_function_environment_bad_percentage():
+    fenv = FunctionEnvironment()
+    fenv.set("CUDA_MPS_ACTIVE_THREAD_PERCENTAGE", "abc")
+    with pytest.raises(ValueError, match="not an.*integer"):
+        _ = fenv.mps_percentage
+    fenv.set("CUDA_MPS_ACTIVE_THREAD_PERCENTAGE", "0")
+    with pytest.raises(ValueError, match="0, 100"):
+        _ = fenv.mps_percentage
+
+
+# ------------------------------------------------------------ compute nodes
+
+def test_node_client_timeshare_without_mps():
+    env = Environment()
+    node = ComputeNode(env, cores=4, gpu_specs=[A100_40GB])
+    fenv = FunctionEnvironment()
+    fenv.visible_device = "0"
+    client = node.make_gpu_client(fenv, "c")
+    assert client.group is node.gpus[0].default_group
+
+
+def test_node_client_mps_percentage_requires_daemon():
+    env = Environment()
+    node = ComputeNode(env, cores=4, gpu_specs=[A100_40GB])
+    fenv = FunctionEnvironment()
+    fenv.visible_device = "0"
+    fenv.mps_percentage = 50
+    with pytest.raises(RuntimeError, match="nvidia-cuda-mps-control"):
+        node.make_gpu_client(fenv, "c")
+    node.start_mps()
+    client = node.make_gpu_client(fenv, "c")
+    assert client.sm_cap == 54
+
+
+def test_node_client_mig_uuid_resolution():
+    env = Environment()
+    node = ComputeNode(env, cores=4, gpu_specs=[A100_40GB])
+    mig = node.mig_manager(0)
+    env.run(until=env.process(mig.enable()))
+    inst = mig.create_instance("2g.10gb")
+    fenv = FunctionEnvironment()
+    fenv.visible_device = inst.uuid
+    client = node.make_gpu_client(fenv, "c")
+    assert client.group is inst.group
+
+
+def test_node_client_unknown_mig_uuid():
+    env = Environment()
+    node = ComputeNode(env, cores=4, gpu_specs=[A100_40GB])
+    fenv = FunctionEnvironment()
+    fenv.visible_device = "MIG-bogus"
+    with pytest.raises(KeyError, match="does not match"):
+        node.make_gpu_client(fenv, "c")
+
+
+def test_node_client_gpu_index_out_of_range():
+    env = Environment()
+    node = ComputeNode(env, cores=4, gpu_specs=[A100_40GB])
+    fenv = FunctionEnvironment()
+    fenv.visible_device = "3"
+    with pytest.raises(IndexError):
+        node.make_gpu_client(fenv, "c")
+
+
+def test_node_no_visible_device_gives_no_client():
+    env = Environment()
+    node = ComputeNode(env, cores=4, gpu_specs=[A100_40GB])
+    assert node.make_gpu_client(FunctionEnvironment(), "c") is None
+
+
+# ---------------------------------------------------------------- providers
+
+def test_local_provider_immediate():
+    env = Environment()
+    ready, nodes = LocalProvider(cores=8).provision(env)
+    assert ready.triggered
+    assert len(nodes) == 1
+    assert nodes[0].cores == 8
+
+
+def test_slurm_provider_queue_wait():
+    env = Environment()
+    provider = SlurmProvider(nodes=2, cores_per_node=16,
+                             queue_wait_seconds=120.0)
+    ready, nodes = provider.provision(env)
+    assert len(nodes) == 2
+    assert not ready.processed  # queue wait has not elapsed yet
+    env.run(until=ready)
+    assert env.now == pytest.approx(120.0)
+
+
+def test_slurm_executor_tasks_wait_for_nodes():
+    provider = SlurmProvider(nodes=1, cores_per_node=4,
+                             queue_wait_seconds=60.0)
+    ex = HighThroughputExecutor(label="cpu", max_workers=2,
+                                provider=provider, cold_start=NO_COLD)
+    dfk = DataFlowKernel(Config(executors=[ex]))
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def f():
+        return "ran"
+
+    fut = f()
+    dfk.run()
+    assert fut.result() == "ran"
+    assert fut.task.start_time == pytest.approx(60.0)
+
+
+# --------------------------------------------------------------- cold start
+
+def test_cold_start_delays_first_task():
+    cold = ColdStartModel(function_init_seconds=2.0, gpu_context_seconds=1.0)
+    ex = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0"], cold_start=cold,
+        provider=LocalProvider(cores=4, gpu_specs=[A100_40GB]))
+    dfk = DataFlowKernel(Config(executors=[ex]))
+
+    @gpu_app(dfk=dfk)
+    def probe(ctx):
+        yield ctx.launch(small_kernel(1.0))
+        return ctx.now
+
+    fut = probe()
+    dfk.run()
+    # 2 s function init + 1 s GPU context + 1 s kernel.
+    assert fut.result() == pytest.approx(4.0)
+
+
+def test_cpu_worker_skips_gpu_context_cost():
+    cold = ColdStartModel(function_init_seconds=2.0, gpu_context_seconds=9.0)
+    ex = HighThroughputExecutor(label="cpu", max_workers=1, cold_start=cold)
+    dfk = DataFlowKernel(Config(executors=[ex]))
+
+    @python_app(dfk=dfk)
+    def f():
+        return "x"
+
+    fut = f()
+    dfk.run()
+    assert dfk.env.now == pytest.approx(2.0)
+
+
+def test_cold_start_paid_once_per_worker():
+    cold = ColdStartModel(function_init_seconds=3.0, gpu_context_seconds=0.0)
+    ex = HighThroughputExecutor(label="cpu", max_workers=1, cold_start=cold)
+    dfk = DataFlowKernel(Config(executors=[ex]))
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def f():
+        return "x"
+
+    dfk.wait([f(), f()])
+    assert dfk.env.now == pytest.approx(3.0 + 2.0)
+
+
+# ------------------------------------------------------------- thread pool
+
+def test_thread_pool_executor():
+    ex = ThreadPoolExecutor(label="threads", max_threads=2)
+    dfk = DataFlowKernel(Config(executors=[ex]))
+
+    @python_app(dfk=dfk, walltime=2.0)
+    def f(i):
+        return i
+
+    results = dfk.wait([f(i) for i in range(4)])
+    assert results == [0, 1, 2, 3]
+    # 4 tasks, 2 threads, no cold start -> 2 waves.
+    assert dfk.env.now == pytest.approx(4.0)
+
+
+# --------------------------------------------------- GPU multiplexing e2e
+
+def test_workers_share_gpu_via_mps_percentages():
+    """Two workers on one GPU at 50% each run kernels concurrently."""
+    ex = HighThroughputExecutor(
+        label="gpu",
+        available_accelerators=["0", "0"],
+        gpu_percentage=[50, 50],
+        provider=LocalProvider(cores=4, gpu_specs=[A100_40GB]),
+        cold_start=NO_COLD,
+    )
+    dfk = DataFlowKernel(Config(executors=[ex]))
+
+    @gpu_app(dfk=dfk)
+    def work(ctx):
+        start = ctx.now
+        yield ctx.launch(small_kernel(1.0))
+        return (start, ctx.now)
+
+    spans = dfk.wait([work(), work()])
+    # Both kernels started at t=0 and, being 20-SM kernels under 54-SM
+    # caps, ran concurrently at full speed.
+    for start, end in spans:
+        assert start == pytest.approx(0.0)
+        assert end == pytest.approx(1.0)
+
+
+def test_workers_on_separate_mig_instances():
+    env = Environment()
+    node_provider = LocalProvider(cores=4, gpu_specs=[A100_40GB])
+    ready, nodes = node_provider.provision(env)
+    node = nodes[0]
+    mig = node.mig_manager(0)
+    env.run(until=env.process(mig.enable()))
+    i1 = mig.create_instance("3g.20gb")
+    i2 = mig.create_instance("3g.20gb")
+
+    class FixedProvider:
+        def provision(self, env2):
+            ev = env2.event()
+            ev.succeed()
+            return ev, [node]
+
+    ex = HighThroughputExecutor(
+        label="gpu",
+        available_accelerators=[i1.uuid, i2.uuid],
+        provider=FixedProvider(),
+        cold_start=NO_COLD,
+    )
+    dfk = DataFlowKernel(Config(executors=[ex]), env=env)
+
+    @gpu_app(dfk=dfk)
+    def work(ctx):
+        yield ctx.launch(small_kernel(1.0))
+        return ctx.gpu.group.name
+
+    groups = dfk.wait([work(), work()])
+    assert set(groups) == {i1.uuid, i2.uuid}
+
+
+def test_executor_stats():
+    ex = HighThroughputExecutor(label="cpu", max_workers=2,
+                                cold_start=NO_COLD)
+    dfk = DataFlowKernel(Config(executors=[ex]))
+
+    @python_app(dfk=dfk)
+    def ok():
+        return 1
+
+    @python_app(dfk=dfk)
+    def bad():
+        raise RuntimeError("x")
+
+    f1, f2 = ok(), bad()
+    dfk.run()
+    assert ex.tasks_submitted == 2
+    assert ex.tasks_completed == 1
+    assert ex.tasks_failed == 1
+    assert ex.outstanding == 0

@@ -1,0 +1,219 @@
+"""Tests for failure injection: worker crashes and GPU errors."""
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    FailureInjector,
+    GpuEccError,
+    HighThroughputExecutor,
+    LocalProvider,
+    WorkerCrash,
+    gpu_app,
+    inject_gpu_error,
+    python_app,
+)
+from repro.gpu import A100_40GB, Kernel, MpsControlDaemon, SimulatedGPU
+from repro.sim import Environment
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def slow_kernel(seconds=10.0):
+    return Kernel(flops=A100_40GB.fp32_flops * seconds, bytes_moved=0.0,
+                  max_sms=A100_40GB.sms, efficiency=1.0)
+
+
+# -------------------------------------------------------------- GPU errors
+
+def test_inject_gpu_error_kills_resident_kernels():
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    a = daemon.client("a")
+    b = daemon.client("b")
+    done_a = a.launch(slow_kernel())
+    done_b = b.launch(slow_kernel())
+    done_a._defused = True
+    done_b._defused = True
+    env.run(until=2.0)
+    killed = inject_gpu_error(gpu)
+    assert killed == 2
+    assert isinstance(done_a.value, GpuEccError)
+    assert isinstance(done_b.value, GpuEccError)
+    assert gpu.kernels_completed == 0  # failures are not completions
+
+
+def test_gpu_error_spares_queued_timeshared_kernels():
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    a = gpu.timeshare_client("a")
+    b = gpu.timeshare_client("b")
+    running = a.launch(slow_kernel(5.0))
+    queued = b.launch(slow_kernel(1.0))
+    running._defused = True
+    env.run(until=1.0)
+    assert inject_gpu_error(gpu) == 1  # only the resident kernel dies
+    env.run()
+    assert queued.ok  # the queued kernel ran afterwards
+
+
+def test_gpu_app_retries_after_ecc_error():
+    """A killed kernel surfaces as an app exception and retries cleanly."""
+    ex = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0"], cold_start=NO_COLD,
+        provider=LocalProvider(cores=4, gpu_specs=[A100_40GB]))
+    dfk = DataFlowKernel(Config(executors=[ex], retries=1))
+    gpu = ex.nodes[0].gpus[0]
+
+    @gpu_app(dfk=dfk)
+    def work(ctx):
+        yield ctx.launch(slow_kernel(5.0))
+        return "survived"
+
+    fut = work()
+
+    def saboteur(env):
+        yield env.timeout(2.0)
+        inject_gpu_error(gpu)
+
+    dfk.env.process(saboteur(dfk.env))
+    dfk.run()
+    assert fut.result() == "survived"
+    assert fut.task.tries == 1  # one failed attempt, one retry
+
+
+# ------------------------------------------------------------ worker crashes
+
+def make_dfk(workers=2, retries=1):
+    ex = HighThroughputExecutor(label="cpu", max_workers=workers,
+                                cold_start=NO_COLD)
+    return DataFlowKernel(Config(executors=[ex], retries=retries)), ex
+
+
+def test_crash_idle_worker_is_clean():
+    dfk, ex = make_dfk(workers=2)
+    dfk.run(until=1.0)
+    injector = FailureInjector(dfk.env)
+    injector.crash_worker(ex.workers[0])
+    assert not ex.workers[0].alive
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def job():
+        return "ok"
+
+    # The surviving worker still serves tasks.
+    assert dfk.wait([job()]) == ["ok"]
+
+
+def test_crash_mid_task_retries_on_survivor():
+    dfk, ex = make_dfk(workers=2, retries=1)
+
+    @python_app(dfk=dfk, walltime=10.0)
+    def job(i):
+        return i
+
+    futs = [job(0), job(1), job(2)]  # third queues behind the first two
+
+    def saboteur(env):
+        yield env.timeout(3.0)
+        FailureInjector(env).crash_worker(ex.workers[0])
+
+    dfk.env.process(saboteur(dfk.env))
+    dfk.run()
+    assert [f.result() for f in futs] == [0, 1, 2]
+    # The crashed task was retried (its tries counter advanced).
+    assert sum(f.task.tries for f in futs) == 1
+
+
+def test_crash_without_retries_fails_task():
+    dfk, ex = make_dfk(workers=1, retries=0)
+
+    @python_app(dfk=dfk, walltime=10.0)
+    def job():
+        return "never"
+
+    fut = job()
+
+    def saboteur(env):
+        yield env.timeout(2.0)
+        FailureInjector(env).crash_worker(ex.workers[0])
+
+    dfk.env.process(saboteur(dfk.env))
+    dfk.run()
+    assert isinstance(fut.exception(), WorkerCrash)
+
+
+def test_crashed_gpu_worker_releases_memory():
+    ex = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0"], cold_start=NO_COLD,
+        provider=LocalProvider(cores=4, gpu_specs=[A100_40GB]))
+    dfk = DataFlowKernel(Config(executors=[ex]))
+    node = ex.nodes[0]
+
+    @gpu_app(dfk=dfk)
+    def hold(ctx):
+        ctx.gpu.alloc(10e9)
+        yield ctx.sleep(100.0)
+
+    hold()
+    dfk.run(until=5.0)
+    assert node.gpus[0].memory.used == pytest.approx(10e9)
+    FailureInjector(dfk.env).crash_worker(ex.workers[0])
+    dfk.run(until=6.0)
+    # The process's CUDA context died: its allocations are gone.
+    assert node.gpus[0].memory.used == 0.0
+
+
+def test_respawn_replaces_worker_and_pays_cold_start():
+    cold = ColdStartModel(function_init_seconds=2.0, gpu_context_seconds=0.0)
+    ex = HighThroughputExecutor(label="cpu", max_workers=1, cold_start=cold)
+    dfk = DataFlowKernel(Config(executors=[ex], retries=1))
+    dfk.run(until=3.0)  # original worker warm
+    injector = FailureInjector(dfk.env)
+    old = ex.workers[0]
+    replacement = injector.crash_worker(old, respawn_after=1.0)
+    assert replacement is not None
+    assert ex.workers[0] is replacement
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def job():
+        return "ok"
+
+    fut = job()
+    dfk.run()
+    assert fut.result() == "ok"
+    # Respawn delay (1 s) + cold start (2 s) before the task could run.
+    assert fut.task.start_time >= 3.0 + 1.0 + 2.0 - 1e-9
+
+
+def test_background_crash_process_is_deterministic():
+    def run(seed):
+        dfk, ex = make_dfk(workers=4, retries=3)
+
+        @python_app(dfk=dfk, walltime=2.0)
+        def job(i):
+            return i
+
+        futs = [job(i) for i in range(20)]
+        injector = FailureInjector(dfk.env, seed=seed)
+        injector.start_worker_crashes(ex, mtbf_seconds=10.0,
+                                      respawn_after=1.0, horizon=60.0)
+        dfk.run(until=200.0)
+        results = [f.result() for f in futs if f.done() and
+                   f.exception() is None]
+        return injector.worker_crashes, sorted(results)
+
+    assert run(7) == run(7)
+
+
+def test_injector_validation():
+    dfk, ex = make_dfk()
+    injector = FailureInjector(dfk.env)
+    with pytest.raises(ValueError):
+        injector.start_worker_crashes(ex, mtbf_seconds=0.0)
+    with pytest.raises(ValueError):
+        injector.start_gpu_errors(None, mtbf_seconds=-1.0)

@@ -1,0 +1,163 @@
+"""Tests for the Globus Compute style federation layer."""
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    Endpoint,
+    GlobusComputeClient,
+    GlobusComputeService,
+    HighThroughputExecutor,
+    python_app,
+)
+from repro.sim import Environment
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def make_stack(latency=0.1, bandwidth=1e6):
+    env = Environment()
+    service = GlobusComputeService(env, wan_latency_seconds=latency,
+                                   wan_bandwidth_bytes_per_s=bandwidth)
+    dfk = DataFlowKernel(Config(executors=[
+        HighThroughputExecutor(label="cpu", max_workers=2,
+                               cold_start=NO_COLD)]), env=env)
+    endpoint = Endpoint("hpc-endpoint", dfk, service)
+    client = GlobusComputeClient(service, default_endpoint="hpc-endpoint")
+    return env, service, dfk, endpoint, client
+
+
+def test_register_and_submit_roundtrip():
+    env, service, dfk, endpoint, client = make_stack()
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def double(x):
+        return 2 * x
+
+    fid = client.register_function(double)
+    fut = client.submit(fid, 21, payload_bytes=0.0)
+    env.run()
+    assert fut.result() == 42
+    assert endpoint.tasks_received == 1
+    assert service.tasks_relayed == 1
+
+
+def test_wan_latency_applied_both_ways():
+    env, service, dfk, endpoint, client = make_stack(latency=0.5,
+                                                     bandwidth=1e9)
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def job():
+        return "done"
+
+    fid = client.register_function(job)
+    fut = client.submit(fid, payload_bytes=0.0)
+    env.run()
+    # 0.5 s inbound + 1 s run + ~0.5 s outbound.
+    assert env.now == pytest.approx(2.0, abs=0.01)
+
+
+def test_payload_size_adds_transfer_time():
+    env, service, dfk, endpoint, client = make_stack(latency=0.0,
+                                                     bandwidth=1e6)
+
+    @python_app(dfk=dfk)
+    def job(_blob):
+        return "ok"
+
+    fid = client.register_function(job)
+    fut = client.submit(fid, b"", payload_bytes=2e6)  # 2 s at 1 MB/s
+    env.run()
+    assert fut.result() == "ok"
+    assert env.now >= 2.0
+
+
+def test_remote_failure_propagates_to_client():
+    env, service, dfk, endpoint, client = make_stack()
+
+    @python_app(dfk=dfk)
+    def boom():
+        raise ValueError("remote failure")
+
+    fid = client.register_function(boom)
+    fut = client.submit(fid, payload_bytes=0.0)
+    env.run()
+    assert isinstance(fut.exception(), ValueError)
+
+
+def test_unknown_function_and_endpoint():
+    env, service, dfk, endpoint, client = make_stack()
+    with pytest.raises(KeyError, match="unknown function"):
+        client.submit("fn-999999", payload_bytes=0.0)
+
+    @python_app(dfk=dfk)
+    def job():
+        return 1
+
+    fid = client.register_function(job)
+    with pytest.raises(KeyError, match="unknown endpoint"):
+        client.submit(fid, endpoint="nowhere", payload_bytes=0.0)
+
+
+def test_client_requires_endpoint():
+    env, service, dfk, endpoint, _ = make_stack()
+    client = GlobusComputeClient(service)  # no default
+
+    @python_app(dfk=dfk)
+    def job():
+        return 1
+
+    fid = client.register_function(job)
+    with pytest.raises(ValueError, match="no endpoint"):
+        client.submit(fid)
+
+
+def test_register_requires_app():
+    env, service, dfk, endpoint, client = make_stack()
+    with pytest.raises(TypeError, match="decorated app"):
+        client.register_function(lambda: 1)
+
+
+def test_duplicate_endpoint_rejected():
+    env, service, dfk, endpoint, client = make_stack()
+    with pytest.raises(ValueError, match="already registered"):
+        Endpoint("hpc-endpoint", dfk, service)
+
+
+def test_multiple_endpoints_routing():
+    env = Environment()
+    service = GlobusComputeService(env, wan_latency_seconds=0.0)
+    dfk_a = DataFlowKernel(Config(executors=[
+        HighThroughputExecutor(label="cpu", max_workers=1,
+                               cold_start=NO_COLD)]), env=env)
+    dfk_b = DataFlowKernel(Config(executors=[
+        HighThroughputExecutor(label="cpu", max_workers=1,
+                               cold_start=NO_COLD)]), env=env)
+    ep_a = Endpoint("site-a", dfk_a, service)
+    ep_b = Endpoint("site-b", dfk_b, service)
+    client = GlobusComputeClient(service)
+
+    @python_app(dfk=dfk_a)
+    def job():
+        return "ran"
+
+    fid = client.register_function(job)
+    f1 = client.submit(fid, endpoint="site-a", payload_bytes=0.0)
+    f2 = client.submit(fid, endpoint="site-b", payload_bytes=0.0)
+    env.run()
+    assert f1.result() == "ran" and f2.result() == "ran"
+    assert ep_a.tasks_received == 1
+    assert ep_b.tasks_received == 1
+
+
+def test_mismatched_environment_rejected():
+    env1 = Environment()
+    env2 = Environment()
+    service = GlobusComputeService(env1)
+    dfk = DataFlowKernel(Config(executors=[
+        HighThroughputExecutor(label="cpu", max_workers=1,
+                               cold_start=NO_COLD)]), env=env2)
+    with pytest.raises(ValueError, match="share an"):
+        Endpoint("x", dfk, service)

@@ -1,0 +1,135 @@
+"""Tests for container images, registries, and node image caches."""
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    ComputeNode,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    LocalProvider,
+    python_app,
+)
+from repro.faas.images import ContainerImage, ImageRegistry, NodeImageCache
+from repro.sim import Environment
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def test_image_validation():
+    with pytest.raises(ValueError):
+        ContainerImage("bad", size_bytes=-1)
+    with pytest.raises(ValueError):
+        ImageRegistry(pull_bandwidth_bytes_per_s=0)
+
+
+def test_registry_push_lookup():
+    registry = ImageRegistry(pull_bandwidth_bytes_per_s=100e6)
+    image = registry.push(ContainerImage("torch", 2e9, extract_seconds=3.0))
+    assert registry.lookup("torch") is image
+    assert registry.pull_seconds(image) == pytest.approx(20.0)
+    with pytest.raises(KeyError, match="not in registry"):
+        registry.lookup("missing")
+
+
+def test_cache_pull_then_hit():
+    env = Environment()
+    cache = NodeImageCache(env)
+    registry = ImageRegistry(pull_bandwidth_bytes_per_s=100e6)
+    image = registry.push(ContainerImage("torch", 1e9, extract_seconds=2.0))
+
+    def first(env):
+        yield from cache.ensure(image, registry)
+        return env.now
+
+    t_first = env.run(until=env.process(first(env)))
+    assert t_first == pytest.approx(10.0 + 2.0)
+    assert cache.is_cached(image)
+
+    def second(env):
+        t0 = env.now
+        yield from cache.ensure(image, registry)
+        return env.now - t0
+
+    assert env.run(until=env.process(second(env))) == 0.0
+    assert cache.pulls == 1 and cache.hits == 1
+
+
+def test_concurrent_pulls_deduplicate():
+    env = Environment()
+    cache = NodeImageCache(env)
+    registry = ImageRegistry(pull_bandwidth_bytes_per_s=100e6)
+    image = registry.push(ContainerImage("torch", 1e9))
+    finished = []
+
+    def worker(env, name):
+        yield from cache.ensure(image, registry)
+        finished.append((name, env.now))
+
+    env.process(worker(env, "a"))
+    env.process(worker(env, "b"))
+    env.run()
+    # Both ready at t=10 (one pull, not two sequential ones).
+    assert [t for _, t in finished] == pytest.approx([10.0, 10.0])
+    assert cache.pulls == 1
+    assert registry.pulls_served == 1
+
+
+def test_evict_forces_repull():
+    env = Environment()
+    cache = NodeImageCache(env)
+    registry = ImageRegistry(pull_bandwidth_bytes_per_s=1e9)
+    image = registry.push(ContainerImage("torch", 1e9))
+    env.run(until=env.process(_pull(cache, image, registry, env)))
+    cache.evict(image)
+    env.run(until=env.process(_pull(cache, image, registry, env)))
+    assert cache.pulls == 2
+
+
+def _pull(cache, image, registry, env):
+    yield from cache.ensure(image, registry)
+
+
+def test_executor_workers_share_one_pull():
+    """4 workers, one node: the image downloads once, everyone waits."""
+    registry = ImageRegistry(pull_bandwidth_bytes_per_s=100e6)
+    image = registry.push(ContainerImage("inference-env", 3e9,
+                                         extract_seconds=2.0))
+    ex = HighThroughputExecutor(label="cpu", max_workers=4,
+                                cold_start=NO_COLD, image=image,
+                                registry=registry)
+    dfk = DataFlowKernel(Config(executors=[ex]))
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def job(i):
+        return i
+
+    futs = [job(i) for i in range(4)]
+    dfk.wait(futs)
+    node = ex.nodes[0]
+    assert node.image_cache.pulls == 1
+    assert node.image_cache.hits == 3
+    # 30 s pull + 2 s extract + 1 s task.
+    assert dfk.env.now == pytest.approx(33.0)
+
+
+def test_image_requires_registry():
+    image = ContainerImage("x", 1e9)
+    with pytest.raises(ValueError, match="requires a registry"):
+        HighThroughputExecutor(label="cpu", max_workers=1, image=image)
+
+
+def test_second_node_pulls_independently():
+    registry = ImageRegistry(pull_bandwidth_bytes_per_s=1e9)
+    image = registry.push(ContainerImage("env", 1e9))
+    ex_a = HighThroughputExecutor(label="a", max_workers=1,
+                                  cold_start=NO_COLD, image=image,
+                                  registry=registry)
+    ex_b = HighThroughputExecutor(label="b", max_workers=1,
+                                  cold_start=NO_COLD, image=image,
+                                  registry=registry)
+    dfk = DataFlowKernel(Config(executors=[ex_a, ex_b]))
+    dfk.run(until=5.0)
+    # Different nodes: two pulls served by the registry.
+    assert registry.pulls_served == 2

@@ -1,0 +1,129 @@
+"""Tests for the monitoring hub (Listing 1's monitoring DB analogue)."""
+
+import json
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    MonitoringHub,
+    python_app,
+)
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def make_dfk(hub, retries=0, workers=2):
+    config = Config(
+        executors=[HighThroughputExecutor(label="cpu", max_workers=workers,
+                                          cold_start=NO_COLD)],
+        retries=retries,
+        monitoring=hub,
+    )
+    return DataFlowKernel(config)
+
+
+def test_transitions_recorded_in_order():
+    hub = MonitoringHub()
+    dfk = make_dfk(hub)
+
+    @python_app(dfk=dfk, walltime=2.0)
+    def work():
+        return 1
+
+    fut = work()
+    dfk.run()
+    states = [t.state for t in hub.task_history(fut.task.tid)]
+    assert states == ["submitted", "running", "done"]
+    times = [t.time for t in hub.task_history(fut.task.tid)]
+    assert times == sorted(times)
+
+
+def test_failed_and_retry_states():
+    hub = MonitoringHub()
+    dfk = make_dfk(hub, retries=1)
+    attempts = []
+
+    @python_app(dfk=dfk)
+    def flaky():
+        attempts.append(1)
+        raise RuntimeError("nope")
+
+    fut = flaky()
+    dfk.run()
+    states = [t.state for t in hub.task_history(fut.task.tid)]
+    assert states == ["submitted", "running", "retry", "running", "failed"]
+
+
+def test_app_stats():
+    hub = MonitoringHub()
+    dfk = make_dfk(hub, workers=1)
+
+    @python_app(dfk=dfk, walltime=3.0)
+    def job():
+        return 1
+
+    dfk.wait([job(), job()])
+    stats = hub.app_stats("job")
+    assert stats["completed"] == 2
+    assert stats["failed"] == 0
+    assert stats["mean_run_seconds"] == pytest.approx(3.0)
+    # Second task queued behind the first for 3 s -> mean queue 1.5 s.
+    assert stats["mean_queue_seconds"] == pytest.approx(1.5)
+
+
+def test_worker_busy_fraction():
+    hub = MonitoringHub()
+    dfk = make_dfk(hub, workers=1)
+
+    @python_app(dfk=dfk, walltime=4.0)
+    def job():
+        return 1
+
+    dfk.wait([job()])
+    dfk.run(until=8.0)
+    worker = f"cpu-worker0"
+    assert hub.worker_busy_fraction(worker, 8.0) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        hub.worker_busy_fraction(worker, 0.0)
+
+
+def test_jsonl_export_roundtrip():
+    hub = MonitoringHub()
+    dfk = make_dfk(hub)
+
+    @python_app(dfk=dfk)
+    def job():
+        return 1
+
+    dfk.wait([job()])
+    lines = hub.to_jsonl().splitlines()
+    assert len(lines) == len(hub)
+    parsed = [json.loads(line) for line in lines]
+    assert parsed[0]["state"] == "submitted"
+    assert parsed[-1]["state"] == "done"
+
+
+def test_executors_listing():
+    hub = MonitoringHub()
+    dfk = make_dfk(hub)
+
+    @python_app(dfk=dfk)
+    def job():
+        return 1
+
+    dfk.wait([job()])
+    assert hub.executors() == ["cpu"]
+
+
+def test_no_hub_is_fine():
+    dfk = make_dfk(None)
+
+    @python_app(dfk=dfk)
+    def job():
+        return "ok"
+
+    assert dfk.wait([job()]) == ["ok"]

@@ -1,0 +1,167 @@
+"""Tests for model-aware task routing across endpoints."""
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    Endpoint,
+    GlobusComputeService,
+    GpuTaskRouter,
+    HighThroughputExecutor,
+    LeastLoadedRouter,
+    LocalProvider,
+    ModelAffinityRouter,
+    RoundRobinRouter,
+    gpu_app,
+    python_app,
+)
+from repro.faas.routing import endpoint_outstanding, endpoint_warm_models
+from repro.gpu import A100_80GB
+from repro.sim import Environment
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def make_site(env, service, name, gpu=False):
+    if gpu:
+        executor = HighThroughputExecutor(
+            label="gpu", available_accelerators=["0"], cold_start=NO_COLD,
+            provider=LocalProvider(cores=8, gpu_specs=[A100_80GB]))
+    else:
+        executor = HighThroughputExecutor(label="cpu", max_workers=2,
+                                          cold_start=NO_COLD)
+    dfk = DataFlowKernel(Config(executors=[executor]), env=env)
+    return Endpoint(name, dfk, service), dfk
+
+
+def make_federation(n=3, gpu=False):
+    env = Environment()
+    service = GlobusComputeService(env, wan_latency_seconds=0.0,
+                                   wan_bandwidth_bytes_per_s=1e12)
+    sites = [make_site(env, service, f"site-{i}", gpu=gpu) for i in range(n)]
+    endpoints = [s[0] for s in sites]
+    dfks = [s[1] for s in sites]
+    return env, service, endpoints, dfks
+
+
+def test_round_robin_rotates():
+    env, service, endpoints, dfks = make_federation(3)
+    router = GpuTaskRouter(service, endpoints, policy=RoundRobinRouter())
+
+    @python_app(dfk=dfks[0])
+    def job():
+        return "ok"
+
+    fid = router.register_function(job)
+    for _ in range(6):
+        router.submit(fid, payload_bytes=0.0)
+    env.run()
+    assert router.routed == {"site-0": 2, "site-1": 2, "site-2": 2}
+
+
+def test_least_loaded_balances():
+    env, service, endpoints, dfks = make_federation(2)
+    router = GpuTaskRouter(service, endpoints, policy=LeastLoadedRouter())
+
+    @python_app(dfk=dfks[0], walltime=10.0)
+    def slow():
+        return "ok"
+
+    fid = router.register_function(slow)
+    # Submit 4 at once: each site has 2 workers, load spreads 2/2.
+    futs = [router.submit(fid, payload_bytes=0.0) for _ in range(4)]
+    env.run()
+    assert router.routed == {"site-0": 2, "site-1": 2}
+    assert all(f.result() == "ok" for f in futs)
+
+
+def test_endpoint_outstanding_counts():
+    env, service, endpoints, dfks = make_federation(1)
+
+    @python_app(dfk=dfks[0], walltime=5.0)
+    def slow():
+        return 1
+
+    slow()
+    slow()
+    assert endpoint_outstanding(endpoints[0]) == 2
+    env.run()
+    assert endpoint_outstanding(endpoints[0]) == 0
+
+
+def test_warm_model_detection_via_worker():
+    env, service, endpoints, dfks = make_federation(1, gpu=True)
+
+    @gpu_app(dfk=dfks[0])
+    def load(ctx):
+        yield from ctx.load_model("llama", 1e9, 1.0)
+        return True
+
+    fut = load()
+    env.run()
+    assert fut.result() is True
+    assert "llama" in endpoint_warm_models(endpoints[0])
+    assert "mistral" not in endpoint_warm_models(endpoints[0])
+
+
+def test_affinity_router_prefers_warm_endpoint():
+    env, service, endpoints, dfks = make_federation(3, gpu=True)
+    policy = ModelAffinityRouter()
+    router = GpuTaskRouter(service, endpoints, policy=policy)
+
+    @gpu_app(dfk=dfks[0])
+    def serve(ctx):
+        yield from ctx.load_model("llama", 1e9, 2.0)
+        return ctx.worker.name
+
+    fid = router.register_function(serve)
+    # First task: no endpoint is warm -> least-loaded fallback (site-0).
+    first = router.submit(fid, model_key="llama", payload_bytes=0.0)
+    env.run()
+    assert policy.affinity_misses == 1
+    # Now site-0 is warm: subsequent tasks stick to it.
+    for _ in range(3):
+        router.submit(fid, model_key="llama", payload_bytes=0.0)
+        env.run()
+    assert policy.affinity_hits == 3
+    assert router.routed["site-0"] == 4
+
+
+def test_affinity_avoids_repeated_cold_loads():
+    """Affinity routing loads the model once; round-robin loads it on
+    every endpoint — measurably slower in total."""
+
+    def run(policy_cls):
+        env, service, endpoints, dfks = make_federation(3, gpu=True)
+        router = GpuTaskRouter(service, endpoints, policy=policy_cls())
+
+        @gpu_app(dfk=dfks[0])
+        def serve(ctx):
+            yield from ctx.load_model("llama", 1e9, 8.0)
+            yield ctx.compute(0.1)
+            return True
+
+        fid = router.register_function(serve)
+        for _ in range(6):
+            router.submit(fid, model_key="llama", payload_bytes=0.0)
+            env.run()
+        return env.now
+
+    t_affinity = run(ModelAffinityRouter)
+    t_rr = run(RoundRobinRouter)
+    assert t_affinity < t_rr  # 1 load vs 3 loads
+
+
+def test_router_validation():
+    env, service, endpoints, dfks = make_federation(1)
+    with pytest.raises(ValueError, match="at least one"):
+        GpuTaskRouter(service, [])
+    other_service = GlobusComputeService(env)
+    with pytest.raises((ValueError, KeyError)):
+        GpuTaskRouter(other_service, endpoints)
+    with pytest.raises(ValueError, match="no endpoints"):
+        RoundRobinRouter().choose([], None)
+    with pytest.raises(ValueError, match="no endpoints"):
+        LeastLoadedRouter().choose([], None)

@@ -1,0 +1,143 @@
+"""Tests for executor elasticity (scale out / scale in) and prefill."""
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    LocalProvider,
+    gpu_app,
+    python_app,
+)
+from repro.gpu import A100_80GB
+from repro.workloads import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+FP16 = InferenceRuntime(dtype_bytes=2)
+
+
+def make_dfk(workers=1, cold=NO_COLD):
+    ex = HighThroughputExecutor(label="cpu", max_workers=workers,
+                                cold_start=cold)
+    return DataFlowKernel(Config(executors=[ex])), ex
+
+
+def test_scale_out_adds_capacity():
+    dfk, ex = make_dfk(workers=1)
+
+    @python_app(dfk=dfk, walltime=4.0)
+    def job():
+        return 1
+
+    futs = [job() for _ in range(4)]
+    ex.scale_out(3)
+    dfk.wait(futs)
+    # 4 tasks on 4 workers -> one wave.
+    assert dfk.env.now == pytest.approx(4.0)
+    assert ex.live_workers == 4
+
+
+def test_scale_out_pays_cold_start():
+    cold = ColdStartModel(function_init_seconds=2.0, gpu_context_seconds=0.0)
+    dfk, ex = make_dfk(workers=1, cold=cold)
+    dfk.run(until=5.0)  # original worker warm
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def job():
+        return 1
+
+    ex.scale_out(1)
+    futs = [job(), job()]
+    dfk.run()
+    # One task ran immediately on the warm worker; the other waited for
+    # the new worker's 2 s cold start (or the warm worker's 1 s task).
+    starts = sorted(f.task.start_time for f in futs)
+    assert starts[0] == pytest.approx(5.0)
+    assert starts[1] <= 7.0 + 1e-9
+
+
+def test_scale_in_idle_workers_stop_immediately():
+    dfk, ex = make_dfk(workers=4)
+    dfk.run(until=1.0)
+    retired = ex.scale_in(2)
+    assert retired == 2
+    dfk.run(until=2.0)
+    assert ex.live_workers == 2
+
+    @python_app(dfk=dfk, walltime=1.0)
+    def job():
+        return "ok"
+
+    assert dfk.wait([job()]) == ["ok"]  # survivors still serve
+
+
+def test_scale_in_busy_worker_drains():
+    dfk, ex = make_dfk(workers=2)
+
+    @python_app(dfk=dfk, walltime=10.0)
+    def slow(i):
+        return i
+
+    futs = [slow(0), slow(1)]
+    dfk.run(until=2.0)  # both workers busy
+    ex.scale_in(1)
+    dfk.run()
+    # The draining worker finished its task first (nothing lost).
+    assert [f.result() for f in futs] == [0, 1]
+    assert ex.live_workers == 1
+
+
+def test_scale_in_keeps_at_least_one():
+    dfk, ex = make_dfk(workers=2)
+    dfk.run(until=1.0)
+    assert ex.scale_in(10) == 1
+    assert ex.live_workers == 1
+
+
+def test_scale_validation():
+    dfk, ex = make_dfk()
+    with pytest.raises(ValueError):
+        ex.scale_out(0)
+    with pytest.raises(ValueError):
+        ex.scale_in(0)
+    fresh = HighThroughputExecutor(label="x", max_workers=1)
+    with pytest.raises(RuntimeError, match="not started"):
+        fresh.scale_out(1)
+
+
+def test_scaled_out_gpu_workers_reuse_partition_slots():
+    ex = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0", "0"],
+        gpu_percentage=[50, 50], cold_start=NO_COLD,
+        provider=LocalProvider(cores=8, gpu_specs=[A100_80GB]))
+    dfk = DataFlowKernel(Config(executors=[ex]))
+    dfk.run(until=1.0)
+    (new_worker,) = ex.scale_out(1)
+    # Worker index 2 wraps to slot 0: same GPU, same 50% percentage.
+    assert new_worker.fenv.visible_device == "0"
+    assert new_worker.fenv.mps_percentage == 50
+
+
+# ----------------------------------------------------------------- prefill
+
+def test_prefill_kernel_is_parallel_and_compute_heavy():
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    prefill = llm.prefill_kernel(prompt_tokens=128)
+    decode = llm.decode_kernel()
+    assert prefill.max_sms > decode.max_sms
+    assert prefill.efficiency > decode.efficiency
+    assert prefill.flops == pytest.approx(128 * decode.flops)
+    # Per token, prefill is far cheaper than decode on a full GPU.
+    t_prefill = prefill.duration(108, A100_80GB.flops_per_sm,
+                                 A100_80GB.bandwidth) / 128
+    t_decode = decode.duration(108, A100_80GB.flops_per_sm,
+                               A100_80GB.bandwidth)
+    assert t_prefill < 0.2 * t_decode
+
+
+def test_prefill_validation():
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    with pytest.raises(ValueError):
+        llm.prefill_kernel(0)

@@ -1,0 +1,102 @@
+"""Tests for AMD-style CU masking (Table 1's MPS-percentage equivalent)."""
+
+import pytest
+
+from repro.gpu import CuMaskManager, Kernel, MI210, SimulatedGPU
+from repro.gpu.cumask import parse_mask
+from repro.sim import Environment
+
+SPEC = MI210  # 104 CUs
+
+
+def make_manager():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    return env, gpu, CuMaskManager(gpu)
+
+
+def full_kernel(seconds=1.0, max_cus=SPEC.sms):
+    return Kernel(flops=SPEC.flops_per_sm * max_cus * seconds,
+                  bytes_moved=0.0, max_sms=max_cus, efficiency=1.0)
+
+
+def test_parse_mask():
+    assert parse_mask(0b1011, 8) == [0, 1, 3]
+    with pytest.raises(ValueError):
+        parse_mask(0, 8)
+    with pytest.raises(ValueError):
+        parse_mask(1 << 8, 8)
+
+
+def test_masked_client_capped_to_popcount():
+    env, gpu, mgr = make_manager()
+    client = mgr.client("half", (1 << 52) - 1)  # 52 of 104 CUs
+    assert client.sm_cap == 52
+    done = client.launch(full_kernel(1.0))
+    env.run(until=done)
+    assert env.now == pytest.approx(2.0)  # half the CUs, twice the time
+
+
+def test_equal_masks_are_disjoint_and_cover():
+    env, gpu, mgr = make_manager()
+    masks = mgr.equal_masks(4)
+    assert len(masks) == 4
+    combined = 0
+    for mask in masks:
+        assert combined & mask == 0  # disjoint
+        combined |= mask
+    assert combined == (1 << SPEC.sms) - 1  # full coverage
+
+
+def test_disjoint_masked_clients_run_concurrently():
+    env, gpu, mgr = make_manager()
+    masks = mgr.equal_masks(2)
+    a = mgr.client("a", masks[0])
+    b = mgr.client("b", masks[1])
+    assert not mgr.overlapping(a, b)
+    a.launch(full_kernel(1.0, max_cus=52))
+    done = b.launch(full_kernel(1.0, max_cus=52))
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0)  # true spatial overlap
+
+
+def test_overlap_detection():
+    env, gpu, mgr = make_manager()
+    a = mgr.client("a", 0b1111)
+    b = mgr.client("b", 0b1100)
+    assert mgr.overlapping(a, b)
+
+
+def test_mask_of_unknown_client():
+    env, gpu, mgr = make_manager()
+    plain_gpu = SimulatedGPU(Environment(), SPEC)
+    with pytest.raises(KeyError):
+        env2 = Environment()
+        gpu2 = SimulatedGPU(env2, SPEC)
+        other = CuMaskManager(gpu2).client("x", 0b1)
+        mgr.mask_of(other)
+
+
+def test_nvidia_device_rejected():
+    from repro.gpu import A100_40GB
+
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    with pytest.raises(ValueError, match="NVIDIA"):
+        CuMaskManager(gpu)
+
+
+def test_active_clients_rejected():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    gpu.timeshare_client("busy")
+    with pytest.raises(RuntimeError, match="active"):
+        CuMaskManager(gpu)
+
+
+def test_equal_masks_validation():
+    env, gpu, mgr = make_manager()
+    with pytest.raises(ValueError):
+        mgr.equal_masks(0)
+    with pytest.raises(ValueError):
+        mgr.equal_masks(SPEC.sms + 1)

@@ -1,0 +1,380 @@
+"""Behavioural tests for the simulated GPU under each multiplexing mode."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.gpu import (
+    A100_40GB,
+    Kernel,
+    MigManager,
+    MpsControlDaemon,
+    SimulatedGPU,
+)
+
+SPEC = A100_40GB
+
+
+def make_gpu():
+    env = Environment()
+    return env, SimulatedGPU(env, SPEC)
+
+
+def compute_kernel(seconds_at_full=1.0, max_sms=SPEC.sms, efficiency=1.0):
+    """A pure-compute kernel lasting ``seconds_at_full`` on max_sms SMs."""
+    flops = SPEC.flops_per_sm * efficiency * max_sms * seconds_at_full
+    return Kernel(flops=flops, bytes_moved=0.0, max_sms=max_sms,
+                  efficiency=efficiency)
+
+
+def memory_kernel(seconds_at_full_bw=1.0, max_sms=SPEC.sms):
+    """A pure-memory kernel lasting ``seconds_at_full_bw`` at device BW."""
+    return Kernel(flops=0.0, bytes_moved=SPEC.bandwidth * seconds_at_full_bw,
+                  max_sms=max_sms, efficiency=1.0)
+
+
+# ---------------------------------------------------------------- time-sharing
+
+def test_single_kernel_matches_roofline():
+    env, gpu = make_gpu()
+    client = gpu.timeshare_client("c0")
+    k = compute_kernel(2.0)
+    done = client.launch(k)
+    env.run(until=done)
+    expect = k.duration(SPEC.sms, SPEC.flops_per_sm, SPEC.bandwidth)
+    assert env.now == pytest.approx(expect)
+
+
+def test_timesharing_serialises_kernels():
+    env, gpu = make_gpu()
+    a = gpu.timeshare_client("a")
+    b = gpu.timeshare_client("b")
+    done_a = a.launch(compute_kernel(1.0))
+    done_b = b.launch(compute_kernel(1.0))
+    finish = {}
+    done_a.callbacks.append(lambda ev: finish.__setitem__("a", env.now))
+    done_b.callbacks.append(lambda ev: finish.__setitem__("b", env.now))
+    env.run()
+    # Serial execution plus one context switch between the two clients.
+    assert finish["a"] == pytest.approx(1.0)
+    assert finish["b"] == pytest.approx(2.0 + SPEC.timeslice_switch_seconds)
+
+
+def test_timesharing_no_switch_cost_same_client():
+    env, gpu = make_gpu()
+    a = gpu.timeshare_client("a")
+    d1 = a.launch(compute_kernel(1.0))
+    d2 = a.launch(compute_kernel(1.0))
+    env.run(until=d2)
+    assert env.now == pytest.approx(2.0)
+
+
+def test_timeshared_kernel_gets_full_device():
+    """Even a small-grid kernel runs alone under time-sharing."""
+    env, gpu = make_gpu()
+    a = gpu.timeshare_client("a")
+    b = gpu.timeshare_client("b")
+    small = compute_kernel(1.0, max_sms=20)
+    a.launch(small)
+    done = b.launch(compute_kernel(1.0))
+    env.run(until=done)
+    # b waited for the full duration of a's kernel (no spatial overlap).
+    assert env.now == pytest.approx(2.0 + SPEC.timeslice_switch_seconds)
+
+
+# ------------------------------------------------------------------------ MPS
+
+def test_mps_requires_daemon():
+    env, gpu = make_gpu()
+    daemon = MpsControlDaemon(gpu)
+    with pytest.raises(RuntimeError, match="must be started"):
+        daemon.client("c0")
+
+
+def test_mps_start_with_live_clients_rejected():
+    env, gpu = make_gpu()
+    gpu.timeshare_client("old")
+    daemon = MpsControlDaemon(gpu)
+    with pytest.raises(RuntimeError, match="active time-shared clients"):
+        daemon.start()
+
+
+def test_mps_small_kernels_run_concurrently():
+    """Two 20-SM kernels overlap perfectly under MPS (40 < 108 SMs)."""
+    env, gpu = make_gpu()
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    a = daemon.client("a")
+    b = daemon.client("b")
+    k = compute_kernel(1.0, max_sms=20)
+    a.launch(k)
+    done = b.launch(compute_kernel(1.0, max_sms=20))
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0)
+
+
+def test_mps_sm_contention_scales_proportionally():
+    """Two full-device kernels each get half the SMs -> 2x duration."""
+    env, gpu = make_gpu()
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    a = daemon.client("a")
+    b = daemon.client("b")
+    a.launch(compute_kernel(1.0))
+    done = b.launch(compute_kernel(1.0))
+    env.run(until=done)
+    assert env.now == pytest.approx(2.0)
+
+
+def test_mps_percentage_caps_sms():
+    env, gpu = make_gpu()
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    # 50% of an A100 -> 54 of 108 SMs (the paper's own example, §4.1).
+    half = daemon.client("half", active_thread_percentage=50)
+    assert half.sm_cap == 54
+    done = half.launch(compute_kernel(1.0))
+    env.run(until=done)
+    assert env.now == pytest.approx(2.0)  # half the SMs, twice the time
+
+
+def test_mps_percentage_validation():
+    env, gpu = make_gpu()
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    with pytest.raises(ValueError):
+        daemon.client("bad", active_thread_percentage=0)
+    with pytest.raises(ValueError):
+        daemon.client("bad", active_thread_percentage=101)
+
+
+def test_mps_bandwidth_not_partitioned():
+    """An MPS percentage client may still use the full device bandwidth."""
+    env, gpu = make_gpu()
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    c = daemon.client("c", active_thread_percentage=25)
+    k = memory_kernel(1.0, max_sms=20)
+    done = c.launch(k)
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0)  # full bandwidth despite 25% SMs
+
+
+def test_mps_memory_bound_kernels_share_bandwidth():
+    env, gpu = make_gpu()
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    a = daemon.client("a")
+    b = daemon.client("b")
+    a.launch(memory_kernel(1.0))
+    done = b.launch(memory_kernel(1.0))
+    env.run(until=done)
+    assert env.now == pytest.approx(2.0)
+
+
+def test_mps_stop_restores_timesharing():
+    env, gpu = make_gpu()
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    daemon.stop()
+    assert gpu.default_group.discipline == "temporal"
+    gpu.timeshare_client("ok")
+
+
+# ------------------------------------------------------------------------ MIG
+
+def run_gen(env, gen):
+    """Run a generator method to completion inside the simulation."""
+    return env.run(until=env.process(gen))
+
+
+def test_mig_enable_costs_reset():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    assert env.now == pytest.approx(SPEC.reset_seconds)
+    assert mig.enabled
+
+
+def test_mig_enable_with_clients_rejected():
+    env, gpu = make_gpu()
+    gpu.timeshare_client("busy")
+    mig = MigManager(gpu)
+    with pytest.raises(RuntimeError, match="clients are active"):
+        run_gen(env, mig.enable())
+
+
+def test_mig_instance_gets_slice_resources():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    inst = mig.create_instance("1g.5gb")
+    assert inst.sm_count == 14
+    c = inst.client("c0")
+    start = env.now
+    k = compute_kernel(1.0, max_sms=SPEC.sms)
+    done = c.launch(k)
+    env.run(until=done)
+    # 14 of 108 SMs -> 108/14 x the full-device duration.
+    assert env.now - start == pytest.approx(108.0 / 14.0)
+
+
+def test_mig_bandwidth_is_hard_capped():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    inst = mig.create_instance("1g.5gb")
+    c = inst.client("c0")
+    start = env.now
+    done = c.launch(memory_kernel(1.0, max_sms=14))
+    env.run(until=done)
+    # 1g owns 1 of 8 memory slices -> 8x the full-bandwidth duration.
+    assert env.now - start == pytest.approx(8.0)
+
+
+def test_mig_instances_are_isolated():
+    """Work on one instance must not slow another instance at all."""
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    i1 = mig.create_instance("3g.20gb")
+    i2 = mig.create_instance("3g.20gb")
+    c1 = i1.client("c1")
+    c2 = i2.client("c2")
+    start = env.now
+    # A heavy co-tenant on i2...
+    c2.launch(memory_kernel(50.0))
+    # ...must not affect c1's memory-bound kernel.
+    done = c1.launch(memory_kernel(1.0, max_sms=42))
+    env.run(until=done)
+    # 3g owns 4/8 slices -> 2x full-bandwidth duration, co-tenant or not.
+    assert env.now - start == pytest.approx(2.0)
+
+
+def test_mig_slice_capacity_enforced():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    mig.create_instance("4g.20gb")
+    mig.create_instance("3g.20gb")  # 7/7 compute slices now used
+    with pytest.raises(RuntimeError, match="compute slices"):
+        mig.create_instance("1g.5gb")
+
+
+def test_mig_memory_slice_capacity_enforced():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    mig.create_instance("3g.20gb")  # 4 memory slices, 3 compute
+    mig.create_instance("3g.20gb")  # 8 of 8 memory used, 6 of 7 compute
+    with pytest.raises(RuntimeError, match="memory slices"):
+        # 1g still has a free compute slice but no memory slice left.
+        mig.create_instance("1g.5gb")
+
+
+def test_mig_instance_memory_oom():
+    from repro.gpu import GpuOutOfMemory
+
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    inst = mig.create_instance("1g.5gb")
+    c = inst.client("c0")
+    with pytest.raises(GpuOutOfMemory):
+        c.alloc(6e9)  # only 5 GB in a 1g.5gb instance
+
+
+def test_mig_reconfigure_requires_idle_clients():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    inst = mig.create_instance("3g.20gb")
+    inst.client("busy")
+    with pytest.raises(RuntimeError, match="shutting\\s+down all"):
+        run_gen(env, mig.reconfigure(["7g.40gb"]))
+
+
+def test_mig_reconfigure_costs_reset():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    mig.create_instance("3g.20gb")
+    t0 = env.now
+    new = run_gen(env, mig.reconfigure(["2g.10gb", "2g.10gb", "2g.10gb"]))
+    assert env.now - t0 == pytest.approx(SPEC.reset_seconds)
+    assert [i.profile.name for i in new] == ["2g.10gb"] * 3
+
+
+def test_mig_destroy_with_clients_rejected():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    inst = mig.create_instance("1g.5gb")
+    c = inst.client("c")
+    with pytest.raises(RuntimeError, match="clients"):
+        mig.destroy_instance(inst)
+    c.close()
+    mig.destroy_instance(inst)
+    assert mig.instances == []
+
+
+def test_mig_lookup_by_uuid():
+    env, gpu = make_gpu()
+    mig = MigManager(gpu)
+    run_gen(env, mig.enable())
+    inst = mig.create_instance("2g.10gb")
+    assert mig.lookup(inst.uuid) is inst
+    with pytest.raises(KeyError):
+        mig.lookup("MIG-nonexistent")
+
+
+def test_mig_on_non_mig_device_rejected():
+    from repro.gpu import V100_32GB
+
+    env = Environment()
+    gpu = SimulatedGPU(env, V100_32GB)
+    with pytest.raises(RuntimeError, match="does not support MIG"):
+        MigManager(gpu)
+
+
+# ---------------------------------------------------------------------- client
+
+def test_client_close_releases_memory():
+    env, gpu = make_gpu()
+    c = gpu.timeshare_client("c")
+    c.alloc(10e9)
+    assert gpu.memory.used == pytest.approx(10e9)
+    c.close()
+    assert gpu.memory.used == 0.0
+    with pytest.raises(RuntimeError, match="closed"):
+        c.launch(compute_kernel(1.0))
+
+
+def test_client_run_includes_launch_overhead():
+    env, gpu = make_gpu()
+    c = gpu.timeshare_client("c")
+
+    def proc(env):
+        yield from c.run(compute_kernel(1.0))
+
+    env.run(until=env.process(proc(env)))
+    assert env.now == pytest.approx(1.0 + SPEC.launch_overhead)
+
+
+# ------------------------------------------------------------------ utilization
+
+def test_sm_utilization_accounting():
+    env, gpu = make_gpu()
+    c = gpu.timeshare_client("c")
+    done = c.launch(compute_kernel(1.0))
+    env.run(until=done)
+    env.run(until=2.0)  # one busy second, one idle second
+    assert gpu.sm_utilization() == pytest.approx(0.5, rel=1e-3)
+
+
+def test_sm_utilization_small_kernel():
+    env, gpu = make_gpu()
+    c = gpu.timeshare_client("c")
+    k = compute_kernel(1.0, max_sms=27)  # quarter of the device
+    done = c.launch(k)
+    env.run(until=done)
+    assert gpu.sm_utilization() == pytest.approx(27.0 / 108.0, rel=1e-3)

@@ -1,0 +1,84 @@
+"""Unit tests for the HBM allocator."""
+
+import pytest
+
+from repro.gpu import GpuOutOfMemory, MemoryPool
+
+
+def test_basic_alloc_free():
+    pool = MemoryPool(100.0)
+    pool.allocate("a", 40.0)
+    assert pool.used == pytest.approx(40.0)
+    assert pool.free == pytest.approx(60.0)
+    pool.release("a", 40.0)
+    assert pool.used == 0.0
+
+
+def test_oom_raised():
+    pool = MemoryPool(100.0)
+    pool.allocate("a", 80.0)
+    with pytest.raises(GpuOutOfMemory):
+        pool.allocate("b", 30.0)
+    # Failed allocation must not change accounting.
+    assert pool.used == pytest.approx(80.0)
+
+
+def test_four_llama_instances_fit_in_80gb():
+    """The paper's admission arithmetic: four 7B fp16 models in 80 GB."""
+    pool = MemoryPool(80e9)
+    weights = 7e9 * 2  # 14 GB of fp16 weights
+    working = 4e9  # activations + KV cache headroom
+    for i in range(4):
+        pool.allocate(f"llama-{i}", weights + working)
+    with pytest.raises(GpuOutOfMemory):
+        pool.allocate("llama-4", weights + working)
+
+
+def test_release_all_by_owner():
+    pool = MemoryPool(100.0)
+    pool.allocate("a", 30.0)
+    pool.allocate("a", 20.0)
+    freed = pool.release("a")
+    assert freed == pytest.approx(50.0)
+    assert pool.used == 0.0
+    assert "a" not in pool.owners()
+
+
+def test_over_release_rejected():
+    pool = MemoryPool(100.0)
+    pool.allocate("a", 10.0)
+    with pytest.raises(ValueError):
+        pool.release("a", 20.0)
+
+
+def test_release_unknown_owner_is_zero():
+    pool = MemoryPool(100.0)
+    assert pool.release("ghost") == 0.0
+
+
+def test_fits():
+    pool = MemoryPool(100.0)
+    pool.allocate("a", 90.0)
+    assert pool.fits(10.0)
+    assert not pool.fits(11.0)
+
+
+def test_negative_sizes_rejected():
+    pool = MemoryPool(100.0)
+    with pytest.raises(ValueError):
+        pool.allocate("a", -1.0)
+    pool.allocate("a", 5.0)
+    with pytest.raises(ValueError):
+        pool.release("a", -1.0)
+
+
+def test_usage_of():
+    pool = MemoryPool(100.0)
+    pool.allocate("a", 25.0)
+    assert pool.usage_of("a") == pytest.approx(25.0)
+    assert pool.usage_of("b") == 0.0
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        MemoryPool(0.0)

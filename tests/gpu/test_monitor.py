@@ -1,0 +1,67 @@
+"""Tests for the utilization monitor and the Table 1 capability table."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.gpu import (
+    A100_40GB,
+    GpuMonitor,
+    Kernel,
+    MultiplexMode,
+    SimulatedGPU,
+    mode_capabilities,
+)
+
+SPEC = A100_40GB
+
+
+def test_monitor_records_busy_and_idle():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    monitor = GpuMonitor(gpu, interval=1.0)
+    c = gpu.timeshare_client("c")
+    # Full-device kernel for exactly 2 s, then idle for 2 s.
+    k = Kernel(flops=SPEC.fp32_flops * 2, bytes_moved=0.0, max_sms=SPEC.sms,
+               efficiency=1.0)
+    c.launch(k)
+    env.run(until=4.0)
+    utils = [s.sm_utilization for s in monitor.samples]
+    assert utils == pytest.approx([1.0, 1.0, 0.0, 0.0], abs=1e-6)
+    assert monitor.mean_utilization == pytest.approx(0.5, abs=1e-6)
+    assert monitor.idle_fraction() == pytest.approx(0.5)
+
+
+def test_monitor_stop():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    monitor = GpuMonitor(gpu, interval=1.0)
+    env.run(until=2.0)
+    monitor.stop()
+    env.run(until=5.0)
+    assert len(monitor.samples) == 2
+    monitor.stop()  # idempotent
+
+
+def test_monitor_interval_validation():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    with pytest.raises(ValueError):
+        GpuMonitor(gpu, interval=0.0)
+
+
+def test_mode_capability_table_complete():
+    for mode in MultiplexMode:
+        caps = mode_capabilities(mode)
+        assert caps.mode is mode
+        assert caps.description
+        assert caps.drawbacks
+
+
+def test_mode_capability_key_facts():
+    # The facts the evaluation narrative depends on.
+    assert mode_capabilities(MultiplexMode.MPS_DEFAULT).spatial
+    assert not mode_capabilities(MultiplexMode.MPS_DEFAULT).memory_isolation
+    assert mode_capabilities(MultiplexMode.MIG).memory_isolation
+    assert not mode_capabilities(MultiplexMode.MIG).live_reconfigurable
+    assert not mode_capabilities(MultiplexMode.TIME_SHARING).spatial
+    assert not mode_capabilities(MultiplexMode.MPS_PERCENTAGE).live_reconfigurable

@@ -1,0 +1,74 @@
+"""Unit tests for the GPU spec catalog and MIG profile tables."""
+
+import pytest
+
+from repro.gpu import A100_40GB, A100_80GB, H100_80GB, MI210, get_spec
+from repro.gpu.specs import GB
+
+
+def test_a100_datasheet_numbers():
+    # The numbers the paper itself quotes (§3.4).
+    assert A100_40GB.sms == 108
+    assert A100_40GB.fp32_flops == pytest.approx(19.5e12)
+    assert MI210.sms == 104
+    assert MI210.fp32_flops == pytest.approx(22.6e12)
+
+
+def test_flops_per_sm():
+    assert A100_40GB.flops_per_sm == pytest.approx(19.5e12 / 108)
+
+
+def test_mig_profile_names_match_paper():
+    # §4.2 lists 1g.10gb, 2g.20gb, 3g.40gb, 4g.40gb, 7g.80gb for 80 GB;
+    # the grid also carries the double-memory 1g profile (1g.20gb) NVIDIA
+    # provides for memory-heavy single-slice workloads.
+    names = [p.name for p in A100_80GB.mig_profiles]
+    assert names == ["1g.10gb", "1g.20gb", "2g.20gb", "3g.40gb", "4g.40gb",
+                     "7g.80gb"]
+    names40 = [p.name for p in A100_40GB.mig_profiles]
+    assert names40 == ["1g.5gb", "1g.10gb", "2g.10gb", "3g.20gb", "4g.20gb",
+                       "7g.40gb"]
+
+
+def test_mig_profile_sm_counts():
+    # 98 usable SMs / 7 slices = 14 SMs per slice.
+    prof = A100_40GB.profile("1g.5gb")
+    assert prof.sm_count(A100_40GB) == 14
+    assert A100_40GB.profile("3g.20gb").sm_count(A100_40GB) == 42
+    assert A100_40GB.profile("7g.40gb").sm_count(A100_40GB) == 98
+
+
+def test_mig_profile_bandwidth_slices():
+    # 1g gets 1/8 of bandwidth; 3g gets 4/8 (memory-slice asymmetry).
+    spec = A100_40GB
+    assert spec.profile("1g.5gb").bandwidth(spec) == pytest.approx(
+        spec.bandwidth / 8
+    )
+    assert spec.profile("3g.20gb").bandwidth(spec) == pytest.approx(
+        spec.bandwidth / 2
+    )
+
+
+def test_mig_profile_memory_capacity():
+    assert A100_80GB.profile("1g.10gb").memory_bytes == pytest.approx(10 * GB)
+    assert A100_80GB.profile("7g.80gb").memory_bytes == pytest.approx(80 * GB)
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        A100_40GB.profile("5g.99gb")
+
+
+def test_non_mig_device_has_no_profiles():
+    assert MI210.mig_profiles == ()
+    assert not MI210.mig_capable
+
+
+def test_get_spec_roundtrip():
+    assert get_spec("A100-SXM4-40GB") is A100_40GB
+    assert get_spec("H100-SXM5-80GB") is H100_80GB
+
+
+def test_get_spec_unknown():
+    with pytest.raises(KeyError, match="unknown GPU"):
+        get_spec("TPU-v5")

@@ -1,0 +1,140 @@
+"""Tests for CUDA streams and events."""
+
+import pytest
+
+from repro.faas import inject_gpu_error
+from repro.gpu import (
+    A100_40GB,
+    CudaStream,
+    Kernel,
+    MpsControlDaemon,
+    SimulatedGPU,
+)
+from repro.workloads import RESNET50
+from repro.sim import Environment
+
+SPEC = A100_40GB
+
+
+def make_client():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    return env, gpu, daemon.client("c")
+
+
+def kernel(seconds=1.0, max_sms=20):
+    return Kernel(flops=SPEC.flops_per_sm * max_sms * seconds,
+                  bytes_moved=0.0, max_sms=max_sms, efficiency=1.0)
+
+
+def test_same_stream_serialises():
+    env, gpu, client = make_client()
+    stream = CudaStream(client)
+    stream.launch(kernel(1.0))
+    done = stream.launch(kernel(1.0))
+    env.run(until=done)
+    # Both kernels could overlap spatially (20 SMs each), but stream
+    # ordering forbids it.
+    assert env.now == pytest.approx(2.0)
+
+
+def test_different_streams_overlap():
+    env, gpu, client = make_client()
+    s1, s2 = CudaStream(client), CudaStream(client)
+    a = s1.launch(kernel(1.0))
+    b = s2.launch(kernel(1.0))
+    env.run(until=env.all_of([a, b]))
+    assert env.now == pytest.approx(1.0)
+
+
+def test_streams_respect_client_sm_cap():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    client = daemon.client("c", active_thread_percentage=20)  # ~22 SMs
+    s1, s2 = CudaStream(client), CudaStream(client)
+    a = s1.launch(kernel(1.0, max_sms=22))
+    b = s2.launch(kernel(1.0, max_sms=22))
+    env.run(until=env.all_of([a, b]))
+    # Two 22-SM kernels under a 22-SM cap halve each other's rate.
+    assert env.now == pytest.approx(2.0)
+
+
+def test_synchronize_waits_for_all_enqueued():
+    env, gpu, client = make_client()
+    stream = CudaStream(client)
+    for _ in range(3):
+        stream.launch(kernel(1.0))
+    env.run(until=stream.synchronize())
+    assert env.now == pytest.approx(3.0)
+
+
+def test_cross_stream_event_dependency():
+    env, gpu, client = make_client()
+    producer, consumer = CudaStream(client), CudaStream(client)
+    producer.launch(kernel(2.0))
+    marker = producer.record_event()
+    marker.wait_into(consumer)
+    done = consumer.launch(kernel(1.0))
+    env.run(until=done)
+    # Consumer's kernel waited for the producer's 2 s kernel.
+    assert env.now == pytest.approx(3.0)
+    assert marker.completed
+
+
+def test_record_event_captures_position_not_future_work():
+    env, gpu, client = make_client()
+    producer, consumer = CudaStream(client), CudaStream(client)
+    producer.launch(kernel(1.0))
+    marker = producer.record_event()
+    producer.launch(kernel(5.0))  # after the marker
+    marker.wait_into(consumer)
+    done = consumer.launch(kernel(1.0))
+    env.run(until=done)
+    # Consumer waited only for the first kernel (t=1), then ran 1 s.
+    assert env.now == pytest.approx(2.0)
+
+
+def test_stream_error_is_sticky():
+    env, gpu, client = make_client()
+    stream = CudaStream(client)
+    first = stream.launch(kernel(10.0))
+    second = stream.launch(kernel(1.0))
+    env.run(until=2.0)
+    inject_gpu_error(gpu)
+    env.run()
+    assert not first.ok
+    assert not second.ok  # never ran: inherits the stream error
+    assert type(second.value) is type(first.value)
+
+
+def test_launch_group_runs_layers_in_order():
+    env, gpu, client = make_client()
+    stream = CudaStream(client)
+    group = RESNET50.inference_kernels(batch_size=1)
+    done = stream.launch_group(group)
+    env.run(until=done)
+    assert stream.kernels_launched == len(group)
+    # Matches the serial closed-form sum (each layer alone on the GPU).
+    expected = sum(k.duration(SPEC.sms, SPEC.flops_per_sm, SPEC.bandwidth)
+                   for k in group)
+    assert env.now == pytest.approx(expected, rel=1e-4)
+
+
+def test_two_clients_two_streams_fig4_in_miniature():
+    """Streams from different MPS clients overlap like Fig. 4's models."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    dones = []
+    for i in range(2):
+        client = daemon.client(f"c{i}", active_thread_percentage=50)
+        stream = CudaStream(client)
+        for _ in range(3):
+            dones.append(stream.launch(kernel(1.0)))
+    env.run(until=env.all_of(dones))
+    assert env.now == pytest.approx(3.0)  # fully overlapped pipelines

@@ -1,0 +1,96 @@
+"""Tests for quantum-based time-slicing (the default-scheduling model)."""
+
+import pytest
+
+from repro.gpu import A100_40GB, CudaStream, Kernel, SimulatedGPU
+from repro.sim import Environment
+
+SPEC = A100_40GB
+QUANTUM = SPEC.timeslice_quantum_seconds
+SWITCH = SPEC.timeslice_switch_seconds
+
+
+def tiny_kernel(seconds):
+    return Kernel(flops=SPEC.fp32_flops * seconds, bytes_moved=0.0,
+                  max_sms=SPEC.sms, efficiency=1.0)
+
+
+def test_same_client_kernels_share_a_quantum():
+    """Many tiny kernels of one client pay no context switches."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    client = gpu.timeshare_client("c")
+    stream = CudaStream(client)
+    n = 10
+    each = QUANTUM / 20  # 10 kernels fit well inside one quantum
+    done = None
+    for _ in range(n):
+        done = stream.launch(tiny_kernel(each))
+    env.run(until=done)
+    assert env.now == pytest.approx(n * each, rel=1e-6)
+
+
+def test_two_clients_alternate_per_quantum_not_per_kernel():
+    """With tiny kernels, switches happen per quantum, not per kernel."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    a = gpu.timeshare_client("a")
+    b = gpu.timeshare_client("b")
+    each = QUANTUM / 4  # 4 kernels per quantum
+    n = 8  # two quanta of work per client
+    dones = []
+    for client in (a, b):
+        stream = CudaStream(client)
+        for _ in range(n):
+            dones.append(stream.launch(tiny_kernel(each)))
+    env.run(until=env.all_of(dones))
+    total_work = 2 * n * each
+    # Rough switch accounting: ~4 quantum rotations => ~4 switches, far
+    # fewer than the 16 per-kernel switches the naive model would charge.
+    overhead = env.now - total_work
+    assert overhead <= 6 * SWITCH
+    assert overhead >= 1 * SWITCH  # but switching is not free either
+
+
+def test_long_kernel_exceeds_quantum_without_preemption():
+    """Kernels are non-preemptible: a long kernel overruns its quantum."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    a = gpu.timeshare_client("a")
+    b = gpu.timeshare_client("b")
+    long_done = a.launch(tiny_kernel(50 * QUANTUM))
+    short_done = b.launch(tiny_kernel(QUANTUM / 2))
+    env.run(until=env.all_of([long_done, short_done]))
+    # b had to wait for the whole long kernel plus one switch.
+    assert env.now == pytest.approx(50 * QUANTUM + SWITCH + QUANTUM / 2,
+                                    rel=1e-6)
+
+
+def test_work_conserving_when_one_client_idles():
+    """A lone client keeps the GPU continuously (no artificial slicing)."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    client = gpu.timeshare_client("only")
+    stream = CudaStream(client)
+    done = None
+    for _ in range(5):
+        done = stream.launch(tiny_kernel(QUANTUM))
+    env.run(until=done)
+    assert env.now == pytest.approx(5 * QUANTUM, rel=1e-6)
+
+
+def test_fairness_over_many_quanta():
+    """Two equal clients finish equal work at (almost) the same time."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    finish = {}
+    for name in ("a", "b"):
+        client = gpu.timeshare_client(name)
+        stream = CudaStream(client)
+        done = None
+        for _ in range(20):
+            done = stream.launch(tiny_kernel(QUANTUM / 2))
+        done.callbacks.append(
+            lambda ev, n=name: finish.__setitem__(n, env.now))
+    env.run()
+    assert abs(finish["a"] - finish["b"]) <= 2 * (QUANTUM + SWITCH)

@@ -1,0 +1,87 @@
+"""Behavioural tests for the vGPU model."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.gpu import A100_40GB, Kernel, SimulatedGPU, VgpuManager
+from repro.gpu.vgpu import VGPU_SCHEDULING_EFFICIENCY
+
+SPEC = A100_40GB
+
+
+def make_vgpu(num_vms=2):
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    return env, gpu, VgpuManager(gpu, num_vms)
+
+
+def full_kernel(seconds=1.0):
+    flops = SPEC.fp32_flops * seconds
+    return Kernel(flops=flops, bytes_moved=0.0, max_sms=SPEC.sms, efficiency=1.0)
+
+
+def test_vgpu_memory_is_homogeneous():
+    env, gpu, mgr = make_vgpu(4)
+    for vm in mgr.vms:
+        assert vm.group.memory.capacity == pytest.approx(SPEC.memory_bytes / 4)
+
+
+def test_single_vm_pays_scheduling_overhead():
+    env, gpu, mgr = make_vgpu(2)
+    c = mgr.vm(0).client("c")
+    done = c.launch(full_kernel(1.0))
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0 / VGPU_SCHEDULING_EFFICIENCY)
+
+
+def test_two_active_vms_split_compute():
+    env, gpu, mgr = make_vgpu(2)
+    a = mgr.vm(0).client("a")
+    b = mgr.vm(1).client("b")
+    a.launch(full_kernel(1.0))
+    done = b.launch(full_kernel(1.0))
+    env.run(until=done)
+    assert env.now == pytest.approx(2.0 / VGPU_SCHEDULING_EFFICIENCY)
+
+
+def test_idle_vm_does_not_consume_share():
+    """Only *active* VMs count toward the fair split (work conserving)."""
+    env, gpu, mgr = make_vgpu(4)
+    c = mgr.vm(0).client("c")
+    done = c.launch(full_kernel(1.0))
+    env.run(until=done)
+    # The other three VMs are idle, so vm0 gets the whole device.
+    assert env.now == pytest.approx(1.0 / VGPU_SCHEDULING_EFFICIENCY)
+
+
+def test_processes_within_vm_timeshare():
+    env, gpu, mgr = make_vgpu(1)
+    a = mgr.vm(0).client("a")
+    b = mgr.vm(0).client("b")
+    a.launch(full_kernel(1.0))
+    done = b.launch(full_kernel(1.0))
+    env.run(until=done)
+    expected = 2.0 / VGPU_SCHEDULING_EFFICIENCY + SPEC.timeslice_switch_seconds
+    assert env.now == pytest.approx(expected)
+
+
+def test_vm_restart_requires_idle():
+    env, gpu, mgr = make_vgpu(2)
+    c = mgr.vm(0).client("c")
+    with pytest.raises(RuntimeError, match="close"):
+        env.run(until=env.process(mgr.vm(0).restart()))
+
+
+def test_vgpu_with_live_clients_rejected():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    gpu.timeshare_client("bare")
+    with pytest.raises(RuntimeError, match="bare-metal"):
+        VgpuManager(gpu, 2)
+
+
+def test_invalid_vm_count():
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    with pytest.raises(ValueError):
+        VgpuManager(gpu, 0)

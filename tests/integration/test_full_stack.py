@@ -1,0 +1,201 @@
+"""Integration tests: full FaaS-over-GPU scenarios spanning modules."""
+
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    ComputeNode,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    LocalProvider,
+    MonitoringHub,
+    StaticProvider,
+    gpu_app,
+    python_app,
+)
+from repro.gpu import A100_40GB, A100_80GB, GpuOutOfMemory, Kernel
+from repro.partition import EqualSharePolicy, GpuPartitionManager, WeightCache
+from repro.sim import Environment
+from repro.workloads import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+FP16 = InferenceRuntime(dtype_bytes=2)
+
+
+def small_kernel(seconds=1.0, max_sms=20):
+    return Kernel(flops=A100_40GB.flops_per_sm * max_sms * seconds,
+                  bytes_moved=0.0, max_sms=max_sms, efficiency=1.0)
+
+
+def test_mixed_cpu_gpu_pipeline_with_monitoring():
+    """CPU preprocessing feeding GPU inference, fully monitored."""
+    hub = MonitoringHub()
+    config = Config(
+        executors=[
+            HighThroughputExecutor(label="cpu", max_workers=4,
+                                   cold_start=NO_COLD),
+            HighThroughputExecutor(
+                label="gpu", available_accelerators=["0", "0"],
+                gpu_percentage=[50, 50], cold_start=NO_COLD,
+                provider=LocalProvider(cores=8, gpu_specs=[A100_40GB])),
+        ],
+        monitoring=hub,
+    )
+    dfk = DataFlowKernel(config)
+
+    @python_app(executors=["cpu"], walltime=1.0, dfk=dfk)
+    def preprocess(i):
+        return i * 2
+
+    @gpu_app(executors=["gpu"], dfk=dfk)
+    def infer(ctx, x):
+        yield ctx.launch(small_kernel(0.5))
+        return x + 1
+
+    results = dfk.wait([infer(preprocess(i)) for i in range(6)])
+    assert results == [2 * i + 1 for i in range(6)]
+    assert hub.app_stats("preprocess")["completed"] == 6
+    assert hub.app_stats("infer")["completed"] == 6
+    assert set(hub.executors()) == {"cpu", "gpu"}
+
+
+def test_gpu_oom_triggers_retry_then_fails():
+    """An app that over-allocates fails cleanly through the retry path."""
+    config = Config(
+        executors=[HighThroughputExecutor(
+            label="gpu", available_accelerators=["0"], cold_start=NO_COLD,
+            provider=LocalProvider(cores=4, gpu_specs=[A100_40GB]))],
+        retries=1,
+    )
+    dfk = DataFlowKernel(config)
+
+    @gpu_app(dfk=dfk)
+    def hog(ctx):
+        ctx.gpu.alloc(100e9)  # 100 GB on a 40 GB device
+        yield ctx.sleep(0)
+
+    fut = hog()
+    dfk.run()
+    assert isinstance(fut.exception(), GpuOutOfMemory)
+    assert fut.task.tries == 2  # original + one retry
+
+
+def test_partition_manager_to_executor_roundtrip():
+    """policy -> manager -> executor config -> workers -> partitions."""
+    env = Environment()
+    node = ComputeNode(env, cores=8, gpu_specs=[A100_80GB])
+    manager = GpuPartitionManager(node)
+    htex_config = manager.apply_mps_policy(EqualSharePolicy(4))
+    executor = HighThroughputExecutor(
+        label="gpu",
+        available_accelerators=htex_config.available_accelerators,
+        gpu_percentage=htex_config.gpu_percentage,
+        provider=StaticProvider([node]),
+        cold_start=NO_COLD,
+    )
+    dfk = DataFlowKernel(Config(executors=[executor]), env=env)
+
+    @gpu_app(dfk=dfk)
+    def whoami(ctx):
+        yield ctx.sleep(0)
+        return ctx.gpu.sm_cap
+
+    caps = dfk.wait([whoami() for _ in range(4)])
+    assert caps == [27, 27, 27, 27]  # 25% of 108 SMs each
+
+
+def test_weight_cache_shared_across_workers():
+    """Two workers on the same GPU share one cached copy of the model."""
+    env = Environment()
+    node = ComputeNode(env, cores=8, gpu_specs=[A100_80GB])
+    node.weight_cache = WeightCache()
+    node.start_mps()
+    executor = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0", "0"],
+        gpu_percentage=[50, 50], provider=StaticProvider([node]),
+        cold_start=NO_COLD)
+    dfk = DataFlowKernel(Config(executors=[executor]), env=env)
+    llm = LlamaInference(LLAMA2_7B, FP16)
+
+    @gpu_app(dfk=dfk)
+    def serve(ctx):
+        hit = yield from ctx.load_model("llama", llm.memory_per_gpu,
+                                        llm.load_seconds)
+        return hit
+
+    hits = dfk.wait([serve(), serve()])
+    # One worker missed (streamed the weights), the other hit the cache.
+    assert sorted(hits) == [False, True]
+    assert node.gpus[0].memory.used == pytest.approx(llm.memory_per_gpu)
+    assert node.weight_cache.hits == 1
+
+
+def test_two_gpu_node_spreads_workers():
+    """Workers bind round-robin across the node's two GPUs."""
+    executor = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0", "1"],
+        provider=LocalProvider(cores=24, gpu_specs=[A100_40GB, A100_40GB]),
+        cold_start=NO_COLD)
+    dfk = DataFlowKernel(Config(executors=[executor]))
+
+    @gpu_app(dfk=dfk)
+    def device_name(ctx):
+        yield ctx.sleep(0)
+        return ctx.gpu.device.name
+
+    names = set(dfk.wait([device_name(), device_name()]))
+    assert len(names) == 2
+
+
+def test_timesharing_vs_mps_on_the_same_workload():
+    """End-to-end sanity of the paper's core claim at small scale."""
+
+    def run(gpu_percentage):
+        executor = HighThroughputExecutor(
+            label="gpu", available_accelerators=["0", "0"],
+            gpu_percentage=gpu_percentage, cold_start=NO_COLD,
+            provider=LocalProvider(cores=8, gpu_specs=[A100_40GB]))
+        dfk = DataFlowKernel(Config(executors=[executor]))
+
+        @gpu_app(dfk=dfk)
+        def work(ctx):
+            for _ in range(5):
+                yield ctx.launch(small_kernel(0.2, max_sms=20))
+                yield ctx.compute(0.05)
+
+        dfk.wait([work(), work()])
+        return dfk.env.now
+
+    t_timeshare = run(None)
+    t_mps = run([50, 50])
+    assert t_mps < t_timeshare  # spatial sharing wins
+
+
+def test_app_chain_across_executors_with_slurm():
+    """A SLURM-provisioned GPU executor joins mid-simulation."""
+    from repro.faas import SlurmProvider
+
+    cpu = HighThroughputExecutor(label="cpu", max_workers=2,
+                                 cold_start=NO_COLD)
+    gpu = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0"], cold_start=NO_COLD,
+        provider=SlurmProvider(nodes=1, cores_per_node=8,
+                               gpu_specs=[A100_40GB],
+                               queue_wait_seconds=30.0))
+    dfk = DataFlowKernel(Config(executors=[cpu, gpu]))
+
+    @python_app(executors=["cpu"], walltime=1.0, dfk=dfk)
+    def prep():
+        return 10
+
+    @gpu_app(executors=["gpu"], dfk=dfk)
+    def accel(ctx, x):
+        yield ctx.launch(small_kernel(1.0))
+        return x * 2
+
+    fut = accel(prep())
+    dfk.run()
+    assert fut.result() == 20
+    # GPU work could only start after the 30 s queue wait.
+    assert fut.task.start_time >= 30.0

@@ -1,0 +1,254 @@
+"""Tests for the Kubernetes-style orchestrator and device plugins."""
+
+import pytest
+
+from repro.faas import ComputeNode
+from repro.gpu import A100_40GB, Kernel
+from repro.k8s import (
+    Cluster,
+    MigDevicePlugin,
+    Pod,
+    PodPhase,
+    ResourceSpec,
+    TimeSlicingPlugin,
+    WholeGpuPlugin,
+)
+from repro.sim import Environment
+
+GPU = "nvidia.com/gpu"
+
+
+def small_kernel(seconds=1.0, max_sms=20):
+    return Kernel(flops=A100_40GB.flops_per_sm * max_sms * seconds,
+                  bytes_moved=0.0, max_sms=max_sms, efficiency=1.0)
+
+
+def make_cluster(plugin=None, gpus=1, cores=8, nodes=1):
+    env = Environment()
+    compute = [ComputeNode(env, cores=cores, gpu_specs=[A100_40GB] * gpus)
+               for _ in range(nodes)]
+    return env, compute, Cluster(env, compute, plugin=plugin)
+
+
+# -------------------------------------------------------------- resources
+
+def test_resource_spec_arithmetic():
+    a = ResourceSpec(cpu=2.0, extended={GPU: 1})
+    b = ResourceSpec(cpu=1.0, extended={GPU: 1})
+    assert b.fits_within(a)
+    assert not a.fits_within(b)
+    total = a.plus(b)
+    assert total.cpu == 3.0 and total.extended[GPU] == 2
+    back = total.minus(b)
+    assert back.cpu == 2.0 and back.extended[GPU] == 1
+    with pytest.raises(ValueError):
+        b.minus(a)
+
+
+def test_resource_spec_validation():
+    with pytest.raises(ValueError):
+        ResourceSpec(cpu=-1.0)
+    with pytest.raises(ValueError):
+        ResourceSpec(extended={GPU: -1})
+
+
+def test_pod_validation():
+    with pytest.raises(ValueError, match="exactly one"):
+        Pod("p", ResourceSpec(cpu=1.0))
+    with pytest.raises(ValueError, match="exactly one"):
+        Pod("p", ResourceSpec(cpu=1.0), duration=1.0,
+            main=lambda ctx: iter(()))
+
+
+# ---------------------------------------------------------------- scheduling
+
+def test_cpu_pods_schedule_and_finish():
+    env, _, cluster = make_cluster(cores=4)
+    pods = [cluster.submit(Pod(f"p{i}", ResourceSpec(cpu=1.0), duration=5.0))
+            for i in range(4)]
+    cluster.run_until_done()
+    assert all(p.phase is PodPhase.SUCCEEDED for p in pods)
+    # All four fit at once on the 4-core node.
+    assert max(p.start_time for p in pods) < 1.0
+
+
+def test_cpu_contention_queues_pods():
+    env, _, cluster = make_cluster(cores=2)
+    pods = [cluster.submit(Pod(f"p{i}", ResourceSpec(cpu=2.0), duration=5.0))
+            for i in range(3)]
+    cluster.run_until_done()
+    starts = sorted(p.start_time for p in pods)
+    assert starts[1] >= 5.0 and starts[2] >= 10.0
+    assert cluster.preempted_schedule_attempts > 0
+
+
+def test_spreading_across_nodes():
+    env, computes, cluster = make_cluster(cores=4, nodes=2)
+    pods = [cluster.submit(Pod(f"p{i}", ResourceSpec(cpu=2.0), duration=3.0))
+            for i in range(2)]
+    cluster.run_until_done()
+    assert {p.node_name for p in pods} == {c.name for c in computes}
+
+
+def test_most_allocated_strategy_bin_packs():
+    env = Environment()
+    computes = [ComputeNode(env, cores=4) for _ in range(2)]
+    cluster = Cluster(env, computes, strategy="most-allocated")
+    pods = [cluster.submit(Pod(f"p{i}", ResourceSpec(cpu=1.0), duration=3.0))
+            for i in range(3)]
+    cluster.run_until_done()
+    # All three pods pack onto one node; the other stays empty.
+    assert len({p.node_name for p in pods}) == 1
+
+
+def test_unknown_strategy_rejected():
+    env = Environment()
+    node = ComputeNode(env, cores=2)
+    with pytest.raises(ValueError, match="unknown strategy"):
+        Cluster(env, [node], strategy="random")
+
+
+def test_failing_pod_marked_failed_and_resources_released():
+    env, _, cluster = make_cluster(cores=2)
+
+    def bad(ctx):
+        yield ctx.env.timeout(1.0)
+        raise RuntimeError("container crashed")
+
+    failed = cluster.submit(Pod("bad", ResourceSpec(cpu=2.0), main=bad))
+    ok = cluster.submit(Pod("ok", ResourceSpec(cpu=2.0), duration=1.0))
+    cluster.run_until_done()
+    assert failed.phase is PodPhase.FAILED
+    assert isinstance(failed.failure, RuntimeError)
+    assert ok.phase is PodPhase.SUCCEEDED  # got the freed cpu
+
+
+# ------------------------------------------------------------ whole-GPU plugin
+
+def test_whole_gpu_plugin_serialises_pods():
+    """The intro's limitation: 1 GPU = 1 pod, however small the pods."""
+    env, _, cluster = make_cluster(plugin=WholeGpuPlugin(), gpus=1)
+
+    def tiny_gpu_work(ctx):
+        yield ctx.gpu.launch(small_kernel(2.0, max_sms=20))
+
+    pods = [cluster.submit(Pod(
+        f"infer{i}", ResourceSpec(cpu=1.0, extended={GPU: 1}),
+        main=tiny_gpu_work)) for i in range(3)]
+    cluster.run_until_done()
+    starts = sorted(p.start_time for p in pods)
+    # Strictly one at a time despite the GPU being 80% idle.
+    assert starts[1] >= 2.0 and starts[2] >= 4.0
+
+
+def test_whole_gpu_plugin_advertises_gpu_count():
+    env = Environment()
+    node = ComputeNode(env, cores=4, gpu_specs=[A100_40GB, A100_40GB])
+    assert WholeGpuPlugin().advertise(node) == {GPU: 2}
+    cpu_node = ComputeNode(env, cores=4)
+    assert WholeGpuPlugin().advertise(cpu_node) == {}
+
+
+# ----------------------------------------------------------- time-slicing
+
+def test_time_slicing_plugin_shares_temporally():
+    env, _, cluster = make_cluster(plugin=TimeSlicingPlugin(replicas=4))
+
+    def gpu_work(ctx):
+        yield ctx.gpu.launch(small_kernel(2.0))
+
+    pods = [cluster.submit(Pod(
+        f"infer{i}", ResourceSpec(cpu=1.0, extended={GPU: 1}),
+        main=gpu_work)) for i in range(4)]
+    cluster.run_until_done()
+    # All start immediately (4 replicas advertised)...
+    assert max(p.start_time for p in pods) < 1.0
+    # ...but kernels serialize on the device (plus context switches).
+    assert max(p.end_time for p in pods) >= 8.0
+
+
+def test_time_slicing_replica_limit():
+    env, _, cluster = make_cluster(plugin=TimeSlicingPlugin(replicas=2))
+    pods = [cluster.submit(Pod(
+        f"p{i}", ResourceSpec(cpu=1.0, extended={GPU: 1}), duration=5.0))
+        for i in range(3)]
+    cluster.run_until_done()
+    starts = sorted(p.start_time for p in pods)
+    assert starts[2] >= 5.0  # only two replicas -> third pod waits
+    with pytest.raises(ValueError):
+        TimeSlicingPlugin(replicas=0)
+
+
+# ------------------------------------------------------------------- MIG
+
+def make_mig_cluster(profiles):
+    env = Environment()
+    node = ComputeNode(env, cores=8, gpu_specs=[A100_40GB])
+    mig = node.mig_manager(0)
+    env.run(until=env.process(mig.enable()))
+    for profile in profiles:
+        mig.create_instance(profile)
+    cluster = Cluster(env, [node], plugin=MigDevicePlugin())
+    return env, node, cluster
+
+
+def test_mig_plugin_advertises_instances():
+    env, node, cluster = make_mig_cluster(["2g.10gb", "2g.10gb", "1g.5gb"])
+    advertised = MigDevicePlugin().advertise(node)
+    assert advertised == {"nvidia.com/mig-2g.10gb": 2,
+                          "nvidia.com/mig-1g.5gb": 1}
+
+
+def test_mig_pods_run_spatially_isolated():
+    env, node, cluster = make_mig_cluster(["2g.10gb", "2g.10gb"])
+
+    def gpu_work(ctx):
+        yield ctx.gpu.launch(small_kernel(2.0, max_sms=20))
+        return ctx.gpu.group.name
+
+    pods = [cluster.submit(Pod(
+        f"infer{i}",
+        ResourceSpec(cpu=1.0, extended={"nvidia.com/mig-2g.10gb": 1}),
+        main=gpu_work)) for i in range(2)]
+    cluster.run_until_done()
+    assert all(p.phase is PodPhase.SUCCEEDED for p in pods)
+    # Concurrent (same scheduling round), each on its own instance.
+    starts = [p.start_time for p in pods]
+    assert max(starts) - min(starts) < 0.5
+    assert pods[0].result != pods[1].result
+    # 20-SM kernel on a 28-SM slice runs at full speed: ~2 s each.
+    assert max(p.wall_seconds for p in pods) < 2.5
+
+
+def test_mig_pod_waits_for_free_instance():
+    env, node, cluster = make_mig_cluster(["3g.20gb"])
+    pods = [cluster.submit(Pod(
+        f"p{i}", ResourceSpec(cpu=1.0,
+                              extended={"nvidia.com/mig-3g.20gb": 1}),
+        duration=4.0)) for i in range(2)]
+    cluster.run_until_done()
+    starts = sorted(p.start_time for p in pods)
+    assert starts[1] >= 4.0
+
+
+def test_mig_pod_unknown_profile_never_schedules():
+    env, node, cluster = make_mig_cluster(["3g.20gb"])
+    pod = cluster.submit(Pod(
+        "p", ResourceSpec(extended={"nvidia.com/mig-7g.40gb": 1}),
+        duration=1.0))
+    with pytest.raises(TimeoutError):
+        cluster.run_until_done(max_seconds=50.0)
+    assert pod.phase is PodPhase.PENDING
+
+
+def test_cluster_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Cluster(env, [])
+    node = ComputeNode(env, cores=2)
+    cluster = Cluster(env, [node])
+    pod = Pod("p", ResourceSpec(cpu=1.0), duration=1.0)
+    cluster.submit(pod)
+    with pytest.raises(ValueError, match="already"):
+        pod.phase = PodPhase.RUNNING
+        cluster.submit(pod)

@@ -1,0 +1,155 @@
+"""Tests for the demand-driven partition autoscaler (§7)."""
+
+import pytest
+
+from repro.faas import ColdStartModel, ComputeNode
+from repro.gpu import A100_40GB
+from repro.partition import ManagedFunction, PartitionAutoscaler
+from repro.partition.reconfig import ReconfigurationPlanner
+from repro.sim import Environment
+
+FAST_COLD = ColdStartModel(function_init_seconds=0.5, gpu_context_seconds=0.5)
+
+
+def latency_law(serial=0.05, work=2.0, saturation=40):
+    """A latency(sms) law shaped like the Fig. 2 curve."""
+    return lambda sms: work / min(sms, saturation) + serial
+
+
+def make_stack(n_functions=2, slo=0.2, **scaler_kwargs):
+    env = Environment()
+    node = ComputeNode(env, cores=8, gpu_specs=[A100_40GB])
+    node.start_mps()
+    functions = []
+    for i in range(n_functions):
+        client = node.mps_daemons[0].client(
+            f"fn{i}", active_thread_percentage=round(100 / n_functions))
+        functions.append(ManagedFunction(
+            name=f"fn{i}",
+            client=client,
+            latency_fn=latency_law(),
+            slo_seconds=slo,
+            model_key=f"model{i}",
+            model_bytes=1e9,
+            model_load_seconds=2.0,
+        ))
+    planner = ReconfigurationPlanner(A100_40GB, FAST_COLD)
+    scaler = PartitionAutoscaler(node, functions, planner=planner,
+                                 **scaler_kwargs)
+    return env, node, functions, scaler
+
+
+def test_required_sms_scales_with_demand():
+    env, node, fns, scaler = make_stack()
+    fn = fns[0]
+    scaler.set_demand("fn0", 0.0)
+    assert scaler.required_sms(fn) == 1
+    scaler.set_demand("fn0", 2.0)
+    low = scaler.required_sms(fn)
+    scaler.set_demand("fn0", 8.0)
+    high = scaler.required_sms(fn)
+    assert high > low >= 1
+    # The chosen allocation meets both the SLO and the stability ceiling.
+    latency = fn.latency_fn(high)
+    assert latency <= fn.slo_seconds
+    assert 8.0 * latency <= scaler.utilization_ceiling + 1e-9
+
+
+def test_infeasible_slo_gives_whole_gpu():
+    env, node, fns, scaler = make_stack(slo=0.0001)
+    scaler.set_demand("fn0", 1.0)
+    assert scaler.required_sms(fns[0]) == A100_40GB.sms
+
+
+def test_desired_percentages_normalised():
+    env, node, fns, scaler = make_stack()
+    scaler.set_demand("fn0", 12.0)
+    scaler.set_demand("fn1", 12.0)
+    pct = scaler.desired_percentages()
+    assert sum(pct.values()) <= 120  # bounded even when oversubscribed
+    assert all(p >= scaler.min_percentage for p in pct.values())
+
+
+def test_autoscaler_repartitions_on_demand_shift():
+    env, node, fns, scaler = make_stack(
+        interval_seconds=10.0, cooldown_seconds=0.0)
+    scaler.set_demand("fn0", 10.0)
+    scaler.set_demand("fn1", 0.5)
+    scaler.start()
+    env.run(until=25.0)
+    assert scaler.reconfigurations >= 1
+    current = scaler.current_percentages()
+    assert current["fn0"] > current["fn1"]
+    # The repartition replaced the client objects.
+    assert fns[0].client.sm_cap > fns[1].client.sm_cap
+
+
+def test_autoscaler_stable_demand_no_thrashing():
+    env, node, fns, scaler = make_stack(
+        interval_seconds=10.0, cooldown_seconds=0.0)
+    scaler.set_demand("fn0", 5.0)
+    scaler.set_demand("fn1", 5.0)
+    scaler.start()
+    env.run(until=100.0)
+    first = scaler.reconfigurations
+    env.run(until=300.0)
+    # After converging, no further repartitions occur.
+    assert scaler.reconfigurations == first
+    assert any(not d.applied and d.reason == "within threshold"
+               for d in scaler.decisions)
+
+
+def test_cooldown_blocks_rapid_changes():
+    env, node, fns, scaler = make_stack(
+        interval_seconds=5.0, cooldown_seconds=1000.0)
+    scaler.set_demand("fn0", 10.0)
+    scaler.start()
+    env.run(until=12.0)
+    applied = [d for d in scaler.decisions if d.applied]
+    assert len(applied) <= 1
+    # Flip demand: the change is deferred by the cooldown.
+    scaler.set_demand("fn0", 0.1)
+    scaler.set_demand("fn1", 10.0)
+    env.run(until=30.0)
+    assert any(d.reason == "cooldown" for d in scaler.decisions)
+
+
+def test_autoscaler_downtime_accounted():
+    env, node, fns, scaler = make_stack(
+        interval_seconds=10.0, cooldown_seconds=0.0)
+    scaler.set_demand("fn0", 10.0)
+    scaler.start()
+    env.run(until=40.0)
+    if scaler.reconfigurations:
+        assert scaler.reconfiguration_downtime > 0
+
+
+def test_autoscaler_stop():
+    env, node, fns, scaler = make_stack(interval_seconds=10.0)
+    scaler.start()
+    env.run(until=15.0)
+    scaler.stop()
+    decisions = len(scaler.decisions)
+    env.run(until=100.0)
+    assert len(scaler.decisions) == decisions
+    scaler.stop()  # idempotent
+
+
+def test_validation():
+    env = Environment()
+    node = ComputeNode(env, cores=4, gpu_specs=[A100_40GB])
+    node.start_mps()
+    client = node.mps_daemons[0].client("f", 50)
+    fn = ManagedFunction("f", client, latency_law(), slo_seconds=1.0)
+    with pytest.raises(ValueError, match="at least one"):
+        PartitionAutoscaler(node, [])
+    with pytest.raises(ValueError, match="unique"):
+        PartitionAutoscaler(node, [fn, fn])
+    with pytest.raises(ValueError):
+        ManagedFunction("g", client, latency_law(), slo_seconds=0.0)
+    scaler = PartitionAutoscaler(node, [fn])
+    with pytest.raises(ValueError):
+        scaler.set_demand("f", -1.0)
+    with pytest.raises(RuntimeError, match="already started"):
+        scaler.start()
+        scaler.start()

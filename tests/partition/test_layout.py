@@ -1,0 +1,144 @@
+"""Tests for heterogeneous MIG layout planning and nested MPS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100_80GB, A100_40GB, Kernel, MI210, MigManager, SimulatedGPU
+from repro.partition import WorkloadRequirement, plan_mig_layout
+from repro.sim import Environment
+
+
+def req(name, sms, memory_gb=0.0):
+    return WorkloadRequirement(name, min_sms=sms,
+                               min_memory_bytes=memory_gb * 1e9)
+
+
+def test_single_small_workload_gets_smallest_profile():
+    plan = plan_mig_layout(A100_80GB, [req("tiny", 10)])
+    assert plan.profile_for("tiny") == "1g.10gb"
+    assert plan.leftover_profile is not None
+
+
+def test_memory_floor_upgrades_profile():
+    """A 17.5 GB model cannot live in 1g.10gb -> the planner picks the
+    double-memory 1g.20gb (same compute cost)."""
+    plan = plan_mig_layout(A100_80GB, [req("llama", 10, memory_gb=17.5)])
+    assert plan.profile_for("llama") == "1g.20gb"
+
+
+def test_sm_requirement_drives_compute_slices():
+    plan = plan_mig_layout(A100_80GB, [req("wide", 50)])
+    # 50 SMs needs >= 4 compute slices (14 SMs each).
+    assert plan.profile_for("wide") == "4g.40gb"
+
+
+def test_heterogeneous_mix():
+    plan = plan_mig_layout(A100_80GB, [
+        req("llm", 28, memory_gb=17.5),   # 2 slices of compute, 20 GB
+        req("cnn", 14, memory_gb=2.0),    # 1 slice
+        req("emulator", 40, memory_gb=8)  # 3 slices
+    ])
+    assert plan.profile_for("llm") in ("2g.20gb", "3g.40gb")
+    assert plan.profile_for("cnn") == "1g.10gb"
+    assert plan.profile_for("emulator") in ("3g.40gb", "4g.40gb")
+    assert plan.used_compute_slices <= 7
+    assert plan.used_memory_slices <= 8
+
+
+def test_minimum_footprint_leaves_room():
+    plan = plan_mig_layout(A100_80GB, [req("a", 14), req("b", 14)])
+    # Two 1g instances: 5 compute slices remain -> a 4g profile fits.
+    assert plan.used_compute_slices == 2
+    assert plan.leftover_profile == "4g.40gb"
+
+
+def test_full_gpu_has_no_leftover():
+    plan = plan_mig_layout(A100_80GB, [req("everything", 98)])
+    assert plan.profile_for("everything") == "7g.80gb"
+    assert plan.leftover_profile is None
+
+
+def test_infeasible_workload_diagnosed():
+    with pytest.raises(ValueError, match="no A100.*MIG.*profile provides"):
+        plan_mig_layout(A100_80GB, [req("huge", 14, memory_gb=200)])
+
+
+def test_infeasible_combination_diagnosed():
+    with pytest.raises(ValueError, match="slice budgets"):
+        plan_mig_layout(A100_80GB, [req(f"w{i}", 42) for i in range(3)])
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="does not support MIG"):
+        plan_mig_layout(MI210, [req("x", 1)])
+    with pytest.raises(ValueError, match="no workload"):
+        plan_mig_layout(A100_80GB, [])
+    with pytest.raises(ValueError, match="unique"):
+        plan_mig_layout(A100_80GB, [req("x", 1), req("x", 1)])
+    with pytest.raises(ValueError):
+        WorkloadRequirement("x", min_sms=0)
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=1, max_value=98),
+              st.floats(min_value=0.0, max_value=80.0)),
+    min_size=1, max_size=5))
+@settings(max_examples=60)
+def test_layout_plans_always_satisfy_requirements(reqs_spec):
+    requirements = [req(f"w{i}", sms, mem)
+                    for i, (sms, mem) in enumerate(reqs_spec)]
+    try:
+        plan = plan_mig_layout(A100_80GB, requirements)
+    except ValueError:
+        return  # infeasible is a legal outcome
+    assert plan.used_compute_slices <= A100_80GB.mig_compute_slices
+    assert plan.used_memory_slices <= A100_80GB.mig_memory_slices
+    for requirement in requirements:
+        profile = A100_80GB.profile(plan.profile_for(requirement.name))
+        assert profile.sm_count(A100_80GB) >= requirement.min_sms
+        assert profile.memory_bytes >= requirement.min_memory_bytes
+
+
+# ------------------------------------------------------- MPS inside MIG
+
+def test_mps_inside_a_mig_instance():
+    """Nested sharing: two percentage-capped clients within one 3g slice."""
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    mig = MigManager(gpu)
+    env.run(until=env.process(mig.enable()))
+    instance = mig.create_instance("3g.20gb")  # 42 SMs
+    daemon = instance.enable_mps()
+    a = daemon.client("a", active_thread_percentage=50)
+    b = daemon.client("b", active_thread_percentage=50)
+    assert a.sm_cap == 21 and b.sm_cap == 21
+
+    spec = A100_40GB
+    kernel = Kernel(flops=spec.flops_per_sm * 21, bytes_moved=0.0,
+                    max_sms=21, efficiency=1.0)
+    done_a = a.launch(kernel)
+    done_b = b.launch(kernel)
+    env.run(until=env.all_of([done_a, done_b]))
+    # Both 21-SM kernels fit the 42-SM slice concurrently: 1 s, not 2.
+    assert env.now - spec.reset_seconds == pytest.approx(1.0)
+
+
+def test_mig_instance_without_mps_timeshares():
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    mig = MigManager(gpu)
+    env.run(until=env.process(mig.enable()))
+    instance = mig.create_instance("3g.20gb")
+    a = instance.client("a")
+    b = instance.client("b")
+    spec = A100_40GB
+    kernel = Kernel(flops=spec.flops_per_sm * 21, bytes_moved=0.0,
+                    max_sms=21, efficiency=1.0)
+    done_a = a.launch(kernel)
+    done_b = b.launch(kernel)
+    env.run(until=env.all_of([done_a, done_b]))
+    # Temporal within the instance: ~2 s plus a context switch.
+    elapsed = env.now - spec.reset_seconds
+    assert elapsed == pytest.approx(2.0 + spec.timeslice_switch_seconds,
+                                    rel=1e-3)

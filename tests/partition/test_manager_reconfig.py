@@ -1,0 +1,156 @@
+"""Tests for the partition manager and executable reconfigurations."""
+
+import pytest
+
+from repro.faas import ColdStartModel, ComputeNode
+from repro.gpu import A100_40GB, A100_80GB
+from repro.partition import (
+    EqualSharePolicy,
+    GpuPartitionManager,
+    ReconfigurationPlanner,
+    StaticPolicy,
+    WeightCache,
+)
+from repro.sim import Environment
+
+
+def make_node(spec=A100_40GB, gpus=1):
+    env = Environment()
+    return env, ComputeNode(env, cores=8, gpu_specs=[spec] * gpus)
+
+
+def test_apply_mps_policy_produces_listing2_config():
+    env, node = make_node()
+    manager = GpuPartitionManager(node)
+    config = manager.apply_mps_policy(EqualSharePolicy(4))
+    assert config.available_accelerators == ("0", "0", "0", "0")
+    assert config.gpu_percentage == (25, 25, 25, 25)
+    assert node.mps_daemons[0].running
+    assert config.n_workers == 4
+
+
+def test_apply_static_policy():
+    env, node = make_node()
+    manager = GpuPartitionManager(node)
+    config = manager.apply_mps_policy(StaticPolicy([50, 25, 30]))
+    assert config.gpu_percentage == (50, 25, 30)
+
+
+def test_apply_mig_policy_produces_listing3_config():
+    env, node = make_node(A100_80GB)
+    manager = GpuPartitionManager(node)
+
+    def driver(env):
+        config = yield from manager.apply_mig_policy(EqualSharePolicy(3))
+        return config
+
+    config = env.run(until=env.process(driver(env)))
+    assert config.gpu_percentage is None
+    assert len(config.available_accelerators) == 3
+    assert all(a.startswith("MIG-") for a in config.available_accelerators)
+    mig = node.mig_manager(0)
+    assert [i.profile.name for i in mig.instances] == ["2g.20gb"] * 3
+    # Enabling MIG + reconfiguring costs two resets.
+    assert env.now == pytest.approx(2 * A100_80GB.reset_seconds)
+
+
+def test_timeshare_config():
+    env, node = make_node()
+    manager = GpuPartitionManager(node)
+    config = manager.timeshare_config(3)
+    assert config.available_accelerators == ("0", "0", "0")
+    assert config.gpu_percentage is None
+    with pytest.raises(ValueError):
+        manager.timeshare_config(0)
+
+
+def test_manager_gpu_index_validation():
+    env, node = make_node()
+    with pytest.raises(ValueError):
+        GpuPartitionManager(node, gpu_index=2)
+
+
+def test_describe_reflects_mode():
+    env, node = make_node()
+    manager = GpuPartitionManager(node)
+    assert "time-sharing" in manager.describe()
+    manager.apply_mps_policy(EqualSharePolicy(2))
+    assert "MPS" in manager.describe()
+
+
+def test_execute_mps_repartition_without_cache():
+    env, node = make_node()
+    node.start_mps()
+    daemon = node.mps_daemons[0]
+    client = daemon.client("w0", active_thread_percentage=50)
+    client.alloc(10e9)
+    planner = ReconfigurationPlanner(
+        A100_40GB, ColdStartModel(function_init_seconds=1.0,
+                                  gpu_context_seconds=0.5))
+
+    def driver(env):
+        new = yield from planner.execute_mps_repartition(
+            node, 0, client, new_percentage=25,
+            model_key="m", model_bytes=10e9, model_load_seconds=8.0)
+        return new
+
+    new_client = env.run(until=env.process(driver(env)))
+    assert new_client.sm_cap == 27
+    # teardown 0.25 + restart 1.5 + reload 8.0
+    assert env.now == pytest.approx(0.25 + 1.5 + 8.0)
+    # Old memory was freed, new model loaded.
+    assert node.gpus[0].memory.used == pytest.approx(10e9)
+
+
+def test_execute_mps_repartition_with_weight_cache():
+    """§7 fast path: the reload disappears on a cache hit."""
+    env, node = make_node()
+    node.weight_cache = WeightCache()
+    node.start_mps()
+    daemon = node.mps_daemons[0]
+    client = daemon.client("w0", active_thread_percentage=50)
+    node.weight_cache.acquire(client, "m", 10e9)
+    planner = ReconfigurationPlanner(
+        A100_40GB, ColdStartModel(function_init_seconds=1.0,
+                                  gpu_context_seconds=0.5))
+
+    def driver(env):
+        new = yield from planner.execute_mps_repartition(
+            node, 0, client, new_percentage=25,
+            model_key="m", model_bytes=10e9, model_load_seconds=8.0)
+        return new
+
+    env.run(until=env.process(driver(env)))
+    # No 8 s reload: only teardown + restart.
+    assert env.now == pytest.approx(0.25 + 1.5)
+    assert node.weight_cache.hits == 1
+
+
+def test_execute_mig_repartition():
+    env, node = make_node(A100_80GB)
+    mig = node.mig_manager(0)
+    env.run(until=env.process(mig.enable()))
+    mig.create_instance("3g.40gb")
+    mig.create_instance("3g.40gb")
+    planner = ReconfigurationPlanner(A100_80GB)
+    t0 = env.now
+
+    def driver(env):
+        instances = yield from planner.execute_mig_repartition(
+            node, 0, ["1g.10gb"] * 4)
+        return instances
+
+    instances = env.run(until=env.process(driver(env)))
+    assert [i.profile.name for i in instances] == ["1g.10gb"] * 4
+    # 2 teardowns + reset.
+    assert env.now - t0 == pytest.approx(
+        2 * planner.TEARDOWN_SECONDS + A100_80GB.reset_seconds)
+
+
+def test_execute_mps_repartition_requires_daemon():
+    env, node = make_node()
+    gpu_client = node.gpus[0].timeshare_client("c")
+    planner = ReconfigurationPlanner(A100_40GB)
+    with pytest.raises(RuntimeError, match="daemon"):
+        env.run(until=env.process(
+            planner.execute_mps_repartition(node, 0, gpu_client, 50)))

@@ -1,0 +1,83 @@
+"""Tests for partition policies."""
+
+import pytest
+
+from repro.gpu import A100_40GB, A100_80GB, MI210
+from repro.partition import (
+    DemandBasedPolicy,
+    EqualSharePolicy,
+    StaticPolicy,
+    mig_profiles_for,
+)
+
+
+def test_equal_share_mps():
+    assert EqualSharePolicy(2).mps_percentages() == [50, 50]
+    assert EqualSharePolicy(3).mps_percentages() == [33, 33, 33]
+    assert EqualSharePolicy(4).mps_percentages() == [25, 25, 25, 25]
+
+
+def test_paper_mig_ladder():
+    """§5.2: 2 models -> 3g each, 3 -> 2g, 4 -> 1g."""
+    spec = A100_80GB
+    assert mig_profiles_for(spec, 2) == ["3g.40gb", "3g.40gb"]
+    assert mig_profiles_for(spec, 3) == ["2g.20gb"] * 3
+    assert mig_profiles_for(spec, 4) == ["1g.10gb"] * 4
+    assert mig_profiles_for(spec, 1) == ["7g.80gb"]
+
+
+def test_mig_ladder_respects_memory_slices():
+    # 2x 4g would need 8 memory slices and 8 compute slices -> only
+    # 3g (4 memory slices each) fits twice.
+    assert mig_profiles_for(A100_40GB, 2) == ["3g.20gb", "3g.20gb"]
+
+
+def test_mig_ladder_validation():
+    with pytest.raises(ValueError, match="does not support MIG"):
+        mig_profiles_for(MI210, 2)
+    with pytest.raises(ValueError, match="at most"):
+        mig_profiles_for(A100_40GB, 8)
+    with pytest.raises(ValueError):
+        mig_profiles_for(A100_40GB, 0)
+
+
+def test_equal_share_policy_mig_delegates():
+    assert EqualSharePolicy(4).mig_profiles(A100_40GB) == ["1g.5gb"] * 4
+
+
+def test_static_policy():
+    policy = StaticPolicy([50, 25, 30])  # Listing 2's example
+    assert policy.mps_percentages() == [50, 25, 30]
+    assert policy.n_partitions == 3
+    with pytest.raises(ValueError):
+        StaticPolicy([])
+    with pytest.raises(ValueError):
+        StaticPolicy([0])
+    with pytest.raises(ValueError):
+        StaticPolicy([120])
+
+
+def test_demand_based_fits_outright():
+    # Two functions needing 20 SMs each on a 108-SM device.
+    policy = DemandBasedPolicy([20, 20], A100_40GB)
+    pcts = policy.mps_percentages()
+    assert pcts == [19, 19]
+
+
+def test_demand_based_scales_down_when_oversubscribed():
+    policy = DemandBasedPolicy([108, 108], A100_40GB)
+    pcts = policy.mps_percentages()
+    assert pcts == [50, 50]
+
+
+def test_demand_based_proportionality():
+    policy = DemandBasedPolicy([80, 40], A100_40GB)
+    a, b = policy.mps_percentages()
+    assert a == pytest.approx(2 * b, abs=2)
+
+
+def test_demand_based_validation():
+    with pytest.raises(ValueError):
+        DemandBasedPolicy([], A100_40GB)
+    with pytest.raises(ValueError):
+        DemandBasedPolicy([0], A100_40GB)

@@ -1,0 +1,70 @@
+"""Tests for the online partition profiler (§7 pipeline end to end)."""
+
+import pytest
+
+from repro.gpu import A100_40GB
+from repro.partition import PartitionProfiler
+from repro.workloads import LLAMA2_7B, InferenceRuntime, LlamaInference, RESNET50
+
+FP32 = InferenceRuntime(dtype_bytes=4)
+LLM = LlamaInference(LLAMA2_7B, FP32)
+
+
+def llama_completion(ctx, n_tokens=20):
+    """A gpu_app-shaped generator: one 20-token completion."""
+    for _ in range(n_tokens):
+        yield ctx.launch(LLM.decode_kernel())
+        yield ctx.compute(LLM.host_seconds_per_token)
+
+
+def resnet_batch(ctx, batch=8):
+    for kernel in RESNET50.inference_kernels(batch_size=batch):
+        yield ctx.launch(kernel)
+
+
+def test_measure_matches_closed_form():
+    profiler = PartitionProfiler(A100_40GB)
+    sms, seconds = profiler.measure(llama_completion, 50)
+    assert sms == 54
+    expected = LLM.completion_seconds(A100_40GB, 54)
+    assert seconds == pytest.approx(expected, rel=1e-3)
+
+
+def test_measured_curve_is_monotone():
+    profiler = PartitionProfiler(A100_40GB)
+    report = profiler.profile(llama_completion)
+    latencies = [s for _, s in sorted(report.samples)]
+    assert latencies == sorted(latencies, reverse=True)
+
+
+def test_profile_recommendation_matches_fig2_knee():
+    profiler = PartitionProfiler(A100_40GB, tolerance=0.05)
+    report = profiler.profile(llama_completion)
+    # The measured pipeline lands on the same knee the closed-form
+    # right-sizer finds (Fig. 2's ~27 SMs).
+    assert 15 <= report.recommendation.knee_sms <= 45
+    assert report.fit_rmse < 0.1 * max(s for _, s in report.samples)
+    assert report.recommendation.mig_profile is not None
+
+
+def test_profile_resnet_needs_more_gpu_at_batch():
+    profiler = PartitionProfiler(A100_40GB, tolerance=0.05)
+    small = profiler.profile(resnet_batch, 1)
+    large = profiler.profile(resnet_batch, 32)
+    assert (large.recommendation.knee_sms
+            >= small.recommendation.knee_sms)
+
+
+def test_profiler_validation():
+    with pytest.raises(ValueError, match="at least 3"):
+        PartitionProfiler(A100_40GB, percentages=(50, 100))
+    with pytest.raises(ValueError):
+        PartitionProfiler(A100_40GB, percentages=(0, 50, 100))
+
+
+def test_profiler_runs_are_independent():
+    """Repeated profiling gives identical results (fresh environments)."""
+    profiler = PartitionProfiler(A100_40GB)
+    a = profiler.profile(llama_completion)
+    b = profiler.profile(llama_completion)
+    assert a.samples == b.samples

@@ -1,0 +1,176 @@
+"""Tests for right-sizing, runtime prediction, and the reconfig planner."""
+
+import pytest
+
+from repro.faas import ColdStartModel
+from repro.gpu import A100_40GB, V100_32GB
+from repro.partition import (
+    PartitionRecommendation,
+    ReconfigurationPlanner,
+    RightSizer,
+    RuntimePredictor,
+    StaticAnalyzer,
+)
+from repro.workloads import LLAMA2_7B, RESNET50, InferenceRuntime, LlamaInference
+
+FP32 = InferenceRuntime(dtype_bytes=4)
+
+
+def llama_latency_fn():
+    llm = LlamaInference(LLAMA2_7B, FP32)
+    return lambda sms: llm.completion_seconds(A100_40GB, sms)
+
+
+# ----------------------------------------------------------------- rightsizer
+
+def test_rightsizer_finds_fig2_knee():
+    sizer = RightSizer(A100_40GB, tolerance=0.05)
+    rec = sizer.recommend(llama_latency_fn())
+    # Fig. 2: about 20-30 SMs suffice for LLaMa-2 7B.
+    assert 15 <= rec.knee_sms <= 40
+    assert rec.predicted_latency <= 1.05 * rec.full_gpu_latency
+    assert rec.freed_fraction > 0.6
+
+
+def test_rightsizer_recommendation_maps_to_mps_and_mig():
+    sizer = RightSizer(A100_40GB, tolerance=0.05)
+    rec = sizer.recommend(llama_latency_fn())
+    # MPS percentage realises at least the knee.
+    assert rec.mps_percentage >= 100 * rec.knee_sms / A100_40GB.sms - 1
+    # The MIG profile offers at least knee_sms SMs.
+    prof = A100_40GB.profile(rec.mig_profile)
+    assert prof.sm_count(A100_40GB) >= rec.knee_sms
+
+
+def test_rightsizer_meets_slo_invariant():
+    """The recommended partition always meets the tolerance SLO."""
+    fn = llama_latency_fn()
+    for tol in (0.02, 0.05, 0.2, 0.5):
+        sizer = RightSizer(A100_40GB, tolerance=tol)
+        rec = sizer.recommend(fn)
+        assert fn(rec.knee_sms) <= (1 + tol) * rec.full_gpu_latency + 1e-12
+
+
+def test_rightsizer_non_mig_device():
+    sizer = RightSizer(V100_32GB, tolerance=0.05)
+    llm = LlamaInference(LLAMA2_7B, FP32)
+    rec = sizer.recommend(lambda sms: llm.completion_seconds(V100_32GB, sms))
+    assert rec.mig_profile is None
+
+
+def test_rightsizer_validation():
+    sizer = RightSizer(A100_40GB)
+    with pytest.raises(ValueError):
+        sizer.profile_curve(lambda s: 1.0, [0])
+    with pytest.raises(ValueError):
+        sizer.profile_curve(lambda s: -1.0, [10])
+    with pytest.raises(ValueError):
+        sizer.knee([])
+    with pytest.raises(ValueError):
+        RightSizer(A100_40GB, tolerance=-0.1)
+
+
+# ------------------------------------------------------------ static analyzer
+
+def test_static_analyzer_resnet_requirement():
+    analyzer = StaticAnalyzer(A100_40GB)
+    kernels = RESNET50.inference_kernels(batch_size=1)
+    t_full = analyzer.predict_seconds(kernels, A100_40GB.sms)
+    t_small = analyzer.predict_seconds(kernels, 10)
+    assert t_small > t_full
+    req = analyzer.sm_requirement(kernels, tolerance=0.05)
+    assert 1 <= req <= A100_40GB.sms
+    # Batch-32 inference needs more SMs than batch-1 (§3.4).
+    req32 = analyzer.sm_requirement(RESNET50.inference_kernels(batch_size=32),
+                                    tolerance=0.05)
+    assert req32 >= req
+
+
+def test_static_analyzer_validation():
+    analyzer = StaticAnalyzer(A100_40GB)
+    with pytest.raises(ValueError):
+        analyzer.predict_seconds(RESNET50.inference_kernels(), 0)
+
+
+# ---------------------------------------------------------- runtime predictor
+
+def test_predictor_recovers_scaling_law():
+    """Fit on noiseless samples of T(s) = 12/min(s,24) + 0.5."""
+    truth = lambda s: 12.0 / min(s, 24) + 0.5
+    samples = [(s, truth(s)) for s in (2, 4, 8, 16, 32, 64, 100)]
+    predictor = RuntimePredictor()
+    rmse = predictor.fit(samples)
+    assert rmse < 0.05
+    assert predictor.predict(12) == pytest.approx(truth(12), rel=0.1)
+    assert predictor.saturation_sms == pytest.approx(24, abs=6)
+    assert predictor.serial_seconds == pytest.approx(0.5, abs=0.15)
+
+
+def test_predictor_sm_requirement():
+    truth = lambda s: 12.0 / min(s, 24) + 0.5
+    predictor = RuntimePredictor()
+    predictor.fit([(s, truth(s)) for s in (2, 4, 8, 16, 24, 48, 96)])
+    req = predictor.sm_requirement(tolerance=0.05)
+    assert 15 <= req <= 24
+
+
+def test_predictor_fits_simulator_profile():
+    """Fit the predictor to the LLM cost model's own curve."""
+    fn = llama_latency_fn()
+    samples = [(s, fn(s)) for s in (4, 8, 16, 24, 32, 48, 64, 96, 108)]
+    predictor = RuntimePredictor()
+    predictor.fit(samples)
+    for s in (6, 20, 80):
+        assert predictor.predict(s) == pytest.approx(fn(s), rel=0.15)
+
+
+def test_predictor_validation():
+    p = RuntimePredictor()
+    with pytest.raises(RuntimeError):
+        p.predict(10)
+    with pytest.raises(ValueError):
+        p.fit([(1, 1.0), (2, 0.5)])  # too few samples
+    with pytest.raises(ValueError):
+        p.fit([(0, 1.0), (2, 0.5), (3, 0.4)])
+
+
+# ----------------------------------------------------------- reconfig planner
+
+def test_mps_reconfig_cost_matches_section6():
+    """§6: MPS repartition of an LLM costs 10-20 s (mostly model reload)."""
+    llm = LlamaInference(LLAMA2_7B, FP32)  # 27 GB fp32 -> ~10 s load
+    planner = ReconfigurationPlanner(A100_40GB)
+    cost = planner.mps_repartition_cost(llm.load_seconds)
+    assert 5.0 < cost.total_seconds < 25.0
+    assert not cost.disturbs_cotenants
+    assert cost.reset_seconds == 0.0
+
+
+def test_mig_reconfig_disturbs_cotenants_and_resets():
+    llm = LlamaInference(LLAMA2_7B, FP32)
+    planner = ReconfigurationPlanner(A100_40GB)
+    cost = planner.mig_repartition_cost(llm.load_seconds, n_cotenants=2)
+    assert cost.disturbs_cotenants
+    assert cost.reset_seconds == pytest.approx(A100_40GB.reset_seconds)
+    # Three applications restart, so it is far costlier than MPS.
+    mps = planner.mps_repartition_cost(llm.load_seconds)
+    assert cost.total_seconds > 2.5 * mps.total_seconds
+
+
+def test_weight_cache_removes_reload_cost():
+    """§7's payoff: with cached weights the restart is seconds, not tens."""
+    llm = LlamaInference(LLAMA2_7B, FP32)
+    planner = ReconfigurationPlanner(A100_40GB)
+    cold = planner.mps_repartition_cost(llm.load_seconds)
+    warm = planner.mps_repartition_cost(llm.load_seconds,
+                                        weight_cache_hit=True)
+    assert warm.model_reload_seconds == 0.0
+    assert warm.total_seconds < 0.4 * cold.total_seconds
+
+
+def test_reconfig_validation():
+    planner = ReconfigurationPlanner(A100_40GB)
+    with pytest.raises(ValueError):
+        planner.mps_repartition_cost(-1.0)
+    with pytest.raises(ValueError):
+        planner.mig_repartition_cost(1.0, n_cotenants=-1)

@@ -1,0 +1,112 @@
+"""Tests for the GPU-resident weight cache (§7 future work)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.gpu import A100_80GB, GpuOutOfMemory, MpsControlDaemon, SimulatedGPU
+from repro.partition import WeightCache
+
+
+def make_clients(n=2):
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    return env, gpu, [daemon.client(f"c{i}") for i in range(n)]
+
+
+def test_first_acquire_is_miss_second_is_hit():
+    env, gpu, (a, b) = make_clients(2)
+    cache = WeightCache()
+    assert cache.acquire(a, "llama-7b", 14e9) is False
+    assert cache.acquire(b, "llama-7b", 14e9) is True
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == pytest.approx(0.5)
+    # The weights are allocated once, owned by the cache.
+    assert gpu.memory.used == pytest.approx(14e9)
+
+
+def test_weights_survive_client_restart():
+    """The §7 fast path: restart a client, skip the reload."""
+    env, gpu, (a,) = make_clients(1)
+    cache = WeightCache()
+    cache.acquire(a, "llama-7b", 14e9)
+    cache.release(a, "llama-7b")
+    a.close()
+    assert gpu.memory.used == pytest.approx(14e9)  # still resident
+    # A restarted client on the same pool gets a hit.
+    from repro.gpu.device import GpuClient
+
+    restarted = GpuClient(gpu, gpu.default_group, "c0-restarted")
+    assert cache.acquire(restarted, "llama-7b", 14e9) is True
+
+
+def test_distinct_pools_do_not_share():
+    """Weights cached on one MIG instance are invisible to another."""
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    from repro.gpu import MigManager
+
+    mig = MigManager(gpu)
+    env.run(until=env.process(mig.enable()))
+    i1 = mig.create_instance("3g.40gb")
+    i2 = mig.create_instance("3g.40gb")
+    c1, c2 = i1.client("a"), i2.client("b")
+    cache = WeightCache()
+    assert cache.acquire(c1, "model", 10e9) is False
+    assert cache.acquire(c2, "model", 10e9) is False  # different pool
+
+
+def test_release_requires_live_reference():
+    env, gpu, (a,) = make_clients(1)
+    cache = WeightCache()
+    with pytest.raises(KeyError):
+        cache.release(a, "ghost")
+    cache.acquire(a, "m", 1e9)
+    cache.release(a, "m")
+    with pytest.raises(KeyError):
+        cache.release(a, "m")  # refcount already zero
+
+
+def test_evict_frees_memory():
+    env, gpu, (a,) = make_clients(1)
+    cache = WeightCache()
+    cache.acquire(a, "m", 10e9)
+    with pytest.raises(RuntimeError, match="live references"):
+        cache.evict(a, "m")
+    cache.release(a, "m")
+    cache.evict(a, "m")
+    assert gpu.memory.used == 0.0
+    with pytest.raises(KeyError):
+        cache.evict(a, "m")
+
+
+def test_lru_eviction_under_pressure():
+    env, gpu, (a,) = make_clients(1)
+    cache = WeightCache()
+    # Fill the 80 GB pool with three unreferenced 25 GB models.
+    for i, key in enumerate(["m0", "m1", "m2"]):
+        cache.acquire(a, key, 25e9)
+        cache.release(a, key)
+        env.run(until=env.now + 1.0)  # advance LRU clock
+    # A fourth needs 25 GB; only 5 GB free -> evict the oldest (m0).
+    assert cache.acquire(a, "m3", 25e9) is False
+    assert "m0" not in cache.resident_keys(a)
+    assert {"m1", "m2", "m3"} <= set(cache.resident_keys(a))
+
+
+def test_oom_when_nothing_evictable():
+    env, gpu, (a,) = make_clients(1)
+    cache = WeightCache()
+    cache.acquire(a, "pinned", 70e9)  # still referenced
+    with pytest.raises(GpuOutOfMemory):
+        cache.acquire(a, "big", 20e9)
+
+
+def test_bytes_saved_accounting():
+    env, gpu, (a, b) = make_clients(2)
+    cache = WeightCache()
+    cache.acquire(a, "m", 10e9)
+    cache.acquire(b, "m", 10e9)
+    assert cache.bytes_saved == pytest.approx(10e9)
+    assert cache.resident_bytes(a) == pytest.approx(10e9)

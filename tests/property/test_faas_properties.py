@@ -1,0 +1,123 @@
+"""Property-based tests for the FaaS layer's scheduling invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    python_app,
+)
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+def make_dfk(workers, retries=0):
+    config = Config(
+        executors=[HighThroughputExecutor(label="cpu", max_workers=workers,
+                                          cold_start=NO_COLD)],
+        retries=retries,
+    )
+    return DataFlowKernel(config)
+
+
+@st.composite
+def dags(draw):
+    """A random DAG: each task depends on a subset of earlier tasks."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    deps = []
+    for i in range(n):
+        if i == 0:
+            deps.append([])
+        else:
+            deps.append(sorted(draw(st.sets(
+                st.integers(min_value=0, max_value=i - 1), max_size=3))))
+    walltimes = [draw(st.floats(min_value=0.1, max_value=5.0))
+                 for _ in range(n)]
+    return deps, walltimes
+
+
+@given(dags(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_tasks_never_start_before_dependencies_finish(dag, workers):
+    deps, walltimes = dag
+    dfk = make_dfk(workers)
+    spans = {}
+
+    def body(i, *_args):
+        return i
+
+    futures = []
+    for i, (dep_ids, wt) in enumerate(zip(deps, walltimes)):
+        app = python_app(lambda i=i, *a: body(i), walltime=wt, dfk=dfk)
+        futures.append(app(*[futures[d] for d in dep_ids]))
+    dfk.run()
+    for i, fut in enumerate(futures):
+        assert fut.result() is not None or True
+        record = fut.task
+        spans[i] = (record.start_time, record.end_time)
+    for i, dep_ids in enumerate(deps):
+        for d in dep_ids:
+            assert spans[i][0] >= spans[d][1] - 1e-9, (i, d)
+
+
+@given(dags(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_worker_capacity_never_exceeded(dag, workers):
+    """At no simulated instant do more than ``workers`` tasks run."""
+    deps, walltimes = dag
+    dfk = make_dfk(workers)
+    futures = []
+    for i, (dep_ids, wt) in enumerate(zip(deps, walltimes)):
+        app = python_app(lambda *a: None, walltime=wt, dfk=dfk)
+        futures.append(app(*[futures[d] for d in dep_ids]))
+    dfk.run()
+    events = []
+    for fut in futures:
+        record = fut.task
+        events.append((record.start_time, 1))
+        events.append((record.end_time, -1))
+    events.sort()
+    concurrent = 0
+    for _t, delta in events:
+        concurrent += delta
+        assert concurrent <= workers
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=6),
+       st.floats(min_value=0.1, max_value=5.0))
+def test_makespan_bounds(n_tasks, workers, walltime):
+    """Independent equal tasks: makespan = ceil(n/workers) x walltime."""
+    dfk = make_dfk(workers)
+    app = python_app(lambda: None, walltime=walltime, dfk=dfk)
+    futures = [app() for _ in range(n_tasks)]
+    dfk.wait(futures)
+    waves = -(-n_tasks // workers)
+    assert dfk.env.now == pytest.approx(waves * walltime, rel=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=4),
+       st.integers(min_value=0, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_retry_budget_respected(retries, failures_before_success):
+    dfk = make_dfk(workers=1, retries=retries)
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) <= failures_before_success:
+            raise RuntimeError("flaky")
+        return "ok"
+
+    fut = python_app(flaky, dfk=dfk)()
+    dfk.run()
+    if failures_before_success <= retries:
+        assert fut.result() == "ok"
+        assert len(attempts) == failures_before_success + 1
+    else:
+        assert isinstance(fut.exception(), RuntimeError)
+        assert len(attempts) == retries + 1

@@ -1,0 +1,198 @@
+"""Property-based tests for the GPU simulator invariants."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    A100_40GB,
+    A100_80GB,
+    GpuOutOfMemory,
+    Kernel,
+    MemoryPool,
+    MigManager,
+    MpsControlDaemon,
+    SimulatedGPU,
+)
+from repro.gpu.device import _waterfill
+from repro.sim import Environment
+
+SPEC = A100_40GB
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+# -------------------------------------------------------------- water-filling
+
+@st.composite
+def waterfill_case(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    demand = {i: draw(positive_floats) for i in range(n)}
+    cap = {i: draw(positive_floats) for i in range(n)}
+    total = draw(positive_floats)
+    return demand, cap, total
+
+
+@given(waterfill_case())
+def test_waterfill_respects_caps_and_total(case):
+    demand, cap, total = case
+    alloc = _waterfill(demand, cap, total)
+    assert set(alloc) == set(demand)
+    for k in demand:
+        assert alloc[k] <= demand[k] + 1e-9
+        assert alloc[k] <= cap[k] + 1e-9
+        assert alloc[k] >= 0
+    assert sum(alloc.values()) <= total + 1e-6
+
+
+@given(waterfill_case())
+def test_waterfill_is_work_conserving(case):
+    """No bandwidth is left idle while some demand is unmet."""
+    demand, cap, total = case
+    alloc = _waterfill(demand, cap, total)
+    leftover = total - sum(alloc.values())
+    if leftover > 1e-6:
+        # Everyone must be satisfied up to their own cap/demand.
+        for k in demand:
+            assert alloc[k] == pytest.approx(min(demand[k], cap[k]),
+                                             rel=1e-6)
+
+
+@given(waterfill_case())
+def test_waterfill_fairness(case):
+    """An unsatisfied client never receives less than a satisfied one
+    with higher demand (no starvation inversion)."""
+    demand, cap, total = case
+    alloc = _waterfill(demand, cap, total)
+    unsatisfied = [k for k in demand
+                   if alloc[k] < min(demand[k], cap[k]) - 1e-6]
+    for u in unsatisfied:
+        for k in demand:
+            if k == u:
+                continue
+            # Anyone allocated more than an unsatisfied client either
+            # demanded no more than they got, or hit their own cap.
+            if alloc[k] > alloc[u] + 1e-6:
+                assert (alloc[k] >= min(demand[k], cap[k]) - 1e-6
+                        or cap[u] <= alloc[u] + 1e-6)
+
+
+# -------------------------------------------------------------- memory pool
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["alloc", "free"]),
+              st.integers(min_value=0, max_value=4),
+              st.floats(min_value=0.0, max_value=60.0)),
+    max_size=60,
+))
+def test_memory_pool_accounting_invariants(ops):
+    pool = MemoryPool(100.0)
+    shadow: dict[str, float] = {}
+    for op, owner_i, size in ops:
+        owner = f"o{owner_i}"
+        if op == "alloc":
+            try:
+                pool.allocate(owner, size)
+                shadow[owner] = shadow.get(owner, 0.0) + size
+            except GpuOutOfMemory:
+                assert size > pool.free
+        else:
+            take = min(size, shadow.get(owner, 0.0))
+            pool.release(owner, take)
+            shadow[owner] = shadow.get(owner, 0.0) - take
+        assert 0 <= pool.used <= pool.capacity + 1e-6
+        assert pool.used == pytest.approx(sum(shadow.values()), abs=1e-5)
+
+
+# -------------------------------------------------------------- kernel model
+
+@st.composite
+def kernels(draw):
+    return Kernel(
+        flops=draw(st.floats(min_value=1e6, max_value=1e15)),
+        bytes_moved=draw(st.floats(min_value=0.0, max_value=1e12)),
+        max_sms=draw(st.integers(min_value=1, max_value=256)),
+        efficiency=draw(st.floats(min_value=0.01, max_value=1.0)),
+    )
+
+
+@given(kernels(), st.integers(min_value=1, max_value=107))
+def test_kernel_duration_monotone_in_sms(kernel, sms):
+    d_small = kernel.duration(sms, SPEC.flops_per_sm, SPEC.bandwidth)
+    d_large = kernel.duration(sms + 1, SPEC.flops_per_sm, SPEC.bandwidth)
+    assert d_large <= d_small + 1e-12
+
+
+@given(kernels(), st.floats(min_value=1e9, max_value=2e12))
+def test_kernel_duration_monotone_in_bandwidth(kernel, bw):
+    assume(kernel.bytes_moved > 0)
+    d_slow = kernel.duration(SPEC.sms, SPEC.flops_per_sm, bw)
+    d_fast = kernel.duration(SPEC.sms, SPEC.flops_per_sm, 2 * bw)
+    assert d_fast <= d_slow + 1e-12
+
+
+@given(kernels())
+@settings(max_examples=30, deadline=None)
+def test_simulated_duration_matches_closed_form(kernel):
+    """A kernel alone on the device runs for exactly its roofline time."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    client = gpu.timeshare_client("c")
+    done = client.launch(kernel)
+    env.run(until=done)
+    expected = kernel.duration(SPEC.sms, SPEC.flops_per_sm, SPEC.bandwidth)
+    assert env.now == pytest.approx(expected, rel=1e-5)
+
+
+@given(st.lists(kernels(), min_size=2, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_mps_never_slower_than_serial(kernel_list):
+    """Concurrent MPS execution of n kernels never exceeds their serial
+    execution time (work conservation of spatial sharing)."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    dones = [daemon.client(f"c{i}").launch(k)
+             for i, k in enumerate(kernel_list)]
+    env.run(until=env.all_of(dones))
+    serial = sum(k.duration(SPEC.sms, SPEC.flops_per_sm, SPEC.bandwidth)
+                 for k in kernel_list)
+    assert env.now <= serial * (1 + 1e-6)
+
+
+@given(st.lists(kernels(), min_size=1, max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_sm_utilization_bounded(kernel_list):
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    dones = [daemon.client(f"c{i}").launch(k)
+             for i, k in enumerate(kernel_list)]
+    env.run(until=env.all_of(dones))
+    assert 0.0 <= gpu.sm_utilization() <= 1.0 + 1e-9
+
+
+# ------------------------------------------------------------------- MIG
+
+@given(st.lists(st.sampled_from([p.name for p in A100_80GB.mig_profiles]),
+                min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_mig_placement_never_exceeds_slices(profile_names):
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    mig = MigManager(gpu)
+    env.run(until=env.process(mig.enable()))
+    for name in profile_names:
+        try:
+            mig.create_instance(name)
+        except RuntimeError:
+            pass
+        assert mig.used_compute_slices <= A100_80GB.mig_compute_slices
+        assert mig.used_memory_slices <= A100_80GB.mig_memory_slices
+    # Aggregate SMs and bandwidth of all instances fit the device.
+    total_sms = sum(i.sm_count for i in mig.instances)
+    total_bw = sum(i.group.bw_cap for i in mig.instances)
+    assert total_sms <= A100_80GB.sms
+    assert total_bw <= A100_80GB.bandwidth + 1e-6

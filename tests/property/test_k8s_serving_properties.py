@@ -1,0 +1,122 @@
+"""Property-based tests for the k8s scheduler and the serving loop."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas import ComputeNode
+from repro.gpu import A100_80GB, MpsControlDaemon, SimulatedGPU
+from repro.k8s import Cluster, Pod, PodPhase, ResourceSpec
+from repro.sim import Environment
+from repro.workloads import LLAMA2_7B, InferenceRuntime, InferenceServer, LlamaInference
+
+FP16 = InferenceRuntime(dtype_bytes=2)
+
+
+@st.composite
+def pod_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [
+        (draw(st.floats(min_value=0.5, max_value=4.0)),   # cpu request
+         draw(st.floats(min_value=0.5, max_value=20.0)))  # duration
+        for _ in range(n)
+    ]
+
+
+@given(pod_sets(), st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_scheduler_never_exceeds_allocatable(pods_spec, cores, n_nodes):
+    env = Environment()
+    nodes = [ComputeNode(env, cores=cores) for _ in range(n_nodes)]
+    cluster = Cluster(env, nodes)
+    pods = [
+        cluster.submit(Pod(f"p{i}", ResourceSpec(cpu=min(cpu, cores)),
+                           duration=duration))
+        for i, (cpu, duration) in enumerate(pods_spec)
+    ]
+    cluster.run_until_done()
+    assert all(p.phase is PodPhase.SUCCEEDED for p in pods)
+    # Reconstruct per-node concurrent usage from the pod spans.
+    for node in cluster.nodes:
+        events = []
+        for pod in pods:
+            if pod.node_name != node.name:
+                continue
+            events.append((pod.start_time, pod.requests.cpu))
+            events.append((pod.end_time, -pod.requests.cpu))
+        events.sort()
+        usage = 0.0
+        for _t, delta in events:
+            usage += delta
+            assert usage <= node.allocatable.cpu + 1e-6
+    # And capacity is restored at the end.
+    for node in cluster.nodes:
+        assert node.free.cpu == pytest.approx(node.allocatable.cpu)
+
+
+@given(pod_sets())
+@settings(max_examples=30, deadline=None)
+def test_every_feasible_pod_eventually_runs(pods_spec):
+    """No pod starves: FIFO retry schedules everything that can fit."""
+    env = Environment()
+    node = ComputeNode(env, cores=4)
+    cluster = Cluster(env, [node])
+    pods = [
+        cluster.submit(Pod(f"p{i}", ResourceSpec(cpu=min(cpu, 4.0)),
+                           duration=duration))
+        for i, (cpu, duration) in enumerate(pods_spec)
+    ]
+    cluster.run_until_done()
+    assert not cluster.pending
+    assert all(p.wall_seconds == pytest.approx(d, rel=1e-6)
+               for p, (_c, d) in zip(pods, pods_spec))
+
+
+@st.composite
+def request_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [draw(st.integers(min_value=1, max_value=10)) for _ in range(n)]
+
+
+@given(request_batches(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_serving_loses_no_request(token_counts, max_batch):
+    """Every submitted request completes exactly once, whatever the
+    batching configuration."""
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    server = InferenceServer(env, daemon.client("s"),
+                             LlamaInference(LLAMA2_7B, FP16),
+                             max_batch_size=max_batch, batch_timeout=0.02)
+    requests = [server.submit(n) for n in token_counts]
+    env.run(until=env.all_of([r.done for r in requests]))
+    assert len(server.completed) == len(requests)
+    assert {r.rid for r in server.completed} == {r.rid for r in requests}
+    for request in requests:
+        assert request.latency is not None and request.latency > 0
+    assert sum(server.batch_sizes) == len(requests)
+    assert max(server.batch_sizes) <= max_batch
+
+
+@given(request_batches(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_serving_latency_dominates_isolated_floor(token_counts, max_batch):
+    """No request finishes faster than its isolated decode floor."""
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    server = InferenceServer(env, daemon.client("s"), llm,
+                             max_batch_size=max_batch, batch_timeout=0.02)
+    requests = [server.submit(n) for n in token_counts]
+    env.run(until=env.all_of([r.done for r in requests]))
+    spec = A100_80GB
+    for request, n in zip(requests, token_counts):
+        floor = n * (llm.decode_kernel().duration(
+            spec.sms, spec.flops_per_sm, spec.bandwidth)
+            + llm.host_seconds_per_token)
+        assert request.latency >= floor - 1e-9

@@ -1,0 +1,183 @@
+"""Property-based tests for the simulation kernel (DESIGN.md §7)."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, FluidPool, FluidTask, Resource, Store
+
+delays = st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                   allow_infinity=False)
+works = st.floats(min_value=0.01, max_value=1e3, allow_nan=False,
+                  allow_infinity=False)
+
+
+@given(st.lists(delays, min_size=1, max_size=50))
+def test_events_fire_in_nondecreasing_time_order(delay_list):
+    env = Environment()
+    fired = []
+    for d in delay_list:
+        env.timeout(d).callbacks.append(lambda ev, d=d: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+    assert env.now == pytest.approx(max(delay_list))
+
+
+@given(st.lists(st.tuples(delays, delays), min_size=1, max_size=20))
+def test_clock_monotone_under_process_interleaving(specs):
+    env = Environment()
+    observed = []
+
+    def proc(env, d1, d2):
+        yield env.timeout(d1)
+        observed.append(env.now)
+        yield env.timeout(d2)
+        observed.append(env.now)
+
+    for d1, d2 in specs:
+        env.process(proc(env, d1, d2))
+    env.run()
+    assert observed == sorted(observed)
+    assert len(observed) == 2 * len(specs)
+
+
+@given(st.lists(works, min_size=1, max_size=20),
+       st.floats(min_value=0.1, max_value=100.0))
+def test_fluid_pool_conserves_work(work_list, capacity):
+    env = Environment()
+
+    def equal(tasks):
+        share = capacity / len(tasks)
+        for t in tasks:
+            t.rate = share
+
+    pool = FluidPool(env, equal)
+    tasks = [FluidTask(env, work=w) for w in work_list]
+    for t in tasks:
+        pool.add(t)
+    env.run()
+    assert all(t.done.triggered for t in tasks)
+    assert pool.work_drained == pytest.approx(sum(work_list), rel=1e-6)
+    # Total time equals total work over capacity (single shared resource,
+    # work-conserving equal split).
+    assert env.now == pytest.approx(sum(work_list) / capacity, rel=1e-6)
+
+
+@given(st.lists(st.tuples(delays, works), min_size=1, max_size=15),
+       st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=50)
+def test_fluid_pool_staggered_arrivals_finish_no_earlier_than_ideal(
+        arrivals, capacity):
+    """No task finishes before its isolated best case, and the pool
+    drains by (last arrival + total work / capacity)."""
+    env = Environment()
+
+    def equal(tasks):
+        share = capacity / len(tasks)
+        for t in tasks:
+            t.rate = share
+
+    pool = FluidPool(env, equal)
+    finish = {}
+
+    def submit(env, delay, work, key):
+        yield env.timeout(delay)
+        task = FluidTask(env, work=work)
+        pool.add(task)
+        yield task.done
+        finish[key] = env.now
+
+    for i, (delay, work) in enumerate(arrivals):
+        env.process(submit(env, delay, work, i))
+    env.run()
+    for i, (delay, work) in enumerate(arrivals):
+        assert finish[i] >= delay + work / capacity - 1e-6
+    latest = max(d for d, _ in arrivals)
+    total = sum(w for _, w in arrivals)
+    assert env.now <= latest + total / capacity + 1e-6
+
+
+@given(st.lists(st.integers(min_value=1, max_value=4), min_size=1,
+                max_size=30),
+       st.integers(min_value=1, max_value=4))
+def test_resource_never_overcommits(amounts, capacity):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    peak = {"value": 0}
+
+    def proc(env, amount):
+        amount = min(amount, capacity)
+        yield res.request(amount)
+        peak["value"] = max(peak["value"], res.in_use)
+        assert res.in_use <= capacity
+        yield env.timeout(1.0)
+        res.release(amount)
+
+    for a in amounts:
+        env.process(proc(env, a))
+    env.run()
+    assert res.in_use == 0
+    assert 0 < peak["value"] <= capacity
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=50))
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            yield env.timeout(0.1)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert received == items
+
+
+@given(st.lists(delays, min_size=1, max_size=30))
+def test_all_of_fires_at_latest_constituent(delay_list):
+    env = Environment()
+    cond = env.all_of([env.timeout(d) for d in delay_list])
+    env.run(until=cond)
+    assert env.now == pytest.approx(max(delay_list))
+
+
+@given(st.lists(delays, min_size=1, max_size=30))
+def test_any_of_fires_at_earliest_constituent(delay_list):
+    env = Environment()
+    cond = env.any_of([env.timeout(d) for d in delay_list])
+    env.run(until=cond)
+    assert env.now == pytest.approx(min(delay_list))
+
+
+@given(st.lists(st.tuples(delays, delays), min_size=1, max_size=25))
+def test_simulation_is_deterministic(specs):
+    """Two identical runs produce identical event traces."""
+
+    def run():
+        env = Environment()
+        trace = []
+
+        def proc(env, d1, d2, i):
+            yield env.timeout(d1)
+            trace.append((env.now, i, "a"))
+            yield env.timeout(d2)
+            trace.append((env.now, i, "b"))
+
+        for i, (d1, d2) in enumerate(specs):
+            env.process(proc(env, d1, d2, i))
+        env.run()
+        return trace
+
+    assert run() == run()

@@ -1,0 +1,100 @@
+"""Property-based tests for CUDA streams and the image cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100_40GB, CudaStream, Kernel, MpsControlDaemon, SimulatedGPU
+from repro.faas.images import ContainerImage, ImageRegistry, NodeImageCache
+from repro.sim import Environment
+
+SPEC = A100_40GB
+
+durations = st.floats(min_value=1e-4, max_value=2.0)
+
+
+@given(st.lists(durations, min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_stream_completions_are_ordered(kernel_seconds):
+    """Kernels on one stream complete in launch order, and the last
+    completion equals the serial sum."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    stream = CudaStream(daemon.client("c"))
+    finishes = []
+    for seconds in kernel_seconds:
+        k = Kernel(flops=SPEC.fp32_flops * seconds, bytes_moved=0.0,
+                   max_sms=SPEC.sms, efficiency=1.0)
+        done = stream.launch(k)
+        done.callbacks.append(lambda ev: finishes.append(env.now))
+    env.run(until=stream.synchronize())
+    assert finishes == sorted(finishes)
+    assert len(finishes) == len(kernel_seconds)
+    assert env.now == pytest.approx(sum(kernel_seconds), rel=1e-4)
+
+
+@given(st.lists(durations, min_size=1, max_size=6),
+       st.lists(durations, min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_two_streams_never_slower_than_serial_never_faster_than_max(
+        work_a, work_b):
+    """Concurrent streams: makespan in [max(serial_a, serial_b),
+    serial_a + serial_b]."""
+    env = Environment()
+    gpu = SimulatedGPU(env, SPEC)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    for name, work in (("a", work_a), ("b", work_b)):
+        stream = CudaStream(daemon.client(name))
+        for seconds in work:
+            stream.launch(Kernel(flops=SPEC.fp32_flops * seconds,
+                                 bytes_moved=0.0, max_sms=SPEC.sms,
+                                 efficiency=1.0))
+        last = stream.synchronize()
+    env.run()
+    serial_a, serial_b = sum(work_a), sum(work_b)
+    assert env.now >= max(serial_a, serial_b) - 1e-9
+    assert env.now <= serial_a + serial_b + 1e-9
+
+
+@st.composite
+def image_sets(draw):
+    n_images = draw(st.integers(min_value=1, max_value=4))
+    images = [
+        ContainerImage(f"img{i}",
+                       draw(st.floats(min_value=1e6, max_value=5e9)),
+                       draw(st.floats(min_value=0.0, max_value=5.0)))
+        for i in range(n_images)
+    ]
+    requests = draw(st.lists(
+        st.integers(min_value=0, max_value=n_images - 1),
+        min_size=1, max_size=12))
+    return images, requests
+
+
+@given(image_sets())
+@settings(max_examples=40, deadline=None)
+def test_image_cache_pulls_each_image_at_most_once(case):
+    """However requests interleave, each image downloads exactly once."""
+    images, requests = case
+    env = Environment()
+    cache = NodeImageCache(env)
+    registry = ImageRegistry(pull_bandwidth_bytes_per_s=500e6)
+    for image in images:
+        registry.push(image)
+
+    def worker(env, image, delay):
+        yield env.timeout(delay)
+        yield from cache.ensure(image, registry)
+
+    procs = [
+        env.process(worker(env, images[idx], 0.1 * i))
+        for i, idx in enumerate(requests)
+    ]
+    env.run(until=env.all_of(procs))
+    distinct = len({images[idx].name for idx in requests})
+    assert cache.pulls == distinct
+    assert registry.pulls_served == distinct
+    assert cache.hits == len(requests) - distinct

@@ -1,0 +1,206 @@
+"""Unit tests for the DES kernel: clock, events, combinators."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.5)
+    env.run()
+    assert env.now == 3.5
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        v = yield env.timeout(1.0, value="payload")
+        seen.append(v)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (5.0, 1.0, 3.0):
+        ev = env.timeout(delay)
+        ev.callbacks.append(lambda e, d=delay: order.append(d))
+    env.run()
+    assert order == [1.0, 3.0, 5.0]
+
+
+def test_same_time_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+    for i in range(10):
+        ev = env.timeout(1.0)
+        ev.callbacks.append(lambda e, i=i: order.append(i))
+    env.run()
+    assert order == list(range(10))
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(42)
+    with pytest.raises(SimulationError):
+        ev.succeed(43)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+    env.run()
+    assert env.now == 10.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=2.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 2.0
+
+
+def test_run_until_event_that_never_fires():
+    env = Environment()
+    orphan = env.event()
+    env.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env.run(until=orphan)
+
+
+def test_all_of_collects_all_values():
+    env = Environment()
+    evs = [env.timeout(d, value=d) for d in (1.0, 2.0, 3.0)]
+    result = env.run(until=env.all_of(evs))
+    assert sorted(result.values()) == [1.0, 2.0, 3.0]
+    assert env.now == 3.0
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    evs = [env.timeout(d, value=d) for d in (5.0, 1.0)]
+    result = env.run(until=env.any_of(evs))
+    assert list(result.values()) == [1.0]
+    assert env.now == 1.0
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    cond = env.all_of([])
+    assert cond.triggered
+
+
+def test_all_of_mixed_processed_and_pending():
+    """Regression: processed constituents must not fire an AllOf early."""
+    env = Environment()
+    early = [env.timeout(1.0, value=i) for i in range(3)]
+    env.run(until=2.0)  # the three early events are processed now
+    late = env.timeout(5.0, value="late")
+    cond = env.all_of(early + [late])
+    assert not cond.triggered
+    result = env.run(until=cond)
+    assert env.now == pytest.approx(7.0)
+    assert sorted(map(str, result.values())) == ["0", "1", "2", "late"]
+
+
+def test_all_of_processed_failure_decides_immediately():
+    env = Environment()
+    bad = env.event()
+    bad.fail(RuntimeError("early failure"))
+    bad._defused = True
+    env.run(until=0.5)
+    pending = env.timeout(5.0)
+    cond = env.all_of([bad, pending])
+    cond._defused = True
+    assert cond.triggered and not cond.ok
+
+
+def test_any_of_with_processed_event_fires_immediately():
+    env = Environment()
+    done = env.timeout(1.0, value="first")
+    env.run(until=2.0)
+    pending = env.timeout(100.0)
+    cond = env.any_of([done, pending])
+    assert cond.triggered and cond.ok
+    assert list(cond.value.values()) == ["first"]
+
+
+def test_unhandled_failed_event_raises_from_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_mixing_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    ev2 = env2.event()
+    with pytest.raises(SimulationError):
+        env1.all_of([ev2])
+
+
+def test_schedule_callback():
+    env = Environment()
+    hits = []
+    env.schedule_callback(2.0, lambda: hits.append(env.now))
+    env.run()
+    assert hits == [2.0]
+
+
+def test_peek():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7.0)
+    assert env.peek() == 7.0

@@ -1,0 +1,168 @@
+"""Unit tests for the fluid task pool."""
+
+import pytest
+
+from repro.sim import Environment, FluidPool, FluidTask, SimulationError
+
+
+def equal_share_allocator(capacity):
+    """Divide ``capacity`` units/s equally among resident tasks."""
+
+    def allocate(tasks):
+        share = capacity / len(tasks)
+        for t in tasks:
+            t.rate = share
+
+    return allocate
+
+
+def test_single_task_duration():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(10.0))
+    task = FluidTask(env, work=50.0)
+    pool.add(task)
+    env.run(until=task.done)
+    assert env.now == pytest.approx(5.0)
+
+
+def test_two_tasks_share_equally():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(10.0))
+    a = FluidTask(env, work=50.0)
+    b = FluidTask(env, work=50.0)
+    pool.add(a)
+    pool.add(b)
+    env.run()
+    # Each progresses at 5 units/s throughout.
+    assert env.now == pytest.approx(10.0)
+
+
+def test_late_arrival_slows_first_task():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(10.0))
+    a = FluidTask(env, work=100.0)
+    pool.add(a)
+    finish_times = {}
+    a.done.callbacks.append(lambda ev: finish_times.__setitem__("a", env.now))
+
+    def late(env):
+        yield env.timeout(5.0)  # a has drained 50 units alone
+        b = FluidTask(env, work=25.0)
+        pool.add(b)
+        yield b.done
+        finish_times["b"] = env.now
+
+    env.process(late(env))
+    env.run()
+    # From t=5: both at 5 units/s. b (25 units) finishes at t=10;
+    # a has 50-25=25 left, then runs alone at 10/s -> t=12.5.
+    assert finish_times["b"] == pytest.approx(10.0)
+    assert finish_times["a"] == pytest.approx(12.5)
+
+
+def test_early_finisher_speeds_up_survivor():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(10.0))
+    short = FluidTask(env, work=10.0)
+    long = FluidTask(env, work=100.0)
+    pool.add(short)
+    pool.add(long)
+    env.run(until=long.done)
+    # Shared until t=2 (short drains 10 at 5/s; long drains 10),
+    # then long runs alone: 90 left at 10/s -> t=11.
+    assert env.now == pytest.approx(11.0)
+
+
+def test_cancel_returns_remaining_work():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(10.0))
+    task = FluidTask(env, work=100.0)
+    pool.add(task)
+    env.run(until=3.0)
+    remaining = pool.cancel(task)
+    assert remaining == pytest.approx(70.0)
+    assert len(pool) == 0
+
+
+def test_cancel_non_resident_rejected():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(1.0))
+    task = FluidTask(env, work=1.0)
+    with pytest.raises(SimulationError):
+        pool.cancel(task)
+
+
+def test_double_add_rejected():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(1.0))
+    task = FluidTask(env, work=1.0)
+    pool.add(task)
+    with pytest.raises(SimulationError):
+        pool.add(task)
+
+
+def test_zero_work_task_completes_immediately():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(1.0))
+    task = FluidTask(env, work=0.0)
+    pool.add(task)
+    assert task.done.triggered
+
+
+def test_negative_work_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        FluidTask(env, work=-1.0)
+
+
+def test_starved_task_waits_for_poke():
+    env = Environment()
+    capacity = {"value": 0.0}
+
+    def allocate(tasks):
+        for t in tasks:
+            t.rate = capacity["value"] / len(tasks)
+
+    pool = FluidPool(env, allocate)
+    task = FluidTask(env, work=10.0)
+    pool.add(task)
+    env.run(until=5.0)
+    assert not task.done.triggered
+
+    capacity["value"] = 10.0
+    pool.poke()
+    env.run(until=task.done)
+    assert env.now == pytest.approx(6.0)
+
+
+def test_work_conservation():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(7.0))
+    total = 0.0
+    for w in (5.0, 13.0, 2.5, 40.0):
+        pool.add(FluidTask(env, work=w))
+        total += w
+    env.run()
+    assert pool.work_drained == pytest.approx(total)
+
+
+def test_progress_property():
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(10.0))
+    task = FluidTask(env, work=100.0)
+    pool.add(task)
+    env.run(until=4.0)
+    pool.poke()  # force progress accounting
+    assert task.progress == pytest.approx(0.4)
+
+
+def test_allocator_negative_rate_rejected():
+    env = Environment()
+
+    def bad(tasks):
+        for t in tasks:
+            t.rate = -1.0
+
+    pool = FluidPool(env, bad)
+    with pytest.raises(SimulationError):
+        pool.add(FluidTask(env, work=1.0))

@@ -1,0 +1,163 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def proc(env, name, hold):
+        yield res.request()
+        granted.append((env.now, name))
+        yield env.timeout(hold)
+        res.release()
+
+    env.process(proc(env, "a", 5.0))
+    env.process(proc(env, "b", 5.0))
+    env.process(proc(env, "c", 5.0))
+    env.run()
+    assert granted == [(0.0, "a"), (0.0, "b"), (5.0, "c")]
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=3)
+
+    def proc(env):
+        yield res.request(2)
+
+    env.process(proc(env))
+    env.run()
+    assert res.in_use == 2
+    assert res.available == 1
+    res.release(2)
+    assert res.in_use == 0
+
+
+def test_resource_over_release_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_request_over_capacity_rejected():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    with pytest.raises(ValueError):
+        res.request(3)
+
+
+def test_resource_fifo_no_bypass():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    order = []
+
+    def proc(env, name, amount):
+        yield res.request(amount)
+        order.append(name)
+        res.release(amount)
+
+    # 'big' needs both units and arrives first; 'small' must not bypass it.
+    def setup(env):
+        yield res.request(1)  # occupy one unit
+        env.process(proc(env, "big", 2))
+        env.process(proc(env, "small", 1))
+        yield env.timeout(1.0)
+        res.release(1)
+
+    env.process(setup(env))
+    env.run()
+    assert order == ["big", "small"]
+
+
+def test_resource_cancel_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        yield res.request()
+        yield env.timeout(10.0)
+        res.release()
+
+    env.process(holder(env))
+    env.run(until=1.0)
+    req = res.request()
+    assert res.queue_length == 1
+    req.cancel()
+    assert res.queue_length == 0
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1.0)
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            out.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("put-a", env.now))
+        yield store.put("b")
+        log.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        item = yield store.get()
+        log.append((f"got-{item}", env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("put-a", 0.0), ("got-a", 5.0), ("put-b", 5.0)]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def consumer(env):
+        item = yield store.get()
+        out.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(3.0)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert out == [(3.0, "x")]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2

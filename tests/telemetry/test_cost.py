@@ -1,0 +1,52 @@
+"""Tests for GPU cost accounting."""
+
+import pytest
+
+from repro.telemetry import CostReport, GpuCostModel, cost_report
+
+
+def test_device_seconds_pricing():
+    model = GpuCostModel(hourly_usd=3.60)
+    assert model.device_seconds_usd(3600.0) == pytest.approx(3.60)
+    assert model.device_seconds_usd(1800.0) == pytest.approx(1.80)
+
+
+def test_occupancy_billing():
+    rental = GpuCostModel(hourly_usd=3.60, bill_by_occupancy=False)
+    chargeback = GpuCostModel(hourly_usd=3.60, bill_by_occupancy=True)
+    assert rental.device_seconds_usd(3600.0, 0.25) == pytest.approx(3.60)
+    assert chargeback.device_seconds_usd(3600.0, 0.25) == pytest.approx(0.90)
+
+
+def test_cost_report_amortisation():
+    report = cost_report("mps-4", makespan_seconds=3600.0, completions=500,
+                         mean_sm_utilization=0.8,
+                         model=GpuCostModel(hourly_usd=3.60))
+    assert report.total_usd == pytest.approx(3.60)
+    assert report.usd_per_1000 == pytest.approx(7.20)
+    assert report.effective_throughput_per_usd == pytest.approx(500 / 3.60)
+
+
+def test_multiplexing_profitability_example():
+    """The abstract's claim in miniature: 2.5x throughput at the same
+    rental price means 2.5x cheaper completions."""
+    model = GpuCostModel()
+    single = cost_report("single", 1000.0, 100, 1.0, model)
+    multiplexed = cost_report("mps-4", 400.0, 100, 1.0, model)
+    assert (single.usd_per_1000 / multiplexed.usd_per_1000
+            == pytest.approx(2.5))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GpuCostModel(hourly_usd=0.0)
+    model = GpuCostModel()
+    with pytest.raises(ValueError):
+        model.device_seconds_usd(-1.0)
+    with pytest.raises(ValueError):
+        model.device_seconds_usd(1.0, 1.5)
+    with pytest.raises(ValueError):
+        cost_report("x", 0.0, 1, 1.0)
+    report = cost_report("x", 1.0, 0, 1.0)
+    with pytest.raises(ValueError):
+        _ = report.usd_per_1000

@@ -1,0 +1,64 @@
+"""Tests for the telemetry exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Timeline,
+    series_to_csv,
+    stats_to_dict,
+    summarize,
+    timeline_to_csv,
+    timeline_to_jsonl,
+)
+
+
+def make_timeline():
+    tl = Timeline()
+    tl.add("sim", 0.0, 5.0, label="t1")
+    tl.add("train", 5.0, 7.0, label="t2")
+    tl.add("sim", 2.0, 4.0, label="t3")
+    return tl
+
+
+def test_timeline_to_csv_roundtrip():
+    text = timeline_to_csv(make_timeline())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["category", "start", "end", "duration", "label"]
+    assert len(rows) == 4
+    # Sorted by start time.
+    starts = [float(r[1]) for r in rows[1:]]
+    assert starts == sorted(starts)
+    assert rows[1][0] == "sim"
+
+
+def test_timeline_to_jsonl():
+    lines = timeline_to_jsonl(make_timeline()).splitlines()
+    assert len(lines) == 3
+    first = json.loads(lines[0])
+    assert first["category"] == "sim"
+    assert first["duration"] == pytest.approx(5.0)
+
+
+def test_series_to_csv():
+    text = series_to_csv(["sms", "latency"], [[10, 1.5], [20, 0.9]])
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows == [["sms", "latency"], ["10", "1.5"], ["20", "0.9"]]
+
+
+def test_series_to_csv_validation():
+    with pytest.raises(ValueError, match="non-empty"):
+        series_to_csv([], [])
+    with pytest.raises(ValueError, match="cells"):
+        series_to_csv(["a", "b"], [[1]])
+
+
+def test_stats_to_dict():
+    d = stats_to_dict(summarize([1.0, 2.0, 3.0]))
+    assert d["count"] == 3
+    assert d["mean"] == pytest.approx(2.0)
+    assert set(d) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+    json.dumps(d)  # JSON-ready

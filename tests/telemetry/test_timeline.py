@@ -1,0 +1,106 @@
+"""Tests for span timelines and metrics aggregation."""
+
+import pytest
+
+from repro.telemetry import (
+    Span,
+    ThroughputMeter,
+    Timeline,
+    render_ascii_gantt,
+    summarize,
+)
+from repro.sim import Environment
+
+
+def test_span_validation():
+    with pytest.raises(ValueError):
+        Span("x", start=2.0, end=1.0)
+    assert Span("x", 1.0, 3.0).duration == pytest.approx(2.0)
+
+
+def test_timeline_categories_in_insertion_order():
+    tl = Timeline()
+    tl.add("b", 0, 1)
+    tl.add("a", 1, 2)
+    tl.add("b", 2, 3)
+    assert tl.categories() == ["b", "a"]
+
+
+def test_makespan():
+    tl = Timeline()
+    tl.add("x", 2.0, 5.0)
+    tl.add("y", 4.0, 10.0)
+    assert tl.makespan == pytest.approx(8.0)
+    assert Timeline().makespan == 0.0
+
+
+def test_busy_time_merges_overlaps():
+    tl = Timeline()
+    tl.add("gpu", 0.0, 4.0)
+    tl.add("gpu", 2.0, 6.0)  # overlaps
+    tl.add("gpu", 10.0, 12.0)
+    assert tl.busy_time("gpu") == pytest.approx(8.0)
+    assert tl.total_task_time("gpu") == pytest.approx(10.0)
+
+
+def test_idle_gaps():
+    tl = Timeline()
+    tl.add("train", 0.0, 2.0)
+    tl.add("infer", 5.0, 6.0)
+    tl.add("train", 6.0, 7.0)
+    tl.add("infer", 9.0, 10.0)
+    gaps = tl.idle_gaps(["train", "infer"])
+    assert gaps == [(2.0, 5.0), (7.0, 9.0)]
+
+
+def test_idle_fraction():
+    tl = Timeline()
+    tl.add("sim", 0.0, 10.0)
+    tl.add("gpu", 0.0, 2.0)
+    tl.add("gpu", 8.0, 10.0)
+    # GPU busy 4 of 10 s -> 60% idle.
+    assert tl.idle_fraction(["gpu"]) == pytest.approx(0.6)
+
+
+def test_idle_gaps_empty_category():
+    tl = Timeline()
+    tl.add("cpu", 0.0, 1.0)
+    assert tl.idle_gaps(["gpu"]) == []
+    assert tl.idle_fraction(["gpu"]) == pytest.approx(1.0)
+
+
+def test_render_ascii_gantt():
+    tl = Timeline()
+    tl.add("sim", 0.0, 50.0)
+    tl.add("train", 50.0, 100.0)
+    art = render_ascii_gantt(tl, width=20)
+    lines = art.splitlines()
+    assert "sim" in lines[0] and "#" in lines[0]
+    assert "train" in lines[1]
+    assert render_ascii_gantt(Timeline()) == "(empty timeline)"
+
+
+def test_summarize():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.p50 == pytest.approx(2.5)
+    assert stats.minimum == 1.0 and stats.maximum == 4.0
+
+
+def test_summarize_validation():
+    with pytest.raises(ValueError):
+        summarize([])
+    with pytest.raises(ValueError):
+        summarize([-1.0])
+
+
+def test_throughput_meter():
+    env = Environment()
+    meter = ThroughputMeter(env)
+    meter.record(10)
+    env.timeout(5.0)
+    env.run()
+    assert meter.per_second == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        meter.record(-1)

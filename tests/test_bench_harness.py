@@ -1,0 +1,55 @@
+"""Tests for the bench harness table formatter and result persistence."""
+
+import os
+
+import pytest
+
+from repro.bench import format_table, save_results
+from repro.bench.harness import _fmt, results_dir
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["short", 1], ["longer-name", 22]])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    # Columns align: 'value' header and both values start at same offset.
+    offset = lines[0].index("value")
+    assert lines[2][offset] == "1" or lines[2][offset - 1] == " "
+
+
+def test_format_table_with_title():
+    table = format_table(["a"], [[1]], title="My Table")
+    lines = table.splitlines()
+    assert lines[0] == "My Table"
+    assert lines[1] == "=" * len("My Table")
+
+
+def test_format_table_empty_rows():
+    table = format_table(["col1", "col2"], [])
+    assert "col1" in table and "col2" in table
+
+
+def test_float_formatting():
+    assert _fmt(0) == "0"
+    assert _fmt(0.0) == "0"
+    assert _fmt(1.5) == "1.5"
+    assert _fmt(1.0) == "1"
+    assert _fmt(0.001) == "0.001"
+    assert _fmt(123456.0) == "1.23e+05"
+    assert _fmt(0.000123) == "0.000123"
+    assert _fmt("text") == "text"
+
+
+def test_save_results_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = save_results("unit-test", "hello\nworld")
+    assert os.path.dirname(path) == str(tmp_path)
+    with open(path) as fh:
+        assert fh.read() == "hello\nworld\n"
+
+
+def test_results_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "sub"))
+    assert results_dir() == str(tmp_path / "sub")
+    assert os.path.isdir(results_dir())

@@ -1,0 +1,76 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    assert code == 0
+    return out
+
+
+def test_fig1(capsys):
+    out = run_cli(capsys, "fig1", "--models", "resnet50", "--batch", "8")
+    assert "resnet50" in out
+    assert "max/min" in out
+
+
+def test_fig2(capsys):
+    out = run_cli(capsys, "fig2", "--step", "25")
+    assert "7b seconds" in out
+    assert "Fig. 2" in out
+
+
+def test_fig3(capsys):
+    out = run_cli(capsys, "fig3", "--width", "40")
+    assert "simulation" in out
+    assert "GPU idle fraction" in out
+
+
+def test_fig4_small(capsys):
+    out = run_cli(capsys, "fig4", "--completions", "8")
+    assert "throughput x" in out
+    assert "mps" in out and "mig" in out and "timeshare" in out
+
+
+def test_fig5_small(capsys):
+    out = run_cli(capsys, "fig5", "--completions", "8")
+    assert "mean latency" in out
+
+
+def test_table1(capsys):
+    out = run_cli(capsys, "table1", "--clients", "2")
+    assert "mps-default" in out
+    assert "vgpu" in out
+
+
+def test_overheads(capsys):
+    out = run_cli(capsys, "overheads")
+    assert "llama2-13b" in out
+    assert "MPS repartition" in out
+
+
+def test_rightsizing(capsys):
+    out = run_cli(capsys, "rightsizing")
+    assert "knee SMs" in out
+
+
+def test_weightcache(capsys):
+    out = run_cli(capsys, "weightcache", "--repartitions", "2")
+    assert "speedup" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in ("fig1", "fig2", "fig3", "fig4", "fig5", "table1",
+                "overheads", "rightsizing", "weightcache"):
+        assert cmd in text

@@ -1,0 +1,134 @@
+"""Tests for the CNN conv-arithmetic zoo (Fig. 1's substrate)."""
+
+import pytest
+
+from repro.workloads import (
+    ALEXNET,
+    CNN_ZOO,
+    RESNET50,
+    RESNET101,
+    VGG16,
+    ConvLayer,
+    conv_output_size,
+)
+
+
+def test_conv_output_size():
+    # AlexNet conv1: (224 + 2*2 - 11)/4 + 1 = 55.
+    assert conv_output_size(224, 11, 4, 2) == 55
+    assert conv_output_size(224, 3, 1, 1) == 224
+    assert conv_output_size(224, 7, 2, 3) == 112
+
+
+def test_conv_output_size_validation():
+    with pytest.raises(ValueError):
+        conv_output_size(0, 3, 1, 1)
+    with pytest.raises(ValueError):
+        conv_output_size(2, 7, 1, 0)
+
+
+def test_conv_flops_formula():
+    layer = ConvLayer("c", in_channels=3, out_channels=64, kernel_size=11,
+                      stride=4, padding=2)
+    # 2 * 11^2 * 3 * 64 * 55 * 55
+    assert layer.flops_per_image(224) == pytest.approx(
+        2 * 121 * 3 * 64 * 55 * 55
+    )
+
+
+def test_conv_flops_brute_force_equivalence():
+    """Closed form equals counting multiply-adds position by position."""
+    layer = ConvLayer("c", in_channels=4, out_channels=8, kernel_size=3,
+                      stride=2, padding=1)
+    size = 16
+    out = layer.output_size(size)
+    brute = 0
+    for _oy in range(out):
+        for _ox in range(out):
+            for _oc in range(8):
+                brute += 2 * 3 * 3 * 4  # one MAC per tap per in-channel
+    assert layer.flops_per_image(size) == pytest.approx(brute)
+
+
+def test_grouped_conv_divides_flops():
+    dense = ConvLayer("d", 16, 32, 3, padding=1)
+    grouped = ConvLayer("g", 16, 32, 3, padding=1, groups=4)
+    assert grouped.flops_per_image(32) == pytest.approx(
+        dense.flops_per_image(32) / 4
+    )
+    with pytest.raises(ValueError):
+        ConvLayer("bad", 10, 20, 3, groups=3)
+
+
+def test_alexnet_layer_count_and_sizes():
+    layers = list(ALEXNET.conv_layers())
+    assert len(layers) == 5
+    sizes = [size for _, size in layers]
+    assert sizes == [224, 27, 13, 13, 13]
+
+
+def test_vgg16_has_13_convs():
+    assert len(list(VGG16.conv_layers())) == 13
+
+
+def test_resnet50_layer_count():
+    # 1 stem + (3+4+6+3) bottlenecks x 3 convs + 4 downsamples = 53.
+    assert len(list(RESNET50.conv_layers())) == 53
+
+
+def test_resnet101_layer_count():
+    # 1 + (3+4+23+3)*3 + 4 = 104.
+    assert len(list(RESNET101.conv_layers())) == 104
+
+
+def test_resnet50_total_flops_plausible():
+    """ResNet-50 inference is ~4 GFLOPs MACs x2 = ~8 GFLOP (conv-only ~7.6)."""
+    total = RESNET50.total_flops(batch_size=1)
+    assert 6e9 < total < 9e9
+
+
+def test_vgg16_total_flops_plausible():
+    """VGG-16 is famously ~15.5 GMACs -> ~31 GFLOPs (conv-only ~30)."""
+    total = VGG16.total_flops(batch_size=1)
+    assert 25e9 < total < 35e9
+
+
+def test_fig1_per_layer_variation_is_large():
+    """Fig. 1's point: per-layer compute varies rapidly within a model."""
+    for model in (ALEXNET, VGG16, RESNET50, RESNET101):
+        assert model.flop_variation() > 3.0, model.name
+
+
+def test_fig1_variation_persists_across_batch_sizes():
+    """'Even with different batch sizes, this variability remains.'"""
+    for batch in (1, 8, 32):
+        assert RESNET50.flop_variation(batch) == pytest.approx(
+            RESNET50.flop_variation(1)
+        )
+
+
+def test_batch_scales_flops_linearly():
+    assert RESNET50.total_flops(8) == pytest.approx(8 * RESNET50.total_flops(1))
+
+
+def test_inference_kernels_cover_all_layers():
+    group = RESNET50.inference_kernels(batch_size=1)
+    assert len(group) == 53
+    assert group.total_flops == pytest.approx(RESNET50.total_flops(1))
+
+
+def test_inference_kernel_parallelism_grows_with_batch():
+    g1 = RESNET50.inference_kernels(batch_size=1)
+    g32 = RESNET50.inference_kernels(batch_size=32)
+    # Larger batches can fill more SMs (the §3.4 observation).
+    assert max(k.max_sms for k in g32) > max(k.max_sms for k in g1)
+
+
+def test_weight_bytes_plausible():
+    # ResNet-50 has ~23.5M conv weights (25.6M total incl. fc) -> ~94 MB fp32.
+    assert 80e6 < RESNET50.weight_bytes(4) < 110e6
+
+
+def test_zoo_contains_paper_models():
+    for name in ("alexnet", "vgg16", "resnet50", "resnet101"):
+        assert name in CNN_ZOO

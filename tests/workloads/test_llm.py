@@ -1,0 +1,114 @@
+"""Tests for the LLaMa-2 cost model, including the paper's anchors."""
+
+import pytest
+
+from repro.gpu import A100_40GB, A100_80GB
+from repro.workloads import (
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA2_7B,
+    InferenceRuntime,
+    LlamaInference,
+)
+
+FP32 = InferenceRuntime(dtype_bytes=4)
+FP16 = InferenceRuntime(dtype_bytes=2)
+
+
+def test_weight_footprints():
+    assert LlamaInference(LLAMA2_7B, FP32).weight_bytes == pytest.approx(
+        6.74e9 * 4)
+    assert LlamaInference(LLAMA2_7B, FP16).weight_bytes == pytest.approx(
+        6.74e9 * 2)
+
+
+def test_four_fp16_instances_fit_in_80gb_but_not_five():
+    """The §5.2 admission constraint."""
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    per_instance = llm.memory_per_gpu
+    assert 4 * per_instance < A100_80GB.memory_bytes
+    assert 5 * per_instance > A100_80GB.memory_bytes
+
+
+def test_13b_load_time_matches_section6():
+    """§6: 'loading time of LLaMa 2 13B can take up to 10 seconds'."""
+    llm = LlamaInference(LLAMA2_13B, FP16)
+    assert 8.0 < llm.load_seconds < 12.0
+
+
+def test_latency_plateau_exists():
+    """Fig. 2: latency stops improving past a few dozen SMs."""
+    llm = LlamaInference(LLAMA2_7B, FP32)
+    spec = A100_40GB
+    plateau = llm.plateau_sms(spec)
+    assert 15 <= plateau <= 45
+    # Beyond the plateau: no material improvement.
+    assert (llm.token_seconds(spec, plateau)
+            <= 1.02 * llm.token_seconds(spec, spec.sms) + 1e-12)
+    # Well below it: clearly slower.
+    assert llm.token_seconds(spec, 5) > 2 * llm.token_seconds(spec, spec.sms)
+
+
+def test_latency_monotone_in_sms():
+    llm = LlamaInference(LLAMA2_7B, FP32)
+    prev = float("inf")
+    for sms in range(1, A100_40GB.sms + 1):
+        cur = llm.token_seconds(A100_40GB, sms)
+        assert cur <= prev + 1e-12
+        prev = cur
+
+
+def test_cpu_slowdown_anchor():
+    """Fig. 2 text: CPU inference ~40x slower than the full GPU."""
+    llm = LlamaInference(LLAMA2_7B, FP32)
+    gpu = llm.completion_seconds(A100_40GB, A100_40GB.sms)
+    cpu = llm.cpu_completion_seconds(A100_40GB)
+    assert cpu / gpu == pytest.approx(40.0)
+
+
+def test_13b_slower_than_7b_despite_two_gpus():
+    """Fig. 2: 13B on 2 GPUs is roughly 2x the 7B latency on one."""
+    t7 = LlamaInference(LLAMA2_7B, FP32).completion_seconds(
+        A100_40GB, A100_40GB.sms)
+    t13 = LlamaInference(LLAMA2_13B, FP32, n_gpus=2).completion_seconds(
+        A100_40GB, A100_40GB.sms)
+    assert 1.4 * t7 < t13 < 3.0 * t7
+
+
+def test_decode_kernel_shape():
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    k = llm.decode_kernel()
+    assert k.flops == pytest.approx(2 * 6.74e9)
+    # Traffic is amplification x weights plus KV-cache traffic.
+    assert k.bytes_moved > FP16.traffic_amplification * llm.weight_bytes
+    assert k.max_sms == FP16.max_sms
+
+
+def test_multi_gpu_shards_memory():
+    llm = LlamaInference(LLAMA2_13B, FP32, n_gpus=2)
+    single = LlamaInference(LLAMA2_13B, FP32, n_gpus=1)
+    assert llm.memory_per_gpu == pytest.approx(single.memory_per_gpu / 2)
+    # 13B fp32 (52 GB) does not fit one 40 GB A100, but half does.
+    assert single.memory_per_gpu > A100_40GB.memory_bytes
+    assert llm.memory_per_gpu < A100_40GB.memory_bytes
+
+
+def test_70b_spec_exists():
+    assert LLAMA2_70B.n_params == pytest.approx(69e9)
+
+
+def test_invalid_n_gpus():
+    with pytest.raises(ValueError):
+        LlamaInference(LLAMA2_7B, n_gpus=0)
+
+
+def test_cold_start_decomposition():
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    assert llm.cold_start_seconds == pytest.approx(
+        FP16.process_start_seconds + llm.load_seconds)
+
+
+def test_with_dtype_helper():
+    rt = FP16.with_dtype(4)
+    assert rt.dtype_bytes == 4
+    assert rt.efficiency == FP16.efficiency

@@ -1,0 +1,170 @@
+"""Tests for the molecular-design campaign and its substrates."""
+
+import numpy as np
+import pytest
+
+from repro.faas import (
+    ColdStartModel,
+    Config,
+    DataFlowKernel,
+    HighThroughputExecutor,
+    LocalProvider,
+)
+from repro.gpu import A100_40GB
+from repro.workloads import (
+    CampaignConfig,
+    MolecularDesignCampaign,
+    Molecule,
+    MoleculeSpace,
+    RidgeEmulator,
+    simulate_ionization_potential,
+)
+from repro.workloads.chemistry import ground_truth_batch
+
+NO_COLD = ColdStartModel(function_init_seconds=0.0, gpu_context_seconds=0.0)
+
+
+# ------------------------------------------------------------------ datasets
+
+def test_molecule_space_deterministic():
+    s1, s2 = MoleculeSpace(seed=7), MoleculeSpace(seed=7)
+    m1, m2 = s1.molecule(42), s2.molecule(42)
+    assert np.allclose(m1.descriptors, m2.descriptors)
+    assert m1 == m2
+
+
+def test_molecule_space_distinct_ids_differ():
+    space = MoleculeSpace(seed=0)
+    a, b = space.molecule(0), space.molecule(1)
+    assert not np.allclose(a.descriptors, b.descriptors)
+
+
+def test_molecule_space_sample_and_features():
+    space = MoleculeSpace(seed=0)
+    mols = space.sample(10, offset=5)
+    assert [m.mol_id for m in mols] == list(range(5, 15))
+    feats = space.features(mols)
+    assert feats.shape == (10, space.n_descriptors)
+    assert space.features([]).shape == (0, space.n_descriptors)
+
+
+def test_molecule_validation():
+    space = MoleculeSpace()
+    with pytest.raises(ValueError):
+        space.molecule(-1)
+    with pytest.raises(ValueError):
+        Molecule(0, np.zeros((2, 2)))
+
+
+# ----------------------------------------------------------------- chemistry
+
+def test_simulation_deterministic():
+    space = MoleculeSpace(seed=0)
+    mol = space.molecule(3)
+    assert simulate_ionization_potential(mol) == pytest.approx(
+        simulate_ionization_potential(mol))
+
+
+def test_simulation_values_in_plausible_ev_range():
+    space = MoleculeSpace(seed=0)
+    values = [simulate_ionization_potential(m) for m in space.sample(100)]
+    assert all(2.0 < v < 16.0 for v in values)
+    assert np.std(values) > 0.1  # the landscape is not flat
+
+
+# ------------------------------------------------------------------ emulator
+
+def test_emulator_learns_ground_truth():
+    space = MoleculeSpace(seed=1)
+    train = space.sample(400)
+    test = space.sample(100, offset=400)
+    x_train, x_test = space.features(train), space.features(test)
+    y_train = ground_truth_batch(x_train)
+    y_test = ground_truth_batch(x_test)
+    emulator = RidgeEmulator(seed=0)
+    train_rmse = emulator.train(x_train, y_train)
+    pred = emulator.predict(x_test)
+    test_rmse = float(np.sqrt(np.mean((pred - y_test) ** 2)))
+    # The emulator must beat the trivial predict-the-mean baseline.
+    baseline = float(np.std(y_test))
+    assert train_rmse < baseline
+    assert test_rmse < 0.8 * baseline
+
+
+def test_emulator_validation():
+    e = RidgeEmulator()
+    with pytest.raises(RuntimeError):
+        e.predict(np.zeros((1, 4)))
+    with pytest.raises(ValueError):
+        e.train(np.zeros((0, 4)), np.zeros(0))
+    with pytest.raises(ValueError):
+        e.train(np.zeros((3, 4)), np.zeros(5))
+
+
+def test_emulator_kernels():
+    e = RidgeEmulator()
+    k_train = e.training_kernel(100)
+    k_infer = e.inference_kernel(1000)
+    assert k_train.flops > k_infer.flops / 10
+    assert k_train.max_sms > 0 and k_infer.max_sms > 0
+
+
+# ------------------------------------------------------------------ campaign
+
+def make_dfk():
+    cpu = HighThroughputExecutor(label="cpu", max_workers=8,
+                                 cold_start=NO_COLD)
+    gpu = HighThroughputExecutor(
+        label="gpu", available_accelerators=["0"], cold_start=NO_COLD,
+        provider=LocalProvider(cores=8, gpu_specs=[A100_40GB]))
+    return DataFlowKernel(Config(executors=[cpu, gpu]))
+
+
+def small_config():
+    return CampaignConfig(n_initial=16, n_rounds=3, simulations_per_round=8,
+                          candidate_pool_size=128, simulation_seconds=12.0)
+
+
+def test_campaign_runs_to_completion():
+    dfk = make_dfk()
+    campaign = MolecularDesignCampaign(dfk, small_config())
+    result = campaign.run_to_completion()
+    assert result.n_simulated == 16 + 3 * 8
+    assert len(result.round_best) == 3
+    assert len(result.train_rmse) == 3
+    assert result.best_ip >= max(result.round_best) - 1e-9
+
+
+def test_campaign_active_learning_beats_random():
+    """Selected molecules must be enriched relative to the space average."""
+    dfk = make_dfk()
+    campaign = MolecularDesignCampaign(dfk, small_config())
+    result = campaign.run_to_completion()
+    space = MoleculeSpace(seed=small_config().seed)
+    population = ground_truth_batch(space.features(space.sample(2000)))
+    # The last round's best simulated IP should be far out in the tail.
+    assert result.round_best[-1] > np.percentile(population, 90)
+
+
+def test_campaign_timeline_has_all_three_phases():
+    dfk = make_dfk()
+    campaign = MolecularDesignCampaign(dfk, small_config())
+    result = campaign.run_to_completion()
+    cats = set(result.timeline.categories())
+    assert {"simulation", "training", "inference"} <= cats
+
+
+def test_campaign_has_gpu_idle_gaps():
+    """Fig. 3: the GPU idles while simulations run (the 'white lines')."""
+    dfk = make_dfk()
+    campaign = MolecularDesignCampaign(dfk, small_config())
+    result = campaign.run_to_completion()
+    idle = result.timeline.idle_fraction(["training", "inference"])
+    assert idle > 0.5  # simulation phases dominate the makespan
+
+
+def test_campaign_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(n_initial=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(simulations_per_round=0)

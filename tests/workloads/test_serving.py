@@ -1,0 +1,120 @@
+"""Tests for the dynamic-batching inference server."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import A100_80GB, MpsControlDaemon, SimulatedGPU
+from repro.sim import Environment
+from repro.workloads import (
+    LLAMA2_7B,
+    InferenceRuntime,
+    InferenceServer,
+    LlamaInference,
+    OpenLoopClient,
+)
+
+FP16 = InferenceRuntime(dtype_bytes=2)
+
+
+def make_server(max_batch_size=4, batch_timeout=0.01):
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    client = daemon.client("server")
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    server = InferenceServer(env, client, llm,
+                             max_batch_size=max_batch_size,
+                             batch_timeout=batch_timeout)
+    return env, server, llm
+
+
+def test_single_request_completes():
+    env, server, llm = make_server()
+    req = server.submit(n_tokens=20)
+    env.run(until=req.done)
+    assert req.latency is not None
+    # Close to the isolated 20-token completion latency.
+    expected = llm.completion_seconds(A100_80GB, A100_80GB.sms)
+    assert req.latency == pytest.approx(expected, rel=0.1)
+
+
+def test_simultaneous_requests_are_batched():
+    env, server, llm = make_server(max_batch_size=4)
+    reqs = [server.submit(20) for _ in range(4)]
+    env.run(until=env.all_of([r.done for r in reqs]))
+    assert server.batch_sizes == [4]
+    # All four share the same steps: identical finish times.
+    finishes = {r.finish_time for r in reqs}
+    assert len(finishes) == 1
+
+
+def test_batching_amortizes_weight_traffic():
+    """Batch-of-4 throughput far exceeds 4x1 sequential throughput."""
+    env, server, llm = make_server(max_batch_size=4)
+    reqs = [server.submit(20) for _ in range(4)]
+    env.run(until=env.all_of([r.done for r in reqs]))
+    batched_total = env.now
+
+    env1, server1, _ = make_server(max_batch_size=1)
+    reqs1 = [server1.submit(20) for _ in range(4)]
+    env1.run(until=env1.all_of([r.done for r in reqs1]))
+    sequential_total = env1.now
+
+    assert batched_total < 0.6 * sequential_total
+
+
+def test_batch_respects_max_size():
+    env, server, _ = make_server(max_batch_size=2)
+    reqs = [server.submit(5) for _ in range(5)]
+    env.run(until=env.all_of([r.done for r in reqs]))
+    assert max(server.batch_sizes) <= 2
+    assert sum(server.batch_sizes) == 5
+
+
+def test_shorter_requests_leave_batch_early():
+    env, server, _ = make_server(max_batch_size=2)
+    short = server.submit(n_tokens=5)
+    long = server.submit(n_tokens=20)
+    env.run(until=env.all_of([short.done, long.done]))
+    assert short.finish_time < long.finish_time
+
+
+def test_open_loop_client_deterministic():
+    env, server, _ = make_server()
+    client = OpenLoopClient(env, server, rate_rps=2.0, n_requests=6,
+                            n_tokens=10)
+    env.run(until=client.done)
+    assert len(client.requests) == 6
+    assert all(r.latency is not None for r in client.requests)
+    arrivals = [r.arrival_time for r in client.requests]
+    gaps = np.diff(arrivals)
+    assert np.allclose(gaps, 0.5)
+
+
+def test_open_loop_client_poisson():
+    env, server, _ = make_server()
+    rng = np.random.default_rng(7)
+    client = OpenLoopClient(env, server, rate_rps=3.0, n_requests=20,
+                            n_tokens=5, rng=rng)
+    env.run(until=client.done)
+    gaps = np.diff([r.arrival_time for r in client.requests])
+    assert gaps.std() > 0  # genuinely random arrivals
+
+
+def test_latency_metrics():
+    env, server, _ = make_server()
+    reqs = [server.submit(10) for _ in range(3)]
+    env.run(until=env.all_of([r.done for r in reqs]))
+    assert server.mean_latency > 0
+    assert server.mean_batch_size >= 1.0
+
+
+def test_validation():
+    env, server, _ = make_server()
+    with pytest.raises(ValueError):
+        server.submit(n_tokens=0)
+    with pytest.raises(RuntimeError):
+        make_server()[1].mean_latency
+    with pytest.raises(ValueError):
+        OpenLoopClient(env, server, rate_rps=0.0, n_requests=1)

@@ -1,0 +1,80 @@
+"""Tests for the synthetic arrival trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    to_rate_series,
+    trace_stats,
+)
+
+
+def test_poisson_rate_matches():
+    trace = poisson_trace(rate_rps=5.0, horizon=2000.0, seed=1)
+    stats = trace_stats(trace, 2000.0)
+    assert stats.mean_rate == pytest.approx(5.0, rel=0.1)
+    # Poisson interarrivals: squared CV ~ 1.
+    assert stats.burstiness == pytest.approx(1.0, abs=0.25)
+
+
+def test_poisson_deterministic_and_sorted():
+    a = poisson_trace(2.0, 500.0, seed=9)
+    b = poisson_trace(2.0, 500.0, seed=9)
+    assert a == b
+    assert a == sorted(a)
+    assert all(0 <= t < 500.0 for t in a)
+
+
+def test_diurnal_trace_modulates_rate():
+    period = 1000.0
+    trace = diurnal_trace(mean_rate_rps=10.0, horizon=period, period=period,
+                          depth=0.8, seed=3)
+    rates = to_rate_series(trace, period, window=period / 10)
+    # First half (sin > 0) is busier than second half (sin < 0).
+    first = np.mean(rates[1:4])
+    second = np.mean(rates[6:9])
+    assert first > 1.5 * second
+
+
+def test_diurnal_mean_rate_preserved():
+    trace = diurnal_trace(mean_rate_rps=8.0, horizon=5000.0, period=1000.0,
+                          seed=5)
+    assert trace_stats(trace, 5000.0).mean_rate == pytest.approx(8.0,
+                                                                 rel=0.1)
+
+
+def test_bursty_trace_is_burstier_than_poisson():
+    horizon = 5000.0
+    bursty = bursty_trace(base_rate_rps=1.0, burst_rate_rps=20.0,
+                          horizon=horizon, mean_quiet=200.0,
+                          mean_burst=50.0, seed=2)
+    poisson = poisson_trace(rate_rps=trace_stats(bursty, horizon).mean_rate,
+                            horizon=horizon, seed=2)
+    assert (trace_stats(bursty, horizon).burstiness
+            > 2 * trace_stats(poisson, horizon).burstiness)
+    assert (trace_stats(bursty, horizon).peak_rate
+            > 2 * trace_stats(bursty, horizon).mean_rate)
+
+
+def test_to_rate_series_counts_everything():
+    trace = [0.5, 1.5, 1.6, 119.0]
+    rates = to_rate_series(trace, horizon=120.0, window=60.0)
+    assert len(rates) == 2
+    assert rates[0] * 60 == pytest.approx(3)
+    assert rates[1] * 60 == pytest.approx(1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        poisson_trace(0.0, 10.0)
+    with pytest.raises(ValueError):
+        diurnal_trace(1.0, 10.0, depth=1.5)
+    with pytest.raises(ValueError):
+        bursty_trace(5.0, 1.0, 10.0)  # burst < base
+    with pytest.raises(ValueError):
+        trace_stats([], 10.0)
+    with pytest.raises(ValueError):
+        to_rate_series([1.0], horizon=0.0)
