@@ -2,87 +2,32 @@
 
 FaaS load is bursty; the provisioning question behind the paper's whole
 agenda is how to keep latency flat through flash crowds without
-dedicating a GPU per function.  We replay the same Markov-modulated
-bursty trace against three deployments of LLaMa-2 7B on one A100-80GB:
+dedicating a GPU per function.  The study itself lives in
+:mod:`repro.bench.extension_experiments` (so the CLI and sweep runner
+can execute it); this module replays it and asserts the findings: the
+same Markov-modulated bursty trace against three deployments of
+LLaMa-2 7B on one A100-80GB:
 
 - one replica on the whole GPU, batch 1 (the default);
 - four MPS 25% partitions, batch 1 each (the paper's approach);
 - one replica on the whole GPU with dynamic batching <= 8.
 """
 
-import numpy as np
+from repro.bench import format_table, save_results, trace_serving_study
+from repro.workloads import bursty_trace, trace_stats
 
-from repro.bench import format_table, save_results
-from repro.gpu import A100_80GB, MpsControlDaemon, SimulatedGPU
-from repro.sim import Environment
-from repro.workloads import (
-    LLAMA2_7B,
-    InferenceRuntime,
-    InferenceServer,
-    LlamaInference,
-    bursty_trace,
-    trace_stats,
-)
-
-FP16 = InferenceRuntime(dtype_bytes=2)
 HORIZON = 600.0
-N_TOKENS = 20
-
-#: Quiet baseline ~0.3 rps with 25 rps-scale bursts of ~15 s.
-TRACE = bursty_trace(base_rate_rps=0.3, burst_rate_rps=6.0,
-                     horizon=HORIZON, mean_quiet=120.0, mean_burst=15.0,
-                     seed=11)
-
-
-def _run(n_replicas: int, max_batch: int):
-    env = Environment()
-    gpu = SimulatedGPU(env, A100_80GB)
-    daemon = MpsControlDaemon(gpu)
-    daemon.start()
-    llm = LlamaInference(LLAMA2_7B, FP16)
-    pct = max(1, round(100 / n_replicas))
-    servers = []
-    for i in range(n_replicas):
-        client = daemon.client(f"replica{i}", active_thread_percentage=pct)
-        client.alloc(llm.memory_per_gpu)
-        servers.append(InferenceServer(env, client, llm,
-                                       max_batch_size=max_batch,
-                                       batch_timeout=0.05))
-    requests = []
-
-    def feeder(env):
-        last = 0.0
-        for i, arrival in enumerate(TRACE):
-            yield env.timeout(arrival - last)
-            last = arrival
-            # Shortest-queue replica gets the request.
-            target = min(servers, key=lambda s: len(s._queue.items))
-            requests.append(target.submit(N_TOKENS))
-
-    env.process(feeder(env))
-    env.run(until=HORIZON)
-    env.run(until=env.all_of([r.done for r in requests]))
-    latencies = np.array([r.latency for r in requests])
-    return {
-        "completed": len(requests),
-        "p50": float(np.percentile(latencies, 50)),
-        "p95": float(np.percentile(latencies, 95)),
-        "max": float(latencies.max()),
-        "drain": env.now - HORIZON,
-        "mean_batch": float(np.mean([s.mean_batch_size for s in servers])),
-    }
+TRACE_SEED = 11
 
 
 def test_bursty_trace_serving(run_once):
-    def study():
-        return {
-            "1 replica, batch 1": _run(1, 1),
-            "4 MPS partitions, batch 1": _run(4, 1),
-            "1 replica, dynamic batch <=8": _run(1, 8),
-        }
+    results = run_once(trace_serving_study, horizon=HORIZON,
+                       trace_seed=TRACE_SEED)
 
-    results = run_once(study)
-    stats = trace_stats(TRACE, HORIZON)
+    trace = bursty_trace(base_rate_rps=0.3, burst_rate_rps=6.0,
+                         horizon=HORIZON, mean_quiet=120.0, mean_burst=15.0,
+                         seed=TRACE_SEED)
+    stats = trace_stats(trace, HORIZON)
     rows = [[name, r["p50"], r["p95"], r["max"], r["mean_batch"]]
             for name, r in results.items()]
     table = format_table(

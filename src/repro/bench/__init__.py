@@ -26,15 +26,18 @@ from repro.bench.llm_experiments import (
     run_llm_multiplexing,
 )
 from repro.bench.app_experiments import fig1_layer_flops, fig3_moldesign
+from repro.bench.extension_experiments import trace_serving_study
 from repro.bench.overhead_experiments import (
     discussion_overheads,
     rightsizing_study,
     table1_comparison,
     weightcache_ablation,
 )
+from repro.bench.perfjson import collect_bench, write_bench_json
 
 __all__ = [
     "MultiplexResult",
+    "collect_bench",
     "discussion_overheads",
     "fig1_layer_flops",
     "fig2_sm_sweep",
@@ -45,5 +48,7 @@ __all__ = [
     "run_llm_multiplexing",
     "save_results",
     "table1_comparison",
+    "trace_serving_study",
     "weightcache_ablation",
+    "write_bench_json",
 ]

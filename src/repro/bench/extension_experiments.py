@@ -1,0 +1,109 @@
+"""Extension studies promoted into the bench library.
+
+The ``benchmarks/test_extension_*`` modules originally built their
+simulations inline; the bursty-trace serving study lives here so the CLI
+and the sweep runner can execute it: its three deployments are
+independent simulations, ideal for process fan-out and result caching.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.mps import MpsControlDaemon
+from repro.gpu.specs import A100_80GB, get_spec
+from repro.runner import SweepRunner
+from repro.sim.core import Environment
+from repro.workloads.llm import (
+    LLAMA2_7B,
+    LLAMA_MODELS,
+    InferenceRuntime,
+    LlamaInference,
+)
+from repro.workloads.serving import InferenceServer
+from repro.workloads.traces import bursty_trace
+
+__all__ = ["trace_serving_study", "TRACE_DEPLOYMENTS"]
+
+#: The three deployments compared by the study (name -> replicas, batch).
+TRACE_DEPLOYMENTS = (
+    ("1 replica, batch 1", 1, 1),
+    ("4 MPS partitions, batch 1", 4, 1),
+    ("1 replica, dynamic batch <=8", 1, 8),
+)
+
+
+def _trace_deployment_task(config: dict) -> dict:
+    """Replay the bursty trace against one deployment (picklable config)."""
+    trace = bursty_trace(**config["trace"])
+    horizon = config["horizon"]
+    n_tokens = config["n_tokens"]
+    env = Environment()
+    gpu = SimulatedGPU(env, get_spec(config["spec"]))
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    llm = LlamaInference(LLAMA_MODELS[config["model"]],
+                         InferenceRuntime(dtype_bytes=config["dtype_bytes"]))
+    n_replicas = config["replicas"]
+    pct = max(1, round(100 / n_replicas))
+    servers = []
+    for i in range(n_replicas):
+        client = daemon.client(f"replica{i}", active_thread_percentage=pct)
+        client.alloc(llm.memory_per_gpu)
+        servers.append(InferenceServer(env, client, llm,
+                                       max_batch_size=config["max_batch"],
+                                       batch_timeout=0.05))
+    requests = []
+
+    def feeder(env):
+        last = 0.0
+        for arrival in trace:
+            yield env.timeout(arrival - last)
+            last = arrival
+            # Shortest-queue replica gets the request.
+            target = min(servers, key=lambda s: len(s._queue.items))
+            requests.append(target.submit(n_tokens))
+
+    env.process(feeder(env))
+    env.run(until=horizon)
+    env.run(until=env.all_of([r.done for r in requests]))
+    latencies = np.array([r.latency for r in requests])
+    return {
+        "completed": len(requests),
+        "p50": float(np.percentile(latencies, 50)),
+        "p95": float(np.percentile(latencies, 95)),
+        "max": float(latencies.max()),
+        "drain": env.now - horizon,
+        "mean_batch": float(np.mean([s.mean_batch_size for s in servers])),
+    }
+
+
+def trace_serving_study(
+    horizon: float = 600.0,
+    n_tokens: int = 20,
+    trace_seed: int = 11,
+    runner: Optional[SweepRunner] = None,
+) -> dict[str, dict]:
+    """Bursty-trace serving: whole GPU vs MPS partitions vs batching.
+
+    Replays one Markov-modulated bursty arrival trace (quiet ~0.3 rps,
+    bursts ~6 rps) of LLaMa-2 7B completions against the three
+    deployments in :data:`TRACE_DEPLOYMENTS` on one A100-80GB.
+    """
+    trace_params = {"base_rate_rps": 0.3, "burst_rate_rps": 6.0,
+                    "horizon": horizon, "mean_quiet": 120.0,
+                    "mean_burst": 15.0, "seed": trace_seed}
+    configs = [
+        {"deployment": name, "replicas": replicas, "max_batch": max_batch,
+         "trace": trace_params, "horizon": horizon, "n_tokens": n_tokens,
+         "model": LLAMA2_7B.name, "dtype_bytes": 2, "spec": A100_80GB.name}
+        for name, replicas, max_batch in TRACE_DEPLOYMENTS
+    ]
+    if runner is None:
+        runner = SweepRunner(jobs=1)
+    results = runner.map(_trace_deployment_task, configs,
+                         task="trace_deployment")
+    return {c["deployment"]: r for c, r in zip(configs, results)}

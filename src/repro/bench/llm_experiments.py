@@ -7,7 +7,7 @@ vars, and LLaMa-2 serving functions generating per-token decode kernels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -23,11 +23,13 @@ from repro.faas import (
     StaticProvider,
     gpu_app,
 )
-from repro.gpu.specs import A100_40GB, A100_80GB, GPUSpec
+from repro.gpu.specs import A100_40GB, A100_80GB, GPUSpec, get_spec
 from repro.partition import EqualSharePolicy, GpuPartitionManager
+from repro.runner import SweepRunner
 from repro.workloads.llm import (
     LLAMA2_7B,
     LLAMA2_13B,
+    LLAMA_MODELS,
     InferenceRuntime,
     LlamaInference,
     LlamaSpec,
@@ -166,19 +168,38 @@ def run_llm_multiplexing(
     )
 
 
+def _fig45_cell_task(config: dict) -> MultiplexResult:
+    """One Fig. 4/5 grid cell, from a picklable/JSON-able config."""
+    return run_llm_multiplexing(
+        config["mode"], config["k"],
+        n_completions=config["n_completions"],
+        n_tokens=config["n_tokens"],
+        spec=get_spec(config["spec"]),
+    )
+
+
 def fig4_fig5_sweep(
     process_counts: Sequence[int] = (1, 2, 3, 4),
     modes: Sequence[str] = MODES,
     n_completions: int = 100,
     n_tokens: int = 20,
+    runner: Optional[SweepRunner] = None,
 ) -> dict[tuple[str, int], MultiplexResult]:
-    """The full Figs. 4/5 grid.  ``(mode, 1)`` cells coincide by design."""
-    results: dict[tuple[str, int], MultiplexResult] = {}
-    for mode in modes:
-        for k in process_counts:
-            results[(mode, k)] = run_llm_multiplexing(
-                mode, k, n_completions=n_completions, n_tokens=n_tokens)
-    return results
+    """The full Figs. 4/5 grid.  ``(mode, 1)`` cells coincide by design.
+
+    Each ``(mode, k)`` cell is an independent simulation; with a
+    ``runner`` the grid fans out over worker processes and hits the
+    result cache — without one, it runs serially in-process.
+    """
+    configs = [
+        {"mode": mode, "k": k, "n_completions": n_completions,
+         "n_tokens": n_tokens, "spec": A100_80GB.name}
+        for mode in modes for k in process_counts
+    ]
+    if runner is None:
+        runner = SweepRunner(jobs=1)
+    cells = runner.map(_fig45_cell_task, configs, task="fig45_cell")
+    return {(c["mode"], c["k"]): r for c, r in zip(configs, cells)}
 
 
 # ---------------------------------------------------------------- Fig. 2
@@ -193,26 +214,46 @@ class SmSweepPoint:
     completion_seconds: float
 
 
+def _fig2_point_task(config: dict) -> SmSweepPoint:
+    """One Fig. 2 sample, from a picklable/JSON-able config."""
+    return _measure_completion(
+        LLAMA_MODELS[config["model"]], config["n_gpus"], config["pct"],
+        config["n_tokens"], get_spec(config["spec"]),
+        InferenceRuntime(**config["runtime"]),
+    )
+
+
 def fig2_sm_sweep(
     percentages: Sequence[int] = tuple(range(5, 101, 5)),
     n_tokens: int = 20,
     spec: GPUSpec = A100_40GB,
     runtime: InferenceRuntime = FIG2_RUNTIME,
+    runner: Optional[SweepRunner] = None,
 ) -> dict[str, list[SmSweepPoint]]:
     """Fig. 2: LLaMa-2 inference time vs SM share via MPS percentages.
 
     7B runs on one A100; 13B spans two A100s tensor-parallel ("for llama2
     13 billion parameters 2 A100 GPUs were used").  Each point is one
     measured completion on the live simulator (not the closed form).
+    Every (model, percentage) point is independent, so a ``runner`` fans
+    the sweep out and caches each point by content.
     """
-    out: dict[str, list[SmSweepPoint]] = {"llama2-7b": [], "llama2-13b": []}
     for pct in percentages:
         if not 0 < pct <= 100:
             raise ValueError(f"percentage {pct} outside (0, 100]")
-        out["llama2-7b"].append(
-            _measure_completion(LLAMA2_7B, 1, pct, n_tokens, spec, runtime))
-        out["llama2-13b"].append(
-            _measure_completion(LLAMA2_13B, 2, pct, n_tokens, spec, runtime))
+    rt = asdict(runtime)
+    configs = [
+        {"model": name, "n_gpus": n_gpus, "pct": pct, "n_tokens": n_tokens,
+         "spec": spec.name, "runtime": rt}
+        for name, n_gpus in (("llama2-7b", 1), ("llama2-13b", 2))
+        for pct in percentages
+    ]
+    if runner is None:
+        runner = SweepRunner(jobs=1)
+    points = runner.map(_fig2_point_task, configs, task="fig2_point")
+    out: dict[str, list[SmSweepPoint]] = {"llama2-7b": [], "llama2-13b": []}
+    for config, point in zip(configs, points):
+        out[config["model"]].append(point)
     return out
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.sim.core import Environment
 from repro.faas import ColdStartModel, ComputeNode
@@ -11,8 +11,9 @@ from repro.gpu.device import SimulatedGPU
 from repro.gpu.mig import MigManager
 from repro.gpu.modes import MultiplexMode, mode_capabilities
 from repro.gpu.mps import MpsControlDaemon
-from repro.gpu.specs import A100_40GB, A100_80GB, GPUSpec
+from repro.gpu.specs import A100_40GB, A100_80GB, GPUSpec, get_spec
 from repro.gpu.vgpu import VgpuManager
+from repro.runner import SweepRunner
 from repro.partition import (
     ReconfigurationPlanner,
     RightSizer,
@@ -69,38 +70,48 @@ def _reference_workload(env: Environment, clients, n_rounds: int = 50,
     return [env.process(stream(env, c)) for c in clients]
 
 
-def table1_comparison(n_clients: int = 4,
-                      spec: GPUSpec = A100_80GB) -> list[Table1Row]:
+def _table1_row_task(config: dict) -> Table1Row:
+    """Measure one Table 1 technique, from a picklable/JSON-able config."""
+    mode = MultiplexMode(config["mode"])
+    spec = get_spec(config["spec"])
+    n_clients = config["n_clients"]
+    env = Environment()
+    gpu = SimulatedGPU(env, spec)
+    clients = _make_clients(env, gpu, mode, n_clients)
+    t0 = env.now
+    procs = _reference_workload(env, clients)
+    env.run(until=env.all_of(procs))
+    elapsed = env.now - t0
+    utilization = gpu.sm_utilization(since=t0)
+    throughput = gpu.kernels_completed / elapsed
+    caps = mode_capabilities(mode)
+    return Table1Row(
+        mode=mode,
+        measured_utilization=utilization,
+        measured_throughput=throughput,
+        description=caps.description,
+        utilization_class=caps.utilization_class,
+        amd_equivalent=caps.amd_equivalent,
+        reconfiguration=caps.reconfiguration,
+        software_required=caps.software_required,
+        drawbacks=caps.drawbacks,
+    )
+
+
+def table1_comparison(n_clients: int = 4, spec: GPUSpec = A100_80GB,
+                      runner: Optional[SweepRunner] = None) -> list[Table1Row]:
     """Reproduce Table 1: static attributes plus *measured* utilization.
 
     The same reference workload (``n_clients`` LLaMa-2 decode streams)
     runs under each technique; utilization and aggregate token throughput
-    are measured on the simulator.
+    are measured on the simulator.  Techniques are independent runs, so a
+    ``runner`` executes them in parallel with result caching.
     """
-    rows = []
-    for mode in MultiplexMode:
-        env = Environment()
-        gpu = SimulatedGPU(env, spec)
-        clients = _make_clients(env, gpu, mode, n_clients)
-        t0 = env.now
-        procs = _reference_workload(env, clients)
-        env.run(until=env.all_of(procs))
-        elapsed = env.now - t0
-        utilization = gpu.sm_utilization(since=t0)
-        throughput = gpu.kernels_completed / elapsed
-        caps = mode_capabilities(mode)
-        rows.append(Table1Row(
-            mode=mode,
-            measured_utilization=utilization,
-            measured_throughput=throughput,
-            description=caps.description,
-            utilization_class=caps.utilization_class,
-            amd_equivalent=caps.amd_equivalent,
-            reconfiguration=caps.reconfiguration,
-            software_required=caps.software_required,
-            drawbacks=caps.drawbacks,
-        ))
-    return rows
+    configs = [{"mode": mode.value, "n_clients": n_clients,
+                "spec": spec.name} for mode in MultiplexMode]
+    if runner is None:
+        runner = SweepRunner(jobs=1)
+    return runner.map(_table1_row_task, configs, task="table1_row")
 
 
 def _make_clients(env: Environment, gpu: SimulatedGPU, mode: MultiplexMode,
@@ -265,33 +276,49 @@ class RightsizingRow:
     freed_fraction: float
 
 
-def rightsizing_study(spec: GPUSpec = A100_40GB,
-                      tolerance: float = 0.05) -> list[RightsizingRow]:
+#: The §7 right-sizing workload grid (JSON-able; "kind" picks the model).
+_RIGHTSIZING_WORKLOADS = (
+    {"kind": "llm", "name": "llama2-7b fp32 decode", "dtype_bytes": 4},
+    {"kind": "llm", "name": "llama2-7b fp16 decode", "dtype_bytes": 2},
+    {"kind": "cnn", "name": "resnet50 b1", "model": "resnet50", "batch": 1},
+    {"kind": "cnn", "name": "resnet50 b32", "model": "resnet50", "batch": 32},
+    {"kind": "cnn", "name": "resnet101 b1", "model": "resnet101", "batch": 1},
+    {"kind": "cnn", "name": "vgg16 b1", "model": "vgg16", "batch": 1},
+)
+
+
+def _rightsizing_task(config: dict) -> RightsizingRow:
+    """Right-size one workload, from a picklable/JSON-able config."""
+    spec = get_spec(config["spec"])
+    sizer = RightSizer(spec, tolerance=config["tolerance"])
+    if config["kind"] == "llm":
+        llm = LlamaInference(
+            LLAMA2_7B, InferenceRuntime(dtype_bytes=config["dtype_bytes"]))
+        latency_fn = lambda s: llm.completion_seconds(spec, s)  # noqa: E731
+    else:
+        analyzer = StaticAnalyzer(spec)
+        kernels = CNN_ZOO[config["model"]].inference_kernels(
+            batch_size=config["batch"])
+        latency_fn = lambda s: analyzer.predict_seconds(  # noqa: E731
+            kernels, s, host_seconds=0.002)
+    rec = sizer.recommend(latency_fn)
+    penalty = 100.0 * (rec.predicted_latency / rec.full_gpu_latency - 1.0)
+    return RightsizingRow(
+        workload=config["name"],
+        knee_sms=rec.knee_sms,
+        mps_percentage=rec.mps_percentage,
+        mig_profile=rec.mig_profile,
+        latency_penalty_pct=penalty,
+        freed_fraction=rec.freed_fraction,
+    )
+
+
+def rightsizing_study(spec: GPUSpec = A100_40GB, tolerance: float = 0.05,
+                      runner: Optional[SweepRunner] = None
+                      ) -> list[RightsizingRow]:
     """§7 ablation: right-size the paper's workloads on one GPU model."""
-    sizer = RightSizer(spec, tolerance=tolerance)
-    rows: list[RightsizingRow] = []
-
-    def add(name: str, latency_fn):
-        rec = sizer.recommend(latency_fn)
-        penalty = 100.0 * (rec.predicted_latency / rec.full_gpu_latency - 1.0)
-        rows.append(RightsizingRow(
-            workload=name,
-            knee_sms=rec.knee_sms,
-            mps_percentage=rec.mps_percentage,
-            mig_profile=rec.mig_profile,
-            latency_penalty_pct=penalty,
-            freed_fraction=rec.freed_fraction,
-        ))
-
-    llm7 = LlamaInference(LLAMA2_7B, FP32)
-    add("llama2-7b fp32 decode", lambda s: llm7.completion_seconds(spec, s))
-    llm7h = LlamaInference(LLAMA2_7B, FP16)
-    add("llama2-7b fp16 decode", lambda s: llm7h.completion_seconds(spec, s))
-    analyzer = StaticAnalyzer(spec)
-    for cnn_name, batch in (("resnet50", 1), ("resnet50", 32),
-                            ("resnet101", 1), ("vgg16", 1)):
-        kernels = CNN_ZOO[cnn_name].inference_kernels(batch_size=batch)
-        add(f"{cnn_name} b{batch}",
-            lambda s, k=kernels: analyzer.predict_seconds(k, s,
-                                                          host_seconds=0.002))
-    return rows
+    configs = [dict(w, spec=spec.name, tolerance=tolerance)
+               for w in _RIGHTSIZING_WORKLOADS]
+    if runner is None:
+        runner = SweepRunner(jobs=1)
+    return runner.map(_rightsizing_task, configs, task="rightsizing_workload")

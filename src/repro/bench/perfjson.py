@@ -1,0 +1,231 @@
+"""Perf trajectory: timed kernel microbenchmarks + sweep wall-clocks.
+
+``repro bench`` times (a) the simulation kernel's hot paths in isolation
+and (b) the real paper sweeps serial vs parallel vs warm-cache, then
+writes ``BENCH_<date>.json``.  Committing one such file per perf-focused
+PR gives future changes a trajectory to regress against: if events/sec
+or a sweep wall-clock moves the wrong way, the diff that did it is one
+``git log BENCH_*.json`` away.
+
+Schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "date": "YYYY-MM-DD",
+      "quick": bool,                  # reduced sizes (CI smoke)
+      "jobs": int,                    # worker processes for parallel runs
+      "platform": {...},              # python / cpu_count
+      "micro": {name: {..., "events_per_sec" | "per_sec": float}},
+      "sweeps": {name: {"configs": int,
+                        "serial_seconds": float,
+                        "parallel_seconds": float,
+                        "warm_seconds": float,
+                        "parallel_speedup": float,
+                        "warm_speedup": float,
+                        "cache_hit_rate": float}}
+    }
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import time
+from typing import Optional
+
+from repro.runner import ResultCache, SweepRunner, default_cache_dir
+
+__all__ = ["collect_bench", "write_bench_json", "default_bench_path"]
+
+
+# ------------------------------------------------------------------ micro
+
+def _bench_event_queue(n: int) -> dict:
+    from repro.sim.core import Environment
+
+    env = Environment()
+    t0 = time.perf_counter()
+    for i in range(n):
+        env.timeout(float(i % 97))
+    env.run()
+    dt = time.perf_counter() - t0
+    return {"n_events": env.events_processed, "seconds": dt,
+            "events_per_sec": env.events_processed / dt}
+
+
+def _bench_fluid_churn(n_tasks: int) -> dict:
+    from repro.sim.core import Environment
+    from repro.sim.fluid import FluidPool, FluidTask
+
+    env = Environment()
+
+    def equal(tasks):
+        share = 100.0 / len(tasks)
+        for t in tasks:
+            t.rate = share
+
+    pool = FluidPool(env, equal)
+
+    def submitter(env):
+        for i in range(n_tasks):
+            pool.add(FluidTask(env, work=float(1 + i % 13)))
+            yield env.timeout(0.05)
+
+    env.process(submitter(env))
+    t0 = time.perf_counter()
+    env.run()
+    dt = time.perf_counter() - t0
+    return {"n_tasks": n_tasks, "seconds": dt, "per_sec": n_tasks / dt,
+            "events_per_sec": env.events_processed / dt}
+
+
+def _bench_gpu_allocator(n_clients: int, n_kernels: int) -> dict:
+    """The fig4-shaped hot path: MPS clients streaming decode kernels."""
+    from repro.gpu.device import SimulatedGPU
+    from repro.gpu.mps import MpsControlDaemon
+    from repro.gpu.specs import A100_80GB
+    from repro.sim.core import Environment
+    from repro.workloads.llm import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    llm = LlamaInference(LLAMA2_7B, InferenceRuntime(dtype_bytes=2))
+
+    def stream(env, client):
+        for _ in range(n_kernels):
+            yield client.launch(llm.decode_kernel())
+            yield env.timeout(llm.host_seconds_per_token)
+
+    procs = [env.process(stream(env, daemon.client(f"c{i}")))
+             for i in range(n_clients)]
+    t0 = time.perf_counter()
+    env.run(until=env.all_of(procs))
+    dt = time.perf_counter() - t0
+    total = n_clients * n_kernels
+    return {"n_kernels": total, "seconds": dt, "per_sec": total / dt,
+            "events_per_sec": env.events_processed / dt}
+
+
+def _bench_decode_kernel(n: int) -> dict:
+    """Kernel-construction path (memoised after the first call)."""
+    from repro.workloads.llm import LLAMA2_7B, InferenceRuntime, LlamaInference
+
+    llm = LlamaInference(LLAMA2_7B, InferenceRuntime(dtype_bytes=2))
+    t0 = time.perf_counter()
+    for _ in range(n):
+        llm.decode_kernel()
+    dt = time.perf_counter() - t0
+    return {"n_calls": n, "seconds": dt, "per_sec": n / dt}
+
+
+# ------------------------------------------------------------------ sweeps
+
+def _sweep_fns(quick: bool) -> dict:
+    """Name -> zero-arg callable taking a runner, returning result count."""
+    from repro.bench.llm_experiments import fig2_sm_sweep, fig4_fig5_sweep
+
+    if quick:
+        fig2_pcts = (25, 50, 75, 100)
+        fig2_tokens = 5
+        fig45 = {"process_counts": (1, 2), "n_completions": 4, "n_tokens": 5}
+    else:
+        fig2_pcts = tuple(range(5, 101, 5))
+        fig2_tokens = 20
+        fig45 = {"process_counts": (1, 2, 3, 4), "n_completions": 100,
+                 "n_tokens": 20}
+    return {
+        "fig2_sm_sweep": lambda runner: len(sum(
+            fig2_sm_sweep(fig2_pcts, n_tokens=fig2_tokens,
+                          runner=runner).values(), [])),
+        "fig4_fig5_sweep": lambda runner: len(
+            fig4_fig5_sweep(runner=runner, **fig45)),
+    }
+
+
+def _time_sweep(fn, jobs: int) -> dict:
+    """Time one sweep serial (no cache), parallel cold, then warm."""
+    cache_root = os.path.join(default_cache_dir(), "bench")
+    cache = ResultCache(root=cache_root)
+    cache.clear()  # a stale entry would fake the "cold" measurement
+
+    t0 = time.perf_counter()
+    n_configs = fn(SweepRunner(jobs=1, cache=None))
+    serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fn(SweepRunner(jobs=jobs, cache=cache))
+    parallel = time.perf_counter() - t0
+
+    warm_cache = ResultCache(root=cache_root)  # fresh stats, same disk
+    t0 = time.perf_counter()
+    fn(SweepRunner(jobs=jobs, cache=warm_cache))
+    warm = time.perf_counter() - t0
+
+    return {
+        "configs": n_configs,
+        "serial_seconds": serial,
+        "parallel_seconds": parallel,
+        "warm_seconds": warm,
+        "parallel_speedup": serial / parallel if parallel > 0 else 0.0,
+        "warm_speedup": serial / warm if warm > 0 else 0.0,
+        "cache_hit_rate": warm_cache.hit_rate,
+    }
+
+
+# ------------------------------------------------------------------ driver
+
+def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
+    """Run every microbenchmark and sweep timing; return the report dict."""
+    if jobs is None:
+        from repro.runner import default_jobs
+
+        jobs = default_jobs()
+    micro_sizes = {
+        "event_queue": (20_000,) if quick else (200_000,),
+        "fluid_churn": (300,) if quick else (2_000,),
+        "gpu_allocator": (4, 50) if quick else (4, 400),
+        "decode_kernel": (2_000,) if quick else (50_000,),
+    }
+    micro = {
+        "event_queue": _bench_event_queue(*micro_sizes["event_queue"]),
+        "fluid_churn": _bench_fluid_churn(*micro_sizes["fluid_churn"]),
+        "gpu_allocator": _bench_gpu_allocator(*micro_sizes["gpu_allocator"]),
+        "decode_kernel": _bench_decode_kernel(*micro_sizes["decode_kernel"]),
+    }
+    sweeps = {name: _time_sweep(fn, jobs)
+              for name, fn in _sweep_fns(quick).items()}
+    return {
+        "schema": "repro-bench/1",
+        "date": datetime.date.today().isoformat(),
+        "quick": quick,
+        "jobs": jobs,
+        "platform": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "micro": micro,
+        "sweeps": sweeps,
+    }
+
+
+def default_bench_path(date: Optional[str] = None) -> str:
+    """``<repo>/BENCH_<date>.json`` (the repo root holding ``src/``)."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    date = date or datetime.date.today().isoformat()
+    return os.path.join(root, f"BENCH_{date}.json")
+
+
+def write_bench_json(path: Optional[str] = None, quick: bool = False,
+                     jobs: Optional[int] = None) -> tuple[str, dict]:
+    """Collect the report and write it; returns ``(path, report)``."""
+    report = collect_bench(quick=quick, jobs=jobs)
+    path = path or default_bench_path(report["date"])
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path, report

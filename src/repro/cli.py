@@ -6,13 +6,18 @@
     python -m repro fig2
     python -m repro fig3
     python -m repro fig4 --completions 100
-    python -m repro fig5
+    python -m repro --jobs 8 fig4 fig5
     python -m repro table1
     python -m repro overheads
     python -m repro rightsizing
     python -m repro weightcache
+    python -m repro bench --quick
 
-Every subcommand prints the paper-style table on stdout.
+Every subcommand prints the paper-style table on stdout.  Several
+commands may be given in one invocation (``repro fig4 fig5``); they
+share one sweep runner, so overlapping sweeps are computed once and
+simulations fan out over ``--jobs`` worker processes with on-disk
+result caching (disable the disk layer with ``--no-cache``).
 """
 
 from __future__ import annotations
@@ -31,14 +36,31 @@ from repro.bench import (
     rightsizing_study,
     table1_comparison,
     weightcache_ablation,
+    write_bench_json,
 )
+from repro.runner import ResultCache, SweepRunner, default_cache_dir
 from repro.telemetry import render_ascii_gantt, summarize
 from repro.workloads import CNN_ZOO
 
 __all__ = ["main"]
 
 
-def _cmd_fig1(args) -> str:
+class RunContext:
+    """Per-invocation execution state shared by every command group.
+
+    One runner for the whole invocation means its in-memory cache layer
+    deduplicates overlapping sweeps across commands — ``repro fig4 fig5``
+    runs the multiplexing sweep once — independently of ``--no-cache``,
+    which only disables the cross-invocation disk layer.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, no_cache: bool = False):
+        self.jobs = jobs
+        cache = ResultCache(default_cache_dir(), disk=not no_cache)
+        self.runner = SweepRunner(jobs=jobs, cache=cache)
+
+
+def _cmd_fig1(args, ctx) -> str:
     data = fig1_layer_flops(tuple(args.models), (args.batch,))
     rows = []
     for (model, batch), series in sorted(data.items()):
@@ -50,8 +72,9 @@ def _cmd_fig1(args) -> str:
         rows, title="Fig. 1 — per-layer FLOP variation")
 
 
-def _cmd_fig2(args) -> str:
-    sweep = fig2_sm_sweep(tuple(range(args.step, 101, args.step)))
+def _cmd_fig2(args, ctx) -> str:
+    sweep = fig2_sm_sweep(tuple(range(args.step, 101, args.step)),
+                          runner=ctx.runner)
     rows = [
         [p7.mps_percentage, p7.sms, p7.completion_seconds,
          p13.completion_seconds]
@@ -62,7 +85,7 @@ def _cmd_fig2(args) -> str:
         title="Fig. 2 — completion latency vs SMs")
 
 
-def _cmd_fig3(args) -> str:
+def _cmd_fig3(args, ctx) -> str:
     result = fig3_moldesign()
     table = format_table(
         ["phase", "busy seconds"],
@@ -74,8 +97,9 @@ def _cmd_fig3(args) -> str:
             + render_ascii_gantt(result.timeline, width=args.width))
 
 
-def _cmd_fig4(args) -> str:
-    results = fig4_fig5_sweep(n_completions=args.completions)
+def _cmd_fig4(args, ctx) -> str:
+    results = fig4_fig5_sweep(n_completions=args.completions,
+                              runner=ctx.runner)
     base = results[("timeshare", 1)]
     rows = [
         [mode, k, r.total_seconds, r.total_seconds / base.total_seconds,
@@ -87,8 +111,9 @@ def _cmd_fig4(args) -> str:
         rows, title=f"Fig. 4 — {args.completions} completions")
 
 
-def _cmd_fig5(args) -> str:
-    results = fig4_fig5_sweep(n_completions=args.completions)
+def _cmd_fig5(args, ctx) -> str:
+    results = fig4_fig5_sweep(n_completions=args.completions,
+                              runner=ctx.runner)
     rows = []
     for (mode, k), r in sorted(results.items()):
         stats = summarize(r.latencies)
@@ -98,12 +123,12 @@ def _cmd_fig5(args) -> str:
         title="Fig. 5 — average inference latency")
 
 
-def _cmd_table1(args) -> str:
+def _cmd_table1(args, ctx) -> str:
     rows = [
         [r.mode.value, f"{r.measured_utilization:.2f}",
          f"{r.measured_throughput:.1f}", r.utilization_class,
          r.reconfiguration]
-        for r in table1_comparison(args.clients)
+        for r in table1_comparison(args.clients, runner=ctx.runner)
     ]
     return format_table(
         ["technique", "SM util", "tokens/s", "paper class",
@@ -111,7 +136,7 @@ def _cmd_table1(args) -> str:
         rows, title="Table 1 — multiplexing techniques")
 
 
-def _cmd_overheads(args) -> str:
+def _cmd_overheads(args, ctx) -> str:
     report = discussion_overheads()
     rows = [[b.model, b.dtype, b.total_seconds, b.model_load_seconds]
             for b in report.cold_starts]
@@ -125,18 +150,18 @@ def _cmd_overheads(args) -> str:
     )
 
 
-def _cmd_rightsizing(args) -> str:
+def _cmd_rightsizing(args, ctx) -> str:
     rows = [
         [r.workload, r.knee_sms, f"{r.mps_percentage}%",
          r.mig_profile or "-", f"{100 * r.freed_fraction:.0f}%"]
-        for r in rightsizing_study()
+        for r in rightsizing_study(runner=ctx.runner)
     ]
     return format_table(
         ["workload", "knee SMs", "MPS %", "MIG profile", "GPU freed"],
         rows, title="§7 — right-sizing study")
 
 
-def _cmd_weightcache(args) -> str:
+def _cmd_weightcache(args, ctx) -> str:
     result = weightcache_ablation(args.repartitions)
     return format_table(
         ["configuration", "downtime s"],
@@ -146,11 +171,37 @@ def _cmd_weightcache(args) -> str:
     ) + f"\nspeedup: {result.speedup:.1f}x"
 
 
+def _cmd_bench(args, ctx) -> str:
+    path, report = write_bench_json(path=args.out, quick=args.quick,
+                                    jobs=ctx.jobs)
+    rows = [[name, f"{m.get('events_per_sec', m.get('per_sec', 0)):,.0f}"]
+            for name, m in sorted(report["micro"].items())]
+    micro = format_table(["microbenchmark", "events|items / s"], rows,
+                         title="Simulation kernel hot paths")
+    rows = [
+        [name, s["configs"], f"{s['serial_seconds']:.2f}",
+         f"{s['parallel_seconds']:.2f}", f"{s['warm_seconds']:.3f}",
+         f"{s['warm_speedup']:.1f}x", f"{s['cache_hit_rate']:.0%}"]
+        for name, s in sorted(report["sweeps"].items())
+    ]
+    sweeps = format_table(
+        ["sweep", "configs", "serial s", "parallel s", "warm s",
+         "warm speedup", "hit rate"],
+        rows, title=f"Sweep wall-clock (jobs={report['jobs']})")
+    return f"{micro}\n\n{sweeps}\n\nwrote {path}"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweeps (default: all CPUs, or $REPRO_JOBS)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk sweep result cache for this invocation")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig1", help="per-layer CNN FLOPs")
@@ -190,13 +241,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repartitions", type=int, default=4)
     p.set_defaults(fn=_cmd_weightcache)
 
+    p = sub.add_parser("bench", help="time hot paths & sweeps, write JSON")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced sizes (CI smoke run)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="output path (default: BENCH_<date>.json)")
+    p.set_defaults(fn=_cmd_bench)
+
     return parser
 
 
+#: Subcommand names, used to split a multi-command argv into groups.
+COMMANDS = ("fig1", "fig2", "fig3", "fig4", "fig5", "table1", "overheads",
+            "rightsizing", "weightcache", "bench")
+
+
+def _split_commands(argv: Sequence[str]) -> tuple[list[str], list[list[str]]]:
+    """Split argv into (global flags, one token group per subcommand)."""
+    prefix: list[str] = []
+    groups: list[list[str]] = []
+    current: Optional[list[str]] = None
+    for token in argv:
+        if token in COMMANDS:
+            current = [token]
+            groups.append(current)
+        elif current is None:
+            prefix.append(token)
+        else:
+            current.append(token)
+    return prefix, groups
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
     parser = build_parser()
-    args = parser.parse_args(argv)
-    print(args.fn(args))
+    prefix, groups = _split_commands(argv)
+    if not groups:
+        parser.parse_args(argv)  # no subcommand: let argparse report it
+        return 2  # pragma: no cover - parse_args exits above
+    parsed = [parser.parse_args(prefix + group) for group in groups]
+    ctx = RunContext(jobs=parsed[0].jobs, no_cache=parsed[0].no_cache)
+    for args in parsed:
+        print(args.fn(args, ctx))
     return 0
 
 

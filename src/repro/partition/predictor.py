@@ -89,9 +89,11 @@ class RuntimePredictor:
         """Fit to ``(sms, latency)`` samples; returns the fit RMSE.
 
         Grid-searches the saturation point ``c`` over the sampled SM
-        range; for each candidate, ``a`` and ``b`` come from ordinary
-        least squares on the design ``[1/min(s, c), 1]`` with ``a, b``
-        clipped to be non-negative.
+        range — every integer SM count (saturation happens at a physical
+        SM count) plus a linspace for sub-integer optima on noisy data;
+        for each candidate, ``a`` and ``b`` come from ordinary least
+        squares on the design ``[1/min(s, c), 1]`` with ``a, b`` clipped
+        to be non-negative.
         """
         if len(samples) < 3:
             raise ValueError("need at least 3 (sms, latency) samples")
@@ -100,8 +102,12 @@ class RuntimePredictor:
         if np.any(s <= 0) or np.any(t <= 0):
             raise ValueError("samples must be positive")
         best: _Fit | None = None
-        for c in np.unique(np.concatenate([s, np.linspace(s.min(), s.max(),
-                                                          64)])):
+        candidates = np.unique(np.concatenate([
+            s,
+            np.linspace(s.min(), s.max(), 64),
+            np.arange(np.ceil(s.min()), np.floor(s.max()) + 1.0),
+        ]))
+        for c in candidates:
             x = 1.0 / np.minimum(s, c)
             design = np.stack([x, np.ones_like(x)], axis=1)
             coef, *_ = np.linalg.lstsq(design, t, rcond=None)

@@ -1,0 +1,32 @@
+"""Sweep execution: parallel fan-out plus content-addressed caching.
+
+The paper's artefacts are grids of independent simulator runs; this
+package executes those grids over a process pool with deterministic
+per-config seeds and caches results by a content hash of the config and
+the package source (see :mod:`repro.runner.sweep` and
+:mod:`repro.runner.cache`).
+"""
+
+from repro.runner.cache import (
+    MISS,
+    ResultCache,
+    default_cache_dir,
+    source_digest,
+)
+from repro.runner.sweep import (
+    SweepError,
+    SweepRunner,
+    default_jobs,
+    derive_seed,
+)
+
+__all__ = [
+    "MISS",
+    "ResultCache",
+    "SweepError",
+    "SweepRunner",
+    "default_cache_dir",
+    "default_jobs",
+    "derive_seed",
+    "source_digest",
+]

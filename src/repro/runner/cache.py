@@ -1,0 +1,160 @@
+"""Content-addressed result cache for sweep executions.
+
+A cache entry is keyed on the *content* of the computation, not on when
+or where it ran:
+
+``key = sha256(task name + canonical JSON of the config + source digest)``
+
+The source digest hashes every ``.py`` file of the installed ``repro``
+package, so editing any simulator/model code invalidates every cached
+result — a stale cache can never masquerade as a fresh measurement.
+Values are pickled to ``<root>/<key[:2]>/<key>.pkl``; the two-level
+fan-out keeps directories small for large sweeps.
+
+The cache has two layers:
+
+- an in-process *memory* layer, which shares results between commands of
+  a single CLI invocation (``repro fig4 fig5`` pays for one sweep);
+- an on-disk layer, which makes repeated invocations near-instant and is
+  what ``--no-cache`` disables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from typing import Any, Optional
+
+__all__ = ["ResultCache", "source_digest", "default_cache_dir"]
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+MISS = object()
+
+_digest_memo: dict[str, str] = {}
+
+
+def source_digest(package_dir: Optional[str] = None) -> str:
+    """Hash of every ``.py`` file under the ``repro`` package (memoised).
+
+    File contents (not mtimes) feed the hash, so the digest is stable
+    across checkouts and machines but changes with any code edit.
+    """
+    if package_dir is None:
+        import repro
+
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    cached = _digest_memo.get(package_dir)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(package_dir)):
+        dirnames.sort()
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            h.update(os.path.relpath(path, package_dir).encode())
+            with open(path, "rb") as fh:
+                h.update(fh.read())
+    digest = h.hexdigest()
+    _digest_memo[package_dir] = digest
+    return digest
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``<repo>/.sweep-cache``."""
+    return os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), ".sweep-cache"),
+    )
+
+
+class ResultCache:
+    """Two-layer (memory + disk) content-addressed result store."""
+
+    def __init__(self, root: Optional[str] = None, *, disk: bool = True,
+                 memory: bool = True):
+        self.root = root or default_cache_dir()
+        self.disk = disk
+        self.memory = memory
+        self._mem: dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ---------------------------------------------------------------
+    def key(self, task: str, config: Any) -> str:
+        """Content hash for one ``(task, config)`` computation.
+
+        ``config`` must be JSON-serialisable (dicts/lists/tuples of
+        primitives) so the key is canonical and machine-independent.
+        """
+        try:
+            blob = json.dumps({"task": task, "config": config},
+                              sort_keys=True, separators=(",", ":"))
+        except TypeError as exc:
+            raise TypeError(
+                f"sweep config for {task!r} is not JSON-serialisable: "
+                f"{config!r}"
+            ) from exc
+        h = hashlib.sha256()
+        h.update(source_digest().encode())
+        h.update(blob.encode())
+        return h.hexdigest()
+
+    # -- lookup -------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        """Return the cached value or the module-level ``MISS`` sentinel."""
+        if self.memory and key in self._mem:
+            self.hits += 1
+            return self._mem[key]
+        if self.disk:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as fh:
+                        value = pickle.load(fh)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    pass  # corrupt/truncated entry: treat as a miss
+                else:
+                    if self.memory:
+                        self._mem[key] = value
+                    self.hits += 1
+                    return value
+        self.misses += 1
+        return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        if self.memory:
+            self._mem[key] = value
+        if self.disk:
+            path = self._path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: readers never see partial writes
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    # -- stats --------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop the memory layer and delete every disk entry."""
+        self._mem.clear()
+        if not os.path.isdir(self.root):
+            return
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for fname in filenames:
+                if fname.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(dirpath, fname))
+                    except OSError:
+                        pass

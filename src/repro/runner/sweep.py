@@ -1,0 +1,226 @@
+"""Parallel sweep execution over independent simulation configs.
+
+Every paper artefact is a grid of *independent* simulator runs (the
+Fig. 2 SM sweep, the Fig. 4/5 ``(mode, k)`` grid, Table 1's techniques,
+the right-sizing workloads).  :class:`SweepRunner` fans such a grid out
+over a ``ProcessPoolExecutor`` and collects results in config order, so
+parallel output is indistinguishable from a serial loop:
+
+- **Determinism** — each simulation builds its own ``Environment`` and
+  derives any randomness from :func:`derive_seed` (a content hash of the
+  config), so results do not depend on worker scheduling, process reuse,
+  or the serial/parallel choice.
+- **Crash isolation** — a worker dying (or raising) fails only its own
+  config; the runner retries failed configs, rebuilding the pool if it
+  broke, and runs the final attempt serially in-process so a
+  deterministic failure surfaces with a clean traceback naming the
+  config (:class:`SweepError`).
+- **Caching** — with a :class:`~repro.runner.cache.ResultCache`
+  attached, finished configs are looked up by content hash before any
+  process is spawned; a warm sweep costs milliseconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Optional, Sequence
+
+from repro.runner.cache import MISS, ResultCache
+
+__all__ = ["SweepRunner", "SweepError", "derive_seed", "default_jobs"]
+
+
+class SweepError(RuntimeError):
+    """A sweep config failed every attempt.
+
+    Attributes
+    ----------
+    task, config:
+        Identify the failing unit of work.
+    attempts:
+        How many times it was tried before giving up.
+    """
+
+    def __init__(self, task: str, config: Any, attempts: int,
+                 cause: BaseException):
+        super().__init__(
+            f"sweep task {task!r} failed after {attempts} attempt(s) "
+            f"for config {config!r}: {cause!r}"
+        )
+        self.task = task
+        self.config = config
+        self.attempts = attempts
+        self.__cause__ = cause
+
+
+def derive_seed(task: str, config: Any) -> int:
+    """Deterministic 63-bit seed for one sweep config.
+
+    Derived from content (not position or time), so a config keeps its
+    seed when the grid around it is re-ordered or filtered.
+    """
+    blob = json.dumps({"task": task, "config": config}, sort_keys=True,
+                      default=str, separators=(",", ":"))
+    return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:8],
+                          "big") >> 1
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS``, else the machine's CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _invoke(fn: Callable, config: Any, task: str, pass_seed: bool) -> Any:
+    """Worker-side entry point (module-level so it pickles)."""
+    if pass_seed:
+        return fn(config, seed=derive_seed(task, config))
+    return fn(config)
+
+
+class SweepRunner:
+    """Execute a function over a grid of configs, in parallel, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (or ``0``/negative) runs serially
+        in-process — no executor, no pickling.  ``None`` uses
+        :func:`default_jobs`.
+    cache:
+        Optional :class:`ResultCache`.  Configs must then be
+        JSON-serialisable so keys are canonical.
+    retries:
+        Extra attempts per failed config (beyond the first).  The last
+        attempt always runs serially in the parent process.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None, retries: int = 1,
+                 mp_context: Optional[str] = None):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self.retries = max(0, int(retries))
+        self._mp_context = mp_context
+        #: Configs actually executed (cache misses) since construction.
+        self.executed = 0
+
+    # -- public API ---------------------------------------------------------
+    def map(self, fn: Callable, configs: Sequence[Any],
+            task: Optional[str] = None) -> list:
+        """Run ``fn(config)`` for every config; results in config order.
+
+        ``fn`` must be a module-level callable and each config picklable.
+        If ``fn`` accepts a ``seed`` keyword, the runner passes it the
+        config's :func:`derive_seed` value.
+        """
+        configs = list(configs)
+        task = task or f"{fn.__module__}.{fn.__qualname__}"
+        pass_seed = "seed" in inspect.signature(fn).parameters
+
+        results: list[Any] = [MISS] * len(configs)
+        pending: list[int] = []
+        keys: list[Optional[str]] = [None] * len(configs)
+        for i, config in enumerate(configs):
+            if self.cache is not None:
+                keys[i] = self.cache.key(task, config)
+                value = self.cache.get(keys[i])
+                if value is not MISS:
+                    results[i] = value
+                    continue
+            pending.append(i)
+
+        if pending:
+            n_workers = min(self.jobs, len(pending))
+            if n_workers <= 1:
+                self._run_serial(fn, configs, task, pass_seed, pending,
+                                 results)
+            else:
+                self._run_parallel(fn, configs, task, pass_seed, pending,
+                                   results, n_workers)
+            self.executed += len(pending)
+            if self.cache is not None:
+                for i in pending:
+                    self.cache.put(keys[i], results[i])
+        return results
+
+    # -- execution strategies -----------------------------------------------
+    def _run_serial(self, fn, configs, task, pass_seed, pending, results):
+        for i in pending:
+            results[i] = self._attempt_serial(fn, configs[i], task, pass_seed,
+                                              prior_attempts=0)
+
+    def _attempt_serial(self, fn, config, task, pass_seed,
+                        prior_attempts: int) -> Any:
+        attempts = prior_attempts
+        while True:
+            attempts += 1
+            try:
+                return _invoke(fn, config, task, pass_seed)
+            except Exception as exc:  # noqa: BLE001 - isolate per config
+                if attempts > self.retries:
+                    raise SweepError(task, config, attempts, exc) from exc
+
+    def _run_parallel(self, fn, configs, task, pass_seed, pending, results,
+                      n_workers: int):
+        import multiprocessing
+
+        ctx = None
+        if self._mp_context is not None:
+            ctx = multiprocessing.get_context(self._mp_context)
+        elif "fork" in multiprocessing.get_all_start_methods():
+            # fork skips re-importing the package per worker; simulations
+            # never share mutable global state, so it is safe here.
+            ctx = multiprocessing.get_context("fork")
+
+        remaining = list(pending)
+        last_exc: dict[int, BaseException] = {}
+        for round_ in range(self.retries + 1):
+            if not remaining:
+                return
+            if round_ == self.retries and self.retries > 0:
+                # Final attempt runs serially in the parent process, so a
+                # deterministic failure surfaces with a clean traceback.
+                for i in remaining:
+                    try:
+                        results[i] = _invoke(fn, configs[i], task, pass_seed)
+                    except Exception as exc:  # noqa: BLE001
+                        raise SweepError(task, configs[i], round_ + 1,
+                                         exc) from exc
+                return
+            failed: list[int] = []
+            executor = ProcessPoolExecutor(max_workers=n_workers,
+                                           mp_context=ctx)
+            try:
+                futures = {
+                    executor.submit(_invoke, fn, configs[i], task, pass_seed): i
+                    for i in remaining
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done,
+                                          return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i = futures[fut]
+                        try:
+                            results[i] = fut.result()
+                        except Exception as exc:  # noqa: BLE001
+                            # Includes BrokenProcessPool: every future on
+                            # a broken pool fails and is retried on a
+                            # fresh pool (or serially, last round).
+                            failed.append(i)
+                            last_exc[i] = exc
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            remaining = failed
+        if not remaining:
+            return
+        i = remaining[0]
+        raise SweepError(task, configs[i], self.retries + 1,
+                         last_exc[i]) from last_exc[i]

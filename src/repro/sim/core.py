@@ -14,6 +14,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, Optional
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -116,7 +119,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    Timeouts are the single most-constructed object in a simulation, so
+    the constructor bypasses :meth:`Event.__init__` (no name formatting,
+    no super() dispatch) — a measurable share of event-loop time.
+    """
 
     __slots__ = ("delay",)
 
@@ -124,11 +132,19 @@ class Timeout(Event):
                  priority: int = NORMAL):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env, name=f"timeout({delay:g})")
+        self.env = env
+        self.callbacks = []
+        self._scheduled = False
+        self._defused = False
+        self.name = None
         self.delay = delay
         self._value = value
         self._ok = True
         env._enqueue(self, priority, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.processed else "ok"
+        return f"<Timeout timeout({self.delay:g}) {state}>"
 
 
 class _Condition(Event):
@@ -255,8 +271,9 @@ class Environment:
         if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        _heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` simulated seconds; returns the event."""
@@ -272,10 +289,11 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now - 1e-12:
+        when, _prio, _seq, event = _heappop(self._queue)
+        if when > self._now:
+            self._now = when
+        elif when < self._now - 1e-12:
             raise SimulationError("event scheduled in the past")
-        self._now = max(self._now, when)
         callbacks, event.callbacks = event.callbacks, None
         self.events_processed += 1
         for cb in callbacks:
@@ -300,8 +318,9 @@ class Environment:
             if stop.processed:
                 return stop.value if stop.ok else _raise(stop.value)
             stop.callbacks.append(_capture)
-            while self._queue and not stop_holder:
-                self.step()
+            queue, step = self._queue, self.step
+            while queue and not stop_holder:
+                step()
             if not stop_holder:
                 raise SimulationError(
                     "event queue drained before the 'until' event fired"
@@ -311,8 +330,9 @@ class Environment:
         horizon = float("inf") if until is None else float(until)
         if horizon != float("inf") and horizon < self._now:
             raise ValueError(f"until={horizon!r} is in the past (now={self._now!r})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        queue, step = self._queue, self.step
+        while queue and queue[0][0] <= horizon:
+            step()
         if horizon != float("inf"):
             self._now = max(self._now, horizon)
         return None

@@ -85,18 +85,29 @@ class FluidPool:
         self.env = env
         self.allocator = allocator
         self.name = name
-        self._tasks: list[FluidTask] = []
+        # Resident tasks keyed by tid.  Python dicts preserve insertion
+        # order, so iteration is admission order (the allocator contract)
+        # while removal is O(1) — the old list-based pool paid an O(n)
+        # ``list.remove`` per completion/cancellation.
+        self._tasks: dict[int, FluidTask] = {}
         self._last_update = env.now
         # Generation counter: each reallocation invalidates the wakeups
         # scheduled by earlier generations (cheaper than heap removal).
         self._gen = 0
+        # External capacity changes (poke) bump the epoch; together with
+        # the membership signature it decides whether cached rates are
+        # still valid, letting _reallocate skip the allocator entirely.
+        self._epoch = 0
+        self._alloc_sig: tuple = ()
+        self._alloc_epoch = 0
+        self._wakeup_pending = False
         #: Total work drained through this pool (conservation checks).
         self.work_drained = 0.0
 
     # -- public API ---------------------------------------------------------
     @property
     def tasks(self) -> tuple[FluidTask, ...]:
-        return tuple(self._tasks)
+        return tuple(self._tasks.values())
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -106,10 +117,14 @@ class FluidPool:
         if task._pool is not None:
             raise SimulationError("task already resident in a pool")
         self._advance()
-        task._pool = self
-        self._tasks.append(task)
         if task.work <= _EPS * max(task.total_work, 1.0):
+            # Drains instantly: complete without ever becoming resident
+            # (residency would double-fire ``done`` on the next advance).
+            task.work = 0.0
             self._finish(task)
+            return task
+        task._pool = self
+        self._tasks[task.tid] = task
         self._reallocate()
         return task
 
@@ -118,7 +133,7 @@ class FluidPool:
         if task._pool is not self:
             raise SimulationError("task not resident in this pool")
         self._advance()
-        self._tasks.remove(task)
+        del self._tasks[task.tid]
         task._pool = None
         task.rate = 0.0
         self._reallocate()
@@ -126,12 +141,19 @@ class FluidPool:
 
     def poke(self) -> None:
         """Force a reallocation (e.g. after an external capacity change)."""
+        if not self._tasks:
+            # Empty-to-empty: capacity changes cannot affect anyone, and
+            # _advance has nothing to drain.  Skip the allocator round
+            # trip entirely (a previously hot path for group churn).
+            self._last_update = self.env.now
+            return
+        self._epoch += 1
         self._advance()
         self._reallocate()
 
     def utilization_snapshot(self) -> float:
         """Sum of current rates — callers normalise by device capacity."""
-        return sum(t.rate for t in self._tasks)
+        return sum(t.rate for t in self._tasks.values())
 
     # -- internals ------------------------------------------------------------
     def _advance(self) -> None:
@@ -139,21 +161,30 @@ class FluidPool:
         now = self.env.now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0:
+        if dt <= 0 or not self._tasks:
             return
-        finished: list[FluidTask] = []
-        for task in self._tasks:
-            if task.rate <= 0:
+        finished: Optional[list[FluidTask]] = None
+        drained_total = 0.0
+        for task in self._tasks.values():
+            rate = task.rate
+            if rate <= 0:
                 continue
-            drained = min(task.work, task.rate * dt)
-            task.work -= drained
-            self.work_drained += drained
+            work = task.work
+            drained = rate * dt
+            if drained > work:
+                drained = work
+            task.work = work - drained
+            drained_total += drained
             if task.work <= _EPS * max(task.total_work, 1.0):
                 task.work = 0.0
+                if finished is None:
+                    finished = []
                 finished.append(task)
-        for task in finished:
-            self._tasks.remove(task)
-            self._finish(task)
+        self.work_drained += drained_total
+        if finished is not None:
+            for task in finished:
+                del self._tasks[task.tid]
+                self._finish(task)
 
     def _finish(self, task: FluidTask) -> None:
         task._pool = None
@@ -161,26 +192,48 @@ class FluidPool:
         task.done.succeed(task)
 
     def _reallocate(self) -> None:
-        self._gen += 1
         if not self._tasks:
+            self._gen += 1  # invalidate any stale wakeup
+            self._alloc_sig = ()
+            self._wakeup_pending = False
             return
-        self.allocator(self._tasks)
-        horizon = math.inf
-        for task in self._tasks:
+        sig = tuple(self._tasks)  # tids in admission order
+        if sig == self._alloc_sig and self._epoch == self._alloc_epoch:
+            # Same resident set under the same external capacity: the
+            # allocator would reproduce the rates every task already
+            # carries, so skip it (and the water-filling behind it).
+            if self._wakeup_pending:
+                return  # the scheduled completion wakeup is still exact
+            self._schedule_wakeup()
+            return
+        self.allocator(list(self._tasks.values()))
+        for task in self._tasks.values():
             if task.rate < 0:
                 raise SimulationError(
                     f"allocator produced negative rate for {task!r}"
                 )
+        self._alloc_sig = sig
+        self._alloc_epoch = self._epoch
+        self._schedule_wakeup()
+
+    def _schedule_wakeup(self) -> None:
+        """Arm the wakeup for the earliest completion at current rates."""
+        self._gen += 1
+        self._wakeup_pending = False
+        horizon = math.inf
+        for task in self._tasks.values():
             if task.rate > 0:
                 horizon = min(horizon, task.work / task.rate)
         if horizon is math.inf:
             return  # every task starved; an external poke must revive them
         gen = self._gen
         wakeup = self.env.timeout(max(horizon, 0.0))
+        self._wakeup_pending = True
 
         def _on_wakeup(_ev: Event) -> None:
             if gen != self._gen:
                 return  # superseded by a later reallocation
+            self._wakeup_pending = False
             self._advance()
             self._reallocate()
 

@@ -39,6 +39,7 @@ __all__ = [
     "LLAMA2_7B",
     "LLAMA2_13B",
     "LLAMA2_70B",
+    "LLAMA_MODELS",
     "DEFAULT_RUNTIME",
 ]
 
@@ -71,6 +72,9 @@ LLAMA2_13B = LlamaSpec("llama2-13b", n_params=13.0e9, n_layers=40,
                        d_model=5120, n_heads=40)
 LLAMA2_70B = LlamaSpec("llama2-70b", n_params=69.0e9, n_layers=80,
                        d_model=8192, n_heads=64)
+
+#: Name -> spec lookup (sweep configs carry model names, not objects).
+LLAMA_MODELS = {m.name: m for m in (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B)}
 
 
 @dataclass(frozen=True)
@@ -123,6 +127,10 @@ class LlamaInference:
         self.spec = spec
         self.runtime = runtime
         self.n_gpus = n_gpus
+        # Kernel cache: serving loops request the same decode/prefill
+        # kernel thousands of times (one per token); Kernel objects are
+        # immutable in practice, so one instance per shape is shared.
+        self._kernel_cache: dict[tuple, Kernel] = {}
 
     # -- memory -------------------------------------------------------------
     @property
@@ -154,6 +162,9 @@ class LlamaInference:
         parallel-efficiency factor folds in the per-layer all-reduce and
         synchronisation cost of spanning GPUs.
         """
+        cached = self._kernel_cache.get(("decode", context_len))
+        if cached is not None:
+            return cached
         rt = self.runtime
         shard = self.n_gpus
         flops = self.spec.flops_per_token() / shard
@@ -162,13 +173,15 @@ class LlamaInference:
             + self.spec.kv_bytes_per_token(context_len, rt.dtype_bytes) / shard
         )
         scale = 1.0 if shard == 1 else 1.0 / rt.parallel_efficiency
-        return Kernel(
+        kernel = Kernel(
             flops=flops * scale,
             bytes_moved=traffic * scale,
             max_sms=rt.max_sms,
             efficiency=rt.efficiency,
             name=f"{self.spec.name}-decode",
         )
+        self._kernel_cache[("decode", context_len)] = kernel
+        return kernel
 
     def prefill_kernel(self, prompt_tokens: int) -> Kernel:
         """The prompt-ingestion kernel (one pass over all prompt tokens).
@@ -182,6 +195,9 @@ class LlamaInference:
         """
         if prompt_tokens <= 0:
             raise ValueError("prompt_tokens must be positive")
+        cached = self._kernel_cache.get(("prefill", prompt_tokens))
+        if cached is not None:
+            return cached
         rt = self.runtime
         shard = self.n_gpus
         flops = self.spec.flops_per_token() * prompt_tokens / shard
@@ -191,13 +207,15 @@ class LlamaInference:
             + self.spec.kv_bytes_per_token(prompt_tokens, rt.dtype_bytes)
         )
         scale = 1.0 if shard == 1 else 1.0 / rt.parallel_efficiency
-        return Kernel(
+        kernel = Kernel(
             flops=flops * scale,
             bytes_moved=traffic * scale,
             max_sms=rt.prefill_max_sms,
             efficiency=rt.prefill_efficiency,
             name=f"{self.spec.name}-prefill",
         )
+        self._kernel_cache[("prefill", prompt_tokens)] = kernel
+        return kernel
 
     @property
     def host_seconds_per_token(self) -> float:

@@ -1,0 +1,118 @@
+"""Edge cases for the roofline allocator's water-filling helpers.
+
+``_waterfill`` and ``_hierarchical_waterfill`` sit on the allocator hot
+path; these tests pin the degenerate inputs (zero demand, binding caps,
+single group) and the conservation invariant the roofline model relies
+on: never hand out more than the device has.
+"""
+
+import pytest
+
+from repro.gpu.device import _hierarchical_waterfill, _waterfill
+
+INF = float("inf")
+
+
+class _Task:
+    """The allocator helpers only ever read ``.tid``."""
+
+    def __init__(self, tid):
+        self.tid = tid
+
+
+def _group(*tids):
+    return [_Task(t) for t in tids]
+
+
+# ------------------------------------------------------------------ _waterfill
+
+def test_zero_total_demand_allocates_nothing():
+    alloc = _waterfill({1: 0.0, 2: 0.0}, {1: INF, 2: INF}, 100.0)
+    assert alloc == {1: 0.0, 2: 0.0}
+
+
+def test_zero_cap_client_is_skipped():
+    alloc = _waterfill({1: 50.0, 2: 50.0}, {1: 0.0, 2: INF}, 60.0)
+    assert alloc[1] == 0.0
+    assert alloc[2] == pytest.approx(50.0)
+
+
+def test_small_demand_fully_satisfied_surplus_refilled():
+    alloc = _waterfill({1: 5.0, 2: 100.0}, {1: INF, 2: INF}, 50.0)
+    assert alloc[1] == pytest.approx(5.0)
+    assert alloc[2] == pytest.approx(45.0)
+
+
+def test_cap_below_fair_share_releases_surplus():
+    # Client 1's cap (10) binds below the 50/50 fair share; the freed 40
+    # must flow to client 2, not evaporate.
+    alloc = _waterfill({1: 100.0, 2: 100.0}, {1: 10.0, 2: 1000.0}, 100.0)
+    assert alloc[1] == pytest.approx(10.0)
+    assert alloc[2] == pytest.approx(90.0)
+
+
+def test_unbounded_demands_split_equally():
+    alloc = _waterfill({1: INF, 2: INF}, {1: INF, 2: INF}, 100.0)
+    assert alloc[1] == pytest.approx(50.0)
+    assert alloc[2] == pytest.approx(50.0)
+
+
+def test_conservation_and_individual_bounds():
+    demand = {1: 3.0, 2: INF, 3: 17.5, 4: 0.25, 5: INF}
+    cap = {1: INF, 2: 12.0, 3: INF, 4: INF, 5: INF}
+    total = 40.0
+    alloc = _waterfill(demand, cap, total)
+    assert sum(alloc.values()) <= total + 1e-9
+    for k in demand:
+        assert alloc[k] <= min(demand[k], cap[k]) + 1e-9
+        assert alloc[k] >= 0.0
+    # Demand exceeds supply, so every drop must be handed out.
+    assert sum(alloc.values()) == pytest.approx(total)
+
+
+def test_oversupply_leaves_surplus_unallocated():
+    alloc = _waterfill({1: 10.0, 2: 20.0}, {1: INF, 2: INF}, 100.0)
+    assert alloc == {1: pytest.approx(10.0), 2: pytest.approx(20.0)}
+
+
+# ------------------------------------------------- _hierarchical_waterfill
+
+def test_single_group_degenerates_to_flat_waterfill():
+    tasks = _group(1, 2, 3)
+    demand = {1: 5.0, 2: 50.0, 3: INF}
+    flat = _waterfill(demand, {t: INF for t in demand}, 60.0)
+    hier = _hierarchical_waterfill({7: tasks}, demand, {7: INF}, 60.0)
+    assert hier == pytest.approx(flat)
+
+
+def test_group_cap_binds_and_surplus_flows_across_groups():
+    by_group = {1: _group(10, 11), 2: _group(20)}
+    demand = {10: 100.0, 11: 100.0, 20: 100.0}
+    alloc = _hierarchical_waterfill(by_group, demand, {1: 20.0, 2: INF}, 100.0)
+    # Group 1 is clamped to its 20-unit cap (split fairly inside);
+    # the other 80 units all reach group 2.
+    assert alloc[10] == pytest.approx(10.0)
+    assert alloc[11] == pytest.approx(10.0)
+    assert alloc[20] == pytest.approx(80.0)
+
+
+def test_idle_group_does_not_absorb_bandwidth():
+    by_group = {1: _group(10), 2: _group(20)}
+    demand = {10: 0.0, 20: INF}
+    alloc = _hierarchical_waterfill(by_group, demand, {1: INF, 2: INF}, 50.0)
+    assert alloc[10] == 0.0
+    assert alloc[20] == pytest.approx(50.0)
+
+
+def test_hierarchical_conservation():
+    by_group = {1: _group(10, 11), 2: _group(20, 21), 3: _group(30)}
+    demand = {10: INF, 11: 2.0, 20: 30.0, 21: INF, 30: 9.0}
+    group_cap = {1: 40.0, 2: INF, 3: 5.0}
+    total = 70.0
+    alloc = _hierarchical_waterfill(by_group, demand, group_cap, total)
+    assert sum(alloc.values()) <= total + 1e-9
+    for gid, tasks in by_group.items():
+        group_total = sum(alloc[t.tid] for t in tasks)
+        assert group_total <= group_cap[gid] + 1e-9
+    for tid, d in demand.items():
+        assert 0.0 <= alloc[tid] <= d + 1e-9

@@ -1,0 +1,200 @@
+"""Tests for the parallel sweep runner and its result cache.
+
+The worker functions live at module level so the executor can pickle
+them by reference.
+"""
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.runner import (
+    MISS,
+    ResultCache,
+    SweepError,
+    SweepRunner,
+    derive_seed,
+)
+
+
+def _square(config):
+    return config["x"] ** 2
+
+
+def _seeded(config, seed):
+    rng = random.Random(seed)
+    return {"x": config["x"], "seed": seed,
+            "draws": [rng.random() for _ in range(4)]}
+
+
+def _fail_if_big(config):
+    if config["x"] >= 10:
+        raise ValueError(f"x too big: {config['x']}")
+    return config["x"]
+
+
+def _fail_until_flag(config):
+    """Fail once per flag file, then succeed — a transient fault."""
+    flag = config["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("tried")
+        raise RuntimeError("transient")
+    return "ok"
+
+
+def _grid(n):
+    return [{"x": i} for i in range(n)]
+
+
+# ------------------------------------------------------------- execution
+
+def test_serial_results_in_config_order():
+    runner = SweepRunner(jobs=1)
+    assert runner.map(_square, _grid(5)) == [0, 1, 4, 9, 16]
+    assert runner.executed == 5
+
+
+def test_parallel_matches_serial_byte_for_byte():
+    configs = _grid(8)
+    serial = SweepRunner(jobs=1, retries=0).map(_seeded, configs)
+    parallel = SweepRunner(jobs=3, retries=0).map(_seeded, configs)
+    # Compare per-result pickles: whole-list pickles can differ by memo
+    # references (interned keys shared across elements) even for equal
+    # content.
+    assert ([pickle.dumps(r) for r in serial]
+            == [pickle.dumps(r) for r in parallel])
+
+
+def test_seed_depends_on_content_not_position():
+    configs = _grid(4)
+    forward = SweepRunner(jobs=1).map(_seeded, configs, task="t")
+    backward = SweepRunner(jobs=1).map(_seeded, list(reversed(configs)),
+                                       task="t")
+    assert forward == list(reversed(backward))
+
+
+def test_derive_seed_distinct_per_config_and_task():
+    a = derive_seed("t", {"x": 1})
+    assert a == derive_seed("t", {"x": 1})
+    assert a != derive_seed("t", {"x": 2})
+    assert a != derive_seed("u", {"x": 1})
+    assert 0 <= a < 2 ** 63
+
+
+# --------------------------------------------------------------- failures
+
+def test_worker_exception_becomes_sweep_error_serial():
+    runner = SweepRunner(jobs=1, retries=0)
+    with pytest.raises(SweepError) as excinfo:
+        runner.map(_fail_if_big, [{"x": 1}, {"x": 50}], task="big")
+    err = excinfo.value
+    assert err.task == "big"
+    assert err.config == {"x": 50}
+    assert err.attempts == 1
+    assert isinstance(err.__cause__, ValueError)
+
+
+def test_worker_exception_becomes_sweep_error_parallel():
+    runner = SweepRunner(jobs=2, retries=0)
+    with pytest.raises(SweepError) as excinfo:
+        runner.map(_fail_if_big, [{"x": 1}, {"x": 50}, {"x": 2}])
+    assert excinfo.value.config == {"x": 50}
+
+
+def test_deterministic_failure_exhausts_retries():
+    runner = SweepRunner(jobs=2, retries=2)
+    with pytest.raises(SweepError) as excinfo:
+        runner.map(_fail_if_big, [{"x": 99}])
+    assert excinfo.value.attempts == 3
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_transient_failure_retried_to_success(tmp_path, jobs):
+    flag = str(tmp_path / f"flag-{jobs}")
+    runner = SweepRunner(jobs=jobs, retries=1)
+    results = runner.map(_fail_until_flag, [{"flag": flag}])
+    assert results == ["ok"]
+    assert os.path.exists(flag)
+
+
+# ---------------------------------------------------------------- caching
+
+def test_warm_cache_skips_execution(tmp_path):
+    configs = _grid(6)
+    cold = SweepRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    first = cold.map(_square, configs, task="sq")
+    assert cold.executed == 6
+
+    warm_cache = ResultCache(str(tmp_path))
+    warm = SweepRunner(jobs=1, cache=warm_cache)
+    second = warm.map(_square, configs, task="sq")
+    assert warm.executed == 0
+    assert warm_cache.hit_rate == 1.0
+    assert pickle.dumps(first) == pickle.dumps(second)
+
+
+def test_changed_config_misses_cache(tmp_path):
+    runner = SweepRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    runner.map(_square, _grid(3), task="sq")
+    runner2 = SweepRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    runner2.map(_square, _grid(3) + [{"x": 77}], task="sq")
+    assert runner2.executed == 1  # only the new config ran
+
+
+def test_task_name_partitions_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.map(_square, _grid(2), task="a")
+    runner.map(_square, _grid(2), task="b")
+    assert runner.executed == 4
+
+
+def test_memory_layer_shares_within_invocation(tmp_path):
+    # Disk off (--no-cache): the memory layer still deduplicates repeated
+    # sweeps inside one invocation.
+    cache = ResultCache(str(tmp_path), disk=False)
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.map(_square, _grid(4), task="sq")
+    runner.map(_square, _grid(4), task="sq")
+    assert runner.executed == 4
+    assert not any(f.endswith(".pkl") for _, _, fs in os.walk(tmp_path)
+                   for f in fs)
+
+
+def test_cached_none_is_a_hit(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.key("t", {"x": 1})
+    cache.put(key, None)
+    fresh = ResultCache(str(tmp_path))
+    assert fresh.get(key) is None
+    assert fresh.hits == 1
+
+
+def test_non_json_config_rejected_with_cache(tmp_path):
+    runner = SweepRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    with pytest.raises(TypeError):
+        runner.map(_square, [{"x": object()}])
+
+
+def test_clear_empties_both_layers(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.map(_square, _grid(3), task="sq")
+    cache.clear()
+    again = SweepRunner(jobs=1, cache=cache)
+    again.map(_square, _grid(3), task="sq")
+    assert again.executed == 3
+
+
+def test_corrupt_disk_entry_treated_as_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.key("t", {"x": 1})
+    cache.put(key, 123)
+    path = cache._path(key)
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    fresh = ResultCache(str(tmp_path))
+    assert fresh.get(key) is MISS

@@ -156,6 +156,99 @@ def test_progress_property():
     assert task.progress == pytest.approx(0.4)
 
 
+class CountingAllocator:
+    """Equal-share allocator that records every invocation."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.calls = 0
+
+    def __call__(self, tasks):
+        self.calls += 1
+        share = self.capacity / len(tasks)
+        for t in tasks:
+            t.rate = share
+
+
+def test_poke_on_empty_pool_skips_allocator():
+    env = Environment()
+    alloc = CountingAllocator(10.0)
+    pool = FluidPool(env, alloc)
+    pool.poke()
+    pool.poke()
+    assert alloc.calls == 0
+
+
+def test_zero_work_add_skips_allocator():
+    # An instant-finish task never becomes resident, so the allocator
+    # must not run for it (empty -> empty membership).
+    env = Environment()
+    alloc = CountingAllocator(10.0)
+    pool = FluidPool(env, alloc)
+    task = FluidTask(env, work=0.0)
+    pool.add(task)
+    assert task.done.triggered
+    assert alloc.calls == 0
+    assert len(pool) == 0
+
+
+def test_zero_work_add_does_not_disturb_resident_tasks():
+    env = Environment()
+    alloc = CountingAllocator(10.0)
+    pool = FluidPool(env, alloc)
+    resident = FluidTask(env, work=50.0)
+    pool.add(resident)
+    calls_before = alloc.calls
+    flash = FluidTask(env, work=0.0)
+    pool.add(flash)
+    assert flash.done.triggered
+    assert alloc.calls == calls_before  # membership unchanged: no realloc
+    env.run(until=resident.done)
+    assert env.now == pytest.approx(5.0)
+
+
+def test_instant_finish_task_succeeds_exactly_once():
+    # Regression: an instant-finish task used to stay resident and be
+    # finished a second time by the next advance (double succeed).
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(10.0))
+    flash = FluidTask(env, work=0.0)
+    slow = FluidTask(env, work=20.0)
+    pool.add(flash)
+    pool.add(slow)
+    env.run(until=slow.done)  # would raise SimulationError before the fix
+    assert env.now == pytest.approx(2.0)
+
+
+def test_unchanged_membership_skips_reallocation():
+    env = Environment()
+    alloc = CountingAllocator(10.0)
+    pool = FluidPool(env, alloc)
+    pool.add(FluidTask(env, work=30.0))
+    pool.add(FluidTask(env, work=30.0))
+    calls_after_adds = alloc.calls
+    env.run(until=2.0)
+    # No membership change between t=0 and t=2: the wakeup machinery may
+    # advance the pool but must not re-invoke the allocator.
+    assert alloc.calls == calls_after_adds
+    env.run()
+    assert pool.work_drained == pytest.approx(60.0)
+
+
+def test_poke_forces_reallocation_when_capacity_changes():
+    env = Environment()
+    alloc = CountingAllocator(10.0)
+    pool = FluidPool(env, alloc)
+    task = FluidTask(env, work=100.0)
+    pool.add(task)
+    env.run(until=5.0)
+    alloc.capacity = 20.0
+    pool.poke()  # same membership, but poke signals external change
+    env.run(until=task.done)
+    # 50 units drained by t=5, the rest at 20/s -> t=7.5.
+    assert env.now == pytest.approx(7.5)
+
+
 def test_allocator_negative_rate_rejected():
     env = Environment()
 

@@ -63,6 +63,64 @@ def test_weightcache(capsys):
     assert "speedup" in out
 
 
+def test_multiple_commands_in_one_invocation(capsys):
+    out = run_cli(capsys, "fig4", "--completions", "6",
+                  "fig5", "--completions", "6")
+    assert "Fig. 4" in out
+    assert "Fig. 5" in out
+
+
+def test_fig4_fig5_share_one_sweep(capsys, monkeypatch):
+    from repro import cli
+
+    seen = {}
+    real_ctx = cli.RunContext
+
+    def spy(*args, **kwargs):
+        seen["ctx"] = real_ctx(*args, **kwargs)
+        return seen["ctx"]
+
+    monkeypatch.setattr(cli, "RunContext", spy)
+    run_cli(capsys, "--no-cache", "fig4", "--completions", "6",
+            "fig5", "--completions", "6")
+    ctx = seen["ctx"]
+    # 3 modes x 4 process counts, computed once; fig5 hits the memory
+    # cache even with --no-cache (which only disables the disk layer).
+    assert ctx.runner.executed == 12
+    assert ctx.runner.cache.hits == 12
+
+
+def test_global_jobs_flag_reaches_runner(capsys, monkeypatch):
+    from repro import cli
+
+    seen = {}
+    real_ctx = cli.RunContext
+
+    def spy(*args, **kwargs):
+        seen["ctx"] = real_ctx(*args, **kwargs)
+        return seen["ctx"]
+
+    monkeypatch.setattr(cli, "RunContext", spy)
+    run_cli(capsys, "--jobs", "2", "--no-cache", "fig2", "--step", "50")
+    assert seen["ctx"].runner.jobs == 2
+
+
+def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "bench.json"
+    out = run_cli(capsys, "--jobs", "1", "bench", "--quick",
+                  "--out", str(out_path))
+    assert "wrote" in out
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "repro-bench/1"
+    assert report["quick"] is True
+    assert report["micro"]["event_queue"]["events_per_sec"] > 0
+    for sweep in report["sweeps"].values():
+        assert sweep["configs"] > 0
+        assert sweep["cache_hit_rate"] == 1.0
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
@@ -72,5 +130,16 @@ def test_parser_lists_all_commands():
     parser = build_parser()
     text = parser.format_help()
     for cmd in ("fig1", "fig2", "fig3", "fig4", "fig5", "table1",
-                "overheads", "rightsizing", "weightcache"):
+                "overheads", "rightsizing", "weightcache", "bench"):
+        assert cmd in text
+    assert "--jobs" in text
+    assert "--no-cache" in text
+
+
+def test_every_command_is_splittable():
+    from repro.cli import COMMANDS, build_parser
+
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in COMMANDS:
         assert cmd in text
