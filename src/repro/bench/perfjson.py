@@ -7,10 +7,10 @@ PR gives future changes a trajectory to regress against: if events/sec
 or a sweep wall-clock moves the wrong way, the diff that did it is one
 ``git log BENCH_*.json`` away.
 
-Schema (``repro-bench/1``)::
+Schema (``repro-bench/2``)::
 
     {
-      "schema": "repro-bench/1",
+      "schema": "repro-bench/2",
       "date": "YYYY-MM-DD",
       "quick": bool,                  # reduced sizes (CI smoke)
       "jobs": int,                    # worker processes for parallel runs
@@ -22,8 +22,19 @@ Schema (``repro-bench/1``)::
                         "warm_seconds": float,
                         "parallel_speedup": float,
                         "warm_speedup": float,
-                        "cache_hit_rate": float}}
+                        "cache_hit_rate": float}},
+      "scale": {                      # streaming vs legacy engine
+        "scenario": {...},            # fixed fleet topology + load
+        "compare_n_requests": int,
+        "streaming": {..., "events_per_sec": float, "rss_growth_kb": int},
+        "legacy": {...},              # identical sim, pre-change engine
+        "speedup": float,             # streaming / legacy events/sec
+        "streaming_1m": {...}         # full runs only: 1M-request run
+      }
     }
+
+``/1`` reports lack the ``scale`` section; everything else is
+unchanged, so trajectory tooling can read both.
 """
 
 from __future__ import annotations
@@ -198,8 +209,11 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
     }
     sweeps = {name: _time_sweep(fn, jobs)
               for name, fn in _sweep_fns(quick).items()}
+    from repro.bench.scale_experiments import scale_report
+
+    scale = scale_report(quick=quick)
     return {
-        "schema": "repro-bench/1",
+        "schema": "repro-bench/2",
         "date": datetime.date.today().isoformat(),
         "quick": quick,
         "jobs": jobs,
@@ -209,6 +223,7 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
         },
         "micro": micro,
         "sweeps": sweeps,
+        "scale": scale,
     }
 
 

@@ -1,0 +1,210 @@
+"""Million-request trace-serving scale benchmark (``repro bench``).
+
+The paper's sweeps are many *small* simulations; this scenario is one
+*large* one, sized to exercise the engine work that dominates at FaaS
+fleet scale: a fully-partitioned A100-80GB (7 x ``1g.10gb`` MIG
+instances, each running an MPS daemon with 16 serving functions)
+under a sustained open-loop Poisson load of up to a million requests.
+
+Two engine configurations run the identical scenario:
+
+- ``streaming`` — the current engine: incremental allocator, pooled
+  timeouts, chunked gap draws, and streaming accumulators (no
+  per-request retention anywhere), so memory stays bounded however long
+  the trace.
+- ``legacy`` — the pre-incremental engine, reconstructed via the
+  compatibility switches: ``SimulatedGPU(incremental=False)`` (full
+  hierarchical recompute on every membership change),
+  ``Environment(pooling=False)`` (a fresh Timeout per event), and the
+  retaining client/server (every request and latency kept in lists).
+
+Both produce the same simulated clock and the same per-request
+latencies — the engines differ only in wall-clock and RSS, which is
+what the report records.  Each engine runs in a forked subprocess so
+``ru_maxrss`` growth measures that engine alone.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import resource
+import time
+from typing import Optional
+
+__all__ = ["trace_serving_scale", "scale_report"]
+
+#: The fixed fleet topology (see module docstring).  Batch size 1 with
+#: 16-token completions is the paper's fine-grained sharing regime: many
+#: small kernels from many co-resident functions, which maximises
+#: allocator churn (the engine cost this benchmark isolates).
+N_INSTANCES = 7
+SERVERS_PER_INSTANCE = 16
+MAX_BATCH_SIZE = 1
+N_TOKENS = 16
+
+#: Total offered load over the whole fleet, requests/second.  Must stay
+#: below fleet capacity or queues (and, in legacy mode, memory) grow
+#: without bound.  At batch size 1 the fleet is GPU-bound: capacity
+#: measures ~4.07 rps regardless of server count, so 3.88 rps ~= 95%
+#: utilisation — heavy enough that nearly every server keeps a kernel
+#: resident (~112 concurrent fluid tasks), light enough to stay stable.
+DEFAULT_RATE_RPS = 3.88
+
+
+def _run_engine(engine: str, n_requests: int, rate_rps: float,
+                seed: int) -> dict:
+    """Run one engine configuration inline; returns the metrics dict."""
+    import numpy as np
+
+    from repro.gpu.device import SimulatedGPU
+    from repro.gpu.mig import MigManager
+    from repro.gpu.specs import A100_80GB
+    from repro.sim.core import Environment
+    from repro.telemetry import summarize
+    from repro.telemetry.streaming import StreamingLatencyStats
+    from repro.workloads.llm import LLAMA2_7B, InferenceRuntime, LlamaInference
+    from repro.workloads.serving import InferenceServer, OpenLoopClient
+
+    if engine not in ("streaming", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
+    streaming = engine == "streaming"
+
+    env = Environment(pooling=streaming)
+    # Pin cross_check off: this is a performance measurement, and an
+    # inherited REPRO_ALLOC_CHECK=1 would make the incremental engine
+    # run the full recompute after every allocation anyway.
+    gpu = SimulatedGPU(env, A100_80GB, incremental=streaming,
+                       cross_check=False)
+    manager = MigManager(gpu)
+    env.run(until=env.process(manager.enable()))
+    # int8 weights: LLaMa-2-7B fits a 1g.10gb slice.
+    llm = LlamaInference(LLAMA2_7B, InferenceRuntime(dtype_bytes=1))
+
+    n_servers = N_INSTANCES * SERVERS_PER_INSTANCE
+    stats = StreamingLatencyStats() if streaming else None
+    servers: list[InferenceServer] = []
+    clients: list[OpenLoopClient] = []
+    per_server = max(1, n_requests // n_servers)
+    for i in range(N_INSTANCES):
+        instance = manager.create_instance("1g.10gb")
+        daemon = instance.enable_mps()
+        for j in range(SERVERS_PER_INSTANCE):
+            k = i * SERVERS_PER_INSTANCE + j
+            server = InferenceServer(
+                env, daemon.client(f"srv{k}"), llm,
+                max_batch_size=MAX_BATCH_SIZE,
+                keep_completed=not streaming,
+                kernel_cache=streaming)
+            servers.append(server)
+            clients.append(OpenLoopClient(
+                env, server, rate_rps=rate_rps / n_servers,
+                n_requests=per_server, n_tokens=N_TOKENS,
+                rng=np.random.default_rng(seed + k),
+                streaming=streaming, stats=stats))
+
+    rss0 = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    t0 = time.perf_counter()
+    env.run(until=env.all_of([c.done for c in clients]))
+    wall = time.perf_counter() - t0
+    rss1 = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    if streaming:
+        lat = stats.stats()
+    else:
+        lat = summarize([r.latency for s in servers for r in s.completed])
+    return {
+        "engine": engine,
+        "n_requests": per_server * n_servers,
+        "n_servers": n_servers,
+        "rate_rps": rate_rps,
+        "sim_seconds": env.now,
+        "events": env.events_processed,
+        "wall_seconds": wall,
+        "events_per_sec": env.events_processed / wall if wall > 0 else 0.0,
+        "rss_growth_kb": max(0, rss1 - rss0),
+        "alloc_calls": gpu.alloc_calls,
+        "alloc_group_recomputes": gpu.alloc_group_recomputes,
+        "latency": {
+            "count": lat.count,
+            "mean": lat.mean,
+            "p50": lat.p50,
+            "p95": lat.p95,
+            "p99": lat.p99,
+            "min": lat.minimum,
+            "max": lat.maximum,
+        },
+    }
+
+
+def _subprocess_target(conn, engine, n_requests, rate_rps, seed):
+    try:
+        conn.send(_run_engine(engine, n_requests, rate_rps, seed))
+    except BaseException as exc:  # pragma: no cover - forwarded to parent
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+def trace_serving_scale(engine: str, n_requests: int,
+                        rate_rps: float = DEFAULT_RATE_RPS,
+                        seed: int = 0, isolate: bool = True) -> dict:
+    """Run the scale scenario under one engine; returns the metrics dict.
+
+    With ``isolate=True`` (the default) the run happens in a forked
+    child process, so its ``rss_growth_kb`` is not polluted by whatever
+    the parent allocated before — ``ru_maxrss`` is a process-lifetime
+    high-water mark, and a big earlier run would otherwise mask a small
+    later one.
+    """
+    if not isolate:
+        return _run_engine(engine, n_requests, rate_rps, seed)
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_subprocess_target,
+                       args=(child, engine, n_requests, rate_rps, seed))
+    proc.start()
+    child.close()
+    try:
+        result = parent.recv()
+    finally:
+        proc.join()
+        parent.close()
+    if "error" in result:
+        raise RuntimeError(f"scale run failed in subprocess: {result['error']}")
+    return result
+
+
+def scale_report(quick: bool = False, seed: int = 0,
+                 n_requests: Optional[int] = None) -> dict:
+    """The ``scale`` section of ``BENCH_<date>.json``.
+
+    Runs the streaming engine and the legacy engine on the same
+    scenario at a comparison size (both engines, so the speedup is
+    apples-to-apples), then — unless ``quick`` — the streaming engine
+    alone at the million-request headline size (the legacy engine at
+    that size is exactly the slow, memory-unbounded case this PR
+    removes).
+    """
+    compare_n = n_requests or (2_500 if quick else 25_000)
+    streaming = trace_serving_scale("streaming", compare_n, seed=seed)
+    legacy = trace_serving_scale("legacy", compare_n, seed=seed)
+    report = {
+        "scenario": {
+            "gpu": "A100_80GB",
+            "topology": f"{N_INSTANCES}x 1g.10gb MIG, "
+                        f"{SERVERS_PER_INSTANCE} MPS servers each",
+            "model": "llama2-7b int8",
+            "max_batch_size": MAX_BATCH_SIZE,
+            "n_tokens": N_TOKENS,
+            "rate_rps": DEFAULT_RATE_RPS,
+        },
+        "compare_n_requests": compare_n,
+        "streaming": streaming,
+        "legacy": legacy,
+        "speedup": (streaming["events_per_sec"] / legacy["events_per_sec"]
+                    if legacy["events_per_sec"] > 0 else 0.0),
+    }
+    if not quick:
+        report["streaming_1m"] = trace_serving_scale(
+            "streaming", 1_000_000, seed=seed)
+    return report

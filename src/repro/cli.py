@@ -8,6 +8,7 @@
     python -m repro fig4 --completions 100
     python -m repro --jobs 8 fig4 fig5
     python -m repro table1
+    python -m repro --jobs 1 --stats fig4
     python -m repro overheads
     python -m repro rightsizing
     python -m repro weightcache
@@ -188,7 +189,24 @@ def _cmd_bench(args, ctx) -> str:
         ["sweep", "configs", "serial s", "parallel s", "warm s",
          "warm speedup", "hit rate"],
         rows, title=f"Sweep wall-clock (jobs={report['jobs']})")
-    return f"{micro}\n\n{sweeps}\n\nwrote {path}"
+    scale = report["scale"]
+    engines = [scale["streaming"], scale["legacy"]]
+    if "streaming_1m" in scale:
+        engines.append(scale["streaming_1m"])
+    rows = [
+        [e["engine"] + ("" if e["n_requests"] != 1_000_000 else " (1M)"),
+         f"{e['n_requests']:,}", f"{e['wall_seconds']:.2f}",
+         f"{e['events_per_sec']:,.0f}", f"{e['rss_growth_kb']:,}",
+         f"{e['latency']['mean']:.3f}"]
+        for e in engines
+    ]
+    scale_table = format_table(
+        ["engine", "requests", "wall s", "events/s", "rss growth kB",
+         "mean lat s"],
+        rows, title=f"Trace-serving scale ({scale['scenario']['topology']})")
+    return (f"{micro}\n\n{sweeps}\n\n{scale_table}\n"
+            f"streaming vs legacy speedup: {scale['speedup']:.2f}x"
+            f"\n\nwrote {path}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="skip the on-disk sweep result cache for this invocation")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print a one-line engine summary (events/sec, allocator "
+             "counters) after the command output; in-process sims only, "
+             "so combine with --jobs 1 for complete counts")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig1", help="per-layer CNN FLOPs")
@@ -281,8 +304,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2  # pragma: no cover - parse_args exits above
     parsed = [parser.parse_args(prefix + group) for group in groups]
     ctx = RunContext(jobs=parsed[0].jobs, no_cache=parsed[0].no_cache)
-    for args in parsed:
-        print(args.fn(args, ctx))
+    if not parsed[0].stats:
+        for args in parsed:
+            print(args.fn(args, ctx))
+        return 0
+    from repro.sim.stats import collecting
+
+    with collecting() as stats:
+        for args in parsed:
+            print(args.fn(args, ctx))
+    print(stats.summary_line())
     return 0
 
 

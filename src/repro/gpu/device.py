@@ -41,19 +41,26 @@ paper's 3- and 4-way experiments.
 from __future__ import annotations
 
 import itertools
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, SimulationError
 from repro.sim.fluid import FluidPool, FluidTask
+from repro.sim.numerics import KahanSum
 from repro.gpu.kernel import Kernel
 from repro.gpu.memory import MemoryPool
 from repro.gpu.specs import GPUSpec
 
-__all__ = ["GpuClient", "ShareGroup", "SimulatedGPU"]
+__all__ = ["AllocatorMismatch", "GpuClient", "ShareGroup", "SimulatedGPU"]
 
 _client_ids = itertools.count()
+_group_ids = itertools.count()
+
+
+class AllocatorMismatch(SimulationError):
+    """The incremental allocator diverged from the full recompute."""
 
 
 @dataclass
@@ -77,6 +84,9 @@ class ShareGroup:
     #: (models vGPU/hypervisor scheduling inefficiency).
     overhead_factor: float = 1.0
     clients: list["GpuClient"] = field(default_factory=list)
+    #: Stable identity for cross-call allocator caching (``id()`` can be
+    #: recycled after a group is garbage-collected; this cannot).
+    gid: int = field(default_factory=lambda: next(_group_ids), init=False)
     # -- temporal-discipline state --
     _queues: dict | None = None        # client id -> deque of tasks
     _rr: "deque | None" = None         # round-robin of client ids with work
@@ -236,15 +246,68 @@ class GpuClient:
             raise RuntimeError(f"client {self.name!r} has been closed")
 
 
-class SimulatedGPU:
-    """One simulated GPU device."""
+class _GroupAllocState:
+    """Cached per-group allocation results (the incremental allocator).
 
-    def __init__(self, env: Environment, spec: GPUSpec, name: str = "gpu0"):
+    Valid while the group's membership signature, SM budget, and overhead
+    factor are unchanged; the bandwidth split additionally requires the
+    group's share of device bandwidth to be unchanged.  Every cached float
+    is exactly the value the full recompute would produce, because it *is*
+    that value — the cache memoises, it never delta-updates.
+    """
+
+    __slots__ = ("budget", "overhead", "sm_alloc", "bw_demand",
+                 "bw_demand_sum", "share", "bw_alloc", "sm_sum", "bw_sum",
+                 "demands", "kinfo")
+
+    def __init__(self) -> None:
+        self.budget = -1.0
+        self.overhead = 0.0
+        self.sm_alloc: dict[int, float] = {}
+        self.bw_demand: dict[int, float] = {}
+        self.bw_demand_sum = 0.0
+        self.share: Optional[float] = None
+        self.bw_alloc: dict[int, float] = {}
+        # Per-task caches that survive recomputes: the raw SM demand
+        # (a function of the task's kernel, its client's cap, and the
+        # group budget — the caller rebuilds the state on budget change)
+        # and the kernel constants the bandwidth pass reads.  Entries
+        # for departed tasks are popped by the membership hook.
+        self.demands: dict[int, float] = {}
+        self.kinfo: dict[int, tuple] = {}
+        # Per-group subtotals of sm_alloc/bw_alloc (in group-task order):
+        # the device totals are the sum of these over groups, so a clean
+        # group contributes O(1) work to the totals instead of O(tasks).
+        self.sm_sum = 0.0
+        self.bw_sum = 0.0
+
+
+class SimulatedGPU:
+    """One simulated GPU device.
+
+    Parameters
+    ----------
+    incremental:
+        Reuse per-group allocation state across membership changes (the
+        default).  Results are bit-identical to the full recompute; set
+        ``False`` to force the original full path on every change.
+    cross_check:
+        Run *both* paths on every allocation and raise
+        :class:`AllocatorMismatch` on any difference (debug mode; also
+        enabled by the ``REPRO_ALLOC_CHECK=1`` environment variable).
+    """
+
+    def __init__(self, env: Environment, spec: GPUSpec, name: str = "gpu0",
+                 incremental: bool = True,
+                 cross_check: Optional[bool] = None):
         self.env = env
         self.spec = spec
         self.name = name
         self.memory = MemoryPool(spec.memory_bytes, name=f"{name}-hbm")
-        self.pool = FluidPool(env, self._allocate, name=f"{name}-pool")
+        self.incremental = incremental
+        self.pool = FluidPool(
+            env, self._allocate, name=f"{name}-pool",
+            on_change=self._on_membership if incremental else None)
         self.groups: list[ShareGroup] = []
         #: Device-wide default group (used by time-sharing and MPS).
         self.default_group = ShareGroup(
@@ -257,12 +320,54 @@ class SimulatedGPU:
         )
         self.groups.append(self.default_group)
         # Utilization accounting (integrals of current allocations).
+        # Compensated sums: at millions of kernel events the naive float
+        # accumulation drifts enough to fail conservation checks.
         self._cur_sm_alloc = 0.0
         self._cur_bw_alloc = 0.0
         self._integral_t0 = env.now
-        self.sm_seconds = 0.0
-        self.bw_byte_seconds = 0.0
+        self._sm_seconds = KahanSum()
+        self._bw_byte_seconds = KahanSum()
         self.kernels_completed = 0
+        # Incremental-allocator state and diagnostics.
+        if cross_check is None:
+            cross_check = os.environ.get("REPRO_ALLOC_CHECK", "") not in ("", "0")
+        self.cross_check = cross_check
+        self._galloc: dict[int, _GroupAllocState] = {}
+        # Residency indexes maintained by the pool's membership hook
+        # (incremental mode only): resident tasks per group in admission
+        # order, the group objects themselves, and the set of groups
+        # whose membership changed since the last allocation.  They spare
+        # the allocator the O(#tasks) regroup-and-signature pass that
+        # previously dominated its cost at scale.
+        self._resident: dict[int, dict[int, FluidTask]] = {}
+        self._rgroups: dict[int, ShareGroup] = {}
+        self._dirty: set[int] = set()
+        # Per-group client-residency counts and the number of clients
+        # with more than one resident task: when that is zero, the MPS
+        # aggregate-cap shrink provably cannot fire and the recompute
+        # skips the whole by-client pass.
+        self._gclients: dict[int, dict[int, int]] = {}
+        self._grep: dict[int, int] = {}
+        #: Allocator invocations (every admit/complete/poke that changed
+        #: the resident set or external capacity).
+        self.alloc_calls = 0
+        #: Full per-group demand recomputations (dirty groups).
+        self.alloc_group_recomputes = 0
+        #: Groups served entirely from cached state.
+        self.alloc_group_reuses = 0
+        #: Single-resident-kernel fast-path hits.
+        self.alloc_fast_path = 0
+        env.gpus.append(self)
+
+    @property
+    def sm_seconds(self) -> float:
+        """Integral of allocated SMs over time (compensated sum)."""
+        return self._sm_seconds.value
+
+    @property
+    def bw_byte_seconds(self) -> float:
+        """Integral of allocated bandwidth over time (compensated sum)."""
+        return self._bw_byte_seconds.value
 
     # -- client factories ---------------------------------------------------
     def timeshare_client(self, name: str) -> GpuClient:
@@ -313,8 +418,8 @@ class SimulatedGPU:
     def _integrate(self) -> None:
         dt = self.env.now - self._integral_t0
         if dt > 0:
-            self.sm_seconds += self._cur_sm_alloc * dt
-            self.bw_byte_seconds += self._cur_bw_alloc * dt
+            self._sm_seconds.add(self._cur_sm_alloc * dt)
+            self._bw_byte_seconds.add(self._cur_bw_alloc * dt)
         self._integral_t0 = self.env.now
 
     def sm_utilization(self, since: float = 0.0) -> float:
@@ -326,16 +431,349 @@ class SimulatedGPU:
         return self.sm_seconds / (self.spec.sms * horizon)
 
     # -- the allocator ------------------------------------------------------------
+    def _on_membership(self, task: FluidTask, added: bool) -> None:
+        """FluidPool membership hook (incremental mode only).
+
+        Keeps ``_resident``/``_rgroups`` in sync with the pool and marks
+        the affected group dirty, so the allocator never has to rebuild
+        the grouping from the task list.  Per-group dicts preserve
+        admission order (inserts append, deletes keep order), matching
+        the full path's iteration contract.
+        """
+        client = task.meta["client"]
+        group: ShareGroup = client.group
+        gid = group.gid
+        cid = id(client)
+        if added:
+            res = self._resident.get(gid)
+            if res is None:
+                self._resident[gid] = res = {}
+                self._rgroups[gid] = group
+                self._gclients[gid] = {}
+                self._grep[gid] = 0
+            res[task.tid] = task
+            counts = self._gclients[gid]
+            c = counts.get(cid, 0) + 1
+            counts[cid] = c
+            if c == 2:
+                self._grep[gid] += 1
+        else:
+            res = self._resident[gid]
+            del res[task.tid]
+            counts = self._gclients[gid]
+            c = counts[cid] - 1
+            if c:
+                counts[cid] = c
+                if c == 1:
+                    self._grep[gid] -= 1
+            else:
+                del counts[cid]
+            st = self._galloc.get(gid)
+            if st is not None:
+                st.demands.pop(task.tid, None)
+                st.kinfo.pop(task.tid, None)
+            if not res:
+                del self._resident[gid]
+                del self._rgroups[gid]
+                del self._gclients[gid]
+                del self._grep[gid]
+                # A vanished group must not leave cached state behind:
+                # gids are never reused, and the solo path relies on the
+                # cache only holding currently-resident groups.
+                self._galloc.pop(gid, None)
+        self._dirty.add(gid)
+
     def _allocate(self, tasks: list[FluidTask]) -> None:
+        """FluidPool callback: divide SMs and bandwidth over ``tasks``.
+
+        Dispatches to the incremental path (per-group memoisation, solo
+        fast path) or the original full recompute.  Both produce
+        bit-identical rates; ``cross_check`` runs both and compares.
+        """
+        self.alloc_calls += 1
         self._integrate()
+        if self.incremental:
+            if len(tasks) == 1:
+                self._allocate_solo(tasks[0])
+            else:
+                self._allocate_incremental(tasks)
+            if self.cross_check:
+                self._verify_against_full(tasks)
+        else:
+            sm_alloc, bw_alloc, rates, total_sm, total_bw = \
+                self._compute_full(tasks)
+            for t in tasks:
+                t.rate = rates[t.tid]
+            self._cur_sm_alloc = total_sm
+            self._cur_bw_alloc = total_bw
+
+    def _allocate_solo(self, t: FluidTask) -> None:
+        """One resident kernel: the water level is trivial.
+
+        Replicates the full path's arithmetic *exactly* (same operations
+        in the same order) so the result is bit-identical; the derivation
+        is spelled out in docs/architecture.md.
+        """
+        self.alloc_fast_path += 1
+        spec = self.spec
+        client: GpuClient = t.meta["client"]
+        kernel: Kernel = t.meta["kernel"]
+        group = client.group
+        fair = group.sm_policy == "fair"
+        budget = spec.sms / 1 if fair else float(group.sm_budget)
+        # SM demand: a single kernel is never shrunk by its client's
+        # aggregate cap (the demand already honours ``sm_cap``).
+        demand = float(min(kernel.max_sms, client.sm_cap, budget))
+        scale = min(1.0, budget / demand) if demand > 0 else 0.0
+        sms = demand * scale
+        cap = group.effective_bw_cap
+        if fair:
+            cap = min(cap, spec.bandwidth / 1)
+        if kernel.bytes_moved == 0:
+            bwd = 0.0
+        elif kernel.flops > 0:
+            compute_rate = (
+                spec.flops_per_sm * kernel.efficiency * sms / kernel.flops
+            )
+            bwd = kernel.bytes_moved * compute_rate
+        else:
+            bwd = float("inf")
+        # Hierarchical waterfill with one group holding one task
+        # collapses to min(demand, group cap, device bandwidth).
+        bw = min(bwd, cap, spec.bandwidth)
+        rate_c = float("inf")
+        if kernel.flops > 0:
+            rate_c = (
+                spec.flops_per_sm * kernel.efficiency * sms / kernel.flops
+            ) * group.overhead_factor
+        rate_m = float("inf")
+        if kernel.bytes_moved > 0 and bwd > 0:
+            rate_m = bw / kernel.bytes_moved
+        rate = min(rate_c, rate_m)
+        t.rate = 0.0 if rate == float("inf") else rate
+        # Invalidate the group's cached state: its membership no longer
+        # matches whatever the cache last saw.
+        self._galloc.pop(group.gid, None)
+        self._cur_sm_alloc = sms
+        self._cur_bw_alloc = bw
+
+    def _allocate_incremental(self, tasks: list[FluidTask]) -> None:
+        """Memoised allocation: recompute only dirty groups.
+
+        A group is *dirty* when its membership changed since the last
+        allocation (tracked by the pool's :meth:`_on_membership` hook)
+        or its SM budget or overhead factor moved; its bandwidth split
+        is additionally redone when the group-level waterfill moved its
+        share.  Clean
+        groups keep the rates their tasks already carry.  Every reused
+        float is the exact value a full recompute would produce, so the
+        two paths are bit-identical (enforced by ``cross_check`` and the
+        property tests).
+        """
+        spec = self.spec
+        resident = self._resident
+        rgroups = self._rgroups
+        dirty = self._dirty
+        # The full path's ordering contract: groups appear in order of
+        # their first resident task.  tids are admission-monotonic and
+        # each residency dict is in admission order, so its first key is
+        # the group's earliest resident task — sorting by that tid
+        # reproduces the first-occurrence order over ``tasks`` without
+        # touching the task list (O(#groups log #groups), #groups <= 7
+        # in a fully-partitioned MIG device).
+        order = sorted([(next(iter(res)), gid)
+                        for gid, res in resident.items()])
+
+        n_fair = sum(1 for g in rgroups.values() if g.sm_policy == "fair")
+        fair_share = spec.sms / n_fair if n_fair else 0.0
+
+        states = self._galloc
+        group_demand: dict[int, float] = {}
+        bw_group_cap: dict[int, float] = {}
+        for _, gid in order:
+            g = rgroups[gid]
+            budget = fair_share if g.sm_policy == "fair" else float(g.sm_budget)
+            st = states.get(gid)
+            if (st is None or gid in dirty or st.budget != budget
+                    or st.overhead != g.overhead_factor):
+                st = self._recompute_group(st, resident[gid].values(),
+                                           budget, g.overhead_factor,
+                                           self._grep[gid] == 0)
+                states[gid] = st
+                self.alloc_group_recomputes += 1
+            else:
+                self.alloc_group_reuses += 1
+            cap = g.effective_bw_cap
+            if g.sm_policy == "fair":
+                cap = min(cap, spec.bandwidth / max(1, n_fair))
+            bw_group_cap[gid] = cap
+            group_demand[gid] = min(st.bw_demand_sum, cap)
+        dirty.clear()
+
+        # Group-level waterfill always reruns: any group's demand change
+        # moves the shared water level.  O(#groups), not O(#tasks).
+        # Uncontended fast path: when the demand sum sits safely below
+        # the budget the waterfill provably hands every group exactly
+        # its (already cap-limited) demand.  "Safely" needs a relative
+        # margin: at the exact boundary the waterfill's running
+        # ``remaining`` subtraction drifts by ulps and the last keys
+        # can receive the drifted remainder instead of their demand.
+        if _fits(sum(group_demand.values()), spec.bandwidth):
+            group_share = group_demand
+        else:
+            group_share = _waterfill(group_demand, bw_group_cap,
+                                     spec.bandwidth)
+
+        inf = float("inf")
+        for _, gid in order:
+            st = states[gid]
+            gs = group_share[gid]
+            if st.share is not None and st.share == gs:
+                continue  # same split as last time: rates already exact
+            bw_demand = st.bw_demand
+            # Same fast path within the group: a demand sum safely
+            # below the group share means every task gets its full
+            # demand.  (When bandwidth is uncontended gs *equals* the
+            # demand sum, so this intentionally falls through to the
+            # exact loop — equality is inside the drift margin.)
+            if _fits(st.bw_demand_sum, gs):
+                st.bw_alloc = dict(bw_demand)
+            else:
+                st.bw_alloc = _waterfill_uniform(bw_demand, gs)
+            st.share = gs
+            overhead = rgroups[gid].overhead_factor
+            sm_alloc = st.sm_alloc
+            bw_alloc = st.bw_alloc
+            bw_sum = 0.0
+            # kinfo mirrors the residency dict (both append on admit
+            # and evict on departure), so the two iterate in lockstep.
+            for t, (bytes_moved, flops, sm_rate) in zip(
+                    resident[gid].values(), st.kinfo.values()):
+                tid = t.tid
+                bw = bw_alloc[tid]
+                bw_sum += bw
+                rate_c = inf
+                if flops > 0:
+                    rate_c = (sm_rate * sm_alloc[tid] / flops) * overhead
+                rate_m = inf
+                if bytes_moved > 0 and bw_demand[tid] > 0:
+                    rate_m = bw / bytes_moved
+                rate = rate_c if rate_c < rate_m else rate_m
+                t.rate = 0.0 if rate == inf else rate
+            st.bw_sum = bw_sum
+
+        # Device totals: sum the per-group subtotals in group order —
+        # the same grouping and order the full path uses — so a clean
+        # group costs O(1) here instead of an O(#tasks) re-walk.
+        total_sm = 0.0
+        total_bw = 0.0
+        for _, gid in order:
+            st = states[gid]
+            total_sm += st.sm_sum
+            total_bw += st.bw_sum
+        self._cur_sm_alloc = total_sm
+        self._cur_bw_alloc = total_bw
+
+    def _recompute_group(self, st: Optional[_GroupAllocState],
+                         group_tasks: Iterable[FluidTask], budget: float,
+                         overhead: float,
+                         no_repeats: bool) -> _GroupAllocState:
+        """Full SM/demand recompute for one (dirty) group.
+
+        Per-task SM demands and kernel constants persist across
+        recomputes (both depend only on the task and the budget; the
+        caller rebuilds the state on a budget change and the membership
+        hook evicts departed tasks), so a membership change costs one
+        pass of plain float arithmetic over the group instead of a
+        rebuild of every intermediate.
+        """
+        spec = self.spec
+        if st is None or st.budget != budget:
+            st = _GroupAllocState()
+            st.budget = budget
+        st.overhead = overhead
+        st.share = None  # membership changed: the rates pass must rerun
+        demands = st.demands
+        kinfo = st.kinfo
+        for t in group_tasks:
+            tid = t.tid
+            if tid not in demands:
+                client: GpuClient = t.meta["client"]
+                kernel: Kernel = t.meta["kernel"]
+                demands[tid] = float(min(kernel.max_sms, client.sm_cap,
+                                         budget))
+                # (bytes_moved, flops, flops_per_sm * efficiency): the
+                # cached product has the exact operand grouping the
+                # full path uses, so reuse stays bit-identical.
+                kinfo[tid] = (kernel.bytes_moved, kernel.flops,
+                              spec.flops_per_sm * kernel.efficiency)
+        if no_repeats:
+            # Every client has at most one resident task here, so each
+            # aggregate equals the single demand, which is already
+            # capped by ``sm_cap`` — the shrink below cannot fire.
+            work = demands
+        else:
+            # The MPS percentage caps a *client's aggregate* SM usage,
+            # not each kernel: several concurrent streams from one
+            # capped client must share the client's slice.  Shrink a
+            # copy — the cache keeps the pre-shrink demands.
+            work = dict(demands)
+            by_client: dict[int, list[FluidTask]] = {}
+            for t in group_tasks:
+                by_client.setdefault(id(t.meta["client"]), []).append(t)
+            for client_tasks in by_client.values():
+                cap = float(client_tasks[0].meta["client"].sm_cap)
+                subtotal = sum(work[t.tid] for t in client_tasks)
+                if subtotal > cap:
+                    shrink = cap / subtotal
+                    for t in client_tasks:
+                        work[t.tid] *= shrink
+        total = sum(work.values())
+        scale = min(1.0, budget / total) if total > 0 else 0.0
+        sm_alloc: dict[int, float] = {}
+        sm_sum = 0.0
+        for tid, d in work.items():
+            v = d * scale
+            sm_alloc[tid] = v
+            sm_sum += v
+        st.sm_alloc = sm_alloc
+        st.sm_sum = sm_sum
+        # Bandwidth that keeps memory off the critical path given the
+        # SM allocation (compute-rate-matched demand).  Skipping the
+        # zero entries in the running sum is exact: adding 0.0 never
+        # changes a non-negative accumulator.
+        bw_demand: dict[int, float] = {}
+        bsum = 0.0
+        inf = float("inf")
+        for tid, (bytes_moved, flops, sm_rate) in kinfo.items():
+            if bytes_moved == 0:
+                bw_demand[tid] = 0.0
+                continue
+            if flops > 0:
+                v = bytes_moved * (sm_rate * sm_alloc[tid] / flops)
+            else:
+                v = inf
+            bw_demand[tid] = v
+            bsum += v
+        st.bw_demand = bw_demand
+        st.bw_demand_sum = bsum
+        return st
+
+    def _compute_full(self, tasks: list[FluidTask]):
+        """The original one-shot allocation (reference implementation).
+
+        Pure: returns ``(sm_alloc, bw_alloc, rates, total_sm, total_bw)``
+        without touching task or device state, so it can serve both as
+        the ``incremental=False`` engine and as the cross-check oracle.
+        """
         spec = self.spec
 
         by_group: dict[int, list[FluidTask]] = {}
         group_of: dict[int, ShareGroup] = {}
         for t in tasks:
             g = t.meta["client"].group
-            by_group.setdefault(id(g), []).append(t)
-            group_of[id(g)] = g
+            by_group.setdefault(g.gid, []).append(t)
+            group_of[g.gid] = g
 
         # SM budgets: "fair" groups (vGPU VMs) split the device evenly.
         fair_groups = [gid for gid, g in group_of.items() if g.sm_policy == "fair"]
@@ -355,9 +793,6 @@ class SimulatedGPU:
                 kernel: Kernel = t.meta["kernel"]
                 demands[t.tid] = float(min(kernel.max_sms, client.sm_cap, budget))
                 by_client.setdefault(id(client), []).append(t)
-            # The MPS percentage caps a *client's aggregate* SM usage, not
-            # each kernel: several concurrent streams from one capped
-            # client must share the client's slice.
             for client_tasks in by_client.values():
                 cap = float(client_tasks[0].meta["client"].sm_cap)
                 subtotal = sum(demands[t.tid] for t in client_tasks)
@@ -380,8 +815,6 @@ class SimulatedGPU:
                 if kernel.bytes_moved == 0:
                     bw_demand[t.tid] = 0.0
                     continue
-                # Bandwidth that keeps memory off the critical path given
-                # the SM allocation (compute-rate-matched demand).
                 if kernel.flops > 0:
                     compute_rate = (
                         spec.flops_per_sm * kernel.efficiency * sm_alloc[t.tid]
@@ -395,15 +828,12 @@ class SimulatedGPU:
             by_group, bw_demand, bw_group_cap, spec.bandwidth
         )
 
-        total_sm = 0.0
-        total_bw = 0.0
+        rates: dict[int, float] = {}
         for t in tasks:
             kernel = t.meta["kernel"]
             group = t.meta["client"].group
             sms = sm_alloc[t.tid]
             bw = bw_alloc[t.tid]
-            total_sm += sms
-            total_bw += bw
             rate_c = float("inf")
             if kernel.flops > 0:
                 rate_c = (
@@ -417,10 +847,53 @@ class SimulatedGPU:
                 # rather than dividing a zero allocation.
                 rate_m = bw / kernel.bytes_moved
             rate = min(rate_c, rate_m)
-            t.rate = 0.0 if rate == float("inf") else rate
+            rates[t.tid] = 0.0 if rate == float("inf") else rate
 
-        self._cur_sm_alloc = total_sm
-        self._cur_bw_alloc = total_bw
+        # Totals as per-group subtotals summed in group order — the
+        # exact grouping the incremental path caches, so the two paths
+        # produce bit-identical utilisation integrals.
+        total_sm = 0.0
+        total_bw = 0.0
+        for ts in by_group.values():
+            gsm = 0.0
+            gbw = 0.0
+            for t in ts:
+                gsm += sm_alloc[t.tid]
+                gbw += bw_alloc[t.tid]
+            total_sm += gsm
+            total_bw += gbw
+
+        return sm_alloc, bw_alloc, rates, total_sm, total_bw
+
+    def _verify_against_full(self, tasks: list[FluidTask]) -> None:
+        """Cross-check: assert the incremental result equals the oracle."""
+        sm_alloc, bw_alloc, rates, total_sm, total_bw = \
+            self._compute_full(tasks)
+        for t in tasks:
+            if t.rate != rates[t.tid]:
+                raise AllocatorMismatch(
+                    f"{self.name}: rate mismatch for task {t.tid}: "
+                    f"incremental {t.rate!r} != full {rates[t.tid]!r}"
+                )
+        if (self._cur_sm_alloc != total_sm
+                or self._cur_bw_alloc != total_bw):
+            raise AllocatorMismatch(
+                f"{self.name}: utilisation totals diverged: "
+                f"sm {self._cur_sm_alloc!r} != {total_sm!r} or "
+                f"bw {self._cur_bw_alloc!r} != {total_bw!r}"
+            )
+        for t in tasks:
+            st = self._galloc.get(t.meta["client"].group.gid)
+            if st is None:
+                continue  # solo path keeps no per-group state
+            if (st.sm_alloc[t.tid] != sm_alloc[t.tid]
+                    or st.bw_alloc[t.tid] != bw_alloc[t.tid]):
+                raise AllocatorMismatch(
+                    f"{self.name}: cached allocation mismatch for task "
+                    f"{t.tid}: sm {st.sm_alloc[t.tid]!r} != "
+                    f"{sm_alloc[t.tid]!r} or bw {st.bw_alloc[t.tid]!r} != "
+                    f"{bw_alloc[t.tid]!r}"
+                )
 
 
 def _hierarchical_waterfill(
@@ -446,6 +919,53 @@ def _hierarchical_waterfill(
         task_demand = {t.tid: demand[t.tid] for t in ts}
         task_cap = {t.tid: group_share[gid] for t in ts}
         alloc.update(_waterfill(task_demand, task_cap, group_share[gid]))
+    return alloc
+
+
+def _fits(demand_sum: float, total: float) -> bool:
+    """True when water-filling ``demand_sum`` into ``total`` provably
+    gives every key its full (cap-limited) demand.
+
+    Requires the sum to sit below the budget by a relative margin that
+    dominates the waterfill loop's worst-case ``remaining`` rounding
+    drift (~n ulps, versus the 1e-9 margin here); exactly at the
+    boundary the loop's drifted remainder can differ from the demand
+    in the last ulps, so equality must take the slow exact path.
+    """
+    return total - demand_sum > total * 1e-9
+
+
+def _waterfill_uniform(demand: dict, total: float) -> dict:
+    """:func:`_waterfill` with every per-key cap equal to ``total``.
+
+    The incremental allocator's within-group split always caps each
+    task at the group share, so the cap dict collapses to a scalar —
+    the arithmetic below mirrors :func:`_waterfill` term for term and
+    produces bit-identical allocations.
+    """
+    alloc = {k: 0.0 for k in demand}
+    # Pre-clamp each demand to the scalar cap once; (key, clamped) pairs
+    # replace the per-pass ``min(demand[k], total)`` recomputation and
+    # dict lookups of the generic version.  Pair order is demand-dict
+    # order, the same order the generic loop visits keys, so the
+    # ``remaining`` subtraction sequence (and hence every rounded
+    # intermediate) is identical.
+    active = [(k, d if d < total else total) for k, d in demand.items()
+              if (d if d < total else total) > 0]
+    remaining = total
+    while active and remaining > 0.0:
+        share = remaining / len(active)
+        unsatisfied = [km for km in active if km[1] > share]
+        if len(unsatisfied) == len(active):
+            final = total if total < share else share
+            for k, _ in active:
+                alloc[k] = final
+            return alloc
+        for k, m in active:
+            if m <= share:
+                alloc[k] = m
+                remaining -= m
+        active = unsatisfied
     return alloc
 
 

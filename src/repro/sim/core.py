@@ -37,6 +37,11 @@ URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
 
+#: Optional callback ``fn(env)`` invoked when :meth:`Environment.run`
+#: returns — installed by :mod:`repro.sim.stats` while a collector is
+#: active, ``None`` otherwise (so the hot loop never pays for it).
+RUN_LISTENER: Optional[Callable[["Environment"], None]] = None
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (not model errors)."""
@@ -51,7 +56,7 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused",
-                 "name")
+                 "_recycle", "name")
 
     def __init__(self, env: "Environment", name: str | None = None):
         self.env = env
@@ -62,6 +67,7 @@ class Event:
         self._scheduled = False
         # True once some waiter has taken responsibility for the failure.
         self._defused = False
+        self._recycle = False
         self.name = name
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -136,6 +142,7 @@ class Timeout(Event):
         self.callbacks = []
         self._scheduled = False
         self._defused = False
+        self._recycle = False
         self.name = None
         self.delay = delay
         self._value = value
@@ -232,12 +239,22 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation environment: virtual clock plus event queue."""
 
-    def __init__(self, initial_time: float = 0.0):
+    #: Upper bound on the recycled-timeout free list (see
+    #: :meth:`timeout_pooled`); past this, extras are left to the GC.
+    _POOL_LIMIT = 256
+
+    def __init__(self, initial_time: float = 0.0, pooling: bool = True):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         #: Number of events processed so far (diagnostic).
         self.events_processed = 0
+        #: Simulated GPUs attached to this environment (diagnostic
+        #: registry for the ``--stats`` collector; see repro.sim.stats).
+        self.gpus: list = []
+        #: Free list of processed recyclable timeouts.
+        self._tpool: list[Timeout] = []
+        self._pooling = bool(pooling)
 
     # -- clock ------------------------------------------------------------
     @property
@@ -253,6 +270,35 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay`` simulated seconds."""
         return Timeout(self, delay, value)
+
+    def timeout_pooled(self, delay: float) -> Timeout:
+        """A recyclable :class:`Timeout` drawn from a free list.
+
+        Timeouts are the single most-constructed object in a simulation;
+        hot internal paths (fluid-pool wakeups, serving loops, open-loop
+        arrival generators) draw them here so the event loop stops paying
+        an allocation + GC tax per event.  The contract: the *caller must
+        not retain the event past its processing* — once its callbacks
+        have run, the event goes back on the free list and will be reborn
+        as a different timeout.  ``yield env.timeout_pooled(d)`` from a
+        process is fine (the process drops the reference on resume);
+        storing the event or reading ``.value`` later is not.
+        """
+        pool = self._tpool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay!r}")
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = None
+            ev._scheduled = False
+            ev._defused = False
+            ev.delay = delay
+            self._enqueue(ev, NORMAL, delay=delay)
+            return ev
+        ev = Timeout(self, delay)
+        ev._recycle = self._pooling
+        return ev
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -302,12 +348,21 @@ class Environment:
             # An un-waited-on failure must not pass silently.
             exc = event._value
             raise exc
+        if event._recycle and len(self._tpool) < self._POOL_LIMIT:
+            self._tpool.append(event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, ``until`` time passes, or event fires.
 
         Returns the value of ``until`` when it is an event.
         """
+        try:
+            return self._run(until)
+        finally:
+            if RUN_LISTENER is not None:
+                RUN_LISTENER(self)
+
+    def _run(self, until: float | Event | None = None) -> Any:
         if isinstance(until, Event):
             stop = until
             stop_holder: list[Any] = []

@@ -23,6 +23,7 @@ import math
 from typing import Any, Callable, Optional
 
 from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.numerics import KahanSum
 
 __all__ = ["FluidTask", "FluidPool"]
 
@@ -35,12 +36,17 @@ _task_ids = itertools.count()
 class FluidTask:
     """A unit of divisible work progressing at a pool-assigned rate."""
 
-    __slots__ = ("work", "total_work", "rate", "done", "meta", "tid", "_pool")
+    __slots__ = ("work", "total_work", "rate", "done", "meta", "tid", "_pool",
+                 "_thresh")
 
     def __init__(self, env: Environment, work: float, meta: Any = None):
         if work < 0:
             raise ValueError(f"negative work {work!r}")
         self.total_work = float(work)
+        # Drain threshold, hoisted out of the advance loop (total_work
+        # is fixed at construction, so this is the same float the loop
+        # used to recompute per task per event).
+        self._thresh = _EPS * max(self.total_work, 1.0)
         #: Remaining work, in abstract units.
         self.work = float(work)
         #: Current progress rate (units/second); set by the pool allocator.
@@ -77,14 +83,23 @@ class FluidPool:
         whenever membership changes; must set ``task.rate`` on each.  Rates
         must be non-negative and may be zero (a starved task simply does
         not progress).
+    on_change:
+        Optional ``fn(task, added)`` invoked synchronously at every
+        membership mutation (admission: ``added=True``; completion or
+        cancellation: ``added=False``), always *before* the allocator
+        runs for that change.  Incremental allocators use it to maintain
+        residency indexes without re-deriving them from the task list on
+        every call.
     """
 
     def __init__(self, env: Environment,
                  allocator: Callable[[list[FluidTask]], None],
-                 name: str = "fluid-pool"):
+                 name: str = "fluid-pool",
+                 on_change: Optional[Callable[[FluidTask, bool], None]] = None):
         self.env = env
         self.allocator = allocator
         self.name = name
+        self.on_change = on_change
         # Resident tasks keyed by tid.  Python dicts preserve insertion
         # order, so iteration is admission order (the allocator contract)
         # while removal is O(1) — the old list-based pool paid an O(n)
@@ -95,14 +110,25 @@ class FluidPool:
         # scheduled by earlier generations (cheaper than heap removal).
         self._gen = 0
         # External capacity changes (poke) bump the epoch; together with
-        # the membership signature it decides whether cached rates are
+        # the membership revision it decides whether cached rates are
         # still valid, letting _reallocate skip the allocator entirely.
+        # The revision counter replaces a per-call tuple of resident
+        # tids: tids are unique and admission-monotonic, so "no
+        # mutation since the last allocation" is exactly "same resident
+        # sequence" — at O(1) instead of O(#tasks) per event.
         self._epoch = 0
-        self._alloc_sig: tuple = ()
+        self._members_rev = 0
+        self._alloc_rev = -1
         self._alloc_epoch = 0
         self._wakeup_pending = False
-        #: Total work drained through this pool (conservation checks).
-        self.work_drained = 0.0
+        # Compensated: at 1M+ tasks the naive running sum drifts enough
+        # to fail the conservation checks (see repro.sim.numerics).
+        self._work_drained = KahanSum()
+
+    @property
+    def work_drained(self) -> float:
+        """Total work drained through this pool (conservation checks)."""
+        return self._work_drained.value
 
     # -- public API ---------------------------------------------------------
     @property
@@ -117,7 +143,7 @@ class FluidPool:
         if task._pool is not None:
             raise SimulationError("task already resident in a pool")
         self._advance()
-        if task.work <= _EPS * max(task.total_work, 1.0):
+        if task.work <= task._thresh:
             # Drains instantly: complete without ever becoming resident
             # (residency would double-fire ``done`` on the next advance).
             task.work = 0.0
@@ -125,6 +151,9 @@ class FluidPool:
             return task
         task._pool = self
         self._tasks[task.tid] = task
+        self._members_rev += 1
+        if self.on_change is not None:
+            self.on_change(task, True)
         self._reallocate()
         return task
 
@@ -134,6 +163,9 @@ class FluidPool:
             raise SimulationError("task not resident in this pool")
         self._advance()
         del self._tasks[task.tid]
+        self._members_rev += 1
+        if self.on_change is not None:
+            self.on_change(task, False)
         task._pool = None
         task.rate = 0.0
         self._reallocate()
@@ -175,15 +207,19 @@ class FluidPool:
                 drained = work
             task.work = work - drained
             drained_total += drained
-            if task.work <= _EPS * max(task.total_work, 1.0):
+            if task.work <= task._thresh:
                 task.work = 0.0
                 if finished is None:
                     finished = []
                 finished.append(task)
-        self.work_drained += drained_total
+        self._work_drained.add(drained_total)
         if finished is not None:
+            on_change = self.on_change
             for task in finished:
                 del self._tasks[task.tid]
+                self._members_rev += 1
+                if on_change is not None:
+                    on_change(task, False)
                 self._finish(task)
 
     def _finish(self, task: FluidTask) -> None:
@@ -194,11 +230,11 @@ class FluidPool:
     def _reallocate(self) -> None:
         if not self._tasks:
             self._gen += 1  # invalidate any stale wakeup
-            self._alloc_sig = ()
+            self._alloc_rev = -1
             self._wakeup_pending = False
             return
-        sig = tuple(self._tasks)  # tids in admission order
-        if sig == self._alloc_sig and self._epoch == self._alloc_epoch:
+        if (self._members_rev == self._alloc_rev
+                and self._epoch == self._alloc_epoch):
             # Same resident set under the same external capacity: the
             # allocator would reproduce the rates every task already
             # carries, so skip it (and the water-filling behind it).
@@ -207,12 +243,7 @@ class FluidPool:
             self._schedule_wakeup()
             return
         self.allocator(list(self._tasks.values()))
-        for task in self._tasks.values():
-            if task.rate < 0:
-                raise SimulationError(
-                    f"allocator produced negative rate for {task!r}"
-                )
-        self._alloc_sig = sig
+        self._alloc_rev = self._members_rev
         self._alloc_epoch = self._epoch
         self._schedule_wakeup()
 
@@ -220,14 +251,25 @@ class FluidPool:
         """Arm the wakeup for the earliest completion at current rates."""
         self._gen += 1
         self._wakeup_pending = False
+        # The scan doubles as rate validation (the former separate
+        # O(#tasks) pass over the allocator's output).
         horizon = math.inf
         for task in self._tasks.values():
-            if task.rate > 0:
-                horizon = min(horizon, task.work / task.rate)
+            rate = task.rate
+            if rate > 0:
+                h = task.work / rate
+                if h < horizon:
+                    horizon = h
+            elif rate < 0:
+                raise SimulationError(
+                    f"allocator produced negative rate for {task!r}"
+                )
         if horizon is math.inf:
             return  # every task starved; an external poke must revive them
         gen = self._gen
-        wakeup = self.env.timeout(max(horizon, 0.0))
+        # Pooled: nothing retains the wakeup once it fires (the closure
+        # below captures only the generation counter).
+        wakeup = self.env.timeout_pooled(max(horizon, 0.0))
         self._wakeup_pending = True
 
         def _on_wakeup(_ev: Event) -> None:

@@ -34,7 +34,7 @@ class Request(Event):
         self.amount = amount
 
     def cancel(self) -> None:
-        """Withdraw a not-yet-granted request."""
+        """Withdraw a not-yet-granted request (rare: O(queue) scan)."""
         if self.triggered:
             raise SimulationError("cannot cancel a granted request")
         try:
@@ -53,7 +53,9 @@ class Resource:
         self.capacity = int(capacity)
         self.name = name
         self._in_use = 0
-        self._waiting: list[Request] = []
+        # Deque: grants pop from the head — a list's pop(0) is O(n),
+        # which compounds under the long waiter queues of overload tests.
+        self._waiting: Deque[Request] = deque()
 
     @property
     def in_use(self) -> int:
@@ -91,7 +93,7 @@ class Resource:
         # and deterministic, at the cost of head-of-line blocking (which is
         # what a real worker queue exhibits anyway).
         while self._waiting and self._waiting[0].amount <= self.available:
-            req = self._waiting.pop(0)
+            req = self._waiting.popleft()
             self._in_use += req.amount
             req.succeed(req)
 

@@ -15,11 +15,21 @@ from repro.telemetry.export import (
 )
 from repro.telemetry.cost import CostReport, GpuCostModel, cost_report
 from repro.telemetry.graph import critical_path, parallelism_profile, task_graph
+from repro.telemetry.streaming import (
+    P2Quantile,
+    ReservoirSample,
+    StreamingLatencyStats,
+    WindowedRates,
+)
 
 __all__ = [
     "CostReport",
     "GpuCostModel",
     "LatencyStats",
+    "P2Quantile",
+    "ReservoirSample",
+    "StreamingLatencyStats",
+    "WindowedRates",
     "cost_report",
     "critical_path",
     "parallelism_profile",

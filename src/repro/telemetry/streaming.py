@@ -1,0 +1,267 @@
+"""Constant-memory latency/rate accumulators for million-request runs.
+
+The classic harness keeps every latency in a list and calls
+:func:`repro.telemetry.metrics.summarize` at the end — O(n) memory and a
+large GC population of floats.  At the million-request scale targeted by
+``repro bench --scale`` that retention dominates RSS, so this module
+provides one-pass accumulators with O(1) state:
+
+- :class:`P2Quantile` — the P² (piecewise-parabolic) single-quantile
+  estimator of Jain & Chlamtac (1985): five markers, no samples stored.
+- :class:`ReservoirSample` — Algorithm R uniform reservoir, for when an
+  actual (bounded) sample is wanted for debugging or plotting.
+- :class:`StreamingLatencyStats` — drop-in producer of the same
+  :class:`~repro.telemetry.metrics.LatencyStats` record the batch
+  ``summarize`` returns, with p50/p95/p99 estimated by P².
+- :class:`WindowedRates` — per-window arrival counts over a bounded ring
+  of recent windows plus an all-time peak, replacing the full
+  ``to_rate_series`` list.
+
+P² estimates are approximate (typically within a percent or two of the
+exact sample quantile for unimodal data); ``count``/``mean``/``min``/
+``max`` are exact (the mean is compensated — see
+:mod:`repro.sim.numerics`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Optional
+
+from repro.sim.numerics import KahanSum
+from repro.telemetry.metrics import LatencyStats
+
+__all__ = [
+    "P2Quantile",
+    "ReservoirSample",
+    "StreamingLatencyStats",
+    "WindowedRates",
+]
+
+
+class P2Quantile:
+    """Streaming estimate of the ``p``-quantile via the P² algorithm.
+
+    Keeps five markers whose heights track the min, the p/2-, p- and
+    (1+p)/2-quantiles, and the max; marker heights move by parabolic
+    (falling back to linear) interpolation as observations arrive.  The
+    first five observations are stored exactly, so small samples return
+    the same linearly-interpolated quantile ``numpy.percentile`` does.
+    """
+
+    __slots__ = ("p", "count", "_q", "_n")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p!r}")
+        self.p = p
+        self.count = 0
+        self._q: list[float] = []       # marker heights (first 5: raw obs)
+        self._n = [0, 1, 2, 3, 4]       # marker positions (0-based)
+
+    def add(self, x: float) -> None:
+        q = self._q
+        self.count += 1
+        if self.count <= 5:
+            q.append(x)
+            if self.count == 5:
+                q.sort()
+            return
+        # Locate the cell k with q[k] <= x < q[k+1], extending extremes.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        elif x < q[1]:
+            k = 0
+        elif x < q[2]:
+            k = 1
+        elif x < q[3]:
+            k = 2
+        else:
+            k = 3
+        n = self._n
+        for i in range(k + 1, 5):
+            n[i] += 1
+        # Desired positions for the three interior markers.
+        last = self.count - 1
+        p = self.p
+        desired = (last * p / 2.0, last * p, last * (1.0 + p) / 2.0)
+        for i in (1, 2, 3):
+            d = desired[i - 1] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1) or \
+               (d <= -1.0 and n[i - 1] - n[i] < -1):
+                step = 1 if d >= 0 else -1
+                qp = self._parabolic(i, step)
+                if q[i - 1] < qp < q[i + 1]:
+                    q[i] = qp
+                else:
+                    q[i] = q[i] + step * (q[i + step] - q[i]) / (n[i + step] - n[i])
+                n[i] += step
+        return
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (exact for fewer than 6 samples)."""
+        if self.count == 0:
+            raise ValueError("no observations yet")
+        if self.count <= 5:
+            s = sorted(self._q)
+            h = (len(s) - 1) * self.p    # numpy's 'linear' interpolation
+            lo = math.floor(h)
+            hi = min(lo + 1, len(s) - 1)
+            return s[lo] + (h - lo) * (s[hi] - s[lo])
+        return self._q[2]
+
+
+class ReservoirSample:
+    """Uniform k-sample of a stream (Vitter's Algorithm R), seeded.
+
+    ``sample`` is a uniform random subset of everything seen so far;
+    useful when a benchmark wants an actual latency sample (histogram,
+    debugging) without retaining the full stream.
+    """
+
+    __slots__ = ("k", "count", "sample", "_rng")
+
+    def __init__(self, k: int, seed: int = 0):
+        if k <= 0:
+            raise ValueError("reservoir size must be positive")
+        self.k = k
+        self.count = 0
+        self.sample: list[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        if len(self.sample) < self.k:
+            self.sample.append(x)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.k:
+                self.sample[j] = x
+
+
+class StreamingLatencyStats:
+    """One-pass replacement for ``summarize(list_of_latencies)``.
+
+    ``count``/``mean``/``minimum``/``maximum`` are exact;
+    p50/p95/p99 are P² estimates.  Call :meth:`stats` at the end of a
+    run for the same :class:`LatencyStats` record the batch path yields.
+    """
+
+    __slots__ = ("count", "_sum", "minimum", "maximum", "_p50", "_p95", "_p99")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._sum = KahanSum()
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._p50 = P2Quantile(0.50)
+        self._p95 = P2Quantile(0.95)
+        self._p99 = P2Quantile(0.99)
+
+    def add(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self.count += 1
+        self._sum.add(latency)
+        if latency < self.minimum:
+            self.minimum = latency
+        if latency > self.maximum:
+            self.maximum = latency
+        self._p50.add(latency)
+        self._p95.add(latency)
+        self._p99.add(latency)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations yet")
+        return self._sum.value / self.count
+
+    def stats(self) -> LatencyStats:
+        if self.count == 0:
+            raise ValueError("cannot summarize an empty sample")
+        return LatencyStats(
+            count=self.count,
+            mean=self.mean,
+            p50=self._p50.value,
+            p95=self._p95.value,
+            p99=self._p99.value,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+
+class WindowedRates:
+    """Per-window event counts over a bounded ring of recent windows.
+
+    Events must arrive in non-decreasing time order (true for simulated
+    completions and trace arrivals).  Keeps at most ``keep`` recent
+    windows plus the all-time peak, so memory stays O(keep) regardless
+    of horizon — unlike ``to_rate_series``, which materialises every
+    window.
+    """
+
+    __slots__ = ("window", "keep", "count", "_recent", "_cur_idx",
+                 "_cur_count", "_peak_count", "_last_t")
+
+    def __init__(self, window: float = 60.0, keep: int = 64):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if keep <= 0:
+            raise ValueError("keep must be positive")
+        self.window = window
+        self.keep = keep
+        self.count = 0
+        self._recent: deque[tuple[int, int]] = deque(maxlen=keep)
+        self._cur_idx: Optional[int] = None
+        self._cur_count = 0
+        self._peak_count = 0
+        self._last_t = -math.inf
+
+    def add(self, t: float) -> None:
+        if t < self._last_t:
+            raise ValueError(
+                f"out-of-order observation {t!r} after {self._last_t!r}"
+            )
+        self._last_t = t
+        idx = int(t // self.window)
+        if idx != self._cur_idx:
+            self._flush()
+            self._cur_idx = idx
+        self._cur_count += 1
+        self.count += 1
+
+    def _flush(self) -> None:
+        if self._cur_idx is not None and self._cur_count:
+            self._recent.append((self._cur_idx, self._cur_count))
+            if self._cur_count > self._peak_count:
+                self._peak_count = self._cur_count
+        self._cur_count = 0
+
+    @property
+    def peak_rate(self) -> float:
+        """Highest per-window rate seen so far (events/second)."""
+        return max(self._peak_count, self._cur_count) / self.window
+
+    def recent_rates(self) -> list[tuple[float, float]]:
+        """(window start time, rate) for the retained recent windows."""
+        out = [(idx * self.window, c / self.window)
+               for idx, c in self._recent]
+        if self._cur_count:
+            out.append((self._cur_idx * self.window,
+                        self._cur_count / self.window))
+        return out

@@ -44,7 +44,11 @@ from repro.workloads.traces import (
     TraceStats,
     bursty_trace,
     diurnal_trace,
+    iter_bursty_trace,
+    iter_diurnal_trace,
+    iter_poisson_trace,
     poisson_trace,
+    streaming_trace_stats,
     to_rate_series,
     trace_stats,
 )
@@ -78,8 +82,12 @@ __all__ = [
     "bursty_trace",
     "conv_output_size",
     "diurnal_trace",
+    "iter_bursty_trace",
+    "iter_diurnal_trace",
+    "iter_poisson_trace",
     "poisson_trace",
     "simulate_ionization_potential",
+    "streaming_trace_stats",
     "to_rate_series",
     "trace_stats",
 ]

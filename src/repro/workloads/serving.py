@@ -12,13 +12,26 @@ KV-cache traffic and FLOPs scale with the batch — so batching amortizes
 exactly the memory-bound component that throttles multi-process MPS
 sharing.  Larger batches also expose more parallelism (higher
 ``max_sms``).
+
+Scale notes
+-----------
+The default mode retains every completed request (``server.completed``,
+``client.requests``) for post-hoc analysis — O(n) memory.  For
+million-request runs both ends support a *streaming* mode: the server
+takes ``keep_completed=False`` plus an optional ``on_complete``
+callback, and the client takes ``streaming=True`` plus an optional
+:class:`~repro.telemetry.streaming.StreamingLatencyStats` sink, so the
+run completes in bounded memory.  In streaming mode inter-arrival gaps
+are drawn from numpy in chunks (bit-identical to per-draw scalars when
+the client owns its generator), and the hot loops draw recycled
+timeouts from the environment's free list.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -32,8 +45,11 @@ __all__ = ["InferenceRequest", "InferenceServer", "OpenLoopClient"]
 
 _request_ids = itertools.count()
 
+#: Gap draws per numpy call in the open-loop generator.
+_GAP_CHUNK = 4096
 
-@dataclass
+
+@dataclass(slots=True)
 class InferenceRequest:
     """One text-completion request."""
 
@@ -63,11 +79,22 @@ class InferenceServer:
     The loop waits for at least one request, then admits up to
     ``max_batch_size`` requests that arrive within ``batch_timeout``
     before running the whole batch's decode steps together.
+
+    With ``keep_completed=False`` the server stops retaining finished
+    requests (``completed`` stays empty and ``batch_sizes`` stops
+    growing); aggregate counters (``n_completed``, ``mean_batch_size``)
+    keep working, and ``on_complete`` — called with each finished
+    request before its ``done`` event fires — is the hook for streaming
+    accumulators.
     """
 
     def __init__(self, env: Environment, client: GpuClient,
                  llm: LlamaInference, max_batch_size: int = 4,
-                 batch_timeout: float = 0.01):
+                 batch_timeout: float = 0.01,
+                 keep_completed: bool = True,
+                 kernel_cache: bool = True,
+                 on_complete: Optional[
+                     Callable[[InferenceRequest], None]] = None):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if batch_timeout < 0:
@@ -77,9 +104,20 @@ class InferenceServer:
         self.llm = llm
         self.max_batch_size = max_batch_size
         self.batch_timeout = batch_timeout
+        self.keep_completed = keep_completed
+        self.kernel_cache = kernel_cache
+        # Kernel objects are immutable values: the decode kernel for a
+        # given batch size never changes over a server's lifetime, so
+        # memoising it avoids rebuilding an identical Kernel per decode
+        # step (a few million allocations in a million-request run).
+        self._kernel_by_batch: dict[int, Kernel] = {}
+        self.on_complete = on_complete
         self._queue = Store(env, name="inference-requests")
         self.completed: list[InferenceRequest] = []
         self.batch_sizes: list[int] = []
+        self.n_completed = 0
+        self._n_batches = 0
+        self._batch_size_sum = 0
         self._proc = env.process(self._serve())
 
     # -- client API ---------------------------------------------------------
@@ -89,7 +127,7 @@ class InferenceServer:
             raise ValueError("n_tokens must be positive")
         request = InferenceRequest(n_tokens=n_tokens,
                                    arrival_time=self.env.now)
-        request.done = self.env.event(name=f"request-{request.rid}")
+        request.done = self.env.event()
         self._queue.put(request)
         return request
 
@@ -106,12 +144,15 @@ class InferenceServer:
                     batch.append((yield self._queue.get()))
                     continue
                 # Wait out the rest of the admission window.
-                yield env.timeout(max(0.0, deadline - env.now))
+                yield env.timeout_pooled(max(0.0, deadline - env.now))
                 while (self._queue.items
                        and len(batch) < self.max_batch_size):
                     batch.append((yield self._queue.get()))
                 break
-            self.batch_sizes.append(len(batch))
+            self._n_batches += 1
+            self._batch_size_sum += len(batch)
+            if self.keep_completed:
+                self.batch_sizes.append(len(batch))
             yield from self._run_batch(batch)
 
     def _run_batch(self, batch: list[InferenceRequest]):
@@ -124,13 +165,17 @@ class InferenceServer:
         for _step in range(steps):
             kernel = self.batched_decode_kernel(len(active))
             yield self.client.launch(kernel)
-            yield env.timeout(self.llm.host_seconds_per_token)
+            yield env.timeout_pooled(self.llm.host_seconds_per_token)
             still_active = []
             for request in active:
                 remaining[request.rid] -= 1
                 if remaining[request.rid] == 0:
                     request.finish_time = env.now
-                    self.completed.append(request)
+                    self.n_completed += 1
+                    if self.keep_completed:
+                        self.completed.append(request)
+                    if self.on_complete is not None:
+                        self.on_complete(request)
                     request.done.succeed(request)
                 else:
                     still_active.append(request)
@@ -143,8 +188,19 @@ class InferenceServer:
 
         Weight traffic is read once for the whole batch; FLOPs and
         KV-cache traffic scale linearly; usable parallelism grows with
-        the batch (more rows in every GEMM).
+        the batch (more rows in every GEMM).  With ``kernel_cache`` the
+        Kernel for each batch size is built once and reused (kernels
+        are immutable values — see :mod:`repro.gpu.kernel`).
         """
+        if self.kernel_cache:
+            kernel = self._kernel_by_batch.get(batch_size)
+            if kernel is None:
+                kernel = self._build_batched_kernel(batch_size)
+                self._kernel_by_batch[batch_size] = kernel
+            return kernel
+        return self._build_batched_kernel(batch_size)
+
+    def _build_batched_kernel(self, batch_size: int) -> Kernel:
         base = self.llm.decode_kernel()
         rt = self.llm.runtime
         weight_traffic = rt.traffic_amplification * self.llm.weight_bytes
@@ -168,25 +224,57 @@ class InferenceServer:
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes:
+        if self._n_batches == 0:
             return 0.0
-        return float(np.mean(self.batch_sizes))
+        return self._batch_size_sum / self._n_batches
 
 
 class OpenLoopClient:
-    """Open-loop request generator with deterministic or Poisson arrivals."""
+    """Open-loop request generator with deterministic or Poisson arrivals.
+
+    Three arrival sources, in precedence order:
+
+    - ``arrivals``: an iterable of absolute timestamps (e.g. a streaming
+      trace iterator from :mod:`repro.workloads.traces`);
+    - ``rng``: Poisson arrivals at ``rate_rps`` — one scalar draw per
+      arrival (generators may be shared between clients); in streaming
+      mode gaps are drawn in numpy chunks instead, bit-identical for a
+      client-owned generator;
+    - neither: deterministic arrivals every ``1/rate_rps`` seconds.
+
+    In the default mode every submitted request is retained in
+    ``self.requests`` and completion is awaited with a single ``all_of``
+    over all of them.  With ``streaming=True`` nothing is retained:
+    each request's latency is pushed into ``stats`` (if given) by a
+    ``done`` callback, and the client finishes when the completion
+    counter reaches the submission counter — O(1) memory however long
+    the trace.
+    """
 
     def __init__(self, env: Environment, server: InferenceServer,
-                 rate_rps: float, n_requests: int, n_tokens: int = 20,
-                 rng: Optional[np.random.Generator] = None):
-        if rate_rps <= 0 or n_requests <= 0:
-            raise ValueError("rate and request count must be positive")
+                 rate_rps: Optional[float] = None,
+                 n_requests: Optional[int] = None, n_tokens: int = 20,
+                 rng: Optional[np.random.Generator] = None,
+                 arrivals: Optional[Iterable[float]] = None,
+                 streaming: bool = False,
+                 stats=None):
+        if arrivals is None:
+            if rate_rps is None or n_requests is None:
+                raise ValueError("either arrivals or rate_rps+n_requests "
+                                 "must be given")
+            if rate_rps <= 0 or n_requests <= 0:
+                raise ValueError("rate and request count must be positive")
         self.env = env
         self.server = server
         self.rate = rate_rps
         self.n_requests = n_requests
         self.n_tokens = n_tokens
         self.rng = rng
+        self.arrivals = arrivals
+        self.streaming = streaming
+        self.stats = stats
+        self.n_submitted = 0
+        self.n_completed = 0
         self.requests: list[InferenceRequest] = []
         self._proc = env.process(self._generate())
 
@@ -195,13 +283,71 @@ class OpenLoopClient:
         """Fires when every generated request has completed."""
         return self._proc
 
+    def _gaps(self) -> Iterator[float]:
+        if self.arrivals is not None:
+            prev = self.env.now
+            for t in self.arrivals:
+                yield max(0.0, t - prev)
+                prev = t
+            return
+        if self.rng is None:
+            gap = 1.0 / self.rate
+            for _ in range(self.n_requests):
+                yield gap
+            return
+        scale = 1.0 / self.rate
+        if not self.streaming:
+            # One scalar draw per arrival.  Several clients may share a
+            # generator (the batching study does), and sharing only
+            # works if each client draws exactly at its arrival points.
+            for _ in range(self.n_requests):
+                yield float(self.rng.exponential(scale))
+            return
+        # Streaming mode: chunked numpy draws.  For a generator this
+        # client owns, Generator.exponential(scale, size=n) is
+        # bit-identical to n sequential scalar draws, so the arrival
+        # times match the scalar path exactly while the per-call numpy
+        # overhead is amortised across _GAP_CHUNK arrivals.  (A *shared*
+        # generator would be consumed _GAP_CHUNK draws at a time and
+        # reorder the stream across clients — streaming clients must own
+        # their rng.)
+        remaining = self.n_requests
+        while remaining > 0:
+            for g in self.rng.exponential(scale, size=min(_GAP_CHUNK,
+                                                          remaining)):
+                yield float(g)
+            remaining -= min(_GAP_CHUNK, remaining)
+
     def _generate(self):
         env = self.env
-        for _ in range(self.n_requests):
-            if self.rng is None:
-                gap = 1.0 / self.rate
-            else:
-                gap = float(self.rng.exponential(1.0 / self.rate))
-            yield env.timeout(gap)
-            self.requests.append(self.server.submit(self.n_tokens))
-        yield env.all_of([r.done for r in self.requests])
+        if not self.streaming:
+            for gap in self._gaps():
+                yield env.timeout_pooled(gap)
+                self.requests.append(self.server.submit(self.n_tokens))
+                self.n_submitted += 1
+            yield env.all_of([r.done for r in self.requests])
+            self.n_completed = self.n_submitted
+            return
+
+        all_done = env.event(name="open-loop-drained")
+        state = {"submitting": True}
+        stats = self.stats
+
+        def _on_done(ev: Event) -> None:
+            self.n_completed += 1
+            if stats is not None:
+                request = ev.value
+                stats.add(request.finish_time - request.arrival_time)
+            if (not state["submitting"]
+                    and self.n_completed == self.n_submitted):
+                all_done.succeed()
+
+        for gap in self._gaps():
+            yield env.timeout_pooled(gap)
+            request = self.server.submit(self.n_tokens)
+            self.n_submitted += 1
+            request.done.callbacks.append(_on_done)
+        state["submitting"] = False
+        if self.n_completed == self.n_submitted:
+            all_done.succeed()
+        yield all_done

@@ -13,12 +13,24 @@ constant rate.  Three generators, all deterministic given a seed:
 
 Traces are plain sorted lists of arrival timestamps, so they can feed
 any component (InferenceServer, autoscaler demand, router studies).
+
+For million-request runs the list form is the memory bottleneck, so
+each generator has a streaming twin (``iter_*``) yielding timestamps
+one at a time.  ``iter_poisson_trace`` draws inter-arrival gaps in
+numpy chunks — a ``Generator.exponential(scale, size=n)`` draw is
+bit-identical to ``n`` sequential scalar draws, so the iterator yields
+exactly the timestamps ``poisson_trace`` returns.  The diurnal and
+bursty processes interleave draw kinds (gap, then thinning coin or
+phase length), which cannot be batched without reordering the RNG
+stream; their iterators run the same scalar loop and are therefore
+also bit-identical to the list builders, just O(1) in memory.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -26,7 +38,11 @@ __all__ = [
     "TraceStats",
     "bursty_trace",
     "diurnal_trace",
+    "iter_bursty_trace",
+    "iter_diurnal_trace",
+    "iter_poisson_trace",
     "poisson_trace",
+    "streaming_trace_stats",
     "trace_stats",
     "to_rate_series",
 ]
@@ -35,16 +51,31 @@ __all__ = [
 def poisson_trace(rate_rps: float, horizon: float,
                   seed: int = 0) -> list[float]:
     """Poisson arrivals at ``rate_rps`` over ``[0, horizon)``."""
+    return list(iter_poisson_trace(rate_rps, horizon, seed))
+
+
+def iter_poisson_trace(rate_rps: float, horizon: float, seed: int = 0,
+                       chunk: int = 4096) -> Iterator[float]:
+    """Streaming :func:`poisson_trace`: same timestamps, O(chunk) memory.
+
+    Gaps are drawn ``chunk`` at a time (bit-identical to sequential
+    scalar draws from the same generator) and accumulated with the same
+    scalar additions the list builder performs, so consumers see the
+    identical float sequence.
+    """
     if rate_rps <= 0 or horizon <= 0:
         raise ValueError("rate and horizon must be positive")
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
     rng = np.random.default_rng(seed)
-    arrivals = []
+    scale = 1.0 / rate_rps
     t = 0.0
     while True:
-        t += float(rng.exponential(1.0 / rate_rps))
-        if t >= horizon:
-            return arrivals
-        arrivals.append(t)
+        for gap in rng.exponential(scale, size=chunk):
+            t += float(gap)
+            if t >= horizon:
+                return
+            yield t
 
 
 def diurnal_trace(mean_rate_rps: float, horizon: float,
@@ -55,33 +86,58 @@ def diurnal_trace(mean_rate_rps: float, horizon: float,
     Instantaneous rate: ``mean x (1 + depth x sin(2 pi t / period))``,
     realised by thinning a Poisson process at the peak rate.
     """
+    return list(iter_diurnal_trace(mean_rate_rps, horizon, period=period,
+                                   depth=depth, seed=seed))
+
+
+def iter_diurnal_trace(mean_rate_rps: float, horizon: float,
+                       period: float = 86_400.0, depth: float = 0.8,
+                       seed: int = 0) -> Iterator[float]:
+    """Streaming :func:`diurnal_trace`: same timestamps, O(1) memory.
+
+    The thinning coin follows every gap draw, so the RNG stream cannot
+    be chunked without reordering it; this runs the identical scalar
+    loop and simply yields instead of appending.
+    """
     if not 0 <= depth <= 1:
         raise ValueError("depth must be in [0, 1]")
     if mean_rate_rps <= 0 or horizon <= 0 or period <= 0:
         raise ValueError("rates and durations must be positive")
     peak = mean_rate_rps * (1 + depth)
     rng = np.random.default_rng(seed)
-    arrivals = []
     t = 0.0
     while True:
         t += float(rng.exponential(1.0 / peak))
         if t >= horizon:
-            return arrivals
+            return
         rate = mean_rate_rps * (1 + depth * math.sin(2 * math.pi * t / period))
         if rng.uniform() < rate / peak:
-            arrivals.append(t)
+            yield t
 
 
 def bursty_trace(base_rate_rps: float, burst_rate_rps: float,
                  horizon: float, mean_quiet: float = 300.0,
                  mean_burst: float = 60.0, seed: int = 0) -> list[float]:
     """Two-state Markov-modulated Poisson process (quiet <-> burst)."""
+    return list(iter_bursty_trace(base_rate_rps, burst_rate_rps, horizon,
+                                  mean_quiet=mean_quiet,
+                                  mean_burst=mean_burst, seed=seed))
+
+
+def iter_bursty_trace(base_rate_rps: float, burst_rate_rps: float,
+                      horizon: float, mean_quiet: float = 300.0,
+                      mean_burst: float = 60.0,
+                      seed: int = 0) -> Iterator[float]:
+    """Streaming :func:`bursty_trace`: same timestamps, O(1) memory.
+
+    Gap draws interleave with phase-length draws, so the loop stays
+    scalar (see module docstring); only the list retention is removed.
+    """
     if burst_rate_rps < base_rate_rps:
         raise ValueError("burst_rate_rps must be >= base_rate_rps")
     if min(base_rate_rps, horizon, mean_quiet, mean_burst) <= 0:
         raise ValueError("all rates and durations must be positive")
     rng = np.random.default_rng(seed)
-    arrivals = []
     t = 0.0
     bursting = False
     phase_end = float(rng.exponential(mean_quiet))
@@ -93,8 +149,7 @@ def bursty_trace(base_rate_rps: float, burst_rate_rps: float,
             phase_end += float(rng.exponential(
                 mean_burst if bursting else mean_quiet))
         if t < horizon:
-            arrivals.append(t)
-    return arrivals
+            yield t
 
 
 @dataclass(frozen=True)
@@ -142,3 +197,58 @@ def to_rate_series(arrivals: list[float], horizon: float,
         if 0 <= t < horizon:
             counts[min(int(t // window), n_windows - 1)] += 1
     return [c / window for c in counts]
+
+
+def streaming_trace_stats(arrivals: Iterable[float], horizon: float,
+                          window: float = 60.0) -> TraceStats:
+    """One-pass :func:`trace_stats` over an arrival *iterator*.
+
+    Consumes a (sorted) stream once in O(1) memory: peak rate from a
+    running window counter (arrivals are non-decreasing, so windows
+    only ever advance), burstiness from Welford's online variance of
+    the gaps.  Values match the batch path to float rounding — the
+    batch variance is computed by numpy in a different summation order.
+    """
+    if horizon <= 0 or window <= 0:
+        raise ValueError("horizon and window must be positive")
+    n_windows = max(1, int(math.ceil(horizon / window)))
+    count = 0
+    cur_win = -1
+    cur_count = 0
+    peak_count = 0
+    prev_t = None
+    # Welford accumulators over inter-arrival gaps.
+    n_gaps = 0
+    gap_mean = 0.0
+    gap_m2 = 0.0
+    for t in arrivals:
+        count += 1
+        if 0 <= t < horizon:
+            win = min(int(t // window), n_windows - 1)
+            if win != cur_win:
+                if cur_count > peak_count:
+                    peak_count = cur_count
+                cur_win = win
+                cur_count = 0
+            cur_count += 1
+        if prev_t is not None:
+            gap = t - prev_t
+            n_gaps += 1
+            delta = gap - gap_mean
+            gap_mean += delta / n_gaps
+            gap_m2 += delta * (gap - gap_mean)
+        prev_t = t
+    if count == 0:
+        raise ValueError("empty trace")
+    peak_count = max(peak_count, cur_count)
+    if n_gaps > 0 and gap_mean > 0:
+        cv2 = (gap_m2 / n_gaps) / gap_mean ** 2
+    else:
+        cv2 = 0.0
+    return TraceStats(
+        count=count,
+        horizon=horizon,
+        mean_rate=count / horizon,
+        peak_rate=peak_count / window,
+        burstiness=cv2,
+    )

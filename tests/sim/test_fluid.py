@@ -259,3 +259,44 @@ def test_allocator_negative_rate_rejected():
     pool = FluidPool(env, bad)
     with pytest.raises(SimulationError):
         pool.add(FluidTask(env, work=1.0))
+
+
+def test_work_conservation_at_scale_with_tiny_tasks():
+    """Compensated accumulation: many tiny drains into a large total.
+
+    A naive running sum loses increments once the total outgrows them;
+    the pool's Kahan accumulator keeps conservation tight however many
+    tasks drain (the regression this guards appeared first in
+    million-request trace-serving runs).
+    """
+    env = Environment()
+    pool = FluidPool(env, equal_share_allocator(1e9))
+
+    def churn(env):
+        # One huge task to grow the total, then a stream of tiny ones.
+        big = FluidTask(env, work=1e9)
+        pool.add(big)
+        yield big.done
+        for _ in range(20_000):
+            t = FluidTask(env, work=1e-3)
+            pool.add(t)
+            yield t.done
+
+    env.run(until=env.process(churn(env)))
+    expected = 1e9 + 20_000 * 1e-3
+    assert pool.work_drained == pytest.approx(expected, rel=1e-12)
+
+
+def test_on_change_hook_sees_every_mutation():
+    env = Environment()
+    seen = []
+    pool = FluidPool(env, equal_share_allocator(10.0),
+                     on_change=lambda t, added: seen.append((t.tid, added)))
+    a = FluidTask(env, work=5.0)
+    b = FluidTask(env, work=50.0)
+    pool.add(a)
+    pool.add(b)
+    env.run(until=a.done)          # a drains -> removal via _advance
+    pool.cancel(b)                 # explicit eviction
+    assert seen == [(a.tid, True), (b.tid, True),
+                    (a.tid, False), (b.tid, False)]

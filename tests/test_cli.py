@@ -113,12 +113,37 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
                   "--out", str(out_path))
     assert "wrote" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro-bench/1"
+    assert report["schema"] == "repro-bench/2"
     assert report["quick"] is True
     assert report["micro"]["event_queue"]["events_per_sec"] > 0
     for sweep in report["sweeps"].values():
         assert sweep["configs"] > 0
         assert sweep["cache_hit_rate"] == 1.0
+    scale = report["scale"]
+    assert scale["speedup"] > 1.0
+    assert "streaming_1m" not in scale  # full runs only
+    for engine in ("streaming", "legacy"):
+        assert scale[engine]["events_per_sec"] > 0
+    # Identical simulation under both engines: same clock, same events,
+    # same latency distribution.
+    assert scale["streaming"]["sim_seconds"] == scale["legacy"]["sim_seconds"]
+    assert scale["streaming"]["events"] == scale["legacy"]["events"]
+    assert scale["streaming"]["latency"]["mean"] == pytest.approx(
+        scale["legacy"]["latency"]["mean"], rel=1e-9)
+    assert "speedup" in out
+
+
+def test_stats_flag_prints_summary_line(capsys):
+    out = run_cli(capsys, "--jobs", "1", "--no-cache", "--stats",
+                  "fig2", "--step", "50")
+    assert "Fig. 2" in out
+    line = out.strip().splitlines()[-1]
+    assert line.startswith("[stats]")
+    assert "events/sec=" in line
+    assert "alloc_calls=" in line
+    # The fig2 sweep runs real simulations in-process under --jobs 1,
+    # so the collector must have seen a nonzero event count.
+    assert "events=0 " not in line
 
 
 def test_unknown_command_rejected():

@@ -118,3 +118,101 @@ def test_validation():
         make_server()[1].mean_latency
     with pytest.raises(ValueError):
         OpenLoopClient(env, server, rate_rps=0.0, n_requests=1)
+
+
+# ------------------------------------------------------- streaming mode
+
+def _run_fleet(streaming, n_requests=60, rate=4.0, pooling=True):
+    """One MPS-partitioned server pair under open-loop Poisson load."""
+    from repro.telemetry.streaming import StreamingLatencyStats
+
+    env = Environment(pooling=pooling)
+    gpu = SimulatedGPU(env, A100_80GB, incremental=streaming)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    llm = LlamaInference(LLAMA2_7B, FP16)
+    stats = StreamingLatencyStats() if streaming else None
+    servers, clients = [], []
+    for i in range(2):
+        server = InferenceServer(env, daemon.client(f"s{i}",
+                                                    active_thread_percentage=50),
+                                 llm, max_batch_size=2,
+                                 keep_completed=not streaming)
+        servers.append(server)
+        clients.append(OpenLoopClient(
+            env, server, rate_rps=rate / 2, n_requests=n_requests // 2,
+            n_tokens=6, rng=np.random.default_rng(100 + i),
+            streaming=streaming, stats=stats))
+    env.run(until=env.all_of([c.done for c in clients]))
+    if streaming:
+        lat = stats.stats()
+        retained = sum(len(s.completed) for s in servers) \
+            + sum(len(c.requests) for c in clients)
+    else:
+        lats = [r.latency for s in servers for r in s.completed]
+        from repro.telemetry import summarize
+        lat = summarize(lats)
+        retained = sum(len(s.completed) for s in servers)
+    return env, lat, retained, sum(s.n_completed for s in servers)
+
+
+def test_streaming_mode_matches_legacy_exactly():
+    """Same arrivals, same clock, same exact latency aggregates."""
+    env_s, lat_s, retained_s, done_s = _run_fleet(streaming=True)
+    env_l, lat_l, retained_l, done_l = _run_fleet(streaming=False,
+                                                  pooling=False)
+    assert env_s.now == env_l.now
+    assert env_s.events_processed == env_l.events_processed
+    assert done_s == done_l == 60
+    assert lat_s.count == lat_l.count
+    assert lat_s.mean == pytest.approx(lat_l.mean, rel=1e-12)
+    assert lat_s.minimum == lat_l.minimum
+    assert lat_s.maximum == lat_l.maximum
+
+
+def test_streaming_mode_retains_nothing():
+    _, _, retained, done = _run_fleet(streaming=True)
+    assert done == 60
+    assert retained == 0
+
+
+def test_kernel_cache_is_invisible():
+    def run(kernel_cache):
+        env, server, llm = make_server(max_batch_size=4)
+        server.kernel_cache = kernel_cache
+        reqs = [server.submit(n_tokens=5) for _ in range(6)]
+        env.run(until=env.all_of([r.done for r in reqs]))
+        return env.now, [r.latency for r in reqs]
+
+    assert run(True) == run(False)
+
+
+def test_server_counters_without_retention():
+    env, server, llm = make_server()
+    server.keep_completed = False
+    reqs = [server.submit(n_tokens=4) for _ in range(5)]
+    env.run(until=env.all_of([r.done for r in reqs]))
+    assert server.n_completed == 5
+    assert server.completed == []
+    assert server.batch_sizes == []
+    assert server.mean_batch_size > 0
+
+
+def test_on_complete_hook_sees_every_request():
+    env, server, llm = make_server()
+    seen = []
+    server.on_complete = seen.append
+    reqs = [server.submit(n_tokens=4) for _ in range(5)]
+    env.run(until=env.all_of([r.done for r in reqs]))
+    assert sorted(r.rid for r in seen) == sorted(r.rid for r in reqs)
+
+
+def test_open_loop_client_trace_arrivals():
+    from repro.workloads import iter_poisson_trace
+
+    env, server, llm = make_server()
+    client = OpenLoopClient(env, server,
+                            arrivals=iter_poisson_trace(5.0, 4.0, seed=1),
+                            n_tokens=4, streaming=True)
+    env.run(until=client.done)
+    assert client.n_submitted == client.n_completed > 0

@@ -78,3 +78,43 @@ def test_validation():
         trace_stats([], 10.0)
     with pytest.raises(ValueError):
         to_rate_series([1.0], horizon=0.0)
+
+
+# ------------------------------------------------------- streaming twins
+
+def test_iter_traces_match_list_builders_exactly():
+    from repro.workloads import (
+        iter_bursty_trace,
+        iter_diurnal_trace,
+        iter_poisson_trace,
+    )
+
+    assert list(iter_poisson_trace(8.0, 120.0, seed=2)) == \
+        poisson_trace(8.0, 120.0, seed=2)
+    assert list(iter_diurnal_trace(5.0, 300.0, period=120.0, seed=3)) == \
+        diurnal_trace(5.0, 300.0, period=120.0, seed=3)
+    assert list(iter_bursty_trace(1.0, 20.0, 600.0, mean_quiet=50.0,
+                                  mean_burst=10.0, seed=4)) == \
+        bursty_trace(1.0, 20.0, 600.0, mean_quiet=50.0, mean_burst=10.0,
+                     seed=4)
+
+
+def test_iter_poisson_chunk_size_is_invisible():
+    from repro.workloads import iter_poisson_trace
+
+    base = list(iter_poisson_trace(10.0, 60.0, seed=5))
+    for chunk in (1, 7, 4096):
+        assert list(iter_poisson_trace(10.0, 60.0, seed=5,
+                                       chunk=chunk)) == base
+
+
+def test_streaming_trace_stats_matches_batch():
+    from repro.workloads import streaming_trace_stats
+
+    trace = poisson_trace(6.0, 500.0, seed=9)
+    batch = trace_stats(trace, 500.0)
+    stream = streaming_trace_stats(iter(trace), 500.0)
+    assert stream.count == batch.count
+    assert stream.mean_rate == batch.mean_rate
+    assert stream.peak_rate == batch.peak_rate
+    assert stream.burstiness == pytest.approx(batch.burstiness, rel=1e-9)
