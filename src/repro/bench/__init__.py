@@ -34,9 +34,17 @@ from repro.bench.overhead_experiments import (
     weightcache_ablation,
 )
 from repro.bench.perfjson import collect_bench, write_bench_json
+from repro.bench.resilience_experiments import (
+    blast_radius_experiment,
+    canonical_fault_plan,
+    resilience_report,
+    run_resilient_fleet,
+)
 
 __all__ = [
     "MultiplexResult",
+    "blast_radius_experiment",
+    "canonical_fault_plan",
     "collect_bench",
     "discussion_overheads",
     "fig1_layer_flops",
@@ -44,8 +52,10 @@ __all__ = [
     "fig3_moldesign",
     "fig4_fig5_sweep",
     "format_table",
+    "resilience_report",
     "rightsizing_study",
     "run_llm_multiplexing",
+    "run_resilient_fleet",
     "save_results",
     "table1_comparison",
     "trace_serving_study",

@@ -7,10 +7,10 @@ PR gives future changes a trajectory to regress against: if events/sec
 or a sweep wall-clock moves the wrong way, the diff that did it is one
 ``git log BENCH_*.json`` away.
 
-Schema (``repro-bench/2``)::
+Schema (``repro-bench/3``)::
 
     {
-      "schema": "repro-bench/2",
+      "schema": "repro-bench/3",
       "date": "YYYY-MM-DD",
       "quick": bool,                  # reduced sizes (CI smoke)
       "jobs": int,                    # worker processes for parallel runs
@@ -30,11 +30,21 @@ Schema (``repro-bench/2``)::
         "legacy": {...},              # identical sim, pre-change engine
         "speedup": float,             # streaming / legacy events/sec
         "streaming_1m": {...}         # full runs only: 1M-request run
+      },
+      "resilience": {                 # chaos serving + blast radius
+        "scenario": {...},            # fleet topology, rate, deadline
+        "plan_events": int,           # canonical fault schedule size
+        "fleet": {...},               # ResilienceStats.report payload
+        "gate": {"goodput_floor_rps": float, "goodput_rps": float,
+                 "lost": int, "pass": bool},
+        "blast_radius": {"mig": {...}, "mps": {...},
+                         "isolation_ratio": float}
       }
     }
 
-``/1`` reports lack the ``scale`` section; everything else is
-unchanged, so trajectory tooling can read both.
+``/1`` reports lack the ``scale`` section and ``/2`` reports the
+``resilience`` section; everything else is unchanged, so trajectory
+tooling can read all three.
 """
 
 from __future__ import annotations
@@ -209,11 +219,13 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
     }
     sweeps = {name: _time_sweep(fn, jobs)
               for name, fn in _sweep_fns(quick).items()}
+    from repro.bench.resilience_experiments import resilience_report
     from repro.bench.scale_experiments import scale_report
 
     scale = scale_report(quick=quick)
+    resilience = resilience_report(quick=quick)
     return {
-        "schema": "repro-bench/2",
+        "schema": "repro-bench/3",
         "date": datetime.date.today().isoformat(),
         "quick": quick,
         "jobs": jobs,
@@ -224,6 +236,7 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
         "micro": micro,
         "sweeps": sweeps,
         "scale": scale,
+        "resilience": resilience,
     }
 
 

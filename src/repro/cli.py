@@ -13,6 +13,7 @@
     python -m repro rightsizing
     python -m repro weightcache
     python -m repro bench --quick
+    python -m repro serve --requests 800 --faults plan.json --out run.json
 
 Every subcommand prints the paper-style table on stdout.  Several
 commands may be given in one invocation (``repro fig4 fig5``); they
@@ -204,9 +205,75 @@ def _cmd_bench(args, ctx) -> str:
         ["engine", "requests", "wall s", "events/s", "rss growth kB",
          "mean lat s"],
         rows, title=f"Trace-serving scale ({scale['scenario']['topology']})")
+    res = report["resilience"]
+    fleet, gate, blast = res["fleet"], res["gate"], res["blast_radius"]
+    rows = [
+        ["goodput rps", f"{fleet['goodput_rps']:.3f}",
+         f"floor {gate['goodput_floor_rps']:.3f}"],
+        ["SLO attainment", f"{fleet['slo_attainment']:.3f}", ""],
+        ["lost requests", fleet["lost"], "must be 0"],
+        ["retry/hedge amplification", f"{fleet['amplification']:.3f}", ""],
+        ["MIG kill fraction", f"{blast['mig']['mean_kill_fraction']:.3f}",
+         f"{blast['mig']['faults']} ECC faults"],
+        ["MPS kill fraction", f"{blast['mps']['mean_kill_fraction']:.3f}",
+         f"isolation {blast['isolation_ratio']:.1f}x"],
+    ]
+    res_table = format_table(
+        ["resilience metric", "value", "note"], rows,
+        title=f"Chaos serving ({res['plan_events']} faults, "
+              f"gate {'PASS' if gate['pass'] else 'FAIL'})")
     return (f"{micro}\n\n{sweeps}\n\n{scale_table}\n"
             f"streaming vs legacy speedup: {scale['speedup']:.2f}x"
+            f"\n\n{res_table}"
             f"\n\nwrote {path}")
+
+
+def _cmd_serve(args, ctx) -> str:
+    import json
+
+    from repro.bench.resilience_experiments import (
+        DEFAULT_DEADLINE_SECONDS,
+        DEFAULT_RATE_RPS,
+        run_resilient_fleet,
+    )
+    from repro.faas.chaos import FaultPlan
+
+    rate = args.rate if args.rate is not None else DEFAULT_RATE_RPS
+    slo = args.slo if args.slo is not None else DEFAULT_DEADLINE_SECONDS
+    plan = FaultPlan.load(args.faults) if args.faults else None
+    report = run_resilient_fleet(
+        args.mode, args.requests, rate_rps=rate, deadline_seconds=slo,
+        seed=args.seed, plan=plan)
+    report.pop("ecc_log")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    lat = report["latency"] or {}
+    rows = [
+        ["offered", report["offered"]],
+        ["completed", report["completed"]],
+        ["shed", report["shed"]],
+        ["failed", report["failed"]],
+        ["lost", report["lost"]],
+        ["SLO attainment", f"{report['slo_attainment']:.3f}"],
+        ["goodput rps", f"{report['goodput_rps']:.3f}"],
+        ["throughput rps", f"{report['throughput_rps']:.3f}"],
+        ["retries", report["retries"]],
+        ["hedges", report["hedges"]],
+        ["amplification", f"{report['amplification']:.3f}"],
+        ["breaker opens", report["breaker_opens"]],
+        ["faults applied", report["faults_applied"]],
+        ["mean latency s", f"{lat.get('mean', 0.0):.3f}"],
+        ["p95 latency s", f"{lat.get('p95', 0.0):.3f}"],
+    ]
+    table = format_table(
+        ["metric", "value"], rows,
+        title=f"Chaos serving — {args.mode}, {args.requests} requests "
+              f"at {rate:g} rps, SLO {slo:g}s")
+    if args.out:
+        table += f"\nwrote {args.out}"
+    return table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,12 +338,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path (default: BENCH_<date>.json)")
     p.set_defaults(fn=_cmd_bench)
 
+    p = sub.add_parser("serve",
+                       help="fault-tolerant serving fleet, optional chaos")
+    p.add_argument("--mode", default="mig-mps",
+                   choices=("mig-mps", "mps", "timeshare"),
+                   help="fleet sharing mode (default: mig-mps)")
+    p.add_argument("--requests", type=int, default=800,
+                   help="open-loop requests to offer (default: 800)")
+    p.add_argument("--rate", type=float, default=None, metavar="RPS",
+                   help="offered load (default: bench scenario rate)")
+    p.add_argument("--slo", type=float, default=None, metavar="SECONDS",
+                   help="per-request deadline (default: bench scenario SLO)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault plan to replay (see repro.faas.chaos)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the resilience report as JSON")
+    p.set_defaults(fn=_cmd_serve)
+
     return parser
 
 
 #: Subcommand names, used to split a multi-command argv into groups.
 COMMANDS = ("fig1", "fig2", "fig3", "fig4", "fig5", "table1", "overheads",
-            "rightsizing", "weightcache", "bench")
+            "rightsizing", "weightcache", "bench", "serve")
 
 
 def _split_commands(argv: Sequence[str]) -> tuple[list[str], list[list[str]]]:

@@ -40,9 +40,11 @@ from repro.faas.monitoring import MonitoringHub, TaskTransition
 from repro.faas.failures import (
     FailureInjector,
     GpuEccError,
+    GpuLaunchError,
     WorkerCrash,
     inject_gpu_error,
 )
+from repro.faas.chaos import ChaosController, FaultEvent, FaultPlan
 from repro.faas.globus import (
     Endpoint,
     GlobusComputeClient,
@@ -58,6 +60,7 @@ from repro.faas.routing import (
 __all__ = [
     "AppBase",
     "AppFuture",
+    "ChaosController",
     "ColdStartModel",
     "ComputeNode",
     "Config",
@@ -65,8 +68,11 @@ __all__ = [
     "Endpoint",
     "ExecutorBase",
     "FailureInjector",
+    "FaultEvent",
+    "FaultPlan",
     "FunctionEnvironment",
     "GpuEccError",
+    "GpuLaunchError",
     "GlobusComputeClient",
     "GlobusComputeService",
     "GpuTaskRouter",

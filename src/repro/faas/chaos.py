@@ -1,0 +1,196 @@
+"""Composable, reproducible chaos schedules (fault plans).
+
+A :class:`FaultPlan` is a time-ordered list of :class:`FaultEvent`\\ s —
+a *schedule*, not a process: given the same plan, every run injects the
+identical faults at the identical simulated times, which is what makes
+twin-run determinism tests (and CI chaos gates) possible.  Plans are
+
+- **seeded**: :meth:`FaultPlan.exponential` materialises a Poisson fault
+  process (exponential inter-arrival times) from a seed once, up front;
+- **composable**: :meth:`FaultPlan.merge` interleaves plans by time, so
+  independent fault classes (ECC errors, crashes, stragglers) are built
+  separately and combined;
+- **JSON-serialisable**: :meth:`save`/:meth:`load` round-trip through a
+  ``repro-faultplan/1`` document, so a CI job can generate a plan file
+  and hand it to ``repro serve --faults plan.json``.
+
+Fault targets are stored as raw non-negative integers and resolved
+*modulo the victim pool size* at application time, so one plan applies
+to fleets of any topology (7 MIG domains or 1 MPS domain) — the basis
+of the blast-radius experiment, which replays the identical ECC plan
+against both.
+
+:class:`ChaosController` walks a plan inside a simulation and applies
+each event to a fleet (anything with an ``apply_fault(event) -> str``
+method, e.g. :class:`repro.workloads.fleet.ServingFleet`), logging what
+each fault actually hit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.sim.core import Environment
+
+__all__ = ["FAULT_KINDS", "ChaosController", "FaultEvent", "FaultPlan"]
+
+_SCHEMA = "repro-faultplan/1"
+
+#: The fault classes a plan may schedule.
+FAULT_KINDS = (
+    "ecc",                 # uncorrectable memory error in one fault domain
+    "replica_crash",       # one serving replica dies (optional respawn)
+    "straggler_replica",   # one replica slows down for `duration` seconds
+    "straggler_device",    # a whole device slows down for `duration`
+    "launch_failure",      # one replica's next kernel launch is rejected
+    "reconfig_stall",      # one replica stops admitting batches briefly
+)
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` is an abstract victim index, reduced modulo the victim
+    pool size when applied; ``duration`` and ``factor`` parameterise
+    stragglers (slowdown factor > 1) and stalls/respawns.
+    """
+
+    time: float
+    kind: str
+    target: int = 0
+    duration: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be non-negative, "
+                             f"got {self.time!r}")
+        if self.target < 0:
+            raise ValueError("fault target must be non-negative")
+        if self.duration < 0:
+            raise ValueError("fault duration must be non-negative")
+        if self.factor <= 0:
+            raise ValueError("fault factor must be positive")
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of :class:`FaultEvent`\\ s."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: tuple[FaultEvent, ...] = tuple(sorted(events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultPlan) and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds: dict[str, int] = {}
+        for ev in self.events:
+            kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+        return f"<FaultPlan {len(self.events)} events {kinds}>"
+
+    # -- composition --------------------------------------------------------
+    def merge(self, *others: "FaultPlan") -> "FaultPlan":
+        """Interleave this plan with ``others`` by time (stable order)."""
+        events = list(self.events)
+        for other in others:
+            events.extend(other.events)
+        return FaultPlan(events)
+
+    def until(self, horizon: float) -> "FaultPlan":
+        """The sub-plan of events strictly before ``horizon``."""
+        return FaultPlan(ev for ev in self.events if ev.time < horizon)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def exponential(cls, kind: str, mtbf_seconds: float, horizon: float,
+                    seed: int = 0, duration: float = 0.0,
+                    factor: float = 1.0) -> "FaultPlan":
+        """A Poisson fault process materialised as a plan.
+
+        Inter-fault gaps are exponential with mean ``mtbf_seconds``;
+        each event gets an independent uniform raw ``target``.  Using
+        one generator per (kind, seed) keeps fault classes independent:
+        merging another class never perturbs this one's times.
+        """
+        if mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be positive")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        rng = np.random.default_rng(seed)
+        events = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(mtbf_seconds))
+            if t >= horizon:
+                break
+            events.append(FaultEvent(
+                time=t, kind=kind,
+                target=int(rng.integers(0, 2**31 - 1)),
+                duration=duration, factor=factor,
+            ))
+        return cls(events)
+
+    # -- serialisation ------------------------------------------------------
+    def to_json(self) -> str:
+        doc = {"schema": _SCHEMA,
+               "events": [asdict(ev) for ev in self.events]}
+        return json.dumps(doc, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        schema = doc.get("schema")
+        if schema != _SCHEMA:
+            raise ValueError(f"expected schema {_SCHEMA!r}, got {schema!r}")
+        return cls(FaultEvent(**ev) for ev in doc["events"])
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+class ChaosController:
+    """Applies a :class:`FaultPlan` to a fleet inside a simulation.
+
+    ``fleet`` must expose ``apply_fault(event) -> str`` returning a
+    short description of what the fault resolved to (victim names,
+    kernels killed).  Every application is appended to :attr:`applied`
+    as ``(time, kind, description)`` — the determinism tests compare
+    this log verbatim across twin runs.
+    """
+
+    def __init__(self, env: Environment, fleet, plan: FaultPlan,
+                 horizon: Optional[float] = None):
+        self.env = env
+        self.fleet = fleet
+        self.plan = plan if horizon is None else plan.until(horizon)
+        self.applied: list[tuple[float, str, str]] = []
+        self.process = env.process(self._run())
+        self.process.defuse()
+
+    def _run(self):
+        env = self.env
+        for event in self.plan.events:
+            if event.time > env.now:
+                yield env.timeout(event.time - env.now)
+            description = self.fleet.apply_fault(event)
+            self.applied.append((env.now, event.kind, description))

@@ -8,9 +8,12 @@ load.  This module injects two fault classes into a running simulation:
   task fails with :class:`WorkerCrash` (and retries on another worker);
   an optional respawn brings a replacement up after the restart delay
   (paying the full cold start again);
-- **GPU errors** (ECC/Xid-style) — every kernel resident on the device
-  is killed; the owning functions observe :class:`GpuEccError` from
-  their ``ctx.launch`` and may retry.
+- **GPU errors** (ECC/Xid-style) — kernels resident in the affected
+  *fault domain* are killed (see :mod:`repro.gpu.faults`): on a MIG- or
+  vGPU-partitioned device the blast radius is one instance, while the
+  shared context (time-sharing, device-wide MPS) loses every resident
+  client.  The owning functions observe :class:`GpuEccError` from their
+  ``ctx.launch`` and may retry.
 
 :class:`FailureInjector` drives both from seeded exponential processes,
 so failure schedules are reproducible.
@@ -23,11 +26,19 @@ from typing import Optional
 import numpy as np
 
 from repro.sim.core import Environment
-from repro.gpu.device import SimulatedGPU
+from repro.gpu.device import ShareGroup, SimulatedGPU
+from repro.gpu.faults import (
+    FaultDomain,
+    GpuEccError,
+    GpuLaunchError,
+    domain_of,
+    fault_domains,
+    kill_domain,
+)
 from repro.faas.executors.base import ExecutorBase
 from repro.faas.workers import Worker
 
-__all__ = ["FailureInjector", "GpuEccError", "WorkerCrash",
+__all__ = ["FailureInjector", "GpuEccError", "GpuLaunchError", "WorkerCrash",
            "inject_gpu_error"]
 
 
@@ -35,26 +46,37 @@ class WorkerCrash(RuntimeError):
     """A worker process died while (possibly) executing a task."""
 
 
-class GpuEccError(RuntimeError):
-    """An uncorrectable GPU memory error killed the resident kernels."""
+def _resolve_scope(device: SimulatedGPU, scope) -> FaultDomain:
+    """Map a scope argument onto the owning fault domain."""
+    if scope is None:
+        return fault_domains(device)[0]  # the shared context
+    if isinstance(scope, FaultDomain):
+        return scope
+    if isinstance(scope, ShareGroup):
+        return domain_of(device, scope)
+    group = getattr(scope, "group", None)  # MigInstance, VGpuVM, ...
+    if isinstance(group, ShareGroup):
+        return domain_of(device, group)
+    raise TypeError(
+        f"scope must be None, a FaultDomain, a ShareGroup, or an object "
+        f"with a .group (got {type(scope).__name__})"
+    )
 
 
-def inject_gpu_error(device: SimulatedGPU) -> int:
-    """Kill every kernel currently resident on ``device``.
+def inject_gpu_error(device: SimulatedGPU, scope=None) -> int:
+    """Kill the kernels resident in one fault domain of ``device``.
 
-    Returns the number of kernels killed.  Queued (time-shared) kernels
-    are unaffected — they had not begun executing.
+    ``scope`` selects the domain: ``None`` targets the shared device
+    context (everything on an unpartitioned GPU — the historical
+    behaviour — and *nothing inside hardware-isolated partitions*); a
+    :class:`~repro.gpu.device.ShareGroup`, a
+    :class:`~repro.gpu.faults.FaultDomain`, or any object carrying a
+    ``.group`` (e.g. a :class:`~repro.gpu.mig.MigInstance`) targets the
+    domain owning that group.  Returns the number of kernels killed.
+    Queued (time-shared) kernels are unaffected — they had not begun
+    executing.
     """
-    killed = 0
-    for task in list(device.pool.tasks):
-        device.pool.cancel(task)
-        kernel = task.meta["kernel"]
-        task.done.fail(GpuEccError(
-            f"{device.name}: uncorrectable memory error killed kernel "
-            f"{kernel.name!r}"
-        ))
-        killed += 1
-    return killed
+    return kill_domain(device, _resolve_scope(device, scope))
 
 
 class FailureInjector:
@@ -76,6 +98,10 @@ class FailureInjector:
         the full cold start and loads no models (its
         ``loaded_models`` starts empty — crashed state is gone).
         """
+        if respawn_after is not None and respawn_after < 0:
+            raise ValueError(
+                f"respawn_after must be non-negative, got {respawn_after!r}"
+            )
         worker.crash(WorkerCrash(f"{worker.name}: injected crash"))
         self.worker_crashes += 1
         if respawn_after is None:
@@ -92,15 +118,19 @@ class FailureInjector:
             executor=executor,
             ready=ready,
         )
-        try:
-            index = executor.workers.index(worker)
-            executor.workers[index] = replacement
-        except (ValueError, AttributeError):
-            pass
+        workers = getattr(executor, "workers", None)
+        if workers is not None:
+            try:
+                workers[workers.index(worker)] = replacement
+            except ValueError:
+                # The victim was already dropped from the roster (e.g.
+                # scaled in): register the replacement anyway, so it is
+                # eligible for future work — and future crashes.
+                workers.append(replacement)
         return replacement
 
-    def gpu_error(self, device: SimulatedGPU) -> int:
-        killed = inject_gpu_error(device)
+    def gpu_error(self, device: SimulatedGPU, scope=None) -> int:
+        killed = inject_gpu_error(device, scope)
         self.gpu_errors += 1
         self.kernels_killed += killed
         return killed
@@ -110,7 +140,12 @@ class FailureInjector:
                              mtbf_seconds: float,
                              respawn_after: float = 5.0,
                              horizon: Optional[float] = None):
-        """Crash a random live worker of ``executor`` at exponential times."""
+        """Crash a random live worker of ``executor`` at exponential times.
+
+        Respawned replacements join the victim pool: a replacement that
+        has come up (or is still cold-starting) is as mortal as the
+        worker it replaced.
+        """
         if mtbf_seconds <= 0:
             raise ValueError("mtbf_seconds must be positive")
 
@@ -129,7 +164,14 @@ class FailureInjector:
 
     def start_gpu_errors(self, device: SimulatedGPU, mtbf_seconds: float,
                          horizon: Optional[float] = None):
-        """Inject device-wide kernel kills at exponential times."""
+        """Inject domain-scoped kernel kills at exponential times.
+
+        On an unpartitioned device every fault hits the shared context
+        (all resident kernels — the historical behaviour, with no extra
+        RNG draw so old seeds reproduce).  On a partitioned device each
+        fault lands on a uniformly-drawn fault domain, modelling an ECC
+        error striking one instance's memory slices.
+        """
         if mtbf_seconds <= 0:
             raise ValueError("mtbf_seconds must be positive")
 
@@ -138,6 +180,9 @@ class FailureInjector:
                 yield env.timeout(float(self.rng.exponential(mtbf_seconds)))
                 if horizon is not None and env.now >= horizon:
                     return
-                self.gpu_error(device)
+                domains = fault_domains(device)
+                scope = domains[0] if len(domains) == 1 else \
+                    domains[int(self.rng.integers(len(domains)))]
+                self.gpu_error(device, scope)
 
         return self.env.process(run(self.env))

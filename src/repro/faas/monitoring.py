@@ -72,9 +72,12 @@ class MonitoringHub:
         done = 0
         failed = 0
         retries = 0
+        max_tries = 0
         for t in self.transitions:
             if t.app_name != app_name:
                 continue
+            if t.tries > max_tries:
+                max_tries = t.tries
             if t.state == "submitted":
                 submits[t.tid] = t.time
             elif t.state == "running":
@@ -93,6 +96,7 @@ class MonitoringHub:
             "completed": done,
             "failed": failed,
             "retries": retries,
+            "max_tries": max_tries,
             "mean_run_seconds": sum(runs) / len(runs) if runs else 0.0,
             "mean_queue_seconds": (sum(queues) / len(queues)
                                    if queues else 0.0),

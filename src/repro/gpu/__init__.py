@@ -27,7 +27,15 @@ from repro.gpu.specs import (
 )
 from repro.gpu.kernel import Kernel, KernelGroup
 from repro.gpu.memory import GpuOutOfMemory, MemoryPool
-from repro.gpu.device import GpuClient, SimulatedGPU
+from repro.gpu.device import GpuClient, ShareGroup, SimulatedGPU
+from repro.gpu.faults import (
+    FaultDomain,
+    GpuEccError,
+    GpuLaunchError,
+    domain_of,
+    fault_domains,
+    kill_domain,
+)
 from repro.gpu.modes import MultiplexMode, mode_capabilities
 from repro.gpu.mps import MpsControlDaemon
 from repro.gpu.mig import MigInstance, MigManager
@@ -43,8 +51,11 @@ __all__ = [
     "CuMaskManager",
     "CudaEvent",
     "CudaStream",
+    "FaultDomain",
     "GPUSpec",
     "GpuClient",
+    "GpuEccError",
+    "GpuLaunchError",
     "GpuMonitor",
     "GpuOutOfMemory",
     "H100_80GB",
@@ -57,11 +68,15 @@ __all__ = [
     "MigManager",
     "MpsControlDaemon",
     "MultiplexMode",
+    "ShareGroup",
     "SimulatedGPU",
     "TransferEngine",
     "V100_32GB",
     "VgpuManager",
     "VirtualMachine",
+    "domain_of",
+    "fault_domains",
     "get_spec",
+    "kill_domain",
     "mode_capabilities",
 ]

@@ -28,9 +28,6 @@ from repro.gpu.specs import MIGProfile
 
 __all__ = ["MigInstance", "MigManager"]
 
-_uuid_counter = itertools.count(1)
-
-
 class MigInstance:
     """One MIG instance: an isolated share group with its own memory pool."""
 
@@ -38,7 +35,7 @@ class MigInstance:
         self.manager = manager
         self.profile = profile
         device = manager.device
-        self.uuid = f"MIG-{device.name}-{next(_uuid_counter):04d}"
+        self.uuid = f"MIG-{device.name}-{next(manager._uuid_counter):04d}"
         self.group = ShareGroup(
             name=self.uuid,
             device=device,
@@ -94,6 +91,9 @@ class MigManager:
         self.device = device
         self.enabled = False
         self.instances: list[MigInstance] = []
+        # Per-manager so instance UUIDs are deterministic run to run
+        # (a process-global counter would leak state across twin runs).
+        self._uuid_counter = itertools.count(1)
 
     # -- mode toggling (generators: yield from them inside a process) ------
     def enable(self):

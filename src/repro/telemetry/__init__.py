@@ -15,6 +15,7 @@ from repro.telemetry.export import (
 )
 from repro.telemetry.cost import CostReport, GpuCostModel, cost_report
 from repro.telemetry.graph import critical_path, parallelism_profile, task_graph
+from repro.telemetry.resilience import ResilienceStats
 from repro.telemetry.streaming import (
     P2Quantile,
     ReservoirSample,
@@ -28,6 +29,7 @@ __all__ = [
     "LatencyStats",
     "P2Quantile",
     "ReservoirSample",
+    "ResilienceStats",
     "StreamingLatencyStats",
     "WindowedRates",
     "cost_report",

@@ -1,0 +1,139 @@
+"""O(1) resilience accounting: goodput, SLO attainment, amplification.
+
+Throughput counts finished work; *goodput* counts work finished within
+its SLO — the number a serving fleet is actually paid for.  Under fault
+load the two diverge (retries and hedges complete requests late, shed
+requests never run), so the resilience bench reports both plus the
+amplification the fault tolerance itself generates.
+
+Everything here is a constant-memory accumulator in the spirit of
+:mod:`repro.telemetry.streaming`: per-outcome counters, per-fault-class
+counters, and one :class:`StreamingLatencyStats` for goodput latencies.
+Counter updates are integer adds, so twin runs with identical schedules
+produce bit-identical reports (the determinism tests compare
+:meth:`report` dicts verbatim).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.streaming import StreamingLatencyStats
+
+__all__ = ["ResilienceStats"]
+
+
+class ResilienceStats:
+    """One fleet run's resilience counters.
+
+    Conservation invariant: every offered request terminates exactly
+    once — ``offered == completed + shed + failed`` at the end of a
+    run, and :attr:`lost` (the difference) must be zero.  A non-zero
+    ``lost`` means the serving plane dropped a request on the floor,
+    which is precisely the bug class the chaos gate exists to catch.
+    """
+
+    __slots__ = ("offered", "completed", "shed", "failed", "slo_ok",
+                 "attempts", "attempt_failures", "retries", "hedges",
+                 "hedge_wins", "wasted_attempts", "breaker_opens",
+                 "faults", "latency")
+
+    def __init__(self) -> None:
+        #: Requests submitted to the router.
+        self.offered = 0
+        #: Requests that finished with a result.
+        self.completed = 0
+        #: Requests rejected by admission control (deadline-infeasible).
+        self.shed = 0
+        #: Requests that exhausted every attempt (or their deadline).
+        self.failed = 0
+        #: Completions that landed within their deadline.
+        self.slo_ok = 0
+        #: Dispatches to a replica (first tries + retries + hedges).
+        self.attempts = 0
+        #: Attempts that ended in a replica/kernel failure.
+        self.attempt_failures = 0
+        #: Re-dispatches after a failed attempt.
+        self.retries = 0
+        #: Speculative duplicate dispatches.
+        self.hedges = 0
+        #: Completions delivered by the hedge rather than the original.
+        self.hedge_wins = 0
+        #: Attempts whose result arrived after the request was resolved.
+        self.wasted_attempts = 0
+        #: Circuit-breaker open transitions.
+        self.breaker_opens = 0
+        #: Injected faults by fault class.
+        self.faults: dict[str, int] = {}
+        #: Latency distribution of completed requests.
+        self.latency = StreamingLatencyStats()
+
+    # -- recording ----------------------------------------------------------
+    def record_fault(self, kind: str) -> None:
+        self.faults[kind] = self.faults.get(kind, 0) + 1
+
+    def record_completion(self, latency: float, in_slo: bool) -> None:
+        self.completed += 1
+        self.latency.add(latency)
+        if in_slo:
+            self.slo_ok += 1
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def lost(self) -> int:
+        """Offered requests that never terminated (must be zero)."""
+        return self.offered - self.completed - self.shed - self.failed
+
+    def goodput(self, horizon: float) -> float:
+        """In-SLO completions per second over ``horizon``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self.slo_ok / horizon
+
+    def throughput(self, horizon: float) -> float:
+        """All completions per second over ``horizon``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self.completed / horizon
+
+    @property
+    def slo_attainment(self) -> float:
+        """In-SLO fraction of non-shed offered load, in [0, 1]."""
+        served = self.offered - self.shed
+        return self.slo_ok / served if served > 0 else 0.0
+
+    @property
+    def amplification(self) -> float:
+        """Attempts per completed request (1.0 = no retries or hedges)."""
+        return self.attempts / self.completed if self.completed > 0 else 0.0
+
+    def report(self, horizon: float) -> dict:
+        """The JSON-ready summary the bench and CLI emit."""
+        lat = (self.latency.stats() if self.latency.count > 0 else None)
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "lost": self.lost,
+            "slo_ok": self.slo_ok,
+            "slo_attainment": self.slo_attainment,
+            "goodput_rps": self.goodput(horizon),
+            "throughput_rps": self.throughput(horizon),
+            "attempts": self.attempts,
+            "attempt_failures": self.attempt_failures,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "wasted_attempts": self.wasted_attempts,
+            "breaker_opens": self.breaker_opens,
+            "amplification": self.amplification,
+            "faults": dict(sorted(self.faults.items())),
+            "latency": None if lat is None else {
+                "count": lat.count,
+                "mean": lat.mean,
+                "p50": lat.p50,
+                "p95": lat.p95,
+                "p99": lat.p99,
+                "min": lat.minimum,
+                "max": lat.maximum,
+            },
+        }

@@ -40,6 +40,14 @@ from repro.workloads.serving import (
     InferenceServer,
     OpenLoopClient,
 )
+from repro.workloads.resilience import (
+    CircuitBreaker,
+    Replica,
+    ResilientRouter,
+    ServedRequest,
+    SLOPolicy,
+)
+from repro.workloads.fleet import FLEET_MODES, ServingFleet
 from repro.workloads.traces import (
     TraceStats,
     bursty_trace,
@@ -57,8 +65,10 @@ __all__ = [
     "ALEXNET",
     "CNN_ZOO",
     "CampaignConfig",
+    "CircuitBreaker",
     "CnnModel",
     "ConvLayer",
+    "FLEET_MODES",
     "InferenceRequest",
     "InferenceRuntime",
     "InferenceServer",
@@ -71,12 +81,17 @@ __all__ = [
     "Molecule",
     "MoleculeSpace",
     "OpenLoopClient",
+    "Replica",
+    "ResilientRouter",
     "RESNET101",
     "RESNET152",
     "RESNET18",
     "RESNET34",
     "RESNET50",
     "RidgeEmulator",
+    "SLOPolicy",
+    "ServedRequest",
+    "ServingFleet",
     "TraceStats",
     "VGG16",
     "bursty_trace",

@@ -1,0 +1,229 @@
+"""A partitioned serving fleet wired for chaos experiments.
+
+:class:`ServingFleet` builds the canonical fleet of the scale benchmark
+— an A100-80GB split seven ways with 16 serving replicas per partition
+— in one of three sharing modes, puts a :class:`ResilientRouter` in
+front of it, and exposes :meth:`apply_fault`, the dispatch point a
+:class:`~repro.faas.chaos.ChaosController` drives.
+
+The three modes give the *same replica count* over the *same silicon*
+with different isolation, which is what the blast-radius experiment
+measures:
+
+- ``"mig-mps"`` — 7 MIG ``1g.10gb`` instances, an MPS daemon inside
+  each (the paper's nested fine-grained configuration).  Each instance
+  is a hardware fault domain: an ECC error kills kernels in one slice.
+- ``"mps"`` — one flat MPS daemon, every replica capped to an equal SM
+  share mirroring the MIG slice.  One fault domain: an ECC error kills
+  every resident kernel.
+- ``"timeshare"`` — default time-sliced contexts, one fault domain.
+
+Fault targets in a plan are raw integers; :meth:`apply_fault` resolves
+them modulo the relevant victim pool (fault domains, replicas, device
+groups), so one plan replays against any mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.device import GpuClient, SimulatedGPU
+from repro.gpu.faults import fault_domains, kill_domain
+from repro.gpu.mig import MigManager
+from repro.gpu.mps import MpsControlDaemon
+from repro.gpu.specs import A100_80GB
+from repro.sim.core import Environment
+from repro.telemetry.resilience import ResilienceStats
+from repro.workloads.llm import LLAMA2_7B, InferenceRuntime, LlamaInference
+from repro.workloads.resilience import Replica, ResilientRouter, SLOPolicy
+from repro.workloads.serving import InferenceServer
+
+__all__ = ["FLEET_MODES", "ServingFleet"]
+
+FLEET_MODES = ("mig-mps", "mps", "timeshare")
+
+
+class ServingFleet:
+    """Replicated inference serving over one partitioned GPU.
+
+    The fleet owns the device, the replicas, their router, and the
+    fault-application logic; clients talk to :attr:`router` (or the
+    fleet's :meth:`submit` passthrough).
+    """
+
+    def __init__(self, env: Environment, mode: str = "mig-mps",
+                 n_partitions: int = 7, servers_per_partition: int = 16,
+                 spec=A100_80GB, profile: str = "1g.10gb",
+                 dtype_bytes: int = 1, max_batch_size: int = 1,
+                 policy: Optional[SLOPolicy] = None, seed: int = 0,
+                 respawn_seconds: float = 5.0,
+                 stats: Optional[ResilienceStats] = None):
+        if mode not in FLEET_MODES:
+            raise ValueError(f"unknown fleet mode {mode!r}; "
+                             f"expected one of {FLEET_MODES}")
+        if n_partitions < 1 or servers_per_partition < 1:
+            raise ValueError("fleet dimensions must be positive")
+        if respawn_seconds <= 0:
+            raise ValueError("respawn_seconds must be positive")
+        self.env = env
+        self.mode = mode
+        self.n_partitions = n_partitions
+        self.servers_per_partition = servers_per_partition
+        self.max_batch_size = max_batch_size
+        self.respawn_seconds = respawn_seconds
+        self.policy = policy if policy is not None else SLOPolicy()
+        self.stats = stats if stats is not None else ResilienceStats()
+        self.device = SimulatedGPU(env, spec, cross_check=False)
+        self.llm = LlamaInference(LLAMA2_7B,
+                                  InferenceRuntime(dtype_bytes=dtype_bytes))
+        #: Per-ECC-fault blast radius: (domain, killed, resident before).
+        self.ecc_log: list[tuple[str, int, int]] = []
+
+        self._factories: list = []
+        if mode == "mig-mps":
+            manager = MigManager(self.device)
+            env.run(until=env.process(manager.enable()))
+            self.manager = manager
+            for _ in range(n_partitions):
+                instance = manager.create_instance(profile)
+                daemon = instance.enable_mps()
+                for _ in range(servers_per_partition):
+                    self._factories.append(
+                        lambda name, d=daemon: d.client(name))
+        elif mode == "mps":
+            daemon = MpsControlDaemon(self.device)
+            daemon.start()
+            self.manager = daemon
+            # Equal-share SM caps mirroring the MIG slice width, so the
+            # two modes differ in *isolation*, not per-replica compute.
+            pct = max(1, round(100 / n_partitions))
+            for _ in range(n_partitions * servers_per_partition):
+                self._factories.append(
+                    lambda name, d=daemon, p=pct:
+                    d.client(name, active_thread_percentage=p))
+        else:  # timeshare
+            self.manager = None
+            for _ in range(n_partitions * servers_per_partition):
+                self._factories.append(
+                    lambda name: self.device.timeshare_client(name))
+
+        self.replicas: list[Replica] = []
+        for k, factory in enumerate(self._factories):
+            server = self._make_server(k, factory(f"srv{k}"))
+            self.replicas.append(Replica(k, server, self.policy))
+        self.router = ResilientRouter(env, self.replicas, self.policy,
+                                      stats=self.stats, seed=seed)
+
+    def _make_server(self, index: int, client: GpuClient) -> InferenceServer:
+        return InferenceServer(
+            self.env, client, self.llm,
+            max_batch_size=self.max_batch_size,
+            keep_completed=False, kernel_cache=True,
+            name=f"srv{index}")
+
+    # -- client API ---------------------------------------------------------
+    def submit(self, n_tokens: int = 20):
+        """Route one request through the fleet (router passthrough)."""
+        return self.router.submit(n_tokens)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def report(self, horizon: float) -> dict:
+        return self.stats.report(horizon)
+
+    # -- fault application --------------------------------------------------
+    def apply_fault(self, event) -> str:
+        """Apply one :class:`~repro.faas.chaos.FaultEvent`; describe it."""
+        handler = getattr(self, f"_fault_{event.kind}", None)
+        if handler is None:
+            raise ValueError(f"fleet cannot apply fault kind {event.kind!r}")
+        self.stats.record_fault(event.kind)
+        return handler(event)
+
+    def _replica_for(self, event) -> Replica:
+        return self.replicas[event.target % len(self.replicas)]
+
+    def _fault_ecc(self, event) -> str:
+        # Only domains with clients can lose work; the empty residual
+        # domain (e.g. the zero-budget default group in MIG mode) is
+        # not a meaningful ECC victim.
+        domains = [d for d in fault_domains(self.device)
+                   if any(g.clients for g in d.groups)]
+        if not domains:
+            return "ecc: no populated fault domain"
+        domain = domains[event.target % len(domains)]
+        resident = len(self.device.pool.tasks)
+        killed = kill_domain(self.device, domain)
+        self.ecc_log.append((domain.name, killed, resident))
+        return (f"ecc {domain.name}: killed {killed} of "
+                f"{resident} resident kernels")
+
+    def _fault_replica_crash(self, event) -> str:
+        replica = self._replica_for(event)
+        if not replica.alive:
+            return f"crash srv{replica.index}: already down"
+        replica.server.crash()
+        delay = event.duration if event.duration > 0 else \
+            self.respawn_seconds
+        self.env.schedule_callback(
+            delay, lambda: self._respawn(replica))
+        return f"crash srv{replica.index}: respawn in {delay:g}s"
+
+    def _respawn(self, replica: Replica) -> None:
+        if replica.alive:
+            return
+        name = f"srv{replica.index}r{replica.incarnations}"
+        client = self._factories[replica.index](name)
+        replica.replace(self._make_server(replica.index, client))
+
+    def _fault_straggler_replica(self, event) -> str:
+        replica = self._replica_for(event)
+        server = replica.server
+        if not server.alive:
+            return f"straggler srv{replica.index}: replica down"
+        server.slowdown = event.factor
+
+        def restore() -> None:
+            # The incarnation that straggled may have crashed meanwhile;
+            # its replacement starts at full speed anyway.
+            if server.alive:
+                server.slowdown = 1.0
+
+        self.env.schedule_callback(event.duration, restore)
+        return (f"straggler srv{replica.index}: x{event.factor:g} "
+                f"for {event.duration:g}s")
+
+    def _fault_straggler_device(self, event) -> str:
+        groups = [g for g in self.device.groups if g.clients]
+        if not groups:
+            return "straggler-device: no populated group"
+        group = groups[event.target % len(groups)]
+        original = group.overhead_factor
+        group.overhead_factor = original / event.factor
+        self.device.pool.poke()
+
+        def restore() -> None:
+            group.overhead_factor = original
+            self.device.pool.poke()
+
+        self.env.schedule_callback(event.duration, restore)
+        return (f"straggler-device {group.name}: x{event.factor:g} "
+                f"for {event.duration:g}s")
+
+    def _fault_launch_failure(self, event) -> str:
+        replica = self._replica_for(event)
+        if not replica.alive:
+            return f"launch-failure srv{replica.index}: replica down"
+        replica.server.fail_next_launches += 1
+        return f"launch-failure srv{replica.index}: next launch rejected"
+
+    def _fault_reconfig_stall(self, event) -> str:
+        replica = self._replica_for(event)
+        server = replica.server
+        if not server.alive:
+            return f"stall srv{replica.index}: replica down"
+        server.stall_until = max(server.stall_until,
+                                 self.env.now + event.duration)
+        return f"stall srv{replica.index}: {event.duration:g}s"

@@ -36,8 +36,10 @@ from typing import Callable, Iterable, Iterator, Optional
 import numpy as np
 
 from repro.sim.core import Environment, Event
+from repro.sim.process import Interrupt
 from repro.sim.resources import Store
 from repro.gpu.device import GpuClient
+from repro.gpu.faults import GpuLaunchError
 from repro.gpu.kernel import Kernel
 from repro.workloads.llm import LlamaInference
 
@@ -86,6 +88,20 @@ class InferenceServer:
     keep working, and ``on_complete`` — called with each finished
     request before its ``done`` event fires — is the hook for streaming
     accumulators.
+
+    Fault model
+    -----------
+    A kernel failure (injected ECC error, transient launch rejection)
+    is *contained*: the in-flight batch's requests fail — through
+    ``on_failure`` and each request's ``done`` event — and the serving
+    loop moves on to the next batch instead of dying.  :meth:`crash`
+    kills the whole replica: queued and in-flight requests fail, the
+    resident kernels are torn down, and further ``submit`` calls raise.
+    ``slowdown`` (host-side straggling), ``stall_until`` (reconfig
+    pause before the next batch), and ``fail_next_launches`` (transient
+    launch faults) are the knobs the chaos controller drives; all three
+    are free — no extra events, identical float arithmetic — at their
+    defaults.
     """
 
     def __init__(self, env: Environment, client: GpuClient,
@@ -94,7 +110,11 @@ class InferenceServer:
                  keep_completed: bool = True,
                  kernel_cache: bool = True,
                  on_complete: Optional[
-                     Callable[[InferenceRequest], None]] = None):
+                     Callable[[InferenceRequest], None]] = None,
+                 on_failure: Optional[
+                     Callable[[InferenceRequest, BaseException],
+                              None]] = None,
+                 name: Optional[str] = None):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if batch_timeout < 0:
@@ -112,51 +132,100 @@ class InferenceServer:
         # step (a few million allocations in a million-request run).
         self._kernel_by_batch: dict[int, Kernel] = {}
         self.on_complete = on_complete
+        self.on_failure = on_failure
+        self.name = name if name is not None else client.name
         self._queue = Store(env, name="inference-requests")
         self.completed: list[InferenceRequest] = []
         self.batch_sizes: list[int] = []
         self.n_completed = 0
+        self.n_failed = 0
         self._n_batches = 0
         self._batch_size_sum = 0
+        #: False once the replica has crashed (submit raises).
+        self.alive = True
+        #: Host-side straggler factor (>1 stretches the per-token gap).
+        self.slowdown = 1.0
+        #: The loop admits no new batch before this simulated time.
+        self.stall_until = 0.0
+        #: Transient-fault budget: each pending unit rejects one launch.
+        self.fail_next_launches = 0
+        self._active: list[InferenceRequest] = []
+        self._pending_get: Optional[Event] = None
         self._proc = env.process(self._serve())
+        self._proc.defuse()
 
     # -- client API ---------------------------------------------------------
     def submit(self, n_tokens: int = 20) -> InferenceRequest:
         """Enqueue a request; its ``done`` event fires on completion."""
         if n_tokens <= 0:
             raise ValueError("n_tokens must be positive")
+        if not self.alive:
+            raise RuntimeError(f"server {self.name!r} has crashed")
         request = InferenceRequest(n_tokens=n_tokens,
                                    arrival_time=self.env.now)
         request.done = self.env.event()
         self._queue.put(request)
         return request
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting or in flight (admission-control signal)."""
+        return len(self._queue.items) + len(self._active)
+
+    def crash(self, cause: Optional[BaseException] = None) -> None:
+        """Kill the replica now: fail all owned requests and kernels."""
+        if not self.alive:
+            return
+        if cause is None:
+            cause = RuntimeError(f"server {self.name!r} crashed")
+        # The interrupt handler in _serve does the cleanup, so a crash
+        # behaves identically whether injected externally or raised by
+        # the loop itself.
+        self._proc.interrupt(cause)
+
     # -- the serving loop -----------------------------------------------------
     def _serve(self):
         env = self.env
-        while True:
-            first = yield self._queue.get()
-            batch = [first]
-            deadline = env.now + self.batch_timeout
-            while (len(batch) < self.max_batch_size
-                   and (self._queue.items or env.now < deadline)):
-                if self._queue.items:
-                    batch.append((yield self._queue.get()))
-                    continue
-                # Wait out the rest of the admission window.
-                yield env.timeout_pooled(max(0.0, deadline - env.now))
-                while (self._queue.items
-                       and len(batch) < self.max_batch_size):
-                    batch.append((yield self._queue.get()))
-                break
-            self._n_batches += 1
-            self._batch_size_sum += len(batch)
-            if self.keep_completed:
-                self.batch_sizes.append(len(batch))
-            yield from self._run_batch(batch)
+        try:
+            while True:
+                self._pending_get = get = self._queue.get()
+                first = yield get
+                self._pending_get = None
+                self._active = batch = [first]
+                deadline = env.now + self.batch_timeout
+                while (len(batch) < self.max_batch_size
+                       and (self._queue.items or env.now < deadline)):
+                    if self._queue.items:
+                        self._pending_get = get = self._queue.get()
+                        batch.append((yield get))
+                        self._pending_get = None
+                        continue
+                    # Wait out the rest of the admission window.
+                    yield env.timeout_pooled(max(0.0, deadline - env.now))
+                    while (self._queue.items
+                           and len(batch) < self.max_batch_size):
+                        self._pending_get = get = self._queue.get()
+                        batch.append((yield get))
+                        self._pending_get = None
+                    break
+                self._n_batches += 1
+                self._batch_size_sum += len(batch)
+                if self.keep_completed:
+                    self.batch_sizes.append(len(batch))
+                yield from self._run_batch(batch)
+                self._active = []
+        except Interrupt as interrupt:
+            cause = interrupt.cause
+            if not isinstance(cause, BaseException):
+                cause = RuntimeError(f"server {self.name!r} crashed")
+            self._die(cause)
 
     def _run_batch(self, batch: list[InferenceRequest]):
         env = self.env
+        if env.now < self.stall_until:
+            # Reconfiguration stall: the replica is alive but admits no
+            # work (e.g. its partition is being reshaped underneath it).
+            yield env.timeout_pooled(self.stall_until - env.now)
         for request in batch:
             request.start_time = env.now
         steps = max(r.n_tokens for r in batch)
@@ -164,8 +233,23 @@ class InferenceServer:
         active = list(batch)
         for _step in range(steps):
             kernel = self.batched_decode_kernel(len(active))
-            yield self.client.launch(kernel)
-            yield env.timeout_pooled(self.llm.host_seconds_per_token)
+            try:
+                if self.fail_next_launches > 0:
+                    self.fail_next_launches -= 1
+                    raise GpuLaunchError(
+                        f"server {self.name!r}: transient launch failure"
+                    )
+                yield self.client.launch(kernel)
+            except Interrupt:
+                raise  # replica crash: handled by _serve
+            except Exception as exc:  # noqa: BLE001 - kernel/launch fault
+                # The batch dies with the kernel; the replica survives.
+                for request in active:
+                    self._fail_request(request, exc)
+                self._active = []
+                return
+            yield env.timeout_pooled(
+                self.llm.host_seconds_per_token * self.slowdown)
             still_active = []
             for request in active:
                 remaining[request.rid] -= 1
@@ -179,9 +263,62 @@ class InferenceServer:
                     request.done.succeed(request)
                 else:
                     still_active.append(request)
-            active = still_active
+            self._active = active = still_active
             if not active:
                 break
+
+    # -- failure paths ------------------------------------------------------
+    def _fail_request(self, request: InferenceRequest,
+                      exc: BaseException) -> None:
+        self.n_failed += 1
+        if self.on_failure is not None:
+            self.on_failure(request, exc)
+        request.done.fail(exc)
+
+    def _die(self, cause: BaseException) -> None:
+        """Crash cleanup: fail every owned request, tear down kernels."""
+        self.alive = False
+        pending = self._pending_get
+        self._pending_get = None
+        if pending is not None:
+            if not pending.triggered:
+                # The queue must not hand a future request to a corpse.
+                self._queue.cancel(pending)
+            else:
+                self._fail_request(pending.value, cause)
+        for request in self._active:
+            self._fail_request(request, cause)
+        self._active = []
+        while self._queue.items:
+            self._fail_request(self._queue.items.popleft(), cause)
+        self._purge_kernels(cause)
+        if self.client.alive:
+            self.client.close()
+
+    def _purge_kernels(self, cause: BaseException) -> None:
+        """Tear down this replica's kernels (its context died with it).
+
+        Resident fluid tasks are cancelled and failed (pre-defused: the
+        launching process died with the replica, so nobody else takes
+        responsibility; a temporal pump waiting on one still observes
+        the failure and rotates on).  Queued temporal kernels are
+        dropped from the client's queue the same way.
+        """
+        client = self.client
+        device = client.device
+        for task in device.pool.tasks:
+            if task.meta["client"] is client:
+                device.pool.cancel(task)
+                task.done._defused = True
+                task.done.fail(cause)
+        group = client.group
+        if group._queues is not None:
+            queued = group._queues.get(client.cid)
+            if queued:
+                while queued:
+                    task = queued.popleft()
+                    task.done._defused = True
+                    task.done.fail(cause)
 
     def batched_decode_kernel(self, batch_size: int) -> Kernel:
         """One decode step for ``batch_size`` concurrent sequences.

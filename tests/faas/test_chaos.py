@@ -1,0 +1,116 @@
+"""Tests for fault plans and the chaos controller (repro.faas.chaos)."""
+
+import pytest
+
+from repro.faas import ChaosController, FaultEvent, FaultPlan
+from repro.sim import Environment
+
+
+# ------------------------------------------------------------- FaultEvent
+
+def test_fault_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(time=1.0, kind="meteor-strike")
+    with pytest.raises(ValueError):
+        FaultEvent(time=-1.0, kind="ecc")
+    with pytest.raises(ValueError):
+        FaultEvent(time=1.0, kind="ecc", target=-2)
+    with pytest.raises(ValueError):
+        FaultEvent(time=1.0, kind="straggler_replica", duration=-1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(time=1.0, kind="straggler_replica", factor=0.0)
+
+
+# -------------------------------------------------------------- FaultPlan
+
+def test_plan_sorts_events_by_time():
+    plan = FaultPlan([FaultEvent(time=5.0, kind="ecc"),
+                      FaultEvent(time=1.0, kind="replica_crash")])
+    assert [ev.time for ev in plan] == [1.0, 5.0]
+
+
+def test_exponential_plan_is_deterministic():
+    a = FaultPlan.exponential("ecc", mtbf_seconds=10.0, horizon=100.0,
+                              seed=42)
+    b = FaultPlan.exponential("ecc", mtbf_seconds=10.0, horizon=100.0,
+                              seed=42)
+    assert a == b
+    assert len(a) > 0
+    assert all(ev.time < 100.0 for ev in a)
+    assert a != FaultPlan.exponential("ecc", mtbf_seconds=10.0,
+                                      horizon=100.0, seed=43)
+
+
+def test_merge_preserves_each_class_schedule():
+    """Composability: merging another fault class must not perturb the
+    first class's times (each class owns its own generator)."""
+    ecc = FaultPlan.exponential("ecc", 10.0, 100.0, seed=1)
+    crash = FaultPlan.exponential("replica_crash", 15.0, 100.0, seed=2,
+                                  duration=5.0)
+    merged = ecc.merge(crash)
+    assert len(merged) == len(ecc) + len(crash)
+    assert [ev.time for ev in merged
+            if ev.kind == "ecc"] == [ev.time for ev in ecc]
+    assert [ev.time for ev in merged
+            if ev.kind == "replica_crash"] == [ev.time for ev in crash]
+
+
+def test_until_truncates():
+    plan = FaultPlan.exponential("ecc", 5.0, 100.0, seed=0)
+    cut = plan.until(50.0)
+    assert all(ev.time < 50.0 for ev in cut)
+    assert len(cut) < len(plan)
+
+
+def test_json_round_trip(tmp_path):
+    plan = FaultPlan.exponential("straggler_replica", 10.0, 60.0, seed=9,
+                                 duration=8.0, factor=3.0)
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    assert FaultPlan.load(path) == plan
+
+
+def test_from_json_rejects_wrong_schema():
+    with pytest.raises(ValueError):
+        FaultPlan.from_json('{"schema": "repro-faultplan/99", "events": []}')
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FaultPlan.exponential("ecc", mtbf_seconds=0.0, horizon=10.0)
+    with pytest.raises(ValueError):
+        FaultPlan.exponential("ecc", mtbf_seconds=1.0, horizon=0.0)
+
+
+# -------------------------------------------------------- ChaosController
+
+class RecordingFleet:
+    def __init__(self):
+        self.seen = []
+
+    def apply_fault(self, event):
+        self.seen.append(event)
+        return f"{event.kind}@{event.target}"
+
+
+def test_controller_applies_events_at_their_times():
+    env = Environment()
+    fleet = RecordingFleet()
+    plan = FaultPlan([FaultEvent(time=2.0, kind="ecc", target=1),
+                      FaultEvent(time=5.0, kind="replica_crash", target=2)])
+    controller = ChaosController(env, fleet, plan)
+    env.run(until=10.0)
+    assert [ev.time for ev in fleet.seen] == [2.0, 5.0]
+    assert controller.applied == [(2.0, "ecc", "ecc@1"),
+                                  (5.0, "replica_crash", "replica_crash@2")]
+
+
+def test_controller_horizon_clips_plan():
+    env = Environment()
+    fleet = RecordingFleet()
+    plan = FaultPlan([FaultEvent(time=2.0, kind="ecc"),
+                      FaultEvent(time=50.0, kind="ecc")])
+    ChaosController(env, fleet, plan, horizon=10.0)
+    env.run()
+    assert len(fleet.seen) == 1

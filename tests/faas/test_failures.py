@@ -217,3 +217,48 @@ def test_injector_validation():
         injector.start_worker_crashes(ex, mtbf_seconds=0.0)
     with pytest.raises(ValueError):
         injector.start_gpu_errors(None, mtbf_seconds=-1.0)
+
+
+def test_crash_worker_rejects_negative_respawn():
+    """Validation fires before any side effect: the worker survives."""
+    dfk, ex = make_dfk(workers=1)
+    dfk.run(until=1.0)
+    injector = FailureInjector(dfk.env)
+    with pytest.raises(ValueError):
+        injector.crash_worker(ex.workers[0], respawn_after=-1.0)
+    assert ex.workers[0].alive
+    assert injector.worker_crashes == 0
+
+
+def test_crash_worker_zero_respawn_is_valid():
+    dfk, ex = make_dfk(workers=1)
+    dfk.run(until=1.0)
+    replacement = FailureInjector(dfk.env).crash_worker(
+        ex.workers[0], respawn_after=0.0)
+    assert replacement is not None
+    assert ex.workers[0] is replacement
+
+
+def test_respawned_replacement_is_eligible_crash_victim():
+    """start_worker_crashes must see replacements in the victim pool —
+    a respawned worker is as mortal as the one it replaced."""
+    dfk, ex = make_dfk(workers=1, retries=3)
+    injector = FailureInjector(dfk.env, seed=5)
+    injector.start_worker_crashes(ex, mtbf_seconds=3.0, respawn_after=0.5,
+                                  horizon=100.0)
+    dfk.run(until=200.0)
+    # With one slot, every crash after the first must have hit a
+    # replacement; the roster still holds exactly one (live) worker.
+    assert injector.worker_crashes > 1
+    assert len(ex.workers) == 1
+
+
+def test_replacement_registered_even_if_victim_left_roster():
+    dfk, ex = make_dfk(workers=2)
+    dfk.run(until=1.0)
+    victim = ex.workers[0]
+    ex.workers.remove(victim)  # e.g. scaled in concurrently
+    replacement = FailureInjector(dfk.env).crash_worker(
+        victim, respawn_after=1.0)
+    assert replacement in ex.workers
+    assert len(ex.workers) == 2

@@ -75,6 +75,37 @@ def test_app_stats():
     assert stats["mean_queue_seconds"] == pytest.approx(1.5)
 
 
+def test_app_stats_counts_retries():
+    hub = MonitoringHub()
+    dfk = make_dfk(hub, retries=2, workers=1)
+    attempts = []
+
+    @python_app(dfk=dfk)
+    def flaky():
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise RuntimeError("transient")
+        return "ok"
+
+    fut = flaky()
+    dfk.run()
+    assert fut.result() == "ok"
+    stats = hub.app_stats("flaky")
+    assert stats["completed"] == 1
+    assert stats["failed"] == 0
+    assert stats["retries"] == 1
+    assert stats["max_tries"] == 1
+    # An app that never retried reports zeros, not the other app's counts.
+    @python_app(dfk=dfk)
+    def steady():
+        return 1
+
+    dfk.wait([steady()])
+    clean = hub.app_stats("steady")
+    assert clean["retries"] == 0
+    assert clean["max_tries"] == 0
+
+
 def test_worker_busy_fraction():
     hub = MonitoringHub()
     dfk = make_dfk(hub, workers=1)

@@ -1,0 +1,164 @@
+"""Tests for partition-aware fault domains (repro.gpu.faults)."""
+
+import pytest
+
+from repro.gpu import (
+    A100_40GB,
+    A100_80GB,
+    GpuEccError,
+    Kernel,
+    MigManager,
+    MpsControlDaemon,
+    SimulatedGPU,
+    domain_of,
+    fault_domains,
+    kill_domain,
+)
+from repro.gpu.vgpu import VgpuManager
+from repro.sim import Environment
+
+
+def slow_kernel(spec=A100_40GB, seconds=10.0, sms=None):
+    return Kernel(flops=spec.fp32_flops * seconds, bytes_moved=0.0,
+                  max_sms=sms if sms is not None else spec.sms,
+                  efficiency=1.0)
+
+
+def mig_device(n_instances=2):
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_80GB)
+    manager = MigManager(gpu)
+    env.run(until=env.process(manager.enable()))
+    instances = [manager.create_instance("1g.10gb")
+                 for _ in range(n_instances)]
+    return env, gpu, instances
+
+
+# --------------------------------------------------------- domain structure
+
+def test_unpartitioned_device_has_one_shared_domain():
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    domains = fault_domains(gpu)
+    assert len(domains) == 1
+    assert not domains[0].hardware_isolated
+    assert gpu.default_group in domains[0]
+
+
+def test_mps_daemon_stays_in_shared_domain():
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    MpsControlDaemon(gpu).start()
+    domains = fault_domains(gpu)
+    assert len(domains) == 1
+    assert not domains[0].hardware_isolated
+
+
+def test_mig_instances_are_separate_hardware_domains():
+    _env, gpu, (inst_a, inst_b) = mig_device()
+    domains = fault_domains(gpu)
+    # Shared residual domain first, then one per MIG instance.
+    assert not domains[0].hardware_isolated
+    isolated = domains[1:]
+    assert len(isolated) == 2
+    assert all(d.hardware_isolated for d in isolated)
+    assert domain_of(gpu, inst_a.group) is not domain_of(gpu, inst_b.group)
+
+
+def test_vgpu_vms_are_separate_hardware_domains():
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    manager = VgpuManager(gpu, num_vms=2)
+    isolated = [d for d in fault_domains(gpu) if d.hardware_isolated]
+    assert len(isolated) == 2
+    assert domain_of(gpu, manager.vms[0].group).hardware_isolated
+
+
+def test_domain_of_rejects_foreign_group():
+    env = Environment()
+    gpu_a = SimulatedGPU(env, A100_40GB, name="gpu-a")
+    gpu_b = SimulatedGPU(env, A100_40GB, name="gpu-b")
+    with pytest.raises(ValueError):
+        domain_of(gpu_a, gpu_b.default_group)
+
+
+def test_kill_domain_rejects_foreign_domain():
+    env = Environment()
+    gpu_a = SimulatedGPU(env, A100_40GB, name="gpu-a")
+    gpu_b = SimulatedGPU(env, A100_40GB, name="gpu-b")
+    with pytest.raises(ValueError):
+        kill_domain(gpu_a, fault_domains(gpu_b)[0])
+
+
+# --------------------------------------------------------- blast radius
+
+def test_ecc_on_one_mig_instance_spares_the_other():
+    """The MIG isolation regression: a fault in one instance must not
+    kill kernels resident in a different instance."""
+    env, gpu, (inst_a, inst_b) = mig_device()
+    ka = inst_a.client("a").launch(slow_kernel(A100_80GB, sms=14))
+    kb = inst_b.client("b").launch(slow_kernel(A100_80GB, sms=14))
+    ka._defused = True
+    kb._defused = True
+    env.run(until=env.now + 1.0)
+    killed = kill_domain(gpu, domain_of(gpu, inst_a.group))
+    assert killed == 1
+    assert isinstance(ka.value, GpuEccError)
+    assert not kb.triggered  # instance b's kernel still running
+    env.run()
+    assert kb.ok
+
+
+def test_shared_domain_kill_spares_mig_instances():
+    """inject_gpu_error(device) targets the shared context only."""
+    from repro.faas import inject_gpu_error
+
+    env, gpu, (inst_a, inst_b) = mig_device()
+    ka = inst_a.client("a").launch(slow_kernel(A100_80GB, sms=14))
+    ka._defused = True
+    env.run(until=env.now + 1.0)
+    # The monolithic context is empty in MIG mode; partitioned kernels
+    # live behind their own memory and survive a shared-context error.
+    assert inject_gpu_error(gpu) == 0
+    assert not ka.triggered
+    env.run()
+    assert ka.ok
+
+
+def test_scoped_inject_accepts_instance_and_group():
+    from repro.faas import inject_gpu_error
+
+    env, gpu, (inst_a, _inst_b) = mig_device()
+    done = inst_a.client("a").launch(slow_kernel(A100_80GB, sms=14))
+    done._defused = True
+    env.run(until=env.now + 1.0)
+    assert inject_gpu_error(gpu, inst_a) == 1  # object with .group
+    assert isinstance(done.value, GpuEccError)
+    # Empty now, via the ShareGroup spelling.
+    assert inject_gpu_error(gpu, inst_a.group) == 0
+
+
+def test_scoped_inject_rejects_nonsense_scope():
+    from repro.faas import inject_gpu_error
+
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    with pytest.raises(TypeError):
+        inject_gpu_error(gpu, scope="everything")
+
+
+def test_mps_error_kills_every_resident_client():
+    """Software sharing has device-wide blast radius (the MPS contrast
+    of the blast-radius experiment)."""
+    env = Environment()
+    gpu = SimulatedGPU(env, A100_40GB)
+    daemon = MpsControlDaemon(gpu)
+    daemon.start()
+    dones = [daemon.client(f"c{i}").launch(slow_kernel(sms=10))
+             for i in range(4)]
+    for d in dones:
+        d._defused = True
+    env.run(until=env.now + 1.0)
+    killed = kill_domain(gpu, fault_domains(gpu)[0])
+    assert killed == 4
+    assert all(isinstance(d.value, GpuEccError) for d in dones)

@@ -1,0 +1,74 @@
+"""Tests for the resilience accumulators (repro.telemetry.resilience)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import ResilienceStats
+
+
+def test_conservation_invariant():
+    stats = ResilienceStats()
+    for _ in range(10):
+        stats.offered += 1
+    for lat in (1.0, 2.0, 3.0):
+        stats.record_completion(lat, in_slo=True)
+    stats.record_completion(50.0, in_slo=False)
+    stats.shed += 2
+    stats.failed += 1
+    assert stats.completed == 4
+    assert stats.slo_ok == 3
+    assert stats.lost == 3  # 10 - 4 - 2 - 1
+
+
+def test_goodput_vs_throughput():
+    stats = ResilienceStats()
+    stats.offered = 4
+    stats.record_completion(1.0, in_slo=True)
+    stats.record_completion(2.0, in_slo=True)
+    stats.record_completion(90.0, in_slo=False)
+    stats.failed = 1
+    assert stats.throughput(10.0) == pytest.approx(0.3)
+    assert stats.goodput(10.0) == pytest.approx(0.2)
+    assert stats.slo_attainment == pytest.approx(2 / 4)
+    with pytest.raises(ValueError):
+        stats.goodput(0.0)
+
+
+def test_amplification():
+    stats = ResilienceStats()
+    assert stats.amplification == 0.0  # no completions yet
+    stats.attempts = 6
+    stats.record_completion(1.0, in_slo=True)
+    stats.record_completion(1.0, in_slo=True)
+    assert stats.amplification == 3.0
+
+
+def test_fault_counters():
+    stats = ResilienceStats()
+    stats.record_fault("ecc")
+    stats.record_fault("ecc")
+    stats.record_fault("replica_crash")
+    assert stats.faults == {"ecc": 2, "replica_crash": 1}
+
+
+def test_report_is_json_ready():
+    stats = ResilienceStats()
+    stats.offered = 2
+    stats.record_completion(1.5, in_slo=True)
+    stats.failed = 1
+    stats.record_fault("launch_failure")
+    report = stats.report(horizon=10.0)
+    text = json.dumps(report)  # must serialise cleanly
+    round_tripped = json.loads(text)
+    assert round_tripped["offered"] == 2
+    assert round_tripped["lost"] == 0
+    assert round_tripped["latency"]["count"] == 1
+    assert round_tripped["latency"]["mean"] == pytest.approx(1.5)
+    assert round_tripped["faults"] == {"launch_failure": 1}
+
+
+def test_empty_report_has_no_latency_block():
+    report = ResilienceStats().report(horizon=1.0)
+    assert report["latency"] is None
+    assert report["slo_attainment"] == 0.0

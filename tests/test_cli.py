@@ -113,7 +113,7 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
                   "--out", str(out_path))
     assert "wrote" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro-bench/2"
+    assert report["schema"] == "repro-bench/3"
     assert report["quick"] is True
     assert report["micro"]["event_queue"]["events_per_sec"] > 0
     for sweep in report["sweeps"].values():
@@ -131,6 +131,39 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
     assert scale["streaming"]["latency"]["mean"] == pytest.approx(
         scale["legacy"]["latency"]["mean"], rel=1e-9)
     assert "speedup" in out
+    resilience = report["resilience"]
+    assert resilience["gate"]["lost"] == 0
+    assert resilience["gate"]["pass"] is True
+    blast = resilience["blast_radius"]
+    assert blast["mig"]["mean_kill_fraction"] < \
+        blast["mps"]["mean_kill_fraction"]
+    assert "Chaos serving" in out
+
+
+def test_serve_command_writes_report(capsys, tmp_path):
+    import json
+
+    from repro.bench.resilience_experiments import canonical_fault_plan
+
+    plan_path = tmp_path / "plan.json"
+    canonical_fault_plan(60.0, seed=3).save(plan_path)
+    out_path = tmp_path / "serve.json"
+    out = run_cli(capsys, "serve", "--mode", "mig-mps", "--requests", "80",
+                  "--rate", "3.0", "--seed", "3",
+                  "--faults", str(plan_path), "--out", str(out_path))
+    assert "Chaos serving" in out
+    assert "lost" in out
+    report = json.loads(out_path.read_text())
+    assert report["offered"] == 80
+    assert report["lost"] == 0
+    assert report["mode"] == "mig-mps"
+    assert report["faults_applied"] > 0
+
+
+def test_serve_command_without_faults(capsys):
+    out = run_cli(capsys, "serve", "--requests", "40", "--rate", "2.0",
+                  "--mode", "timeshare")
+    assert "faults applied  0" in out
 
 
 def test_stats_flag_prints_summary_line(capsys):
@@ -155,7 +188,8 @@ def test_parser_lists_all_commands():
     parser = build_parser()
     text = parser.format_help()
     for cmd in ("fig1", "fig2", "fig3", "fig4", "fig5", "table1",
-                "overheads", "rightsizing", "weightcache", "bench"):
+                "overheads", "rightsizing", "weightcache", "bench",
+                "serve"):
         assert cmd in text
     assert "--jobs" in text
     assert "--no-cache" in text
