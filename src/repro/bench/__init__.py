@@ -40,9 +40,14 @@ from repro.bench.resilience_experiments import (
     resilience_report,
     run_resilient_fleet,
 )
+from repro.bench.autoscale_experiments import (
+    autoscale_report,
+    run_autoscale_fleet,
+)
 
 __all__ = [
     "MultiplexResult",
+    "autoscale_report",
     "blast_radius_experiment",
     "canonical_fault_plan",
     "collect_bench",
@@ -54,6 +59,7 @@ __all__ = [
     "format_table",
     "resilience_report",
     "rightsizing_study",
+    "run_autoscale_fleet",
     "run_llm_multiplexing",
     "run_resilient_fleet",
     "save_results",

@@ -1,0 +1,198 @@
+"""Autoscale benchmark (the ``autoscale`` section of ``repro bench``).
+
+The §7 closed loop, scored: two serving functions with anti-correlated
+diurnal demand (their peaks half a period apart) share one A100-80GB
+through flat MPS.  Three layouts compete at matched provisioned
+capacity (summed per-replica caps ~= 100% of the GPU in every
+configuration, so GPU-seconds are equal by construction):
+
+- **static-small** — the GPU split equally, sized for the *mean*: the
+  hot function's peak saturates its caps and sheds;
+- **static-large** — the hot function peak-sized, the cold one starved:
+  now the *cold* peak sheds;
+- **closed-loop** — the :class:`~repro.workloads.autoscale.FleetAutoscaler`
+  re-negotiates MPS shares online, paying real
+  :class:`~repro.partition.reconfig.ReconfigCost` drain/restart windows.
+
+The score is the in-SLO fraction of *offered* load (``slo_ok /
+offered``): shed requests count against a layout, so admission control
+cannot shed its way to a win.  The CI gate requires the closed loop to
+beat both statics, its GPU-seconds to stay within tolerance of theirs,
+the weight cache to strictly shrink mean restart downtime versus a
+cache-off twin, zero lost requests everywhere, and twin closed-loop
+runs to be bit-identical (determinism survives resize events).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = ["autoscale_report", "run_autoscale_fleet"]
+
+#: Two functions x three replicas over one A100-80GB.
+N_REPLICAS = 3
+SLO_SECONDS = 6.0
+N_TOKENS = 16
+
+#: Diurnal demand: the hot function carries 2x the cold one's mean, and
+#: the cold peak lands half a period after the hot peak (phase pi).
+HOT_MEAN_RPS = 0.9
+COLD_MEAN_RPS = 0.45
+PERIOD_SECONDS = 600.0
+DEPTH = 0.8
+
+#: Per-replica MPS percentages.  Every layout sums to ~102% of the GPU
+#: (ceil slack included), so the contest is about *where* the SMs sit,
+#: not how many are provisioned.
+STATIC_SMALL = {"hot": 17, "cold": 17}   # equal split, mean-sized
+STATIC_LARGE = {"hot": 28, "cold": 6}    # hot-peak-sized, cold starved
+
+#: Controller cadence.
+INTERVAL_SECONDS = 30.0
+COOLDOWN_SECONDS = 120.0
+
+#: GPU-seconds fairness tolerance between layouts.
+GPU_SECONDS_TOLERANCE = 0.10
+
+
+def _clients(env, fleet, horizon: float):
+    from repro.workloads.serving import OpenLoopClient
+    from repro.workloads.traces import iter_diurnal_trace
+
+    hot = OpenLoopClient(
+        env, fleet.groups["hot"].router, n_tokens=N_TOKENS, streaming=True,
+        arrivals=iter_diurnal_trace(HOT_MEAN_RPS, horizon,
+                                    period=PERIOD_SECONDS, depth=DEPTH,
+                                    seed=1))
+    cold = OpenLoopClient(
+        env, fleet.groups["cold"].router, n_tokens=N_TOKENS, streaming=True,
+        arrivals=iter_diurnal_trace(COLD_MEAN_RPS, horizon,
+                                    period=PERIOD_SECONDS, depth=DEPTH,
+                                    seed=2, phase=math.pi))
+    return hot, cold
+
+
+def run_autoscale_fleet(horizon: float, autoscale: bool,
+                        pcts: dict[str, int],
+                        weight_cache: bool = True,
+                        seed: int = 0) -> dict:
+    """One diurnal serving run; returns the comparable report dict.
+
+    ``pcts`` sets the initial per-replica MPS percentages; with
+    ``autoscale=False`` they are also final (a static layout).  The
+    returned dict is the payload the determinism gate compares verbatim
+    across twin runs.
+    """
+    from repro.sim.core import Environment
+    from repro.workloads.autoscale import FleetAutoscaler
+    from repro.workloads.fleet import AutoscaledServingFleet, FleetFunction
+
+    env = Environment()
+    functions = [
+        FleetFunction("hot", N_REPLICAS, SLO_SECONDS, pcts["hot"],
+                      n_tokens=N_TOKENS),
+        FleetFunction("cold", N_REPLICAS, SLO_SECONDS, pcts["cold"],
+                      n_tokens=N_TOKENS),
+    ]
+    fleet = AutoscaledServingFleet(env, functions, seed=seed,
+                                   weight_cache=weight_cache)
+    autoscaler = None
+    if autoscale:
+        autoscaler = FleetAutoscaler(
+            fleet, interval_seconds=INTERVAL_SECONDS,
+            cooldown_seconds=COOLDOWN_SECONDS)
+        autoscaler.start()
+    hot, cold = _clients(env, fleet, horizon)
+    env.run(until=env.all_of([hot.done, cold.done]))
+    if autoscaler is not None:
+        autoscaler.stop()
+    functions_report = fleet.report(env.now)
+    offered = sum(r["offered"] for r in functions_report.values())
+    slo_ok = sum(r["slo_ok"] for r in functions_report.values())
+    lost = sum(r["lost"] for r in functions_report.values())
+    return {
+        "autoscale": autoscale,
+        "weight_cache": weight_cache,
+        "initial_pcts": dict(pcts),
+        "final_pcts": {name: group.current_pct
+                       for name, group in fleet.groups.items()},
+        "offered": offered,
+        "slo_ok": slo_ok,
+        "lost": lost,
+        "slo_good_fraction": slo_ok / offered if offered else 0.0,
+        "gpu_seconds": fleet.provisioned_gpu_seconds(),
+        "sim_seconds": env.now,
+        "events": env.events_processed,
+        "functions": functions_report,
+        "autoscaler": None if autoscaler is None else autoscaler.summary(),
+    }
+
+
+def autoscale_report(quick: bool = False, seed: int = 0) -> dict:
+    """The ``autoscale`` section of ``BENCH_<date>.json``."""
+    horizon = 600.0 if quick else 1200.0
+    closed = run_autoscale_fleet(horizon, True, STATIC_SMALL, seed=seed)
+    twin = run_autoscale_fleet(horizon, True, STATIC_SMALL, seed=seed)
+    cache_off = run_autoscale_fleet(horizon, True, STATIC_SMALL,
+                                    weight_cache=False, seed=seed)
+    small = run_autoscale_fleet(horizon, False, STATIC_SMALL, seed=seed)
+    large = run_autoscale_fleet(horizon, False, STATIC_LARGE, seed=seed)
+    twin_identical = (json.dumps(closed, sort_keys=True)
+                      == json.dumps(twin, sort_keys=True))
+
+    def ratio(a: float, b: float) -> float:
+        return a / b if b else 0.0
+
+    gpu_ratios = {
+        "vs_small": ratio(closed["gpu_seconds"], small["gpu_seconds"]),
+        "vs_large": ratio(closed["gpu_seconds"], large["gpu_seconds"]),
+    }
+    gate = {
+        "beats_static_small": (closed["slo_good_fraction"]
+                               >= small["slo_good_fraction"]),
+        "beats_static_large": (closed["slo_good_fraction"]
+                               >= large["slo_good_fraction"]),
+        "gpu_seconds_matched": all(
+            abs(r - 1.0) <= GPU_SECONDS_TOLERANCE
+            for r in gpu_ratios.values()),
+        "cache_shrinks_downtime": (
+            closed["autoscaler"]["mean_restart_downtime"]
+            < cache_off["autoscaler"]["mean_restart_downtime"]),
+        "reconfigured": closed["autoscaler"]["reconfigurations"] >= 1,
+        "twin_identical": twin_identical,
+        "lost": (closed["lost"] + cache_off["lost"]
+                 + small["lost"] + large["lost"]),
+    }
+    gate["pass"] = (gate["beats_static_small"]
+                    and gate["beats_static_large"]
+                    and gate["gpu_seconds_matched"]
+                    and gate["cache_shrinks_downtime"]
+                    and gate["reconfigured"]
+                    and gate["twin_identical"]
+                    and gate["lost"] == 0)
+    return {
+        "scenario": {
+            "gpu": "A100_80GB",
+            "model": "llama2-7b int8",
+            "functions": {
+                "hot": {"replicas": N_REPLICAS, "mean_rps": HOT_MEAN_RPS,
+                        "phase": 0.0},
+                "cold": {"replicas": N_REPLICAS, "mean_rps": COLD_MEAN_RPS,
+                         "phase": "pi"},
+            },
+            "period_seconds": PERIOD_SECONDS,
+            "depth": DEPTH,
+            "slo_seconds": SLO_SECONDS,
+            "n_tokens": N_TOKENS,
+            "horizon_seconds": horizon,
+            "interval_seconds": INTERVAL_SECONDS,
+            "cooldown_seconds": COOLDOWN_SECONDS,
+        },
+        "closed_loop": closed,
+        "closed_loop_cache_off": cache_off,
+        "static_small": small,
+        "static_large": large,
+        "gpu_seconds_ratio": gpu_ratios,
+        "gate": gate,
+    }

@@ -7,10 +7,10 @@ PR gives future changes a trajectory to regress against: if events/sec
 or a sweep wall-clock moves the wrong way, the diff that did it is one
 ``git log BENCH_*.json`` away.
 
-Schema (``repro-bench/3``)::
+Schema (``repro-bench/4``)::
 
     {
-      "schema": "repro-bench/3",
+      "schema": "repro-bench/4",
       "date": "YYYY-MM-DD",
       "quick": bool,                  # reduced sizes (CI smoke)
       "jobs": int,                    # worker processes for parallel runs
@@ -39,12 +39,24 @@ Schema (``repro-bench/3``)::
                  "lost": int, "pass": bool},
         "blast_radius": {"mig": {...}, "mps": {...},
                          "isolation_ratio": float}
+      },
+      "autoscale": {                  # online repartitioning closed loop
+        "scenario": {...},            # diurnal two-function contest
+        "closed_loop": {...},         # FleetAutoscaler-driven run
+        "closed_loop_cache_off": {...},
+        "static_small": {...},        # equal split, mean-sized
+        "static_large": {...},        # hot-peak-sized
+        "gpu_seconds_ratio": {"vs_small": float, "vs_large": float},
+        "gate": {"beats_static_small": bool, "beats_static_large": bool,
+                 "gpu_seconds_matched": bool,
+                 "cache_shrinks_downtime": bool, "reconfigured": bool,
+                 "twin_identical": bool, "lost": int, "pass": bool}
       }
     }
 
-``/1`` reports lack the ``scale`` section and ``/2`` reports the
-``resilience`` section; everything else is unchanged, so trajectory
-tooling can read all three.
+``/1`` reports lack the ``scale`` section, ``/2`` reports the
+``resilience`` section, and ``/3`` reports the ``autoscale`` section;
+everything else is unchanged, so trajectory tooling can read all four.
 """
 
 from __future__ import annotations
@@ -219,13 +231,15 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
     }
     sweeps = {name: _time_sweep(fn, jobs)
               for name, fn in _sweep_fns(quick).items()}
+    from repro.bench.autoscale_experiments import autoscale_report
     from repro.bench.resilience_experiments import resilience_report
     from repro.bench.scale_experiments import scale_report
 
     scale = scale_report(quick=quick)
     resilience = resilience_report(quick=quick)
+    autoscale = autoscale_report(quick=quick)
     return {
-        "schema": "repro-bench/3",
+        "schema": "repro-bench/4",
         "date": datetime.date.today().isoformat(),
         "quick": quick,
         "jobs": jobs,
@@ -237,6 +251,7 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
         "sweeps": sweeps,
         "scale": scale,
         "resilience": resilience,
+        "autoscale": autoscale,
     }
 
 

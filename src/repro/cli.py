@@ -222,9 +222,37 @@ def _cmd_bench(args, ctx) -> str:
         ["resilience metric", "value", "note"], rows,
         title=f"Chaos serving ({res['plan_events']} faults, "
               f"gate {'PASS' if gate['pass'] else 'FAIL'})")
+    asc = report["autoscale"]
+    asc_gate = asc["gate"]
+    ctrl = asc["closed_loop"]["autoscaler"]
+    off_downtime = \
+        asc["closed_loop_cache_off"]["autoscaler"]["mean_restart_downtime"]
+    rows = [
+        ["closed loop",
+         f"{asc['closed_loop']['slo_good_fraction']:.3f}",
+         f"{ctrl['reconfigurations']} reconfigs"],
+        ["static small",
+         f"{asc['static_small']['slo_good_fraction']:.3f}",
+         "equal split"],
+        ["static large",
+         f"{asc['static_large']['slo_good_fraction']:.3f}",
+         "hot-peak-sized"],
+        ["mean restart downtime s",
+         f"{ctrl['mean_restart_downtime']:.2f}",
+         f"cache off: {off_downtime:.2f}"],
+        ["GPU-seconds vs statics",
+         f"{asc['gpu_seconds_ratio']['vs_small']:.3f}",
+         f"vs large {asc['gpu_seconds_ratio']['vs_large']:.3f}"],
+        ["twin runs identical", asc_gate["twin_identical"], "determinism"],
+    ]
+    asc_table = format_table(
+        ["autoscale (in-SLO fraction of offered)", "value", "note"], rows,
+        title=f"Online repartitioning "
+              f"(gate {'PASS' if asc_gate['pass'] else 'FAIL'})")
     return (f"{micro}\n\n{sweeps}\n\n{scale_table}\n"
             f"streaming vs legacy speedup: {scale['speedup']:.2f}x"
             f"\n\n{res_table}"
+            f"\n\n{asc_table}"
             f"\n\nwrote {path}")
 
 
@@ -238,6 +266,8 @@ def _cmd_serve(args, ctx) -> str:
     )
     from repro.faas.chaos import FaultPlan
 
+    if args.autoscale:
+        return _serve_autoscale(args)
     rate = args.rate if args.rate is not None else DEFAULT_RATE_RPS
     slo = args.slo if args.slo is not None else DEFAULT_DEADLINE_SECONDS
     plan = FaultPlan.load(args.faults) if args.faults else None
@@ -271,6 +301,49 @@ def _cmd_serve(args, ctx) -> str:
         ["metric", "value"], rows,
         title=f"Chaos serving — {args.mode}, {args.requests} requests "
               f"at {rate:g} rps, SLO {slo:g}s")
+    if args.out:
+        table += f"\nwrote {args.out}"
+    return table
+
+
+def _serve_autoscale(args) -> str:
+    """``repro serve --autoscale``: the closed loop on the diurnal trace."""
+    import json
+
+    from repro.bench.autoscale_experiments import (
+        STATIC_SMALL,
+        run_autoscale_fleet,
+    )
+
+    report = run_autoscale_fleet(args.horizon, True, STATIC_SMALL,
+                                 seed=args.seed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    ctrl = report["autoscaler"]
+    rows = [
+        ["offered", report["offered"]],
+        ["in-SLO", report["slo_ok"]],
+        ["lost", report["lost"]],
+        ["in-SLO fraction of offered",
+         f"{report['slo_good_fraction']:.3f}"],
+        ["provisioned GPU-seconds", f"{report['gpu_seconds']:.1f}"],
+        ["controller ticks", ctrl["ticks"]],
+        ["reconfigurations", ctrl["reconfigurations"]],
+        ["replica restarts", ctrl["replica_restarts"]],
+        ["weight-cache hits", ctrl["weight_cache_hits"]],
+        ["reconfig downtime s", f"{ctrl['reconfiguration_downtime']:.1f}"],
+        ["mean restart downtime s",
+         f"{ctrl['mean_restart_downtime']:.2f}"],
+    ]
+    for name, pct in report["final_pcts"].items():
+        rows.append([f"final pct {name}",
+                     f"{pct}% (from {report['initial_pcts'][name]}%)"])
+    table = format_table(
+        ["metric", "value"], rows,
+        title=f"Online repartitioning — diurnal two-function trace, "
+              f"{args.horizon:g}s horizon")
     if args.out:
         table += f"\nwrote {args.out}"
     return table
@@ -352,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--faults", default=None, metavar="PLAN.json",
                    help="fault plan to replay (see repro.faas.chaos)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="run the online-repartitioning closed loop on "
+                        "the diurnal two-function trace instead")
+    p.add_argument("--horizon", type=float, default=600.0,
+                   metavar="SECONDS",
+                   help="autoscale trace horizon (default: 600)")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write the resilience report as JSON")
     p.set_defaults(fn=_cmd_serve)

@@ -32,6 +32,9 @@ from repro.partition.autoscaler import (
     ManagedFunction,
     PartitionAutoscaler,
     ScalingDecision,
+    cooldown_elapsed,
+    required_sms_for,
+    scaled_percentages,
 )
 from repro.partition.reconfig import ReconfigCost, ReconfigurationPlanner
 from repro.partition.weightcache import WeightCache
@@ -63,6 +66,9 @@ __all__ = [
     "StaticPolicy",
     "WeightCache",
     "WorkloadRequirement",
+    "cooldown_elapsed",
     "mig_profiles_for",
     "plan_mig_layout",
+    "required_sms_for",
+    "scaled_percentages",
 ]

@@ -24,9 +24,81 @@ from typing import Callable, Optional
 
 from repro.faas.providers import ComputeNode
 from repro.gpu.device import GpuClient
+from repro.gpu.specs import GPUSpec
 from repro.partition.reconfig import ReconfigurationPlanner
 
-__all__ = ["ManagedFunction", "PartitionAutoscaler", "ScalingDecision"]
+__all__ = ["ManagedFunction", "PartitionAutoscaler", "ScalingDecision",
+           "cooldown_elapsed", "required_sms_for", "scaled_percentages"]
+
+
+# -- shared sizing and gating helpers ---------------------------------------
+#
+# Standalone so both controllers — :class:`PartitionAutoscaler` (node-level,
+# one client per function) and the fleet-level
+# :class:`~repro.workloads.autoscale.FleetAutoscaler` (replicated serving)
+# — size partitions and gate reconfigurations with identical arithmetic.
+
+def required_sms_for(spec: GPUSpec, latency_fn: Callable[[int], float],
+                     slo_seconds: float, demand_rps: float,
+                     utilization_ceiling: float = 0.8) -> int:
+    """Smallest SM count meeting the SLO and the stability ceiling.
+
+    Stability: at ``demand_rps`` each server must spend less than
+    ``utilization_ceiling`` of its time serving, i.e.
+    ``demand_rps * latency(sms) <= utilization_ceiling``.
+    """
+    if demand_rps == 0:
+        return 1  # keep the model warm on a sliver
+    for sms in range(1, spec.sms + 1):
+        latency = latency_fn(sms)
+        if latency <= slo_seconds and \
+                demand_rps * latency <= utilization_ceiling:
+            return sms
+    return spec.sms  # best effort: the SLO is infeasible
+
+
+def scaled_percentages(spec: GPUSpec, needed: dict[str, int],
+                       counts: Optional[dict[str, int]] = None,
+                       min_percentage: int = 5,
+                       expand: bool = False) -> dict[str, int]:
+    """Per-function MPS percentages fitting ``needed`` SMs on ``spec``.
+
+    ``counts`` replicates a function's requirement (``needed[f]`` SMs
+    per replica, ``counts[f]`` replicas); the returned percentage is
+    *per replica*.  When the total requirement exceeds the GPU, shares
+    shrink proportionally.  With ``expand=True`` surplus SMs are also
+    handed out proportionally (work-conserving: a provisioned GPU
+    should not idle), so the summed caps track 100% either way.
+    """
+    counts = counts if counts is not None else {name: 1 for name in needed}
+    total = sum(sms * counts[name] for name, sms in needed.items())
+    if total == 0:
+        scale = 1.0
+    elif expand:
+        scale = spec.sms / total
+    else:
+        scale = min(1.0, spec.sms / total)
+    return {
+        name: max(min_percentage,
+                  min(100, math.ceil(100 * sms * scale / spec.sms)))
+        for name, sms in needed.items()
+    }
+
+
+def cooldown_elapsed(now: float, last_applied: float, cooldown: float,
+                     slo_violated: bool = False,
+                     slo_bypass_factor: float = 0.5) -> bool:
+    """Whether a reconfiguration may fire at ``now``.
+
+    ``last_applied`` must start at ``-inf`` so the *first* decision is
+    eligible immediately — initialising it to 0 would silently suppress
+    every reconfiguration in the first cooldown window, even with an
+    SLO already on fire.  A hard SLO violation shrinks the cooldown by
+    ``slo_bypass_factor`` (0 bypasses it outright): waiting out a
+    thrash-guard makes no sense while the guarded metric is burning.
+    """
+    effective = cooldown * (slo_bypass_factor if slo_violated else 1.0)
+    return now - last_applied >= effective
 
 
 @dataclass
@@ -77,6 +149,7 @@ class PartitionAutoscaler:
         change_threshold_pct: int = 5,
         utilization_ceiling: float = 0.8,
         min_percentage: int = 5,
+        slo_bypass_factor: float = 0.5,
     ):
         if not functions:
             raise ValueError("need at least one managed function")
@@ -84,6 +157,8 @@ class PartitionAutoscaler:
             raise ValueError("invalid control intervals")
         if not 0 < utilization_ceiling <= 1:
             raise ValueError("utilization_ceiling must be in (0, 1]")
+        if not 0 <= slo_bypass_factor <= 1:
+            raise ValueError("slo_bypass_factor must be in [0, 1]")
         self.node = node
         self.gpu_index = gpu_index
         self.functions = {f.name: f for f in functions}
@@ -98,9 +173,13 @@ class PartitionAutoscaler:
         self.change_threshold = change_threshold_pct
         self.utilization_ceiling = utilization_ceiling
         self.min_percentage = min_percentage
+        self.slo_bypass_factor = slo_bypass_factor
         self.decisions: list[ScalingDecision] = []
         self.reconfigurations = 0
         self.reconfiguration_downtime = 0.0
+        # -inf, not 0: the first decision must be eligible immediately
+        # (see cooldown_elapsed) — a zero here would silently gate every
+        # reconfiguration in the first cooldown window.
         self._last_applied = -math.inf
         self._proc = None
 
@@ -113,26 +192,30 @@ class PartitionAutoscaler:
     # -- sizing logic -----------------------------------------------------------
     def required_sms(self, fn: ManagedFunction) -> int:
         """Smallest SM count meeting the SLO and the stability ceiling."""
-        if fn.demand_rps == 0:
-            return 1  # keep the model warm on a sliver
-        for sms in range(1, self.spec.sms + 1):
-            latency = fn.latency_fn(sms)
-            if latency <= fn.slo_seconds and \
-                    fn.demand_rps * latency <= self.utilization_ceiling:
-                return sms
-        return self.spec.sms  # best effort: the SLO is infeasible
+        return required_sms_for(self.spec, fn.latency_fn, fn.slo_seconds,
+                                fn.demand_rps, self.utilization_ceiling)
 
     def desired_percentages(self) -> dict[str, int]:
         """Per-function MPS percentages for the current demand."""
         needed = {name: self.required_sms(fn)
                   for name, fn in self.functions.items()}
-        total = sum(needed.values())
-        scale = min(1.0, self.spec.sms / total) if total else 1.0
-        return {
-            name: max(self.min_percentage,
-                      min(100, math.ceil(100 * sms * scale / self.spec.sms)))
-            for name, sms in needed.items()
-        }
+        return scaled_percentages(self.spec, needed,
+                                  min_percentage=self.min_percentage)
+
+    def slo_violated(self) -> bool:
+        """True when some function's *current* share cannot hold its SLO.
+
+        Either the isolated latency at the allocated SMs already exceeds
+        the SLO, or the offered load saturates the share (utilisation at
+        or past 1: the queue grows without bound).
+        """
+        for fn in self.functions.values():
+            if fn.demand_rps == 0:
+                continue
+            latency = fn.latency_fn(max(1, round(fn.client.sm_cap)))
+            if latency > fn.slo_seconds or fn.demand_rps * latency >= 1.0:
+                return True
+        return False
 
     def current_percentages(self) -> dict[str, int]:
         return {
@@ -172,7 +255,9 @@ class PartitionAutoscaler:
             self.decisions.append(ScalingDecision(
                 env.now, desired, False, "within threshold"))
             return
-        if env.now - self._last_applied < self.cooldown:
+        if not cooldown_elapsed(env.now, self._last_applied, self.cooldown,
+                                slo_violated=self.slo_violated(),
+                                slo_bypass_factor=self.slo_bypass_factor):
             self.decisions.append(ScalingDecision(
                 env.now, desired, False, "cooldown"))
             return

@@ -34,7 +34,7 @@ class ResilienceStats:
     __slots__ = ("offered", "completed", "shed", "failed", "slo_ok",
                  "attempts", "attempt_failures", "retries", "hedges",
                  "hedge_wins", "wasted_attempts", "breaker_opens",
-                 "faults", "latency")
+                 "faults", "latency", "on_completion")
 
     def __init__(self) -> None:
         #: Requests submitted to the router.
@@ -65,6 +65,11 @@ class ResilienceStats:
         self.faults: dict[str, int] = {}
         #: Latency distribution of completed requests.
         self.latency = StreamingLatencyStats()
+        #: Optional tap called as ``on_completion(latency, in_slo)``
+        #: after the counters update — the hook a demand controller
+        #: (e.g. the fleet autoscaler) uses to watch per-function SLO
+        #: health without retaining per-request state.
+        self.on_completion = None
 
     # -- recording ----------------------------------------------------------
     def record_fault(self, kind: str) -> None:
@@ -75,6 +80,8 @@ class ResilienceStats:
         self.latency.add(latency)
         if in_slo:
             self.slo_ok += 1
+        if self.on_completion is not None:
+            self.on_completion(latency, in_slo)
 
     # -- derived ------------------------------------------------------------
     @property

@@ -47,7 +47,14 @@ from repro.workloads.resilience import (
     ServedRequest,
     SLOPolicy,
 )
-from repro.workloads.fleet import FLEET_MODES, ServingFleet
+from repro.workloads.fleet import (
+    AutoscaledServingFleet,
+    FLEET_MODES,
+    FleetFunction,
+    FunctionGroup,
+    ServingFleet,
+)
+from repro.workloads.autoscale import FleetAutoscaler
 from repro.workloads.traces import (
     TraceStats,
     bursty_trace,
@@ -63,12 +70,16 @@ from repro.workloads.traces import (
 
 __all__ = [
     "ALEXNET",
+    "AutoscaledServingFleet",
     "CNN_ZOO",
     "CampaignConfig",
     "CircuitBreaker",
     "CnnModel",
     "ConvLayer",
     "FLEET_MODES",
+    "FleetAutoscaler",
+    "FleetFunction",
+    "FunctionGroup",
     "InferenceRequest",
     "InferenceRuntime",
     "InferenceServer",

@@ -1,0 +1,340 @@
+"""The online repartitioning control plane (§7 closed, end to end).
+
+:class:`FleetAutoscaler` runs *inside* the event loop against an
+:class:`~repro.workloads.fleet.AutoscaledServingFleet` and closes the
+loop the paper's future work sketches — "change GPU resources depending
+on demand" — against live streaming traffic:
+
+1. **sense** — per function, a windowed arrival rate (offered-count
+   deltas from :class:`~repro.telemetry.resilience.ResilienceStats`)
+   and a since-last-resize P² latency quantile fed by the stats
+   ``on_completion`` tap;
+2. **decide** — the shared sizing helpers of
+   :mod:`repro.partition.autoscaler` turn demand into per-replica SM
+   requirements and normalise them onto the GPU (work-conserving:
+   surplus SMs are handed out, so total provisioned capacity stays at
+   ~100% and layouts compete at equal GPU-seconds);
+3. **gate** — a drift threshold plus the cooldown of
+   :func:`~repro.partition.autoscaler.cooldown_elapsed`: the first
+   decision is eligible immediately and a hard SLO violation (window
+   P95 above the SLO) shrinks the cooldown by ``slo_bypass_factor``;
+4. **act** — rolling-wave drains through
+   :meth:`~repro.workloads.fleet.AutoscaledServingFleet.resize_replica`,
+   paying the :class:`~repro.partition.reconfig.ReconfigCost` constants
+   (teardown + worker restart, plus the model reload unless the weight
+   cache hits).  Replica identity survives, so breakers, hedging
+   history, and router registration carry across every resize.
+
+``technique="mig"`` models the §6 alternative: *every* function drains,
+clients tear down serially, the GPU pays its reset, and — because a MIG
+repartition destroys the instances' memory pools — every function
+reloads its weights regardless of the cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict
+from typing import Optional
+
+from repro.partition.autoscaler import (
+    ScalingDecision,
+    cooldown_elapsed,
+    required_sms_for,
+    scaled_percentages,
+)
+from repro.partition.reconfig import ReconfigurationPlanner
+from repro.telemetry.streaming import P2Quantile
+from repro.workloads.fleet import AutoscaledServingFleet, FunctionGroup
+
+__all__ = ["FleetAutoscaler"]
+
+TECHNIQUES = ("mps", "mig")
+
+
+class _Monitor:
+    """Per-function demand/health window (O(1) state)."""
+
+    __slots__ = ("offered_mark", "quantile", "samples", "violation_q")
+
+    def __init__(self, violation_q: float):
+        self.offered_mark = 0
+        self.violation_q = violation_q
+        self.reset()
+
+    def reset(self) -> None:
+        """Start a fresh latency window (after a resize)."""
+        self.quantile = P2Quantile(self.violation_q)
+        self.samples = 0
+
+    def observe(self, latency: float, in_slo: bool) -> None:
+        self.quantile.add(latency)
+        self.samples += 1
+
+
+class FleetAutoscaler:
+    """Demand-driven MPS-share controller for a live serving fleet."""
+
+    def __init__(self, fleet: AutoscaledServingFleet,
+                 planner: Optional[ReconfigurationPlanner] = None,
+                 interval_seconds: float = 30.0,
+                 cooldown_seconds: float = 120.0,
+                 change_threshold_pct: int = 5,
+                 utilization_ceiling: float = 0.8,
+                 min_percentage: int = 5,
+                 slo_bypass_factor: float = 0.5,
+                 waves: int = 2,
+                 technique: str = "mps",
+                 violation_quantile: float = 0.95,
+                 min_window_samples: int = 8):
+        if interval_seconds <= 0 or cooldown_seconds < 0:
+            raise ValueError("invalid control intervals")
+        if not 0 < utilization_ceiling <= 1:
+            raise ValueError("utilization_ceiling must be in (0, 1]")
+        if not 0 <= slo_bypass_factor <= 1:
+            raise ValueError("slo_bypass_factor must be in [0, 1]")
+        if waves < 1:
+            raise ValueError("waves must be positive")
+        if technique not in TECHNIQUES:
+            raise ValueError(f"unknown technique {technique!r}; "
+                             f"expected one of {TECHNIQUES}")
+        self.fleet = fleet
+        self.spec = fleet.device.spec
+        self.planner = planner if planner is not None else \
+            ReconfigurationPlanner(self.spec)
+        self.interval = interval_seconds
+        self.cooldown = cooldown_seconds
+        self.change_threshold = change_threshold_pct
+        self.utilization_ceiling = utilization_ceiling
+        self.min_percentage = min_percentage
+        self.slo_bypass_factor = slo_bypass_factor
+        self.waves = waves
+        self.technique = technique
+        self.min_window_samples = min_window_samples
+        self.decisions: list[ScalingDecision] = []
+        #: Function-resize operations executed (one per function whose
+        #: share actually changed, not one per replica restart).
+        self.reconfigurations = 0
+        #: Summed per-replica pause durations across every resize.
+        self.reconfiguration_downtime = 0.0
+        #: Replica restarts whose weight reload the cache absorbed.
+        self.weight_cache_hits = 0
+        #: Replica restarts total.
+        self.replica_restarts = 0
+        #: One entry per executed resize: analytic cost + measured
+        #: per-replica timeline.
+        self.reconfig_log: list[dict] = []
+        self._monitors: dict[str, _Monitor] = {}
+        for name, group in fleet.groups.items():
+            monitor = _Monitor(violation_quantile)
+            self._monitors[name] = monitor
+            group.stats.on_completion = monitor.observe
+        self._last_applied = -math.inf
+        self._proc = None
+
+    # -- control loop -------------------------------------------------------
+    def start(self):
+        """Launch the control loop; returns the process handle."""
+        if self._proc is not None:
+            raise RuntimeError("autoscaler already started")
+        self._proc = self.fleet.env.process(self._run())
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("autoscaler stopped")
+            self._proc.defuse()
+
+    def _run(self):
+        env = self.fleet.env
+        while True:
+            yield env.timeout(self.interval)
+            yield from self._tick()
+
+    # -- sense --------------------------------------------------------------
+    def windowed_rates(self) -> dict[str, float]:
+        """Offered requests/second per function since the last tick."""
+        rates = {}
+        for name, group in self.fleet.groups.items():
+            monitor = self._monitors[name]
+            offered = group.stats.offered
+            rates[name] = (offered - monitor.offered_mark) / self.interval
+            monitor.offered_mark = offered
+        return rates
+
+    def slo_violated(self, name: str) -> bool:
+        """Window P95 above the function's SLO (with enough samples)."""
+        monitor = self._monitors[name]
+        if monitor.samples < self.min_window_samples:
+            return False
+        group = self.fleet.groups[name]
+        return monitor.quantile.value > group.slo_seconds
+
+    # -- decide -------------------------------------------------------------
+    def desired_percentages(self, rates: dict[str, float]) -> dict[str, int]:
+        """Per-replica MPS percentages for the windowed demand."""
+        needed = {}
+        counts = {}
+        for name, group in self.fleet.groups.items():
+            counts[name] = len(group.replicas)
+            per_replica = rates[name] / counts[name]
+            needed[name] = required_sms_for(
+                self.spec, group.latency_fn, group.slo_seconds,
+                per_replica, self.utilization_ceiling)
+        return scaled_percentages(self.spec, needed, counts,
+                                  min_percentage=self.min_percentage,
+                                  expand=True)
+
+    # -- one decision -------------------------------------------------------
+    def _tick(self):
+        env = self.fleet.env
+        rates = self.windowed_rates()
+        desired = self.desired_percentages(rates)
+        current = {name: group.current_pct
+                   for name, group in self.fleet.groups.items()}
+        drift = {name: abs(desired[name] - current[name])
+                 for name in desired}
+        if max(drift.values()) < self.change_threshold:
+            self.decisions.append(ScalingDecision(
+                env.now, desired, False, "within threshold"))
+            return
+        violated = any(self.slo_violated(name) for name in desired
+                       if drift[name] >= self.change_threshold)
+        if not cooldown_elapsed(env.now, self._last_applied, self.cooldown,
+                                slo_violated=violated,
+                                slo_bypass_factor=self.slo_bypass_factor):
+            self.decisions.append(ScalingDecision(
+                env.now, desired, False, "cooldown"))
+            return
+        if self.technique == "mig":
+            yield from self._apply_mig(desired)
+        else:
+            yield from self._apply_mps(desired, drift)
+        self._last_applied = env.now
+        self.decisions.append(ScalingDecision(
+            env.now, desired, True,
+            "slo-bypass repartition" if violated else "repartitioned"))
+
+    # -- act: MPS rolling waves ---------------------------------------------
+    def _apply_mps(self, desired: dict[str, int], drift: dict[str, int]):
+        env = self.fleet.env
+        for name, group in self.fleet.groups.items():
+            if drift[name] < self.change_threshold:
+                continue
+            new_pct = desired[name]
+            results = []
+            alive = [r for r in group.replicas if r.alive]
+            wave_size = max(1, math.ceil(len(alive) / self.waves))
+            for lo in range(0, len(alive), wave_size):
+                wave = alive[lo:lo + wave_size]
+                procs = [env.process(self.fleet.resize_replica(
+                    name, replica, new_pct, self.planner))
+                    for replica in wave]
+                yield env.all_of(procs)
+                results.extend(p.value for p in procs
+                               if p.value is not None)
+            group.current_pct = new_pct
+            self._finish_resize(name, group, results, technique="mps")
+
+    # -- act: MIG global teardown --------------------------------------------
+    def _apply_mig(self, desired: dict[str, int]):
+        """Repartition as MIG would: everyone stops, the GPU resets.
+
+        Clients tear down serially, the device pays ``reset_seconds``,
+        then every replica restarts in parallel and reloads its model
+        — the repartition destroyed the instances' memory pools, so the
+        weight cache cannot help (§6's co-tenant disturbance, executed).
+        """
+        env = self.fleet.env
+        planner = self.planner
+        fleet = self.fleet
+        t0 = env.now
+        victims = [(group, replica)
+                   for group in fleet.groups.values()
+                   for replica in group.replicas if replica.alive]
+        for _group, replica in victims:
+            replica.server.pause()
+        yield env.all_of([replica.server.drain()
+                          for _group, replica in victims])
+        victims = [(g, r) for g, r in victims if r.alive]
+        for group, replica in victims:
+            replica.server.client.close()
+            fleet._note_alloc_change(-group.pct_by_replica[replica.index])
+        yield env.timeout(planner.TEARDOWN_SECONDS * max(1, len(victims)))
+        yield env.timeout(self.spec.reset_seconds)
+        yield env.timeout(planner.cold_start.worker_start_seconds(True))
+        reload_seconds = 0.0
+        per_group: dict[str, list] = {}
+        for group, replica in victims:
+            group.generation += 1
+            new_pct = desired[group.name]
+            client = fleet.daemon.client(
+                f"{group.name}-r{replica.index}g{group.generation}",
+                active_thread_percentage=new_pct)
+            fleet._note_alloc_change(new_pct)
+            old_pct = group.pct_by_replica[replica.index]
+            group.pct_by_replica[replica.index] = new_pct
+            replica.server.client = client
+            reload_seconds = max(reload_seconds, group.model_load_seconds)
+            per_group.setdefault(group.name, []).append(
+                {"replica": replica.index, "weight_cache_hit": False,
+                 "from_pct": old_pct, "to_pct": new_pct})
+        if reload_seconds > 0:
+            yield env.timeout(reload_seconds)
+        downtime = env.now - t0
+        for group, replica in victims:
+            replica.server.resume()
+        for name, results in per_group.items():
+            group = fleet.groups[name]
+            group.current_pct = desired[name]
+            for entry in results:
+                entry["downtime_seconds"] = downtime
+            self._finish_resize(name, group, results, technique="mig",
+                                n_cotenants=len(victims) - len(results))
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _finish_resize(self, name: str, group: FunctionGroup,
+                       results: list[dict], technique: str,
+                       n_cotenants: int = 0) -> None:
+        env = self.fleet.env
+        hits = sum(1 for entry in results if entry["weight_cache_hit"])
+        downtime = sum(entry["downtime_seconds"] for entry in results)
+        if technique == "mig":
+            cost = self.planner.mig_repartition_cost(
+                group.model_load_seconds, n_cotenants=n_cotenants)
+        else:
+            cost = self.planner.mps_repartition_cost(
+                group.model_load_seconds,
+                weight_cache_hit=hits == len(results) and bool(results))
+        self.reconfigurations += 1
+        self.replica_restarts += len(results)
+        self.weight_cache_hits += hits
+        self.reconfiguration_downtime += downtime
+        # Latencies observed under the old share say nothing about the
+        # new one; start a fresh violation window.
+        self._monitors[name].reset()
+        self.reconfig_log.append({
+            "time": env.now,
+            "function": name,
+            "technique": technique,
+            "to_pct": group.current_pct,
+            "cost": asdict(cost),
+            "replicas": results,
+            "downtime_seconds": downtime,
+        })
+
+    # -- reporting -----------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-ready controller counters (bench/CLI payload)."""
+        applied = sum(1 for d in self.decisions if d.applied)
+        return {
+            "ticks": len(self.decisions),
+            "applied": applied,
+            "reconfigurations": self.reconfigurations,
+            "replica_restarts": self.replica_restarts,
+            "weight_cache_hits": self.weight_cache_hits,
+            "reconfiguration_downtime": self.reconfiguration_downtime,
+            "mean_restart_downtime": (
+                self.reconfiguration_downtime / self.replica_restarts
+                if self.replica_restarts else 0.0),
+        }

@@ -25,20 +25,23 @@ groups), so one plan replays against any mode.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.gpu.device import GpuClient, SimulatedGPU
 from repro.gpu.faults import fault_domains, kill_domain
 from repro.gpu.mig import MigManager
 from repro.gpu.mps import MpsControlDaemon
 from repro.gpu.specs import A100_80GB
+from repro.partition.weightcache import WeightCache
 from repro.sim.core import Environment
 from repro.telemetry.resilience import ResilienceStats
 from repro.workloads.llm import LLAMA2_7B, InferenceRuntime, LlamaInference
 from repro.workloads.resilience import Replica, ResilientRouter, SLOPolicy
 from repro.workloads.serving import InferenceServer
 
-__all__ = ["FLEET_MODES", "ServingFleet"]
+__all__ = ["AutoscaledServingFleet", "FLEET_MODES", "FleetFunction",
+           "FunctionGroup", "ServingFleet"]
 
 FLEET_MODES = ("mig-mps", "mps", "timeshare")
 
@@ -227,3 +230,222 @@ class ServingFleet:
         server.stall_until = max(server.stall_until,
                                  self.env.now + event.duration)
         return f"stall srv{replica.index}: {event.duration:g}s"
+
+
+@dataclass(frozen=True)
+class FleetFunction:
+    """Static description of one autoscaled serving function."""
+
+    name: str
+    #: Replica count (fixed; the autoscaler resizes shares, not counts).
+    n_replicas: int
+    #: Per-request latency SLO, seconds.
+    slo_seconds: float
+    #: Initial per-replica MPS percentage.
+    initial_pct: int
+    #: Tokens per completion request.
+    n_tokens: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be positive")
+        if self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if not 1 <= self.initial_pct <= 100:
+            raise ValueError("initial_pct must be in [1, 100]")
+
+
+class FunctionGroup:
+    """Runtime state of one :class:`FleetFunction`: replicas + router.
+
+    Each function gets its own :class:`ResilientRouter` and
+    :class:`~repro.telemetry.resilience.ResilienceStats` — breakers,
+    hedging, and SLO accounting are per function, while the GPU (and
+    the weight cache) is shared fleet-wide.
+    """
+
+    def __init__(self, fleet: "AutoscaledServingFleet", spec: FleetFunction,
+                 seed: int):
+        self.fleet = fleet
+        self.spec = spec
+        self.name = spec.name
+        self.n_tokens = spec.n_tokens
+        self.slo_seconds = spec.slo_seconds
+        llm = fleet.llm
+        #: Isolated completion latency vs SM count (the sizing model).
+        self.latency_fn: Callable[[int], float] = (
+            lambda sms: llm.completion_seconds(fleet.device.spec, sms,
+                                               spec.n_tokens))
+        self.model_key = spec.name
+        self.model_bytes = llm.weight_bytes
+        self.model_load_seconds = llm.load_seconds
+        #: Desired per-replica MPS percentage (the controller's target).
+        self.current_pct = spec.initial_pct
+        #: Actually-provisioned percentage per replica (diverges from
+        #: ``current_pct`` transiently, mid-rolling-resize).
+        self.pct_by_replica = [spec.initial_pct] * spec.n_replicas
+        #: Client-name generation counter (names must be unique).
+        self.generation = 0
+        self.stats = ResilienceStats()
+        self.policy = SLOPolicy(deadline_seconds=spec.slo_seconds)
+        self.replicas: list[Replica] = []
+        for k in range(spec.n_replicas):
+            client = fleet.daemon.client(f"{spec.name}-r{k}g0",
+                                         active_thread_percentage=spec.initial_pct)
+            server = fleet._make_group_server(self, k, client)
+            self.replicas.append(Replica(k, server, self.policy))
+        self.router = ResilientRouter(fleet.env, self.replicas, self.policy,
+                                      stats=self.stats, seed=seed)
+
+
+class AutoscaledServingFleet:
+    """A multi-function MPS serving fleet whose shares can be resized live.
+
+    One flat MPS daemon over one GPU; each function owns a fixed set of
+    replicas whose ``active_thread_percentage`` the
+    :class:`~repro.workloads.autoscale.FleetAutoscaler` re-negotiates at
+    runtime via :meth:`resize_replica` — the §7 "change GPU resources
+    depending on demand" loop made concrete.  With ``weight_cache=True``
+    the fleet owns a :class:`~repro.partition.weightcache.WeightCache`
+    holding one standing reference per function's weights, so a resized
+    replica's restarted client skips the model reload.
+
+    :meth:`provisioned_gpu_seconds` integrates the summed SM caps over
+    time — the "equal GPU-seconds" side of the bench's fairness claim.
+    """
+
+    def __init__(self, env: Environment,
+                 functions: Sequence[FleetFunction],
+                 spec=A100_80GB, dtype_bytes: int = 1,
+                 max_batch_size: int = 1, seed: int = 0,
+                 weight_cache: bool = True):
+        if not functions:
+            raise ValueError("need at least one function")
+        names = {f.name for f in functions}
+        if len(names) != len(functions):
+            raise ValueError("function names must be unique")
+        self.env = env
+        self.max_batch_size = max_batch_size
+        self.device = SimulatedGPU(env, spec, cross_check=False)
+        self.daemon = MpsControlDaemon(self.device)
+        self.daemon.start()
+        self.llm = LlamaInference(LLAMA2_7B,
+                                  InferenceRuntime(dtype_bytes=dtype_bytes))
+        self.weight_cache: Optional[WeightCache] = (
+            WeightCache() if weight_cache else None)
+        self.groups: dict[str, FunctionGroup] = {}
+        # Provisioned-capacity integral: sum over replicas of their MPS
+        # percentage, integrated piecewise over sim time.
+        self._alloc_total_pct = 0
+        self._alloc_integral = 0.0
+        self._alloc_changed_at = env.now
+        for i, fn in enumerate(functions):
+            group = FunctionGroup(self, fn, seed=seed * 1_000_003 + i)
+            self.groups[fn.name] = group
+            self._alloc_total_pct += fn.initial_pct * fn.n_replicas
+            if self.weight_cache is not None:
+                # The standing fleet-level reference: weights stay
+                # resident (refcount >= 1) for the fleet's lifetime, so
+                # every resize-restart is a cache hit.
+                self.weight_cache.acquire(group.replicas[0].server.client,
+                                          group.model_key, group.model_bytes)
+
+    def _make_group_server(self, group: FunctionGroup, index: int,
+                           client: GpuClient) -> InferenceServer:
+        return InferenceServer(
+            self.env, client, self.llm,
+            max_batch_size=self.max_batch_size,
+            keep_completed=False, kernel_cache=True,
+            name=f"{group.name}-r{index}")
+
+    # -- client API ---------------------------------------------------------
+    def submit(self, name: str):
+        """Route one request to function ``name`` (router passthrough)."""
+        group = self.groups[name]
+        return group.router.submit(group.n_tokens)
+
+    # -- capacity accounting ------------------------------------------------
+    def _note_alloc_change(self, delta_pct: int) -> None:
+        now = self.env.now
+        self._alloc_integral += self._alloc_total_pct * \
+            (now - self._alloc_changed_at)
+        self._alloc_changed_at = now
+        self._alloc_total_pct += delta_pct
+
+    def provisioned_gpu_seconds(self) -> float:
+        """GPU-seconds of provisioned capacity up to now (1.0 = whole GPU
+        for one second).  Restart windows provision nothing: the share is
+        released at client teardown and re-counted when the new client
+        exists."""
+        live = self._alloc_total_pct * (self.env.now - self._alloc_changed_at)
+        return (self._alloc_integral + live) / 100.0
+
+    # -- live resize --------------------------------------------------------
+    def resize_replica(self, name: str, replica: Replica, new_pct: int,
+                       planner):
+        """Drain one replica and restart its MPS client at ``new_pct``.
+
+        The §6 sequence, executed against live traffic: pause admission,
+        wait for in-flight kernels (queued requests are *held*, and the
+        router steers new work elsewhere — see ``Replica.stalled``),
+        close the client, pay teardown + worker start from ``planner``,
+        create the resized client, reload weights unless the cache has
+        them, swap the client under the same server, resume.  The
+        :class:`Replica` object — and with it the breaker state and the
+        router registration — survives, so fault-tolerance history
+        carries across the resize.
+
+        A generator: run under ``env.process``.  Returns a dict with the
+        replica's downtime and whether the weight cache hit (``None``
+        when the replica died mid-resize).
+        """
+        env = self.env
+        group = self.groups[name]
+        server = replica.server
+        if not server.alive:
+            return None
+        old_pct = group.pct_by_replica[replica.index]
+        t0 = env.now
+        server.pause()
+        yield server.drain()
+        if not server.alive:
+            return None
+        server.client.close()
+        self._note_alloc_change(-old_pct)
+        yield env.timeout_pooled(planner.TEARDOWN_SECONDS)
+        yield env.timeout_pooled(planner.cold_start.worker_start_seconds(True))
+        if not server.alive:
+            return None
+        group.generation += 1
+        client = self.daemon.client(
+            f"{group.name}-r{replica.index}g{group.generation}",
+            active_thread_percentage=new_pct)
+        self._note_alloc_change(new_pct)
+        group.pct_by_replica[replica.index] = new_pct
+        hit = False
+        cache = self.weight_cache
+        if cache is not None:
+            # Bump-and-release against the standing fleet reference:
+            # counts the hit, leaves the refcount unchanged, and stays
+            # safe under concurrent resizes of sibling replicas.
+            hit = cache.acquire(client, group.model_key, group.model_bytes)
+            if hit:
+                cache.release(client, group.model_key)
+            else:
+                yield env.timeout_pooled(group.model_load_seconds)
+        else:
+            yield env.timeout_pooled(group.model_load_seconds)
+        server.client = client
+        server.resume()
+        return {"replica": replica.index, "downtime_seconds": env.now - t0,
+                "weight_cache_hit": hit, "from_pct": old_pct,
+                "to_pct": new_pct}
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        return sum(len(g.replicas) for g in self.groups.values())
+
+    def report(self, horizon: float) -> dict:
+        return {name: group.stats.report(horizon)
+                for name, group in self.groups.items()}

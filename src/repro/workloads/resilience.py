@@ -17,7 +17,9 @@ toolkit:
 - **circuit breakers**: consecutive attempt failures open a per-replica
   breaker for a cooldown, steering traffic away from a sick replica;
 - **failover routing**: attempts go to the least-loaded available
-  replica not already tried by the request;
+  replica not already tried by the request; replicas whose admission is
+  stalled (a reconfiguration drain or chaos ``stall_until`` window) are
+  used only as a last resort;
 - **admission control**: requests whose deadline is provably
   infeasible given current queue depths are shed at the door instead
   of queueing to death.
@@ -169,6 +171,11 @@ class Replica:
         return self.server is not None and self.server.alive
 
     @property
+    def stalled(self) -> bool:
+        """Alive but admitting no batches (reconfig drain or stall)."""
+        return self.alive and self.server.stalled
+
+    @property
     def depth(self) -> int:
         return self.server.queue_depth if self.alive else 0
 
@@ -285,7 +292,8 @@ class ResilientRouter:
         if est is None:
             return False  # nothing observed yet: admit optimistically
         depths = [r.depth for r in self.replicas
-                  if r.alive and r.breaker.available(self.env.now)]
+                  if r.alive and r.breaker.available(self.env.now)
+                  and not r.stalled]
         if not depths:
             return False  # nobody available: let dispatch decide
         # The request runs behind min(depth) queued requests, each
@@ -299,12 +307,20 @@ class ResilientRouter:
         tried = set(request.tried)
         fresh = None
         fallback = None
+        stalled = None
         for replica in self.replicas:
             if not replica.alive:
                 continue
             if not replica.breaker.available(now):
                 continue
             key = (replica.depth, replica.index)
+            if replica.stalled:
+                # Deprioritise: a stalled replica admits no batches, so
+                # attempts (and especially hedges) sent there just queue
+                # behind the reconfiguration and blow the deadline.
+                if stalled is None or key < stalled[0]:
+                    stalled = (key, replica)
+                continue
             if replica.index not in tried:
                 if fresh is None or key < fresh[0]:
                     fresh = (key, replica)
@@ -316,6 +332,10 @@ class ResilientRouter:
             return fresh[1]
         if fallback is not None:
             return fallback[1]
+        if stalled is not None:
+            # Everyone admitting work is dead or tried: queueing behind
+            # a stall still beats failing the request outright.
+            return stalled[1]
         # Every breaker open (or everyone dead): ignore breakers rather
         # than failing outright — a sick replica beats none.
         best = None

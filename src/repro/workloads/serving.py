@@ -151,6 +151,14 @@ class InferenceServer:
         self.fail_next_launches = 0
         self._active: list[InferenceRequest] = []
         self._pending_get: Optional[Event] = None
+        # Reconfiguration drain protocol: pause() blocks batch admission
+        # on an event until resume(); _executing is True only while a
+        # batch's kernels are actually in flight, so drain() can tell a
+        # gathered-but-unlaunched batch (safe to hold) from one whose
+        # kernels would die with the client.
+        self._pause_event: Optional[Event] = None
+        self._executing = False
+        self._drain_waiters: list[Event] = []
         self._proc = env.process(self._serve())
         self._proc.defuse()
 
@@ -182,6 +190,54 @@ class InferenceServer:
         # behaves identically whether injected externally or raised by
         # the loop itself.
         self._proc.interrupt(cause)
+
+    # -- reconfiguration drain protocol -------------------------------------
+    @property
+    def stalled(self) -> bool:
+        """True while the replica admits no new batches.
+
+        Covers both an explicit :meth:`pause` (controller-driven drain)
+        and a chaos ``stall_until`` window.  Placement should steer
+        around a stalled replica: anything sent here queues behind the
+        reconfiguration instead of running.
+        """
+        return self._pause_event is not None or self.env.now < self.stall_until
+
+    def pause(self) -> None:
+        """Stop admitting batches until :meth:`resume` (idempotent).
+
+        Queued requests are held, not failed; an in-flight batch runs to
+        completion.  Use :meth:`drain` to wait for that batch.
+        """
+        if self._pause_event is None:
+            self._pause_event = self.env.event()
+
+    def resume(self) -> None:
+        """Lift a :meth:`pause`; the serve loop re-checks admission."""
+        event = self._pause_event
+        self._pause_event = None
+        if event is not None:
+            event.succeed()
+
+    def drain(self) -> Event:
+        """Event that fires once no kernels are in flight.
+
+        Immediate when the server is between batches (a batch gathered
+        while paused has launched nothing and is safe to hold); otherwise
+        fires when the current batch's last kernel completes or fails.
+        Pair with :meth:`pause`, or the loop will start the next batch.
+        """
+        event = self.env.event()
+        if not self._executing:
+            event.succeed(self)
+        else:
+            self._drain_waiters.append(event)
+        return event
+
+    def _flush_drained(self) -> None:
+        waiters, self._drain_waiters = self._drain_waiters, []
+        for event in waiters:
+            event.succeed(self)
 
     # -- the serving loop -----------------------------------------------------
     def _serve(self):
@@ -222,10 +278,30 @@ class InferenceServer:
 
     def _run_batch(self, batch: list[InferenceRequest]):
         env = self.env
-        if env.now < self.stall_until:
-            # Reconfiguration stall: the replica is alive but admits no
-            # work (e.g. its partition is being reshaped underneath it).
-            yield env.timeout_pooled(self.stall_until - env.now)
+        while True:
+            if self._pause_event is not None:
+                # Controller-driven drain: hold the gathered batch (its
+                # kernels have not launched) until resume().
+                yield self._pause_event
+                continue
+            if env.now < self.stall_until:
+                # Reconfiguration stall: the replica is alive but admits
+                # no work (its partition is being reshaped underneath).
+                yield env.timeout_pooled(self.stall_until - env.now)
+                continue
+            break
+        self._executing = True
+        try:
+            yield from self._execute_batch(batch)
+        finally:
+            # Runs on normal completion, kernel failure, and crash
+            # Interrupt alike: whatever happened, no kernels remain in
+            # flight, so any drain() waiters can proceed.
+            self._executing = False
+            self._flush_drained()
+
+    def _execute_batch(self, batch: list[InferenceRequest]):
+        env = self.env
         for request in batch:
             request.start_time = env.now
         steps = max(r.n_tokens for r in batch)

@@ -80,19 +80,23 @@ def iter_poisson_trace(rate_rps: float, horizon: float, seed: int = 0,
 
 def diurnal_trace(mean_rate_rps: float, horizon: float,
                   period: float = 86_400.0, depth: float = 0.8,
-                  seed: int = 0) -> list[float]:
+                  seed: int = 0, phase: float = 0.0) -> list[float]:
     """Sinusoidally-modulated Poisson arrivals (day/night pattern).
 
-    Instantaneous rate: ``mean x (1 + depth x sin(2 pi t / period))``,
-    realised by thinning a Poisson process at the peak rate.
+    Instantaneous rate:
+    ``mean x (1 + depth x sin(2 pi t / period + phase))``, realised by
+    thinning a Poisson process at the peak rate.  ``phase`` (radians)
+    shifts the cycle — two traces ``pi`` apart model anti-correlated
+    tenants whose peaks interleave, the load shape that makes demand-
+    driven repartitioning pay.
     """
     return list(iter_diurnal_trace(mean_rate_rps, horizon, period=period,
-                                   depth=depth, seed=seed))
+                                   depth=depth, seed=seed, phase=phase))
 
 
 def iter_diurnal_trace(mean_rate_rps: float, horizon: float,
                        period: float = 86_400.0, depth: float = 0.8,
-                       seed: int = 0) -> Iterator[float]:
+                       seed: int = 0, phase: float = 0.0) -> Iterator[float]:
     """Streaming :func:`diurnal_trace`: same timestamps, O(1) memory.
 
     The thinning coin follows every gap draw, so the RNG stream cannot
@@ -110,7 +114,8 @@ def iter_diurnal_trace(mean_rate_rps: float, horizon: float,
         t += float(rng.exponential(1.0 / peak))
         if t >= horizon:
             return
-        rate = mean_rate_rps * (1 + depth * math.sin(2 * math.pi * t / period))
+        rate = mean_rate_rps * (
+            1 + depth * math.sin(2 * math.pi * t / period + phase))
         if rng.uniform() < rate / peak:
             yield t
 

@@ -1,10 +1,16 @@
 """Tests for the demand-driven partition autoscaler (§7)."""
 
+import math
+
 import pytest
 
 from repro.faas import ColdStartModel, ComputeNode
 from repro.gpu import A100_40GB
-from repro.partition import ManagedFunction, PartitionAutoscaler
+from repro.partition import (
+    ManagedFunction,
+    PartitionAutoscaler,
+    cooldown_elapsed,
+)
 from repro.partition.reconfig import ReconfigurationPlanner
 from repro.sim import Environment
 
@@ -112,6 +118,77 @@ def test_cooldown_blocks_rapid_changes():
     scaler.set_demand("fn1", 10.0)
     env.run(until=30.0)
     assert any(d.reason == "cooldown" for d in scaler.decisions)
+
+
+# ------------------------------------------------ cooldown gating (bugfix)
+
+def test_cooldown_elapsed_first_decision_is_eligible():
+    # A fresh controller's last_applied is -inf, so even an enormous
+    # cooldown cannot gate the very first decision.
+    assert cooldown_elapsed(0.0, -math.inf, 1e9)
+    # The regression this pins: a 0 initialiser would silently gate
+    # every reconfiguration in the first cooldown window.
+    assert not cooldown_elapsed(10.0, 0.0, 60.0)
+    assert cooldown_elapsed(60.0, 0.0, 60.0)
+
+
+def test_cooldown_elapsed_slo_violation_shrinks_the_wait():
+    # Half the cooldown has passed: gated while healthy...
+    assert not cooldown_elapsed(150.0, 100.0, 100.0)
+    # ...eligible once the SLO is burning (default factor halves it).
+    assert cooldown_elapsed(150.0, 100.0, 100.0, slo_violated=True)
+    # Factor 0 bypasses the cooldown outright; factor 1 disables bypass.
+    assert cooldown_elapsed(100.0, 100.0, 100.0, slo_violated=True,
+                            slo_bypass_factor=0.0)
+    assert not cooldown_elapsed(150.0, 100.0, 100.0, slo_violated=True,
+                                slo_bypass_factor=1.0)
+
+
+def test_first_decision_is_not_cooldown_gated():
+    """Regression: a huge cooldown must not suppress the initial fit."""
+    env, node, fns, scaler = make_stack(
+        interval_seconds=10.0, cooldown_seconds=10_000.0)
+    scaler.set_demand("fn0", 10.0)
+    scaler.set_demand("fn1", 0.5)
+    scaler.start()
+    env.run(until=25.0)
+    assert scaler.reconfigurations >= 1
+    assert scaler.decisions[0].applied
+    assert scaler.decisions[0].reason == "repartitioned"
+
+
+def test_slo_violation_halves_the_cooldown():
+    """A/B: the bypass factor lets a burning SLO repartition sooner."""
+
+    def drive(bypass_factor):
+        env, node, fns, scaler = make_stack(
+            interval_seconds=10.0, cooldown_seconds=200.0,
+            slo_bypass_factor=bypass_factor)
+        scaler.set_demand("fn0", 10.0)
+        scaler.set_demand("fn1", 0.5)
+        scaler.start()
+        env.run(until=20.0)
+        assert any(d.applied for d in scaler.decisions)
+        # Flip the load: fn1's sliver is now hopelessly saturated, a
+        # hard SLO violation under its current share.
+        scaler.set_demand("fn0", 0.5)
+        scaler.set_demand("fn1", 10.0)
+        env.run(until=130.0)
+        return scaler
+
+    bypassing = drive(0.5)
+    strict = drive(1.0)
+    # With the bypass the flip is applied after half the cooldown
+    # (~100 s); without it the full 200 s still gates at t=130.
+    assert sum(d.applied for d in bypassing.decisions) == 2
+    assert sum(d.applied for d in strict.decisions) == 1
+    # Early ticks inside the shrunk window were still cooldown-gated.
+    assert any(d.reason == "cooldown" for d in bypassing.decisions)
+
+
+def test_slo_bypass_factor_validated():
+    with pytest.raises(ValueError, match="slo_bypass_factor"):
+        make_stack(slo_bypass_factor=1.5)
 
 
 def test_autoscaler_downtime_accounted():

@@ -1,0 +1,119 @@
+"""End-to-end ReconfigCost coverage: analytic breakdowns vs executed
+timelines on a live node (§6's measured repartitioning costs, replayed).
+"""
+
+import pytest
+
+from repro.faas import ColdStartModel, ComputeNode
+from repro.gpu import A100_40GB, A100_80GB
+from repro.partition import ReconfigurationPlanner, WeightCache
+from repro.sim import Environment
+
+COLD = ColdStartModel(function_init_seconds=1.0, gpu_context_seconds=0.5)
+
+
+def make_node(spec=A100_40GB):
+    env = Environment()
+    return env, ComputeNode(env, cores=8, gpu_specs=[spec])
+
+
+# --------------------------------------------------------- MPS resize path
+
+def test_mps_cost_breakdown_matches_execution_without_cache():
+    env, node = make_node()
+    node.start_mps()
+    client = node.mps_daemons[0].client("w0", active_thread_percentage=50)
+    client.alloc(10e9)
+    planner = ReconfigurationPlanner(A100_40GB, COLD)
+    cost = planner.mps_repartition_cost(model_load_seconds=8.0)
+    assert cost.technique == "mps"
+    assert not cost.disturbs_cotenants
+    assert cost.reset_seconds == 0.0
+    assert cost.teardown_seconds == planner.TEARDOWN_SECONDS
+    assert cost.restart_seconds == COLD.worker_start_seconds(True)
+    assert cost.model_reload_seconds == 8.0
+    proc = env.process(planner.execute_mps_repartition(
+        node, 0, client, new_percentage=25,
+        model_key="m", model_bytes=10e9, model_load_seconds=8.0))
+    new_client = env.run(until=proc)
+    # The executed timeline is exactly the analytic breakdown.
+    assert env.now == pytest.approx(cost.total_seconds)
+    assert new_client.sm_cap < A100_40GB.sms / 2
+
+
+def test_mps_cost_breakdown_matches_execution_with_cache_hit():
+    env, node = make_node()
+    node.weight_cache = WeightCache()
+    node.start_mps()
+    client = node.mps_daemons[0].client("w0", active_thread_percentage=50)
+    node.weight_cache.acquire(client, "m", 10e9)
+    planner = ReconfigurationPlanner(A100_40GB, COLD)
+    cost = planner.mps_repartition_cost(model_load_seconds=8.0,
+                                        weight_cache_hit=True)
+    assert cost.model_reload_seconds == 0.0
+    proc = env.process(planner.execute_mps_repartition(
+        node, 0, client, new_percentage=25,
+        model_key="m", model_bytes=10e9, model_load_seconds=8.0))
+    env.run(until=proc)
+    assert env.now == pytest.approx(cost.total_seconds)
+    assert node.weight_cache.hits == 1
+    # The §7 payoff, as a cost delta: exactly the reload disappears.
+    miss = planner.mps_repartition_cost(model_load_seconds=8.0)
+    assert miss.total_seconds - cost.total_seconds == pytest.approx(8.0)
+
+
+# ------------------------------------------------------- MIG resize path
+
+def test_mig_cost_charges_cotenants_for_the_repartition():
+    planner = ReconfigurationPlanner(A100_80GB, COLD)
+    alone = planner.mig_repartition_cost(model_load_seconds=8.0,
+                                         n_cotenants=0)
+    crowd = planner.mig_repartition_cost(model_load_seconds=8.0,
+                                         n_cotenants=3)
+    assert not alone.disturbs_cotenants
+    assert crowd.disturbs_cotenants
+    # Everyone pays teardown + restart + reload; the reset is shared.
+    assert crowd.teardown_seconds == 4 * planner.TEARDOWN_SECONDS
+    assert crowd.restart_seconds == 4 * COLD.worker_start_seconds(True)
+    assert crowd.model_reload_seconds == 4 * 8.0
+    assert crowd.reset_seconds == alone.reset_seconds \
+        == A100_80GB.reset_seconds
+    # An off-instance weight cache removes only the reloads.
+    cached = planner.mig_repartition_cost(model_load_seconds=8.0,
+                                          n_cotenants=3,
+                                          weight_cache_hit=True)
+    assert cached.model_reload_seconds == 0.0
+    assert crowd.total_seconds - cached.total_seconds \
+        == pytest.approx(4 * 8.0)
+
+
+def test_mig_execution_matches_teardown_and_reset_costs():
+    env, node = make_node(A100_80GB)
+    mig = node.mig_manager(0)
+    env.run(until=env.process(mig.enable()))
+    mig.create_instance("3g.40gb")
+    mig.create_instance("3g.40gb")
+    planner = ReconfigurationPlanner(A100_80GB, COLD)
+    cost = planner.mig_repartition_cost(model_load_seconds=0.0,
+                                        n_cotenants=1)
+    t0 = env.now
+    proc = env.process(planner.execute_mig_repartition(
+        node, 0, ["1g.10gb"] * 4))
+    instances = env.run(until=proc)
+    assert [i.profile.name for i in instances] == ["1g.10gb"] * 4
+    # Executed: one teardown per existing instance, then the GPU reset —
+    # exactly the analytic teardown + reset terms for one co-tenant.
+    assert env.now - t0 == pytest.approx(
+        cost.teardown_seconds + cost.reset_seconds)
+
+
+# ------------------------------------------------------------- validation
+
+def test_cost_validation():
+    planner = ReconfigurationPlanner(A100_40GB, COLD)
+    with pytest.raises(ValueError, match="model_load_seconds"):
+        planner.mps_repartition_cost(model_load_seconds=-1.0)
+    with pytest.raises(ValueError, match="model_load_seconds"):
+        planner.mig_repartition_cost(model_load_seconds=-1.0, n_cotenants=0)
+    with pytest.raises(ValueError, match="n_cotenants"):
+        planner.mig_repartition_cost(model_load_seconds=1.0, n_cotenants=-1)

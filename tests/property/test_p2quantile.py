@@ -1,0 +1,97 @@
+"""Property tests pinning :class:`P2Quantile`'s edge behaviour.
+
+The streaming P² estimator backs both the router's hedge delay and the
+fleet autoscaler's SLO-violation window, so its small-sample and
+duplicate-value edges are load-bearing: a wrong quantile either fires
+hedges constantly or never bypasses a cooldown.  Stress testing found
+no divergences from the sorted-list reference on these edges; these
+properties pin that behaviour against regressions.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import P2Quantile
+
+
+def reference_quantile(samples, p):
+    """numpy.percentile's 'linear' interpolation, dependency-free."""
+    s = sorted(samples)
+    h = (len(s) - 1) * p
+    lo = math.floor(h)
+    hi = min(lo + 1, len(s) - 1)
+    return s[lo] + (h - lo) * (s[hi] - s[lo])
+
+
+finite = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+quantiles = st.floats(min_value=0.05, max_value=0.95)
+
+
+@given(st.lists(finite, min_size=1, max_size=5), quantiles)
+def test_small_samples_match_the_sorted_list_exactly(xs, p):
+    """Below six observations the estimator must be *exact*: small
+    windows (e.g. right after a resize resets the monitor) feed real
+    control decisions."""
+    q = P2Quantile(p)
+    for x in xs:
+        q.add(x)
+    assert q.count == len(xs)
+    assert q.value == reference_quantile(xs, p)
+
+
+@given(finite, st.integers(min_value=1, max_value=300), quantiles)
+def test_constant_stream_returns_the_constant(x, n, p):
+    q = P2Quantile(p)
+    for _ in range(n):
+        q.add(x)
+    assert q.value == x
+
+
+@given(st.lists(finite, min_size=6, max_size=200), quantiles)
+def test_estimate_stays_within_the_observed_range(xs, p):
+    q = P2Quantile(p)
+    for x in xs:
+        q.add(x)
+    assert min(xs) <= q.value <= max(xs)
+
+
+@given(st.lists(st.sampled_from([0.0, 1.0, 1.0, 2.0]),
+                min_size=1, max_size=150), quantiles)
+def test_duplicate_heavy_streams_stay_bounded(xs, p):
+    """Tied marker heights exercise the degenerate interpolation path
+    (parabolic fit with equal neighbour heights)."""
+    q = P2Quantile(p)
+    for x in xs:
+        q.add(x)
+    assert min(xs) <= q.value <= max(xs)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_p95_tracks_the_sorted_quantile_on_latency_like_streams(seed):
+    """On lognormal (latency-shaped) streams the streaming P95 lands
+    near the exact one — the property the hedge delay and the SLO
+    window both rely on."""
+    rng = random.Random(seed)
+    xs = [rng.lognormvariate(0.0, 0.5) for _ in range(500)]
+    q = P2Quantile(0.95)
+    for x in xs:
+        q.add(x)
+    ref = reference_quantile(xs, 0.95)
+    assert abs(q.value - ref) <= 0.25 * ref
+
+
+@given(st.lists(finite, min_size=1, max_size=40), quantiles)
+def test_permutation_invariance_below_six_samples(xs, p):
+    """Order cannot matter while the window stores raw observations."""
+    head = xs[:5]
+    q_fwd, q_rev = P2Quantile(p), P2Quantile(p)
+    for x in head:
+        q_fwd.add(x)
+    for x in reversed(head):
+        q_rev.add(x)
+    assert q_fwd.value == q_rev.value

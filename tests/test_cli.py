@@ -113,7 +113,7 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
                   "--out", str(out_path))
     assert "wrote" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro-bench/3"
+    assert report["schema"] == "repro-bench/4"
     assert report["quick"] is True
     assert report["micro"]["event_queue"]["events_per_sec"] > 0
     for sweep in report["sweeps"].values():
@@ -138,6 +138,10 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
     assert blast["mig"]["mean_kill_fraction"] < \
         blast["mps"]["mean_kill_fraction"]
     assert "Chaos serving" in out
+    autoscale = report["autoscale"]
+    assert autoscale["gate"]["lost"] == 0
+    assert autoscale["gate"]["pass"] is True
+    assert "Online repartitioning" in out
 
 
 def test_serve_command_writes_report(capsys, tmp_path):

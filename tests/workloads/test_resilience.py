@@ -233,6 +233,75 @@ def test_breaker_steers_traffic_away_from_sick_replica():
     env.run()
 
 
+# ----------------------------------------------- stalled-replica placement
+
+def test_router_steers_away_from_stalled_replica():
+    """Regression: a stalled replica admits no batches, so sending
+    first attempts there just queues them behind the stall window."""
+    env, servers, router = make_router(n_servers=2)
+    servers[0].stall_until = env.now + 10.0
+    assert router.replicas[0].stalled
+    requests = [router.submit(n_tokens=4) for _ in range(3)]
+    assert all(r.tried[0] == 1 for r in requests)
+    env.run()
+    assert all(r.outcome == "ok" for r in requests)
+    env.run(until=servers[0].stall_until)
+    assert not router.replicas[0].stalled  # window expired with time
+
+
+def test_router_steers_away_from_draining_replica():
+    env, servers, router = make_router(n_servers=2)
+    servers[0].pause()
+    assert router.replicas[0].stalled
+    request = router.submit(n_tokens=4)
+    assert request.tried[0] == 1
+    servers[0].resume()
+    assert not router.replicas[0].stalled
+    env.run()
+    assert request.outcome == "ok"
+
+
+def test_stalled_replica_is_last_resort_not_a_failure():
+    env, servers, router = make_router(n_servers=2)
+    servers[0].stall_until = env.now + 0.5
+    servers[1].crash()
+    env.run(until=env.now + 0.001)  # let the crash interrupt propagate
+    request = router.submit(n_tokens=4)
+    # Queueing behind the stall beats failing the request outright.
+    assert request.tried[0] == 0
+    env.run()
+    assert request.outcome == "ok"
+
+
+def test_admission_control_ignores_stalled_queue_depths():
+    """A stalled replica's empty queue must not fool the feasibility
+    projection — its queue cannot move until the stall ends."""
+    env, servers, router = make_router(n_servers=2, deadline_seconds=0.5)
+    servers[0].stall_until = env.now + 100.0
+    for _ in range(3):
+        router.submit(n_tokens=4)  # no estimate yet: admitted freely
+    assert servers[1].queue_depth == 3  # all steered to the live one
+    router._est_prior = 0.4
+    request = router.submit(n_tokens=4)
+    assert request.outcome == "shed"
+    assert router.stats.shed == 1
+
+
+def test_reconfig_stall_fault_steers_first_attempts():
+    """The satellite-2 regression, end to end: a ``reconfig_stall``
+    fault deprioritises the victim for fresh placements."""
+    env = Environment()
+    fleet = small_fleet(env)
+    fleet.apply_fault(FaultEvent(time=0.0, kind="reconfig_stall",
+                                 target=0, duration=5.0))
+    assert fleet.replicas[0].stalled
+    requests = [fleet.submit(n_tokens=4) for _ in range(6)]
+    assert all(r.tried[0] != 0 for r in requests)
+    env.run()
+    assert all(r.outcome == "ok" for r in requests)
+    assert fleet.stats.lost == 0
+
+
 # ------------------------------------------------------------ fleet faults
 
 def small_fleet(env, mode="mig-mps", **kwargs):

@@ -216,3 +216,71 @@ def test_open_loop_client_trace_arrivals():
                             n_tokens=4, streaming=True)
     env.run(until=client.done)
     assert client.n_submitted == client.n_completed > 0
+
+
+# ------------------------------------------- reconfiguration drain protocol
+
+def test_pause_holds_queued_requests_until_resume():
+    env, server, llm = make_server(max_batch_size=1)
+    server.pause()
+    assert server.stalled
+    req = server.submit(n_tokens=4)
+    env.run(until=env.now + 5.0)
+    assert req.finish_time is None  # held, not failed
+    server.resume()
+    assert not server.stalled
+    env.run(until=req.done)
+    assert req.latency is not None
+
+
+def test_pause_and_resume_are_idempotent():
+    env, server, llm = make_server()
+    server.pause()
+    event = server._pause_event
+    server.pause()
+    assert server._pause_event is event  # no new gate created
+    server.resume()
+    server.resume()  # no-op on an unpaused server
+    assert not server.stalled
+
+
+def test_drain_is_immediate_between_batches():
+    env, server, llm = make_server()
+    server.pause()
+    drained = server.drain()
+    assert drained.triggered  # nothing executing: safe to reconfigure
+
+
+def test_drain_waits_for_the_inflight_batch():
+    env, server, llm = make_server(max_batch_size=1)
+    req = server.submit(n_tokens=8)
+    env.run(until=env.now + 0.01)  # let the batch launch kernels
+    assert server._executing
+    server.pause()
+    drained = server.drain()
+    assert not drained.triggered
+    env.run(until=drained)
+    # The drain fired exactly when the in-flight batch completed...
+    assert req.finish_time == pytest.approx(env.now)
+    # ...and admission stays closed for whatever was queued after it.
+    assert server.stalled
+
+
+def test_drain_fires_even_when_the_batch_crashes():
+    env, server, llm = make_server(max_batch_size=1)
+    server.submit(n_tokens=200)
+    env.run(until=env.now + 0.01)
+    assert server._executing
+    server.pause()
+    drained = server.drain()
+    server.crash()
+    env.run(until=drained)  # would deadlock if crash skipped the flush
+    assert not server.alive
+
+
+def test_stall_window_defers_batch_launch():
+    env, server, llm = make_server(max_batch_size=1)
+    server.stall_until = 3.0
+    req = server.submit(n_tokens=4)
+    env.run(until=req.done)
+    assert req.finish_time > 3.0  # nothing ran inside the stall window
