@@ -28,7 +28,8 @@ from __future__ import annotations
 import json
 import math
 
-__all__ = ["autoscale_report", "run_autoscale_fleet"]
+__all__ = ["autoscale_fleet_report", "autoscale_report",
+           "build_autoscale_fleet", "run_autoscale_fleet"]
 
 #: Two functions x three replicas over one A100-80GB.
 N_REPLICAS = 3
@@ -56,7 +57,7 @@ COOLDOWN_SECONDS = 120.0
 GPU_SECONDS_TOLERANCE = 0.10
 
 
-def _clients(env, fleet, horizon: float):
+def _clients(env, fleet, horizon: float, trace_seeds: tuple = (1, 2)):
     from repro.workloads.serving import OpenLoopClient
     from repro.workloads.traces import iter_diurnal_trace
 
@@ -64,31 +65,34 @@ def _clients(env, fleet, horizon: float):
         env, fleet.groups["hot"].router, n_tokens=N_TOKENS, streaming=True,
         arrivals=iter_diurnal_trace(HOT_MEAN_RPS, horizon,
                                     period=PERIOD_SECONDS, depth=DEPTH,
-                                    seed=1))
+                                    seed=trace_seeds[0]))
     cold = OpenLoopClient(
         env, fleet.groups["cold"].router, n_tokens=N_TOKENS, streaming=True,
         arrivals=iter_diurnal_trace(COLD_MEAN_RPS, horizon,
                                     period=PERIOD_SECONDS, depth=DEPTH,
-                                    seed=2, phase=math.pi))
+                                    seed=trace_seeds[1], phase=math.pi))
     return hot, cold
 
 
-def run_autoscale_fleet(horizon: float, autoscale: bool,
-                        pcts: dict[str, int],
-                        weight_cache: bool = True,
-                        seed: int = 0) -> dict:
-    """One diurnal serving run; returns the comparable report dict.
+def build_autoscale_fleet(env, horizon: float, autoscale: bool,
+                          pcts: dict[str, int],
+                          weight_cache: bool = True, seed: int = 0,
+                          trace_seeds: tuple = (1, 2),
+                          on_completion=None) -> tuple:
+    """Construct one diurnal contest scenario inside ``env``.
 
-    ``pcts`` sets the initial per-replica MPS percentages; with
-    ``autoscale=False`` they are also final (a static layout).  The
-    returned dict is the payload the determinism gate compares verbatim
-    across twin runs.
+    Returns ``(fleet, autoscaler, clients)``.  Shared by the
+    single-process runner and the sharded simulation's autoscale cells
+    — one construction path, so the differential tests can demand
+    bit-identity.  ``on_completion`` taps every function group's stats
+    *before* the autoscaler attaches its monitors (the autoscaler
+    chains onto an installed tap rather than replacing it);
+    ``trace_seeds`` re-seeds the hot/cold diurnal arrival traces so
+    extra cells carry independent demand.
     """
-    from repro.sim.core import Environment
     from repro.workloads.autoscale import FleetAutoscaler
     from repro.workloads.fleet import AutoscaledServingFleet, FleetFunction
 
-    env = Environment()
     functions = [
         FleetFunction("hot", N_REPLICAS, SLO_SECONDS, pcts["hot"],
                       n_tokens=N_TOKENS),
@@ -97,16 +101,23 @@ def run_autoscale_fleet(horizon: float, autoscale: bool,
     ]
     fleet = AutoscaledServingFleet(env, functions, seed=seed,
                                    weight_cache=weight_cache)
+    if on_completion is not None:
+        for group in fleet.groups.values():
+            group.stats.on_completion = on_completion
     autoscaler = None
     if autoscale:
         autoscaler = FleetAutoscaler(
             fleet, interval_seconds=INTERVAL_SECONDS,
             cooldown_seconds=COOLDOWN_SECONDS)
         autoscaler.start()
-    hot, cold = _clients(env, fleet, horizon)
-    env.run(until=env.all_of([hot.done, cold.done]))
-    if autoscaler is not None:
-        autoscaler.stop()
+    clients = _clients(env, fleet, horizon, trace_seeds)
+    return fleet, autoscaler, clients
+
+
+def autoscale_fleet_report(env, fleet, autoscaler, autoscale: bool,
+                           weight_cache: bool,
+                           pcts: dict[str, int]) -> dict:
+    """Assemble the comparable report dict for a finished run."""
     functions_report = fleet.report(env.now)
     offered = sum(r["offered"] for r in functions_report.values())
     slo_ok = sum(r["slo_ok"] for r in functions_report.values())
@@ -127,6 +138,30 @@ def run_autoscale_fleet(horizon: float, autoscale: bool,
         "functions": functions_report,
         "autoscaler": None if autoscaler is None else autoscaler.summary(),
     }
+
+
+def run_autoscale_fleet(horizon: float, autoscale: bool,
+                        pcts: dict[str, int],
+                        weight_cache: bool = True,
+                        seed: int = 0) -> dict:
+    """One diurnal serving run; returns the comparable report dict.
+
+    ``pcts`` sets the initial per-replica MPS percentages; with
+    ``autoscale=False`` they are also final (a static layout).  The
+    returned dict is the payload the determinism gate compares verbatim
+    across twin runs.
+    """
+    from repro.sim.core import Environment
+
+    env = Environment()
+    fleet, autoscaler, clients = build_autoscale_fleet(
+        env, horizon, autoscale, pcts, weight_cache=weight_cache,
+        seed=seed)
+    env.run(until=env.all_of([c.done for c in clients]))
+    if autoscaler is not None:
+        autoscaler.stop()
+    return autoscale_fleet_report(env, fleet, autoscaler, autoscale,
+                                  weight_cache, pcts)
 
 
 def autoscale_report(quick: bool = False, seed: int = 0) -> dict:

@@ -7,10 +7,10 @@ PR gives future changes a trajectory to regress against: if events/sec
 or a sweep wall-clock moves the wrong way, the diff that did it is one
 ``git log BENCH_*.json`` away.
 
-Schema (``repro-bench/4``)::
+Schema (``repro-bench/5``)::
 
     {
-      "schema": "repro-bench/4",
+      "schema": "repro-bench/5",
       "date": "YYYY-MM-DD",
       "quick": bool,                  # reduced sizes (CI smoke)
       "jobs": int,                    # worker processes for parallel runs
@@ -29,6 +29,15 @@ Schema (``repro-bench/4``)::
         "streaming": {..., "events_per_sec": float, "rss_growth_kb": int},
         "legacy": {...},              # identical sim, pre-change engine
         "speedup": float,             # streaming / legacy events/sec
+        "sharded": {                  # sharded vs single-process engine
+          "n_cells": int, "cores": int,
+          "events_digest": str,       # canonical merged-stream digest
+          "single": {..., "events_per_sec": float},
+          "sharded": {..., "worker_rss_growth_kb": [int, ...]},
+          "speedup": float,           # sharded / single events/sec
+          "gate": {"identical": bool, "speedup_floor": float,
+                   "speedup_enforced": bool, "pass": bool}
+        },
         "streaming_1m": {...}         # full runs only: 1M-request run
       },
       "resilience": {                 # chaos serving + blast radius
@@ -55,8 +64,9 @@ Schema (``repro-bench/4``)::
     }
 
 ``/1`` reports lack the ``scale`` section, ``/2`` reports the
-``resilience`` section, and ``/3`` reports the ``autoscale`` section;
-everything else is unchanged, so trajectory tooling can read all four.
+``resilience`` section, ``/3`` reports the ``autoscale`` section, and
+``/4`` reports the ``scale.sharded`` subsection; everything else is
+unchanged, so trajectory tooling can read all five.
 """
 
 from __future__ import annotations
@@ -239,7 +249,7 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
     resilience = resilience_report(quick=quick)
     autoscale = autoscale_report(quick=quick)
     return {
-        "schema": "repro-bench/4",
+        "schema": "repro-bench/5",
         "date": datetime.date.today().isoformat(),
         "quick": quick,
         "jobs": jobs,

@@ -25,7 +25,8 @@ from __future__ import annotations
 from typing import Optional
 
 __all__ = ["DEFAULT_GOODPUT_FLOOR_FRACTION", "blast_radius_experiment",
-           "canonical_fault_plan", "resilience_report",
+           "build_resilient_fleet", "canonical_fault_plan",
+           "resilience_report", "resilient_fleet_report",
            "run_resilient_fleet"]
 
 #: The fleet topology mirrors :mod:`repro.bench.scale_experiments`.
@@ -76,28 +77,27 @@ def canonical_fault_plan(horizon: float, seed: int = 0):
     )
 
 
-def run_resilient_fleet(mode: str, n_requests: int,
-                        rate_rps: float = DEFAULT_RATE_RPS,
-                        deadline_seconds: float = DEFAULT_DEADLINE_SECONDS,
-                        seed: int = 0, plan=None,
-                        n_partitions: int = N_PARTITIONS,
-                        servers_per_partition: int = SERVERS_PER_PARTITION,
-                        n_tokens: int = N_TOKENS) -> dict:
-    """One chaos-serving run; returns the resilience report dict.
+def build_resilient_fleet(env, mode: str, n_requests: int,
+                          rate_rps: float = DEFAULT_RATE_RPS,
+                          deadline_seconds: float = DEFAULT_DEADLINE_SECONDS,
+                          seed: int = 0, plan=None,
+                          n_partitions: int = N_PARTITIONS,
+                          servers_per_partition: int = SERVERS_PER_PARTITION,
+                          n_tokens: int = N_TOKENS) -> tuple:
+    """Construct one chaos-serving scenario inside ``env``.
 
-    The returned dict is ``ResilienceStats.report`` plus the scenario
-    fields (mode, sim clock, event count, applied faults) — the
-    payload the determinism tests compare verbatim across twin runs.
+    Returns ``(fleet, chaos, client)``.  Shared by the single-process
+    runner and the sharded simulation's fleet cells, so both build the
+    *identical* scenario — the differential tests' bit-identity rests
+    on this single construction path.
     """
     import numpy as np
 
     from repro.faas.chaos import ChaosController
-    from repro.sim.core import Environment
     from repro.workloads.fleet import ServingFleet
     from repro.workloads.resilience import SLOPolicy
     from repro.workloads.serving import OpenLoopClient
 
-    env = Environment()
     policy = SLOPolicy(deadline_seconds=deadline_seconds)
     fleet = ServingFleet(env, mode=mode, n_partitions=n_partitions,
                          servers_per_partition=servers_per_partition,
@@ -109,7 +109,17 @@ def run_resilient_fleet(mode: str, n_requests: int,
                             n_requests=n_requests, n_tokens=n_tokens,
                             rng=np.random.default_rng(seed),
                             streaming=True)
-    env.run(until=client.done)
+    return fleet, chaos, client
+
+
+def resilient_fleet_report(env, fleet, chaos, mode: str, n_requests: int,
+                           rate_rps: float,
+                           deadline_seconds: float) -> dict:
+    """Assemble the report dict for a finished chaos-serving run.
+
+    Every field is deterministic in (seed, config) — this is the
+    payload the determinism tests compare verbatim across twin runs.
+    """
     report = fleet.report(env.now)
     report["mode"] = mode
     report["n_requests"] = n_requests
@@ -120,6 +130,27 @@ def run_resilient_fleet(mode: str, n_requests: int,
     report["faults_applied"] = 0 if chaos is None else len(chaos.applied)
     report["ecc_log"] = list(fleet.ecc_log)
     return report
+
+
+def run_resilient_fleet(mode: str, n_requests: int,
+                        rate_rps: float = DEFAULT_RATE_RPS,
+                        deadline_seconds: float = DEFAULT_DEADLINE_SECONDS,
+                        seed: int = 0, plan=None,
+                        n_partitions: int = N_PARTITIONS,
+                        servers_per_partition: int = SERVERS_PER_PARTITION,
+                        n_tokens: int = N_TOKENS) -> dict:
+    """One chaos-serving run; returns the resilience report dict."""
+    from repro.sim.core import Environment
+
+    env = Environment()
+    fleet, chaos, client = build_resilient_fleet(
+        env, mode, n_requests, rate_rps=rate_rps,
+        deadline_seconds=deadline_seconds, seed=seed, plan=plan,
+        n_partitions=n_partitions,
+        servers_per_partition=servers_per_partition, n_tokens=n_tokens)
+    env.run(until=client.done)
+    return resilient_fleet_report(env, fleet, chaos, mode, n_requests,
+                                  rate_rps, deadline_seconds)
 
 
 def blast_radius_experiment(n_requests: int = 600,

@@ -205,6 +205,24 @@ def _cmd_bench(args, ctx) -> str:
         ["engine", "requests", "wall s", "events/s", "rss growth kB",
          "mean lat s"],
         rows, title=f"Trace-serving scale ({scale['scenario']['topology']})")
+    sh = scale["sharded"]
+    sh_gate = sh["gate"]
+    rows = [
+        [f"{run['shards']} shard{'s' if run['shards'] != 1 else ''}"
+         + ("" if run["processes"] else " (in-process)"),
+         f"{run['events']:,}", f"{run['wall_seconds']:.2f}",
+         f"{run['events_per_sec']:,.0f}"]
+        for run in (sh["single"], sh["sharded"])
+    ]
+    rows.append(["payloads bit-identical", sh_gate["identical"],
+                 f"digest {sh['events_digest'][:16]}", ""])
+    sharded_table = format_table(
+        ["sharded engine", "events", "wall s", "events/s"], rows,
+        title=f"Sharded scale ({sh['n_cells']} cells, {sh['cores']} cores, "
+              f"gate {'PASS' if sh_gate['pass'] else 'FAIL'})")
+    sharded_note = (f"sharded vs single speedup: {sh['speedup']:.2f}x "
+                    f"(floor {sh_gate['speedup_floor']:.0f}x "
+                    f"{'enforced' if sh_gate['speedup_enforced'] else 'advisory on this runner'})")
     res = report["resilience"]
     fleet, gate, blast = res["fleet"], res["gate"], res["blast_radius"]
     rows = [
@@ -251,6 +269,7 @@ def _cmd_bench(args, ctx) -> str:
               f"(gate {'PASS' if asc_gate['pass'] else 'FAIL'})")
     return (f"{micro}\n\n{sweeps}\n\n{scale_table}\n"
             f"streaming vs legacy speedup: {scale['speedup']:.2f}x"
+            f"\n\n{sharded_table}\n{sharded_note}"
             f"\n\n{res_table}"
             f"\n\n{asc_table}"
             f"\n\nwrote {path}")
@@ -270,7 +289,13 @@ def _cmd_serve(args, ctx) -> str:
         return _serve_autoscale(args)
     rate = args.rate if args.rate is not None else DEFAULT_RATE_RPS
     slo = args.slo if args.slo is not None else DEFAULT_DEADLINE_SECONDS
+    if args.shards is not None or args.cells is not None:
+        return _serve_sharded(args, rate, slo)
     plan = FaultPlan.load(args.faults) if args.faults else None
+    if plan is None and args.chaos:
+        from repro.bench.resilience_experiments import canonical_fault_plan
+
+        plan = canonical_fault_plan(args.requests / rate, seed=args.seed)
     report = run_resilient_fleet(
         args.mode, args.requests, rate_rps=rate, deadline_seconds=slo,
         seed=args.seed, plan=plan)
@@ -306,6 +331,62 @@ def _cmd_serve(args, ctx) -> str:
     return table
 
 
+def _serve_sharded(args, rate: float, slo: float) -> str:
+    """``repro serve --shards N``: the fleet scenario, cell-sharded.
+
+    The written JSON carries only the deterministic payload — raw
+    events are summarised by the canonical digest and the
+    ``execution`` section (pids, RSS, respawns) is dropped — so twin
+    runs at any two shard counts must produce byte-identical files,
+    which is exactly what the CI determinism gate diffs.
+    """
+    import json
+
+    from repro.workloads.shardcells import sharded_fleet_report
+
+    if args.faults:
+        raise SystemExit(
+            "serve: --faults replays one explicit plan and cannot be "
+            "split across cells; use --chaos for per-cell canonical "
+            "plans with --shards/--cells")
+    n_shards = args.shards if args.shards is not None else 1
+    n_cells = args.cells if args.cells is not None else max(1, n_shards)
+    report = sharded_fleet_report(
+        args.mode, args.requests, n_cells=n_cells, n_shards=n_shards,
+        rate_rps=rate, deadline_seconds=slo, seed=args.seed,
+        chaos=args.chaos, epoch_seconds=args.epoch)
+    merged = report["merged"]
+    if args.out:
+        payload = {k: v for k, v in report.items()
+                   if k not in ("events", "execution")}
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    rows = [
+        ["cells", n_cells],
+        ["shards", report["execution"]["n_shards"]],
+        ["epochs", report["execution"]["epochs"]],
+        ["offered", merged["offered"]],
+        ["completed", merged["completed"]],
+        ["lost", merged["lost"]],
+        ["SLO attainment", f"{merged['slo_attainment']:.3f}"],
+        ["faults applied", merged["faults_applied"]],
+        ["engine events", merged["events_processed"]],
+        ["merged completions", merged["n_events"]],
+        ["events digest", merged["events_digest"][:16]],
+        ["mean latency s", f"{merged['latency']['mean']:.3f}"],
+        ["p95 latency s", f"{merged['latency']['p95']:.3f}"],
+    ]
+    table = format_table(
+        ["metric", "value"], rows,
+        title=f"Sharded chaos serving — {args.mode}, {n_cells} cells x "
+              f"{args.requests} requests at {rate:g} rps"
+              + (", canonical chaos" if args.chaos else ""))
+    if args.out:
+        table += f"\nwrote {args.out}"
+    return table
+
+
 def _serve_autoscale(args) -> str:
     """``repro serve --autoscale``: the closed loop on the diurnal trace."""
     import json
@@ -315,6 +396,8 @@ def _serve_autoscale(args) -> str:
         run_autoscale_fleet,
     )
 
+    if args.shards is not None or args.cells is not None:
+        return _serve_autoscale_sharded(args)
     report = run_autoscale_fleet(args.horizon, True, STATIC_SMALL,
                                  seed=args.seed)
     if args.out:
@@ -343,6 +426,47 @@ def _serve_autoscale(args) -> str:
     table = format_table(
         ["metric", "value"], rows,
         title=f"Online repartitioning — diurnal two-function trace, "
+              f"{args.horizon:g}s horizon")
+    if args.out:
+        table += f"\nwrote {args.out}"
+    return table
+
+
+def _serve_autoscale_sharded(args) -> str:
+    """``repro serve --autoscale --shards N``: sharded diurnal contest."""
+    import json
+
+    from repro.bench.autoscale_experiments import STATIC_SMALL
+    from repro.workloads.shardcells import sharded_autoscale_report
+
+    n_shards = args.shards if args.shards is not None else 1
+    n_cells = args.cells if args.cells is not None else max(1, n_shards)
+    report = sharded_autoscale_report(
+        args.horizon, True, STATIC_SMALL, n_cells=n_cells,
+        n_shards=n_shards, seed=args.seed, epoch_seconds=args.epoch)
+    merged = report["merged"]
+    if args.out:
+        payload = {k: v for k, v in report.items()
+                   if k not in ("events", "execution")}
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    rows = [
+        ["cells", n_cells],
+        ["shards", report["execution"]["n_shards"]],
+        ["epochs", report["execution"]["epochs"]],
+        ["offered", merged["offered"]],
+        ["in-SLO", merged["slo_ok"]],
+        ["lost", merged["lost"]],
+        ["in-SLO fraction of offered",
+         f"{merged['slo_good_fraction']:.3f}"],
+        ["provisioned GPU-seconds", f"{merged['gpu_seconds']:.1f}"],
+        ["merged completions", merged["n_events"]],
+        ["events digest", merged["events_digest"][:16]],
+    ]
+    table = format_table(
+        ["metric", "value"], rows,
+        title=f"Sharded online repartitioning — {n_cells} cells, "
               f"{args.horizon:g}s horizon")
     if args.out:
         table += f"\nwrote {args.out}"
@@ -425,6 +549,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--faults", default=None, metavar="PLAN.json",
                    help="fault plan to replay (see repro.faas.chaos)")
+    p.add_argument("--chaos", action="store_true",
+                   help="replay the canonical bench fault plan (per "
+                        "cell when sharded)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run the scenario sharded over N worker "
+                        "processes (default: legacy single process)")
+    p.add_argument("--cells", type=int, default=None, metavar="K",
+                   help="device cells in the sharded fleet "
+                        "(default: one per shard)")
+    p.add_argument("--epoch", type=float, default=60.0, metavar="SECONDS",
+                   help="sharded epoch-barrier spacing in sim seconds "
+                        "(results are invariant to it; default: 60)")
     p.add_argument("--autoscale", action="store_true",
                    help="run the online-repartitioning closed loop on "
                         "the diurnal two-function trace instead")

@@ -13,6 +13,7 @@ from repro.runner.cache import (
     default_cache_dir,
     source_digest,
 )
+from repro.runner.shardpool import ShardWorkerError, ShardWorkerPool
 from repro.runner.sweep import (
     SweepError,
     SweepRunner,
@@ -23,6 +24,8 @@ from repro.runner.sweep import (
 __all__ = [
     "MISS",
     "ResultCache",
+    "ShardWorkerError",
+    "ShardWorkerPool",
     "SweepError",
     "SweepRunner",
     "default_cache_dir",

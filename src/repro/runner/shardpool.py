@@ -1,0 +1,277 @@
+"""Long-lived shard workers for the sharded simulation engine.
+
+:class:`~repro.runner.sweep.SweepRunner` is one-shot fan-out: every
+``map`` call ships independent configs to a fresh
+``ProcessPoolExecutor`` and tears it down.  The sharded simulation
+(:mod:`repro.sim.sharded`) needs the opposite shape — **stateful**
+workers that each hold a set of live simulation cells and advance them
+epoch by epoch over many round trips:
+
+- each worker builds its cells once (from picklable
+  :class:`~repro.sim.sharded.CellSpec` recipes) and keeps them alive
+  for the whole run, so per-epoch cost is one pipe round trip, not a
+  process spawn + scenario rebuild;
+- the pool drives every worker through the same lockstep epoch
+  barrier (``step_epoch``), pipelining the sends so shards genuinely
+  run concurrently;
+- a **crashed worker is respawned and deterministically replayed**:
+  the pool logs every completed epoch (barrier time + cross-shard
+  commands), rebuilds the dead worker's cells from their specs, and
+  re-advances them through the logged epochs — cells are deterministic
+  in (spec, seed), so the replayed worker reaches the exact state it
+  held at the last barrier and the run continues bit-identically
+  (mirroring the PR-4 ``crash_worker`` respawn semantics).
+
+A worker that *raises* (as opposed to dying) forwards the traceback
+and the pool fails fast with :class:`ShardWorkerError` — a
+deterministic cell bug would otherwise respawn-loop forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import resource
+import traceback
+from typing import Any, Optional, Sequence
+
+__all__ = ["ShardWorkerError", "ShardWorkerPool"]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed (raised, or died past the respawn budget)."""
+
+
+def _worker_main(conn, assigned) -> None:
+    """Worker loop: build cells, then serve epoch/result requests.
+
+    ``assigned`` is a list of ``(cell_id, spec)`` pairs; the worker owns
+    those cells until told to stop.  Every reply is ``("ok", payload)``
+    or ``("error", formatted traceback)``.
+    """
+    rss0 = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    try:
+        cells = [(cell_id, spec.build()) for cell_id, spec in assigned]
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    finished = {cell_id: False for cell_id, _ in cells}
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        op = msg[0]
+        try:
+            if op == "epoch":
+                _, t_end, commands = msg
+                snapshots = {}
+                for cell_id, cell in cells:
+                    if commands and cell_id in commands:
+                        cell.apply_command(commands[cell_id])
+                    if not finished[cell_id]:
+                        finished[cell_id] = bool(cell.advance(t_end))
+                    snapshots[cell_id] = {
+                        "events": cell.drain_events(),
+                        "finished": finished[cell_id],
+                    }
+                conn.send(("ok", snapshots))
+            elif op == "result":
+                rss1 = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                conn.send(("ok", {
+                    "cells": {cell_id: cell.result()
+                              for cell_id, cell in cells},
+                    "rss_growth_kb": max(0, rss1 - rss0),
+                    "pid": os.getpid(),
+                }))
+            elif op == "stop":
+                conn.send(("ok", None))
+                conn.close()
+                return
+            else:
+                conn.send(("error", f"unknown op {op!r}"))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+
+
+class _Worker:
+    """Parent-side handle: process + pipe + respawn count."""
+
+    __slots__ = ("assigned", "proc", "conn", "respawns")
+
+    def __init__(self, assigned):
+        self.assigned = assigned
+        self.proc = None
+        self.conn = None
+        self.respawns = 0
+
+
+class ShardWorkerPool:
+    """A fixed set of long-lived workers, each owning some cells.
+
+    Parameters
+    ----------
+    assignments:
+        One entry per worker: a list of ``(cell_id, spec)`` pairs the
+        worker builds and owns.  Cell ids must be globally unique.
+    mp_context:
+        Start-method name (default ``"fork"`` where available — cells
+        need not re-import the package, and spec objects transfer
+        in-memory).
+    max_respawns:
+        Crash budget *per worker*.  Each crash costs a rebuild and a
+        deterministic replay of all completed epochs; past the budget
+        the pool raises :class:`ShardWorkerError`.
+    """
+
+    def __init__(self, assignments: Sequence[Sequence[tuple]],
+                 mp_context: Optional[str] = None, max_respawns: int = 2):
+        if not assignments:
+            raise ValueError("need at least one worker assignment")
+        seen: set = set()
+        for assigned in assignments:
+            for cell_id, _spec in assigned:
+                if cell_id in seen:
+                    raise ValueError(f"duplicate cell id {cell_id!r}")
+                seen.add(cell_id)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.max_respawns = max(0, int(max_respawns))
+        #: Completed epochs, for crash replay: (t_end, commands).
+        self._epochs: list[tuple[float, dict]] = []
+        self._workers = [_Worker(list(assigned)) for assigned in assignments]
+        self._closed = False
+        for worker in self._workers:
+            self._spawn(worker)
+
+    # -- lifecycle ----------------------------------------------------------
+    def _spawn(self, worker: _Worker) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child, worker.assigned), daemon=True)
+        proc.start()
+        child.close()
+        worker.proc, worker.conn = proc, parent
+
+    def _reap(self, worker: _Worker) -> None:
+        if worker.conn is not None:
+            worker.conn.close()
+            worker.conn = None
+        if worker.proc is not None:
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():  # pragma: no cover - defensive
+                worker.proc.kill()
+                worker.proc.join()
+            worker.proc = None
+
+    def close(self) -> None:
+        """Stop every worker; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+                worker.conn.recv()
+            except (EOFError, OSError):
+                pass
+            self._reap(worker)
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def worker_pids(self) -> list[int]:
+        """Current worker process ids (stable while nothing crashes)."""
+        return [worker.proc.pid for worker in self._workers]
+
+    # -- crash recovery -----------------------------------------------------
+    def _respawn(self, worker: _Worker) -> None:
+        """Rebuild a dead worker and replay it to the last epoch barrier."""
+        worker.respawns += 1
+        if worker.respawns > self.max_respawns:
+            raise ShardWorkerError(
+                f"shard worker (cells {[c for c, _ in worker.assigned]}) "
+                f"crashed {worker.respawns} times; respawn budget "
+                f"{self.max_respawns} exhausted")
+        self._reap(worker)
+        self._spawn(worker)
+        # Deterministic replay: the fresh cells re-advance through every
+        # completed barrier (re-applying the logged cross-shard
+        # commands), reconstructing the state held when the old process
+        # died.  Replay outputs duplicate already-merged snapshots, so
+        # they are discarded.
+        for t_end, commands in self._epochs:
+            self._exchange(worker, ("epoch", t_end, commands))
+
+    def _exchange(self, worker: _Worker, msg: tuple) -> Any:
+        """One send/recv against a worker, respawning through crashes."""
+        while True:
+            try:
+                worker.conn.send(msg)
+                kind, payload = worker.conn.recv()
+            except (EOFError, OSError):
+                self._respawn(worker)
+                continue
+            if kind == "error":
+                raise ShardWorkerError(payload)
+            return payload
+
+    # -- epoch barrier ------------------------------------------------------
+    def step_epoch(self, t_end: float,
+                   commands: Optional[dict] = None) -> dict:
+        """Advance every cell to the ``t_end`` barrier; merge snapshots.
+
+        Sends are pipelined (every worker runs its epoch concurrently)
+        and the barrier completes only when every worker has replied —
+        crashed workers are respawned, replayed, and re-asked before the
+        method returns.  Returns ``{cell_id: {"events", "finished"}}``.
+        """
+        if self._closed:
+            raise ShardWorkerError("pool is closed")
+        commands = dict(commands or {})
+        msg = ("epoch", float(t_end), commands)
+        snapshots: dict = {}
+        pending: list[_Worker] = []
+        for worker in self._workers:
+            try:
+                worker.conn.send(msg)
+                pending.append(worker)
+            except (EOFError, OSError):
+                # Dead before the send: respawn + replay, then run this
+                # worker's epoch synchronously.
+                self._respawn(worker)
+                snapshots.update(self._exchange(worker, msg))
+        for worker in pending:
+            try:
+                kind, payload = worker.conn.recv()
+            except (EOFError, OSError):
+                self._respawn(worker)
+                payload = self._exchange(worker, msg)
+                kind = "ok"
+            if kind == "error":
+                raise ShardWorkerError(payload)
+            snapshots.update(payload)
+        self._epochs.append((float(t_end), commands))
+        return snapshots
+
+    def results(self) -> dict:
+        """Collect per-cell results plus per-worker diagnostics."""
+        if self._closed:
+            raise ShardWorkerError("pool is closed")
+        cells: dict = {}
+        rss: list[int] = []
+        pids: list[int] = []
+        for worker in self._workers:
+            payload = self._exchange(worker, ("result",))
+            cells.update(payload["cells"])
+            rss.append(payload["rss_growth_kb"])
+            pids.append(payload["pid"])
+        return {"cells": cells, "worker_rss_growth_kb": rss,
+                "worker_pids": pids,
+                "worker_respawns": [w.respawns for w in self._workers]}

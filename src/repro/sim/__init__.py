@@ -25,7 +25,7 @@ from repro.sim.core import (
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Resource, Store
 from repro.sim.fluid import FluidPool, FluidTask
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, substream_seed
 
 __all__ = [
     "AllOf",
@@ -41,4 +41,5 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "substream_seed",
 ]

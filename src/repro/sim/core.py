@@ -351,6 +351,38 @@ class Environment:
         if event._recycle and len(self._tpool) < self._POOL_LIMIT:
             self._tpool.append(event)
 
+    def advance(self, horizon: float, stop: Optional[Event] = None) -> bool:
+        """Step every event due at or before ``horizon``; clock never jumps.
+
+        The epoch-barrier primitive of the sharded engine
+        (:mod:`repro.sim.sharded`).  Unlike ``run(until=horizon)`` the
+        clock is **not** advanced to the horizon afterwards — ``now``
+        stays at the last processed event — so a simulation advanced in
+        epochs sees the *identical* event sequence, final clock, and
+        ``events_processed`` as one advanced in a single ``run(until=
+        stop_event)`` call: the barrier only pauses the loop, it never
+        perturbs it.
+
+        With ``stop`` given, processing halts as soon as that event is
+        processed (exactly ``run(until=stop)``'s condition) and the call
+        returns ``True``; otherwise it returns ``False`` once every
+        event due by ``horizon`` has been processed.  ``RUN_LISTENER``
+        is not invoked (an epoch is a fragment of a run, not a run).
+        """
+        horizon = float(horizon)
+        queue, step = self._queue, self.step
+        if stop is None:
+            while queue and queue[0][0] <= horizon:
+                step()
+            return False
+        if stop.processed:
+            return True
+        fired: list[Event] = []
+        stop.callbacks.append(fired.append)
+        while queue and queue[0][0] <= horizon and not fired:
+            step()
+        return bool(fired)
+
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, ``until`` time passes, or event fires.
 

@@ -1,0 +1,216 @@
+"""Sharded parallel simulation with a deterministic epoch-barrier merge.
+
+The single-process event loop tops out around ~45k events/sec; fleet-
+and cluster-scale scenarios need an order of magnitude more.  Devices
+are already isolated fault/allocation domains in this codebase, so the
+scale-out unit is the **cell**: one whole-device sub-simulation (its
+own :class:`~repro.sim.core.Environment`, GPU, replicas, clients, and
+RNG substreams) with *no* shared mutable state.  Cells are grouped onto
+long-lived worker processes ("shards",
+:class:`~repro.runner.shardpool.ShardWorkerPool`) and advanced in
+lockstep to fixed **epoch barriers**; at each barrier every cell ships
+its buffered completion events (and receives optional cross-shard
+commands from the coordinator's ``on_epoch`` hook).
+
+Why the cell is a whole device: the fluid-flow sharing model applies
+incremental ``work -= rate * dt`` drains at every pool event, so float
+rounding inside a device depends on the exact cross-tenant event
+chunking — carving a device's MIG instances into separate environments
+would diverge in ulps.  Whole devices are genuinely independent, so the
+decomposition is *exact*, not approximate.
+
+Why merge by replay: P² markers, Kahan compensation, and reservoir
+coin flips are order-sensitive — no O(1) accumulator-state merge is
+bit-exact.  Instead each cell buffers its completion events per epoch
+and the coordinator replays them in the canonical ``(time, cell_id,
+within-cell seq)`` order (:func:`~repro.telemetry.streaming.
+merge_event_streams`, one numpy lexsort) through fresh accumulators.
+The canonical key mentions neither shards nor workers, so the merged
+result is a deterministic function of **(seed, config)** alone —
+invariant in shard count, worker scheduling, epoch length, and
+in-process vs pooled execution.  ``tests/sim/test_sharded_identity.py``
+is the differential harness proving this bit-exactly against the
+unsharded engines.
+
+Cell protocol (duck-typed; scenario cells live in
+:mod:`repro.workloads.shardcells`):
+
+- ``advance(horizon) -> bool`` — run to the barrier (or until the
+  cell's stop condition fires); True once finished;
+- ``drain_events() -> list[tuple]`` — time-ordered events buffered
+  since the last barrier, each tuple led by its timestamp;
+- ``result() -> dict`` — JSON-ready per-cell report;
+- ``apply_command(command)`` — optional; receives coordinator commands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.telemetry.streaming import merge_event_streams
+
+__all__ = ["CellSpec", "ShardedSimulation"]
+
+
+class CellSpec:
+    """Picklable recipe for one cell: ``factory(**kwargs)``.
+
+    The factory must be a module-level callable (picklable by
+    reference) so a respawned worker can rebuild — and
+    deterministically replay — its cells from the spec alone.
+    """
+
+    __slots__ = ("factory", "kwargs", "name")
+
+    def __init__(self, factory: Callable[..., Any],
+                 kwargs: Optional[dict] = None, name: Optional[str] = None):
+        if not callable(factory):
+            raise TypeError("factory must be callable")
+        self.factory = factory
+        self.kwargs = dict(kwargs or {})
+        self.name = name or getattr(factory, "__name__", "cell")
+
+    def build(self) -> Any:
+        return self.factory(**self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CellSpec {self.name}>"
+
+
+class ShardedSimulation:
+    """Coordinator: epoch-barrier lockstep over independent cells.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`CellSpec` per cell.  Cell ids are the positions in
+        this sequence — the merge's canonical tie-break order.
+    epoch_seconds:
+        Barrier spacing in simulated seconds.  Any positive value
+        yields the same merged result (barriers pause the per-cell
+        event loop without perturbing it); it only trades round-trip
+        overhead against cross-shard command latency.
+    on_epoch:
+        Optional coordinator hook ``on_epoch(epoch_index, snapshots)``
+        called after every barrier with ``{cell_id: {"events",
+        "finished"}}``; may return ``{cell_id: command}`` to deliver —
+        via ``apply_command`` — before the next epoch.  This is the
+        cross-shard interaction channel (fleet-level routing or
+        autoscaling decisions); commands are logged with the epoch so
+        crash replay reproduces them.
+    max_epochs:
+        Runaway guard for cells that never finish.
+    """
+
+    def __init__(self, specs: Sequence[CellSpec], epoch_seconds: float,
+                 on_epoch: Optional[Callable[[int, dict], Optional[dict]]]
+                 = None,
+                 max_epochs: int = 1_000_000):
+        if not specs:
+            raise ValueError("need at least one cell")
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be positive")
+        self.specs = list(specs)
+        self.epoch_seconds = float(epoch_seconds)
+        self.on_epoch = on_epoch
+        self.max_epochs = int(max_epochs)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, n_shards: int = 1,
+            use_processes: Optional[bool] = None,
+            mp_context: Optional[str] = None) -> dict:
+        """Run every cell to completion; return cells + merged events.
+
+        ``n_shards`` workers share the cells round-robin (cell ``i`` →
+        shard ``i % n_shards``).  ``use_processes`` defaults to
+        ``n_shards > 1``; with ``False`` the same epoch loop runs
+        in-process (useful for tests and one-shard runs — the results
+        are identical either way, which the differential tests assert).
+
+        Returns ``{"cells": [result, ...] in cell order, "events":
+        canonically merged event tuples, "epochs": barrier count,
+        "n_shards": ..., "execution": {...}}`` — everything outside
+        ``"execution"`` (pids, RSS, respawns) is deterministic in
+        (seed, config).
+        """
+        n_cells = len(self.specs)
+        n_shards = max(1, min(int(n_shards), n_cells))
+        if use_processes is None:
+            use_processes = n_shards > 1
+        if use_processes:
+            return self._run_pooled(n_shards, mp_context)
+        return self._run_inline(n_shards)
+
+    def _loop(self, step_epoch: Callable[[float, dict], dict]) -> tuple:
+        """The shared barrier loop; returns (buffers, epochs)."""
+        buffers: dict[int, list] = {i: [] for i in range(len(self.specs))}
+        finished = {i: False for i in range(len(self.specs))}
+        commands: dict = {}
+        epoch = 0
+        while not all(finished.values()):
+            if epoch >= self.max_epochs:
+                raise RuntimeError(
+                    f"cells {[i for i, f in finished.items() if not f]} "
+                    f"still running after {epoch} epochs")
+            t_end = self.epoch_seconds * (epoch + 1)
+            snapshots = step_epoch(t_end, commands)
+            for cell_id, snap in snapshots.items():
+                buffers[cell_id].extend(snap["events"])
+                finished[cell_id] = snap["finished"]
+            commands = {}
+            if self.on_epoch is not None:
+                commands = self.on_epoch(epoch, snapshots) or {}
+            epoch += 1
+        return buffers, epoch
+
+    def _run_inline(self, n_shards: int) -> dict:
+        cells = [spec.build() for spec in self.specs]
+        done = [False] * len(cells)
+
+        def step_epoch(t_end: float, commands: dict) -> dict:
+            snapshots = {}
+            for cell_id, cell in enumerate(cells):
+                if commands and cell_id in commands:
+                    cell.apply_command(commands[cell_id])
+                if not done[cell_id]:
+                    done[cell_id] = bool(cell.advance(t_end))
+                snapshots[cell_id] = {"events": cell.drain_events(),
+                                      "finished": done[cell_id]}
+            return snapshots
+
+        buffers, epochs = self._loop(step_epoch)
+        return self._finish(
+            {i: cell.result() for i, cell in enumerate(cells)},
+            buffers, epochs, n_shards,
+            execution={"processes": False, "worker_pids": [],
+                       "worker_rss_growth_kb": [], "worker_respawns": []})
+
+    def _run_pooled(self, n_shards: int,
+                    mp_context: Optional[str]) -> dict:
+        from repro.runner.shardpool import ShardWorkerPool
+
+        assignments: list[list[tuple]] = [[] for _ in range(n_shards)]
+        for cell_id, spec in enumerate(self.specs):
+            assignments[cell_id % n_shards].append((cell_id, spec))
+        with ShardWorkerPool(assignments, mp_context=mp_context) as pool:
+            buffers, epochs = self._loop(pool.step_epoch)
+            results = pool.results()
+        return self._finish(
+            results["cells"], buffers, epochs, n_shards,
+            execution={"processes": True,
+                       "worker_pids": results["worker_pids"],
+                       "worker_rss_growth_kb":
+                           results["worker_rss_growth_kb"],
+                       "worker_respawns": results["worker_respawns"]})
+
+    def _finish(self, cell_results: dict, buffers: dict, epochs: int,
+                n_shards: int, execution: dict) -> dict:
+        return {
+            "cells": [cell_results[i] for i in range(len(self.specs))],
+            "events": merge_event_streams(sorted(buffers.items())),
+            "epochs": epochs,
+            "n_shards": n_shards,
+            "execution": execution,
+        }

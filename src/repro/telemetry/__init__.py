@@ -21,6 +21,8 @@ from repro.telemetry.streaming import (
     ReservoirSample,
     StreamingLatencyStats,
     WindowedRates,
+    merge_event_streams,
+    replay_latency_stats,
 )
 
 __all__ = [
@@ -34,7 +36,9 @@ __all__ = [
     "WindowedRates",
     "cost_report",
     "critical_path",
+    "merge_event_streams",
     "parallelism_profile",
+    "replay_latency_stats",
     "task_graph",
     "series_to_csv",
     "stats_to_dict",

@@ -28,7 +28,9 @@ from __future__ import annotations
 import math
 import random
 from collections import deque
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.sim.numerics import KahanSum
 from repro.telemetry.metrics import LatencyStats
@@ -38,6 +40,8 @@ __all__ = [
     "ReservoirSample",
     "StreamingLatencyStats",
     "WindowedRates",
+    "merge_event_streams",
+    "replay_latency_stats",
 ]
 
 
@@ -185,6 +189,43 @@ class StreamingLatencyStats:
         self._p95.add(latency)
         self._p99.add(latency)
 
+    def add_many(self, latencies) -> None:
+        """Ingest a batch of latencies, bit-identical to repeated :meth:`add`.
+
+        The batch is staged through one numpy array: the negativity
+        check, ``count``, and ``min``/``max`` are vectorised (order-free
+        reductions, so exactly equal to the sequential comparisons),
+        while the Kahan sum and the three P² estimators — inherently
+        sequential recurrences — consume the array in a tight local
+        loop.  This is the merge path's ingestion primitive: replaying a
+        canonically-ordered shard stream through ``add_many`` yields the
+        same accumulator state as the single-process run's per-event
+        ``add`` calls.
+        """
+        arr = np.asarray(latencies, dtype=np.float64)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if arr.size == 0:
+            return
+        if arr.min() < 0:
+            raise ValueError("latencies must be non-negative")
+        self.count += arr.size
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self.minimum:
+            self.minimum = lo
+        if hi > self.maximum:
+            self.maximum = hi
+        sum_add = self._sum.add
+        p50_add = self._p50.add
+        p95_add = self._p95.add
+        p99_add = self._p99.add
+        for x in arr.tolist():
+            sum_add(x)
+            p50_add(x)
+            p95_add(x)
+            p99_add(x)
+
     @property
     def mean(self) -> float:
         if self.count == 0:
@@ -265,3 +306,67 @@ class WindowedRates:
             out.append((self._cur_idx * self.window,
                         self._cur_count / self.window))
         return out
+
+
+# ------------------------------------------------------- deterministic merge
+
+def merge_event_streams(
+        streams: Sequence[tuple[int, Sequence[tuple]]]) -> list[tuple]:
+    """Merge per-cell event streams into the canonical global order.
+
+    ``streams`` is a sequence of ``(cell_id, events)`` pairs, where each
+    event is a tuple whose first element is its timestamp and each
+    per-cell list is already time-ordered (true for anything recorded
+    from a single simulation environment).  The result is every event,
+    ordered by the **canonical key** ``(time, cell_id, within-cell
+    sequence)`` via one numpy lexsort.
+
+    Because the key is global — it mentions nothing about shards,
+    workers, or arrival order of the ``streams`` argument — the merge is
+    invariant in:
+
+    - the order the per-cell streams are presented (any shard may
+      report first);
+    - how cells were grouped onto shards (1 worker or 7);
+    - where epoch barriers fell (splitting one cell's stream into
+      epoch fragments and concatenating them is the identity).
+
+    Cross-cell timestamp ties are broken by ``cell_id`` — deterministic,
+    though not necessarily the interleaving a single shared event loop
+    would have produced; the sharded engine's differential tests pin
+    this down on the real scenarios.
+    """
+    per_cell = sorted(streams, key=lambda s: s[0])
+    events: list[tuple] = []
+    times: list[float] = []
+    cells: list[int] = []
+    for cell_id, cell_events in per_cell:
+        for ev in cell_events:
+            events.append(ev)
+            times.append(ev[0])
+            cells.append(cell_id)
+    if not events:
+        return []
+    order = np.lexsort((np.arange(len(events)),
+                        np.asarray(cells, dtype=np.int64),
+                        np.asarray(times, dtype=np.float64)))
+    return [events[i] for i in order]
+
+
+def replay_latency_stats(merged_events: Sequence[tuple],
+                         value_index: int = 1) -> StreamingLatencyStats:
+    """Feed a merged event stream into a fresh accumulator.
+
+    Order-sensitive accumulators (P² markers, Kahan compensation,
+    reservoir coin flips) admit no bit-exact O(1) state merge, so the
+    sharded engine merges by **replay**: sort the buffered per-cell
+    events canonically (:func:`merge_event_streams`), then push the
+    ``value_index``-th field of each through one accumulator.  For a
+    single cell the canonical order *is* the original completion order,
+    which makes the one-cell sharded run's statistics bit-identical to
+    the unsharded engine's.
+    """
+    stats = StreamingLatencyStats()
+    if merged_events:
+        stats.add_many([ev[value_index] for ev in merged_events])
+    return stats

@@ -52,6 +52,22 @@ __all__ = ["FleetAutoscaler"]
 TECHNIQUES = ("mps", "mig")
 
 
+def _chain_taps(prior, tap):
+    """Compose completion taps instead of clobbering an installed one.
+
+    The sharded engine installs an event-recording tap on each group's
+    stats before the autoscaler exists; both must keep firing.
+    """
+    if prior is None:
+        return tap
+
+    def chained(latency: float, in_slo: bool) -> None:
+        prior(latency, in_slo)
+        tap(latency, in_slo)
+
+    return chained
+
+
 class _Monitor:
     """Per-function demand/health window (O(1) state)."""
 
@@ -128,7 +144,8 @@ class FleetAutoscaler:
         for name, group in fleet.groups.items():
             monitor = _Monitor(violation_quantile)
             self._monitors[name] = monitor
-            group.stats.on_completion = monitor.observe
+            group.stats.on_completion = _chain_taps(
+                group.stats.on_completion, monitor.observe)
         self._last_applied = -math.inf
         self._proc = None
 

@@ -1,0 +1,242 @@
+"""ShardWorkerPool: long-lived reuse, crash respawn, deterministic replay.
+
+The pool's contract (ISSUE satellite 4): workers are *reused* across
+epoch barriers (one pipe round trip per epoch, no per-epoch spawn), and
+a worker that dies mid-run is respawned and deterministically replayed
+from the logged epochs — the run's merged output is bit-identical to a
+run with no crash.  A worker that deterministically *raises* must fail
+fast instead of respawn-looping.
+
+Cells here are tiny module-level counters (picklable by reference) so
+the tests exercise the pool mechanics, not a full simulation scenario.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runner import ShardWorkerError, ShardWorkerPool
+from repro.sim.sharded import CellSpec, ShardedSimulation
+
+
+class CounterCell:
+    """Deterministic test cell: emits one event per simulated second.
+
+    ``crash_sentinel`` arms a one-shot hard crash: the first ``advance``
+    past ``crash_at`` removes the sentinel file and kills the *process*
+    (``os._exit``), exactly like a segfaulting worker.  The replayed
+    worker finds no sentinel and sails through — crashes are environment
+    events, not part of the deterministic model.  ``raise_at`` instead
+    raises every time: a deterministic cell bug.
+    """
+
+    def __init__(self, cell_id, n_events=8, crash_sentinel=None,
+                 crash_at=None, raise_at=None):
+        self.cell_id = cell_id
+        self.n_events = n_events
+        self.crash_sentinel = crash_sentinel
+        self.crash_at = crash_at
+        self.raise_at = raise_at
+        self.emitted = 0
+        self.events = []
+        self.commands = []
+
+    def advance(self, horizon):
+        if (self.crash_at is not None and horizon >= self.crash_at
+                and self.crash_sentinel and
+                os.path.exists(self.crash_sentinel)):
+            try:
+                os.remove(self.crash_sentinel)
+            except OSError:
+                pass  # undying sentinel (a directory): crash every time
+            os._exit(1)
+        if self.raise_at is not None and horizon >= self.raise_at:
+            raise RuntimeError("deterministic cell bug")
+        while self.emitted < self.n_events and self.emitted + 1 <= horizon:
+            self.emitted += 1
+            self.events.append((float(self.emitted), self.cell_id,
+                                self.emitted))
+        return self.emitted >= self.n_events
+
+    def drain_events(self):
+        out = list(self.events)
+        self.events.clear()
+        return out
+
+    def apply_command(self, command):
+        self.commands.append(command)
+
+    def result(self):
+        return {"cell_id": self.cell_id, "emitted": self.emitted,
+                "commands": list(self.commands)}
+
+
+def counter_specs(n_cells, **kwargs):
+    return [CellSpec(CounterCell, dict(kwargs, cell_id=i),
+                     name=f"counter{i}")
+            for i in range(n_cells)]
+
+
+def assignments(specs, n_workers):
+    groups = [[] for _ in range(n_workers)]
+    for cell_id, spec in enumerate(specs):
+        groups[cell_id % n_workers].append((cell_id, spec))
+    return groups
+
+
+def drive(pool, epochs=(2.0, 4.0, 6.0, 8.0), commands=None):
+    """Run the barriers; return (all snapshots, final results)."""
+    snaps = [pool.step_epoch(t, (commands or {}).get(t)) for t in epochs]
+    return snaps, pool.results()
+
+
+# -- long-lived reuse --------------------------------------------------------
+
+def test_workers_are_reused_across_epochs():
+    """Same PIDs at every barrier — cells live in one process for the
+    whole run instead of being rebuilt per epoch."""
+    with ShardWorkerPool(assignments(counter_specs(4), 2)) as pool:
+        pids0 = pool.worker_pids()
+        assert len(pids0) == 2
+        for t in (2.0, 4.0, 6.0, 8.0):
+            pool.step_epoch(t)
+            assert pool.worker_pids() == pids0
+        out = pool.results()
+    assert out["worker_pids"] == pids0
+    assert out["worker_respawns"] == [0, 0]
+    assert {cid: r["emitted"] for cid, r in out["cells"].items()} == \
+        {0: 8, 1: 8, 2: 8, 3: 8}
+
+
+def test_state_accumulates_in_worker_not_per_epoch():
+    """Each barrier drains only the *new* events — proof the cell object
+    persisted (a rebuilt cell would re-emit from scratch)."""
+    with ShardWorkerPool(assignments(counter_specs(1), 1)) as pool:
+        first = pool.step_epoch(3.0)[0]["events"]
+        second = pool.step_epoch(6.0)[0]["events"]
+    assert [ev[0] for ev in first] == [1.0, 2.0, 3.0]
+    assert [ev[0] for ev in second] == [4.0, 5.0, 6.0]
+
+
+def test_commands_are_delivered_before_the_epoch():
+    with ShardWorkerPool(assignments(counter_specs(2), 2)) as pool:
+        pool.step_epoch(2.0)
+        pool.step_epoch(4.0, commands={1: {"op": "tune", "value": 7}})
+        out = pool.results()
+    assert out["cells"][0]["commands"] == []
+    assert out["cells"][1]["commands"] == [{"op": "tune", "value": 7}]
+
+
+# -- crash respawn + deterministic replay ------------------------------------
+
+def run_with_optional_crash(tmp_path, crash):
+    kwargs = {}
+    if crash:
+        sentinel = tmp_path / "crash-once"
+        sentinel.write_text("armed")
+        kwargs = {"crash_sentinel": str(sentinel), "crash_at": 4.0}
+    specs = counter_specs(3)
+    # Arm only cell 1 so the crash kills one worker of two.
+    if crash:
+        specs[1] = CellSpec(CounterCell, dict(kwargs, cell_id=1),
+                            name="counter1")
+    groups = assignments(specs, 2)
+    commands = {6.0: {1: {"op": "note"}}}
+    with ShardWorkerPool(groups) as pool:
+        snaps, out = drive(pool, commands=commands)
+    return snaps, out
+
+
+def test_crashed_worker_respawns_and_replays_bit_identically(tmp_path):
+    """One hard crash mid-run: the pool rebuilds the worker, replays the
+    logged epochs, and the merged events + results equal the crash-free
+    run exactly.  Only the respawn counter differs."""
+    clean_snaps, clean = run_with_optional_crash(tmp_path, crash=False)
+    crash_snaps, crashed = run_with_optional_crash(tmp_path, crash=True)
+
+    assert crashed["worker_respawns"] == [0, 1]
+    assert crashed["cells"] == clean["cells"]
+    # Replay re-drains already-merged epochs inside _respawn (discarded
+    # there); the snapshots the caller sees are still identical.
+    assert crash_snaps == clean_snaps
+
+
+def test_crash_during_replayed_command_epoch(tmp_path):
+    """Crash armed *after* a command barrier: replay must re-apply the
+    logged command so the rebuilt cell sees it exactly once."""
+    sentinel = tmp_path / "late-crash"
+    sentinel.write_text("armed")
+    specs = counter_specs(2)
+    specs[1] = CellSpec(CounterCell, {
+        "cell_id": 1, "crash_sentinel": str(sentinel), "crash_at": 8.0,
+    }, name="counter1")
+    with ShardWorkerPool(assignments(specs, 2)) as pool:
+        pool.step_epoch(2.0)
+        pool.step_epoch(4.0, commands={1: {"op": "tune"}})
+        pool.step_epoch(6.0)
+        pool.step_epoch(8.0)  # crash + replay happens here
+        out = pool.results()
+    assert out["worker_respawns"] == [0, 1]
+    assert out["cells"][1]["commands"] == [{"op": "tune"}]
+    assert out["cells"][1]["emitted"] == 8
+
+
+def test_respawn_budget_exhaustion_raises(tmp_path):
+    """A worker that keeps dying (sentinel never consumed — a directory
+    can't be os.remove'd) exhausts the budget instead of looping."""
+    sentinel = tmp_path / "undying"
+    sentinel.mkdir()
+    specs = [CellSpec(CounterCell, {
+        "cell_id": 0, "crash_sentinel": str(sentinel), "crash_at": 2.0,
+    })]
+    with ShardWorkerPool([[(0, specs[0])]], max_respawns=2) as pool:
+        with pytest.raises(ShardWorkerError, match="respawn budget"):
+            pool.step_epoch(2.0)
+
+
+def test_deterministic_raise_fails_fast():
+    """A cell that raises forwards its traceback; no respawn attempts —
+    replaying a deterministic bug would loop forever."""
+    specs = counter_specs(2)
+    specs[1] = CellSpec(CounterCell, {"cell_id": 1, "raise_at": 4.0})
+    with ShardWorkerPool(assignments(specs, 2)) as pool:
+        pool.step_epoch(2.0)
+        with pytest.raises(ShardWorkerError,
+                           match="deterministic cell bug"):
+            pool.step_epoch(4.0)
+        assert pool._workers[1].respawns == 0
+
+
+def test_duplicate_cell_id_rejected():
+    spec = CellSpec(CounterCell, {"cell_id": 0})
+    with pytest.raises(ValueError, match="duplicate cell id"):
+        ShardWorkerPool([[(0, spec)], [(0, spec)]])
+
+
+# -- end to end through ShardedSimulation ------------------------------------
+
+def test_sharded_simulation_survives_a_crash(tmp_path):
+    """Full engine: a pooled run with one mid-run crash produces the
+    same deterministic payload as the in-process run."""
+    sentinel = tmp_path / "sim-crash"
+    sentinel.write_text("armed")
+
+    def build(crash):
+        specs = counter_specs(3, n_events=10)
+        if crash:
+            specs[2] = CellSpec(CounterCell, {
+                "cell_id": 2, "n_events": 10,
+                "crash_sentinel": str(sentinel), "crash_at": 6.0,
+            }, name="counter2")
+        return ShardedSimulation(specs, epoch_seconds=3.0)
+
+    inline = build(False).run(n_shards=1, use_processes=False)
+    pooled = build(True).run(n_shards=2, use_processes=True)
+
+    # Round-robin puts cells {0, 2} on worker 0 — the one that crashed.
+    assert pooled["execution"]["worker_respawns"] == [1, 0]
+    assert pooled["cells"] == inline["cells"]
+    assert pooled["events"] == inline["events"]
+    assert pooled["epochs"] == inline["epochs"]

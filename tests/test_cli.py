@@ -113,7 +113,7 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
                   "--out", str(out_path))
     assert "wrote" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro-bench/4"
+    assert report["schema"] == "repro-bench/5"
     assert report["quick"] is True
     assert report["micro"]["event_queue"]["events_per_sec"] > 0
     for sweep in report["sweeps"].values():
@@ -130,6 +130,11 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
     assert scale["streaming"]["events"] == scale["legacy"]["events"]
     assert scale["streaming"]["latency"]["mean"] == pytest.approx(
         scale["legacy"]["latency"]["mean"], rel=1e-9)
+    sharded = scale["sharded"]
+    assert sharded["gate"]["identical"] is True
+    assert sharded["gate"]["pass"] is True
+    assert sharded["sharded"]["worker_respawns"] == \
+        [0] * len(sharded["sharded"]["worker_respawns"])
     assert "speedup" in out
     resilience = report["resilience"]
     assert resilience["gate"]["lost"] == 0
@@ -168,6 +173,32 @@ def test_serve_command_without_faults(capsys):
     out = run_cli(capsys, "serve", "--requests", "40", "--rate", "2.0",
                   "--mode", "timeshare")
     assert "faults applied  0" in out
+
+
+def test_serve_sharded_twin_runs_write_identical_json(capsys, tmp_path):
+    """``--shards 2`` twin runs and a ``--shards 1`` run of the same
+    cells produce byte-identical reports — the CI determinism gate."""
+    paths = {name: tmp_path / f"{name}.json"
+             for name in ("twin_a", "twin_b", "single")}
+    for name, shards in (("twin_a", "2"), ("twin_b", "2"),
+                         ("single", "1")):
+        out = run_cli(capsys, "serve", "--requests", "60", "--rate", "3.0",
+                      "--seed", "5", "--chaos", "--shards", shards,
+                      "--cells", "2", "--out", str(paths[name]))
+        assert "events digest" in out
+    twin_a = paths["twin_a"].read_bytes()
+    assert twin_a == paths["twin_b"].read_bytes()
+    assert twin_a == paths["single"].read_bytes()
+
+
+def test_serve_sharded_rejects_faults_file(capsys, tmp_path):
+    from repro.bench.resilience_experiments import canonical_fault_plan
+
+    plan_path = tmp_path / "plan.json"
+    canonical_fault_plan(20.0, seed=3).save(plan_path)
+    with pytest.raises(SystemExit):
+        main(["serve", "--requests", "40", "--shards", "2",
+              "--faults", str(plan_path)])
 
 
 def test_stats_flag_prints_summary_line(capsys):
