@@ -7,14 +7,19 @@ PR gives future changes a trajectory to regress against: if events/sec
 or a sweep wall-clock moves the wrong way, the diff that did it is one
 ``git log BENCH_*.json`` away.
 
-Schema (``repro-bench/5``)::
+Schema (``repro-bench/6``)::
 
     {
-      "schema": "repro-bench/5",
+      "schema": "repro-bench/6",
       "date": "YYYY-MM-DD",
+      "git_sha": str | null,          # HEAD at collection time
       "quick": bool,                  # reduced sizes (CI smoke)
       "jobs": int,                    # worker processes for parallel runs
       "platform": {...},              # python / cpu_count
+      "profile": {...} | null,        # event-loop profiler summary
+                                      # (``--profile`` runs only): per-site
+                                      # event counts + wall attribution from
+                                      # a second, instrumented micro pass
       "micro": {name: {..., "events_per_sec" | "per_sec": float}},
       "sweeps": {name: {"configs": int,
                         "serial_seconds": float,
@@ -64,9 +69,10 @@ Schema (``repro-bench/5``)::
     }
 
 ``/1`` reports lack the ``scale`` section, ``/2`` reports the
-``resilience`` section, ``/3`` reports the ``autoscale`` section, and
-``/4`` reports the ``scale.sharded`` subsection; everything else is
-unchanged, so trajectory tooling can read all five.
+``resilience`` section, ``/3`` reports the ``autoscale`` section, ``/4``
+reports the ``scale.sharded`` subsection, and ``/5`` reports
+``git_sha``/``profile``; everything else is unchanged, so trajectory
+tooling can read all six (readers must tolerate missing keys).
 """
 
 from __future__ import annotations
@@ -221,8 +227,39 @@ def _time_sweep(fn, jobs: int) -> dict:
 
 # ------------------------------------------------------------------ driver
 
-def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
-    """Run every microbenchmark and sweep timing; return the report dict."""
+def _git_sha() -> Optional[str]:
+    """HEAD commit of the source tree, or ``None`` outside a checkout."""
+    import subprocess
+
+    root = os.path.dirname(default_bench_path())
+    try:
+        out = subprocess.run(
+            ["git", "-C", root, "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _run_micro(micro_sizes: dict) -> dict:
+    return {
+        "event_queue": _bench_event_queue(*micro_sizes["event_queue"]),
+        "fluid_churn": _bench_fluid_churn(*micro_sizes["fluid_churn"]),
+        "gpu_allocator": _bench_gpu_allocator(*micro_sizes["gpu_allocator"]),
+        "decode_kernel": _bench_decode_kernel(*micro_sizes["decode_kernel"]),
+    }
+
+
+def collect_bench(quick: bool = False, jobs: Optional[int] = None,
+                  profile: bool = False) -> dict:
+    """Run every microbenchmark and sweep timing; return the report dict.
+
+    With ``profile=True`` the micro suite runs a second time under the
+    event-loop profiler and the per-site attribution summary lands in
+    the ``profile`` section — the timed numbers always come from the
+    uninstrumented pass, so profiled and plain reports stay comparable.
+    """
     if jobs is None:
         from repro.runner import default_jobs
 
@@ -233,12 +270,14 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
         "gpu_allocator": (4, 50) if quick else (4, 400),
         "decode_kernel": (2_000,) if quick else (50_000,),
     }
-    micro = {
-        "event_queue": _bench_event_queue(*micro_sizes["event_queue"]),
-        "fluid_churn": _bench_fluid_churn(*micro_sizes["fluid_churn"]),
-        "gpu_allocator": _bench_gpu_allocator(*micro_sizes["gpu_allocator"]),
-        "decode_kernel": _bench_decode_kernel(*micro_sizes["decode_kernel"]),
-    }
+    micro = _run_micro(micro_sizes)
+    profile_summary = None
+    if profile:
+        from repro.profile import profiling
+
+        with profiling() as prof:
+            _run_micro(micro_sizes)
+        profile_summary = prof.summary(top=10)
     sweeps = {name: _time_sweep(fn, jobs)
               for name, fn in _sweep_fns(quick).items()}
     from repro.bench.autoscale_experiments import autoscale_report
@@ -249,14 +288,16 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None) -> dict:
     resilience = resilience_report(quick=quick)
     autoscale = autoscale_report(quick=quick)
     return {
-        "schema": "repro-bench/5",
+        "schema": "repro-bench/6",
         "date": datetime.date.today().isoformat(),
+        "git_sha": _git_sha(),
         "quick": quick,
         "jobs": jobs,
         "platform": {
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
         },
+        "profile": profile_summary,
         "micro": micro,
         "sweeps": sweeps,
         "scale": scale,
@@ -274,9 +315,10 @@ def default_bench_path(date: Optional[str] = None) -> str:
 
 
 def write_bench_json(path: Optional[str] = None, quick: bool = False,
-                     jobs: Optional[int] = None) -> tuple[str, dict]:
+                     jobs: Optional[int] = None,
+                     profile: bool = False) -> tuple[str, dict]:
     """Collect the report and write it; returns ``(path, report)``."""
-    report = collect_bench(quick=quick, jobs=jobs)
+    report = collect_bench(quick=quick, jobs=jobs, profile=profile)
     path = path or default_bench_path(report["date"])
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

@@ -175,7 +175,8 @@ def _cmd_weightcache(args, ctx) -> str:
 
 def _cmd_bench(args, ctx) -> str:
     path, report = write_bench_json(path=args.out, quick=args.quick,
-                                    jobs=ctx.jobs)
+                                    jobs=ctx.jobs,
+                                    profile=getattr(args, "profile", False))
     rows = [[name, f"{m.get('events_per_sec', m.get('per_sec', 0)):,.0f}"]
             for name, m in sorted(report["micro"].items())]
     micro = format_table(["microbenchmark", "events|items / s"], rows,
@@ -267,12 +268,23 @@ def _cmd_bench(args, ctx) -> str:
         ["autoscale (in-SLO fraction of offered)", "value", "note"], rows,
         title=f"Online repartitioning "
               f"(gate {'PASS' if asc_gate['pass'] else 'FAIL'})")
-    return (f"{micro}\n\n{sweeps}\n\n{scale_table}\n"
-            f"streaming vs legacy speedup: {scale['speedup']:.2f}x"
-            f"\n\n{sharded_table}\n{sharded_note}"
-            f"\n\n{res_table}"
-            f"\n\n{asc_table}"
-            f"\n\nwrote {path}")
+    out = (f"{micro}\n\n{sweeps}\n\n{scale_table}\n"
+           f"streaming vs legacy speedup: {scale['speedup']:.2f}x"
+           f"\n\n{sharded_table}\n{sharded_note}"
+           f"\n\n{res_table}"
+           f"\n\n{asc_table}")
+    if report.get("profile"):
+        prof = report["profile"]
+        rows = [[s["site"].split("/src/")[-1], f"{s['events']:,}",
+                 f"{s['wall_pct']:.1f}%"]
+                for s in prof["top_sites"]]
+        prof_table = format_table(
+            ["callback site", "events", "wall %"], rows,
+            title=f"Event-loop profile ({prof['events']:,} events, "
+                  f"{prof['distinct_sites']} sites, "
+                  f"{prof['wall_seconds_in_callbacks']:.2f}s in callbacks)")
+        out += f"\n\n{prof_table}"
+    return out + f"\n\nwrote {path}"
 
 
 def _cmd_serve(args, ctx) -> str:
@@ -296,9 +308,19 @@ def _cmd_serve(args, ctx) -> str:
         from repro.bench.resilience_experiments import canonical_fault_plan
 
         plan = canonical_fault_plan(args.requests / rate, seed=args.seed)
-    report = run_resilient_fleet(
-        args.mode, args.requests, rate_rps=rate, deadline_seconds=slo,
-        seed=args.seed, plan=plan)
+    prof = None
+    if getattr(args, "profile", False):
+        from repro.profile import profiling
+
+        with profiling() as prof:
+            report = run_resilient_fleet(
+                args.mode, args.requests, rate_rps=rate,
+                deadline_seconds=slo, seed=args.seed, plan=plan)
+        report["profile"] = prof.report(top=15)
+    else:
+        report = run_resilient_fleet(
+            args.mode, args.requests, rate_rps=rate, deadline_seconds=slo,
+            seed=args.seed, plan=plan)
     report.pop("ecc_log")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -326,6 +348,10 @@ def _cmd_serve(args, ctx) -> str:
         ["metric", "value"], rows,
         title=f"Chaos serving — {args.mode}, {args.requests} requests "
               f"at {rate:g} rps, SLO {slo:g}s")
+    if prof is not None:
+        import json as _json
+
+        table += "\n" + _json.dumps(report["profile"], indent=2)
     if args.out:
         table += f"\nwrote {args.out}"
     return table
@@ -529,6 +555,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_weightcache)
 
     p = sub.add_parser("bench", help="time hot paths & sweeps, write JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="also run the micro suite under the event-loop "
+                        "profiler; per-site attribution lands in the "
+                        "report's 'profile' section")
     p.add_argument("--quick", action="store_true",
                    help="reduced sizes (CI smoke run)")
     p.add_argument("--out", default=None, metavar="PATH",
@@ -567,6 +597,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=600.0,
                    metavar="SECONDS",
                    help="autoscale trace horizon (default: 600)")
+    p.add_argument("--profile", action="store_true",
+                   help="run under the event-loop profiler and append "
+                        "per-site attribution JSON (single-process "
+                        "serve only; sharded workers are not captured)")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write the resilience report as JSON")
     p.set_defaults(fn=_cmd_serve)

@@ -46,6 +46,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.sim.core import Environment, Event, SimulationError
 from repro.sim.fluid import FluidPool, FluidTask
 from repro.sim.numerics import KahanSum
@@ -57,6 +59,11 @@ __all__ = ["AllocatorMismatch", "GpuClient", "ShareGroup", "SimulatedGPU"]
 
 _client_ids = itertools.count()
 _group_ids = itertools.count()
+
+#: Group size at which the allocator's per-group math switches from the
+#: scalar loops to numpy kernels (below it, ufunc dispatch overhead
+#: exceeds the loop cost; the paths are bit-identical either way).
+_VEC_MIN_GROUP = 64
 
 
 class AllocatorMismatch(SimulationError):
@@ -256,18 +263,25 @@ class _GroupAllocState:
     that value — the cache memoises, it never delta-updates.
     """
 
-    __slots__ = ("budget", "overhead", "sm_alloc", "bw_demand",
-                 "bw_demand_sum", "share", "bw_alloc", "sm_sum", "bw_sum",
-                 "demands", "kinfo")
+    __slots__ = ("budget", "overhead", "sm_list", "bwd_list",
+                 "bw_demand_sum", "share", "bw_list", "sm_sum", "bw_sum",
+                 "demands", "kinfo", "gcap", "gdemand")
 
     def __init__(self) -> None:
         self.budget = -1.0
         self.overhead = 0.0
-        self.sm_alloc: dict[int, float] = {}
-        self.bw_demand: dict[int, float] = {}
+        # Group-level bandwidth cap and cap-limited demand as of the
+        # last stale pass (inputs to the group-level waterfill).
+        self.gcap = 0.0
+        self.gdemand = 0.0
+        # Per-task allocation columns as parallel lists in group-task
+        # (residency/kinfo) order — positional access keeps the hot
+        # rates pass free of per-task dict lookups.
+        self.sm_list: list[float] = []
+        self.bwd_list: list[float] = []
         self.bw_demand_sum = 0.0
         self.share: Optional[float] = None
-        self.bw_alloc: dict[int, float] = {}
+        self.bw_list: list[float] = []
         # Per-task caches that survive recomputes: the raw SM demand
         # (a function of the task's kernel, its client's cap, and the
         # group budget — the caller rebuilds the state on budget change)
@@ -275,7 +289,7 @@ class _GroupAllocState:
         # for departed tasks are popped by the membership hook.
         self.demands: dict[int, float] = {}
         self.kinfo: dict[int, tuple] = {}
-        # Per-group subtotals of sm_alloc/bw_alloc (in group-task order):
+        # Per-group subtotals of sm_list/bw_list (in group-task order):
         # the device totals are the sum of these over groups, so a clean
         # group contributes O(1) work to the totals instead of O(tasks).
         self.sm_sum = 0.0
@@ -348,6 +362,31 @@ class SimulatedGPU:
         # skips the whole by-client pass.
         self._gclients: dict[int, dict[int, int]] = {}
         self._grep: dict[int, int] = {}
+        # Cross-call caches for the incremental path.  With k resident
+        # groups and (typically) one dirty group per membership change,
+        # the allocator only visits stale groups: the first-task group
+        # ordering, the count of fair-policy groups, and each group's
+        # bandwidth cap and cap-limited demand are all carried between
+        # calls and invalidated by the membership hook (ordering, fair
+        # count) or by a pool-epoch / fair-count change (caps, demands —
+        # external capacity changes reach the allocator via poke, which
+        # bumps the pool epoch).
+        self._order: list[tuple[int, int]] = []
+        self._order_stale = True
+        self._n_fair = 0
+        # Group-order-aligned list of the per-group state objects: the
+        # demand-sum and totals loops iterate it without dict lookups.
+        # Invalidated with the ordering, and whenever a state object is
+        # (re)created outside an ordering change (solo-path eviction).
+        self._ostates: list[_GroupAllocState] = []
+        self._ostates_stale = True
+        self._seen_epoch = -1
+        self._seen_n_fair = -1
+        # Whether the last incremental pass water-filled the group
+        # shares.  While consecutive passes stay uncontended, a clean
+        # group's share equals its unchanged demand, so the rates pass
+        # can visit stale groups only.
+        self._was_contended = True
         #: Allocator invocations (every admit/complete/poke that changed
         #: the resident set or external capacity).
         self.alloc_calls = 0
@@ -451,6 +490,9 @@ class SimulatedGPU:
                 self._rgroups[gid] = group
                 self._gclients[gid] = {}
                 self._grep[gid] = 0
+                self._order_stale = True
+                if group.sm_policy == "fair":
+                    self._n_fair += 1
             res[task.tid] = task
             counts = self._gclients[gid]
             c = counts.get(cid, 0) + 1
@@ -459,6 +501,10 @@ class SimulatedGPU:
                 self._grep[gid] += 1
         else:
             res = self._resident[gid]
+            if next(iter(res)) == task.tid:
+                # The group's first resident task changes (or the group
+                # vanishes): the cached first-task ordering is stale.
+                self._order_stale = True
             del res[task.tid]
             counts = self._gclients[gid]
             c = counts[cid] - 1
@@ -481,6 +527,8 @@ class SimulatedGPU:
                 # gids are never reused, and the solo path relies on the
                 # cache only holding currently-resident groups.
                 self._galloc.pop(gid, None)
+                if group.sm_policy == "fair":
+                    self._n_fair -= 1
         self._dirty.add(gid)
 
     def _allocate(self, tasks: list[FluidTask]) -> None:
@@ -574,89 +622,147 @@ class SimulatedGPU:
         resident = self._resident
         rgroups = self._rgroups
         dirty = self._dirty
+        states = self._galloc
         # The full path's ordering contract: groups appear in order of
         # their first resident task.  tids are admission-monotonic and
         # each residency dict is in admission order, so its first key is
         # the group's earliest resident task — sorting by that tid
         # reproduces the first-occurrence order over ``tasks`` without
-        # touching the task list (O(#groups log #groups), #groups <= 7
-        # in a fully-partitioned MIG device).
-        order = sorted([(next(iter(res)), gid)
-                        for gid, res in resident.items()])
+        # touching the task list.  The sorted list is cached; the
+        # membership hook flags it stale when a group appears, vanishes,
+        # or loses its first resident task.
+        if self._order_stale:
+            self._order = sorted([(next(iter(res)), gid)
+                                  for gid, res in resident.items()])
+            self._order_stale = False
+            self._ostates_stale = True
+        order = self._order
 
-        n_fair = sum(1 for g in rgroups.values() if g.sm_policy == "fair")
+        n_fair = self._n_fair
         fair_share = spec.sms / n_fair if n_fair else 0.0
+        pool_epoch = self.pool._epoch
+        if pool_epoch != self._seen_epoch or n_fair != self._seen_n_fair:
+            # External capacity change (poke bumps the epoch) or a moved
+            # fair split: every group's budget/cap may have shifted, so
+            # every group is stale this round.
+            self._seen_epoch = pool_epoch
+            self._seen_n_fair = n_fair
+            stale = [gid for _, gid in order]
+            full_round = True
+        elif len(states) != len(resident):
+            # A state object is missing (solo-path eviction): ``states``
+            # is always a subset of ``resident``, so a length mismatch
+            # means some resident group has no cached state.  Visit all.
+            stale = [gid for _, gid in order]
+            full_round = True
+        else:
+            # The membership hook marks every changed group dirty
+            # (including vanished ones, filtered out here), so the dirty
+            # set alone — usually one gid — names the stale groups.
+            stale = [g for g in dirty if g in resident]
+            full_round = False
+        reused = len(order) - len(stale)
 
-        states = self._galloc
-        group_demand: dict[int, float] = {}
-        bw_group_cap: dict[int, float] = {}
-        for _, gid in order:
+        for gid in stale:
             g = rgroups[gid]
             budget = fair_share if g.sm_policy == "fair" else float(g.sm_budget)
             st = states.get(gid)
             if (st is None or gid in dirty or st.budget != budget
                     or st.overhead != g.overhead_factor):
-                st = self._recompute_group(st, resident[gid].values(),
+                if st is None:
+                    self._ostates_stale = True
+                st = self._recompute_group(st, resident[gid],
                                            budget, g.overhead_factor,
                                            self._grep[gid] == 0)
                 states[gid] = st
                 self.alloc_group_recomputes += 1
             else:
-                self.alloc_group_reuses += 1
+                reused += 1
             cap = g.effective_bw_cap
             if g.sm_policy == "fair":
                 cap = min(cap, spec.bandwidth / max(1, n_fair))
-            bw_group_cap[gid] = cap
-            group_demand[gid] = min(st.bw_demand_sum, cap)
+            st.gcap = cap
+            st.gdemand = min(st.bw_demand_sum, cap)
+        self.alloc_group_reuses += reused
         dirty.clear()
+
+        if self._ostates_stale:
+            self._ostates = [states[gid] for _, gid in order]
+            self._ostates_stale = False
+        ostates = self._ostates
 
         # Group-level waterfill always reruns: any group's demand change
         # moves the shared water level.  O(#groups), not O(#tasks).
+        # The demand sum accumulates in first-task group order — the
+        # same sequence of adds the full path's dict-ordered sum runs.
         # Uncontended fast path: when the demand sum sits safely below
         # the budget the waterfill provably hands every group exactly
         # its (already cap-limited) demand.  "Safely" needs a relative
         # margin: at the exact boundary the waterfill's running
         # ``remaining`` subtraction drifts by ulps and the last keys
         # can receive the drifted remainder instead of their demand.
-        if _fits(sum(group_demand.values()), spec.bandwidth):
-            group_share = group_demand
+        demand_sum = 0.0
+        for st in ostates:
+            demand_sum += st.gdemand
+        contended = not _fits(demand_sum, spec.bandwidth)
+        if contended:
+            # The waterfill iterates its demand dict; build both inputs
+            # in the contract (first-task) order.
+            group_share = _waterfill(
+                {gid: states[gid].gdemand for _, gid in order},
+                {gid: states[gid].gcap for _, gid in order},
+                spec.bandwidth)
         else:
-            group_share = _waterfill(group_demand, bw_group_cap,
-                                     spec.bandwidth)
+            group_share = None
+
+        # While consecutive passes stay uncontended every clean group's
+        # share equals its (unchanged) demand and its rates are already
+        # exact, so only the stale groups need the rates pass.  Any
+        # contended pass — or the first uncontended one after it — can
+        # move a clean group's share, so those visit every group.
+        if contended or self._was_contended or full_round:
+            visit = [gid for _, gid in order]
+        else:
+            visit = stale
+        self._was_contended = contended
 
         inf = float("inf")
-        for _, gid in order:
+        for gid in visit:
             st = states[gid]
-            gs = group_share[gid]
+            gs = group_share[gid] if group_share is not None else st.gdemand
             if st.share is not None and st.share == gs:
                 continue  # same split as last time: rates already exact
-            bw_demand = st.bw_demand
+            bwd_list = st.bwd_list
+            n_group = len(bwd_list)
+            if n_group >= _VEC_MIN_GROUP:
+                self._group_rates_vec(st, gs, rgroups[gid].overhead_factor,
+                                      resident[gid])
+                continue
             # Same fast path within the group: a demand sum safely
             # below the group share means every task gets its full
             # demand.  (When bandwidth is uncontended gs *equals* the
             # demand sum, so this intentionally falls through to the
             # exact loop — equality is inside the drift margin.)
             if _fits(st.bw_demand_sum, gs):
-                st.bw_alloc = dict(bw_demand)
+                bw_list = bwd_list[:]
             else:
-                st.bw_alloc = _waterfill_uniform(bw_demand, gs)
+                bw_list = _waterfill_uniform_list(bwd_list, gs)
+            st.bw_list = bw_list
             st.share = gs
             overhead = rgroups[gid].overhead_factor
-            sm_alloc = st.sm_alloc
-            bw_alloc = st.bw_alloc
             bw_sum = 0.0
-            # kinfo mirrors the residency dict (both append on admit
-            # and evict on departure), so the two iterate in lockstep.
-            for t, (bytes_moved, flops, sm_rate) in zip(
-                    resident[gid].values(), st.kinfo.values()):
-                tid = t.tid
-                bw = bw_alloc[tid]
+            # kinfo and the allocation columns mirror the residency dict
+            # (all append on admit and evict on departure), so the five
+            # sequences iterate in lockstep — no per-task dict lookups.
+            for t, (bytes_moved, flops, sm_rate), smv, bw, bwdv in zip(
+                    resident[gid].values(), st.kinfo.values(),
+                    st.sm_list, bw_list, bwd_list):
                 bw_sum += bw
                 rate_c = inf
                 if flops > 0:
-                    rate_c = (sm_rate * sm_alloc[tid] / flops) * overhead
+                    rate_c = (sm_rate * smv / flops) * overhead
                 rate_m = inf
-                if bytes_moved > 0 and bw_demand[tid] > 0:
+                if bytes_moved > 0 and bwdv > 0:
                     rate_m = bw / bytes_moved
                 rate = rate_c if rate_c < rate_m else rate_m
                 t.rate = 0.0 if rate == inf else rate
@@ -667,46 +773,96 @@ class SimulatedGPU:
         # group costs O(1) here instead of an O(#tasks) re-walk.
         total_sm = 0.0
         total_bw = 0.0
-        for _, gid in order:
-            st = states[gid]
+        for st in ostates:
             total_sm += st.sm_sum
             total_bw += st.bw_sum
         self._cur_sm_alloc = total_sm
         self._cur_bw_alloc = total_bw
 
+    def _group_rates_vec(self, st: _GroupAllocState, gs: float,
+                         overhead: float, res: dict) -> None:
+        """Vectorized within-group bandwidth split + rates (large groups).
+
+        Bit-identical to the scalar loop in ``_allocate_incremental``:
+        the waterfill's ``remaining`` sequence is reproduced with
+        ``np.subtract.accumulate`` (sequential, same order), the rate
+        math is the same elementwise operations with the same operand
+        grouping, and the ``bw_sum`` subtotal accumulates left-to-right
+        via ``np.add.accumulate``.  Only worth the ufunc dispatch
+        overhead above ``_VEC_MIN_GROUP`` resident tasks (e.g. MPS
+        groups with hundreds of streams); small groups take the scalar
+        loop.
+        """
+        bwd = np.asarray(st.bwd_list, dtype=np.float64)
+        if _fits(st.bw_demand_sum, gs):
+            bwa = bwd.copy()
+        else:
+            bwa = _waterfill_uniform_arr(bwd, gs)
+        st.bw_list = bwa.tolist()
+        st.share = gs
+        ki = np.array(list(st.kinfo.values()), dtype=np.float64)
+        bytes_a = ki[:, 0]
+        flops_a = ki[:, 1]
+        smrate_a = ki[:, 2]
+        sm = np.asarray(st.sm_list, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rate_c = ((smrate_a * sm) / flops_a) * overhead
+            rate_m = bwa / bytes_a
+        rate_c = np.where(flops_a > 0, rate_c, np.inf)
+        rate_m = np.where((bytes_a > 0) & (bwd > 0), rate_m, np.inf)
+        rate = np.minimum(rate_c, rate_m)
+        rate[np.isinf(rate)] = 0.0
+        # kinfo mirrors the residency dict, so rows align with tasks.
+        for t, r in zip(res.values(), rate.tolist()):
+            t.rate = r
+        st.bw_sum = float(np.add.accumulate(bwa)[-1]) if len(bwa) else 0.0
+
     def _recompute_group(self, st: Optional[_GroupAllocState],
-                         group_tasks: Iterable[FluidTask], budget: float,
+                         group_res: dict, budget: float,
                          overhead: float,
                          no_repeats: bool) -> _GroupAllocState:
         """Full SM/demand recompute for one (dirty) group.
 
-        Per-task SM demands and kernel constants persist across
-        recomputes (both depend only on the task and the budget; the
-        caller rebuilds the state on a budget change and the membership
-        hook evicts departed tasks), so a membership change costs one
-        pass of plain float arithmetic over the group instead of a
-        rebuild of every intermediate.
+        ``group_res`` is the group's residency dict (tid → task) in
+        admission order.  Per-task SM demands and kernel constants
+        persist across recomputes (both depend only on the task and the
+        budget; a budget change clears them and the membership hook
+        evicts departed tasks), so a membership change costs one pass of
+        plain float arithmetic over the group instead of a rebuild of
+        every intermediate.  The state object itself is reused in place
+        so caches holding a reference stay valid.
         """
         spec = self.spec
-        if st is None or st.budget != budget:
+        if st is None:
             st = _GroupAllocState()
-            st.budget = budget
+        elif st.budget != budget:
+            # The cached demands depend on the budget: drop them (the
+            # kernel constants don't, but keeping the two dicts in
+            # lockstep keeps the ordered-iteration contract trivial).
+            st.demands.clear()
+            st.kinfo.clear()
+        st.budget = budget
         st.overhead = overhead
         st.share = None  # membership changed: the rates pass must rerun
         demands = st.demands
         kinfo = st.kinfo
-        for t in group_tasks:
-            tid = t.tid
-            if tid not in demands:
-                client: GpuClient = t.meta["client"]
-                kernel: Kernel = t.meta["kernel"]
-                demands[tid] = float(min(kernel.max_sms, client.sm_cap,
-                                         budget))
-                # (bytes_moved, flops, flops_per_sm * efficiency): the
-                # cached product has the exact operand grouping the
-                # full path uses, so reuse stays bit-identical.
-                kinfo[tid] = (kernel.bytes_moved, kernel.flops,
-                              spec.flops_per_sm * kernel.efficiency)
+        group_tasks = group_res.values()
+        if len(demands) != len(group_res):
+            # Both caches are subsets of the residency dict (the hook
+            # pops departures), so equal lengths mean every resident
+            # task is cached and the fill pass can be skipped.
+            for t in group_tasks:
+                tid = t.tid
+                if tid not in demands:
+                    client: GpuClient = t.meta["client"]
+                    kernel: Kernel = t.meta["kernel"]
+                    demands[tid] = float(min(kernel.max_sms, client.sm_cap,
+                                             budget))
+                    # (bytes_moved, flops, flops_per_sm * efficiency):
+                    # the cached product has the exact operand grouping
+                    # the full path uses, so reuse stays bit-identical.
+                    kinfo[tid] = (kernel.bytes_moved, kernel.flops,
+                                  spec.flops_per_sm * kernel.efficiency)
         if no_repeats:
             # Every client has at most one resident task here, so each
             # aggregate equals the single demand, which is already
@@ -728,34 +884,67 @@ class SimulatedGPU:
                     shrink = cap / subtotal
                     for t in client_tasks:
                         work[t.tid] *= shrink
+        n = len(work)
+        if n >= _VEC_MIN_GROUP:
+            # Vectorized tail for large groups.  Sums run through
+            # np.add.accumulate — a strictly sequential left-to-right
+            # sum, so each is the same float as the scalar running sum
+            # (numpy's pairwise np.sum would not be); products and
+            # divisions are elementwise with the scalar path's exact
+            # operand grouping.
+            w = np.fromiter(work.values(), np.float64, n)
+            total = float(np.add.accumulate(w)[-1])
+            scale = min(1.0, budget / total) if total > 0 else 0.0
+            sm = w * scale
+            st.sm_list = sm.tolist()
+            st.sm_sum = float(np.add.accumulate(sm)[-1])
+            ki = np.array(list(kinfo.values()), dtype=np.float64)
+            bytes_a = ki[:, 0]
+            flops_a = ki[:, 1]
+            smrate_a = ki[:, 2]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                v = bytes_a * ((smrate_a * sm) / flops_a)
+            v = np.where(flops_a > 0, v, np.inf)
+            v = np.where(bytes_a == 0, 0.0, v)
+            st.bwd_list = v.tolist()
+            # Adding the zero entries the scalar loop skips is exact:
+            # x + 0.0 == x for the non-negative accumulator.
+            st.bw_demand_sum = float(np.add.accumulate(v)[-1])
+            return st
         total = sum(work.values())
         scale = min(1.0, budget / total) if total > 0 else 0.0
-        sm_alloc: dict[int, float] = {}
+        # One fused pass computes both columns: the SM share and the
+        # bandwidth that keeps memory off the critical path given that
+        # share (compute-rate-matched demand).  The two running sums are
+        # independent accumulators, so interleaving them preserves each
+        # scalar addition sequence exactly.  Skipping the zero entries
+        # in the demand sum is exact: adding 0.0 never changes a
+        # non-negative accumulator.  kinfo and work share insertion
+        # order (both track residency), so zipping keeps the pairing.
+        sm_list: list[float] = []
+        sm_append = sm_list.append
+        bwd_list: list[float] = []
+        bwd_append = bwd_list.append
         sm_sum = 0.0
-        for tid, d in work.items():
-            v = d * scale
-            sm_alloc[tid] = v
-            sm_sum += v
-        st.sm_alloc = sm_alloc
-        st.sm_sum = sm_sum
-        # Bandwidth that keeps memory off the critical path given the
-        # SM allocation (compute-rate-matched demand).  Skipping the
-        # zero entries in the running sum is exact: adding 0.0 never
-        # changes a non-negative accumulator.
-        bw_demand: dict[int, float] = {}
         bsum = 0.0
         inf = float("inf")
-        for tid, (bytes_moved, flops, sm_rate) in kinfo.items():
+        for d, (bytes_moved, flops, sm_rate) in zip(work.values(),
+                                                    kinfo.values()):
+            smv = d * scale
+            sm_append(smv)
+            sm_sum += smv
             if bytes_moved == 0:
-                bw_demand[tid] = 0.0
+                bwd_append(0.0)
                 continue
             if flops > 0:
-                v = bytes_moved * (sm_rate * sm_alloc[tid] / flops)
+                v = bytes_moved * (sm_rate * smv / flops)
             else:
                 v = inf
-            bw_demand[tid] = v
+            bwd_append(v)
             bsum += v
-        st.bw_demand = bw_demand
+        st.sm_list = sm_list
+        st.sm_sum = sm_sum
+        st.bwd_list = bwd_list
         st.bw_demand_sum = bsum
         return st
 
@@ -882,18 +1071,20 @@ class SimulatedGPU:
                 f"sm {self._cur_sm_alloc!r} != {total_sm!r} or "
                 f"bw {self._cur_bw_alloc!r} != {total_bw!r}"
             )
-        for t in tasks:
-            st = self._galloc.get(t.meta["client"].group.gid)
+        for gid, res in self._resident.items():
+            st = self._galloc.get(gid)
             if st is None:
                 continue  # solo path keeps no per-group state
-            if (st.sm_alloc[t.tid] != sm_alloc[t.tid]
-                    or st.bw_alloc[t.tid] != bw_alloc[t.tid]):
-                raise AllocatorMismatch(
-                    f"{self.name}: cached allocation mismatch for task "
-                    f"{t.tid}: sm {st.sm_alloc[t.tid]!r} != "
-                    f"{sm_alloc[t.tid]!r} or bw {st.bw_alloc[t.tid]!r} != "
-                    f"{bw_alloc[t.tid]!r}"
-                )
+            # Allocation columns are positional in residency order.
+            for i, t in enumerate(res.values()):
+                if (st.sm_list[i] != sm_alloc[t.tid]
+                        or st.bw_list[i] != bw_alloc[t.tid]):
+                    raise AllocatorMismatch(
+                        f"{self.name}: cached allocation mismatch for task "
+                        f"{t.tid}: sm {st.sm_list[i]!r} != "
+                        f"{sm_alloc[t.tid]!r} or bw {st.bw_list[i]!r} != "
+                        f"{bw_alloc[t.tid]!r}"
+                    )
 
 
 def _hierarchical_waterfill(
@@ -935,36 +1126,90 @@ def _fits(demand_sum: float, total: float) -> bool:
     return total - demand_sum > total * 1e-9
 
 
-def _waterfill_uniform(demand: dict, total: float) -> dict:
-    """:func:`_waterfill` with every per-key cap equal to ``total``.
+def _waterfill_uniform_arr(demand: "np.ndarray", total: float) -> "np.ndarray":
+    """:func:`_waterfill_uniform` over a demand *array* (large groups).
+
+    Bit-identical: the clamp is an elementwise ``min``, the per-pass
+    share and the all-unsatisfied collapse use the same scalar floats,
+    and the running ``remaining`` is reproduced by a sequential
+    ``np.subtract.accumulate`` over the satisfied demands in index
+    order — the exact subtraction sequence of the scalar loop.
+    """
+    m = np.minimum(demand, total)
+    alloc = np.zeros_like(m)
+    active = m > 0.0
+    remaining = total
+    while remaining > 0.0:
+        nact = int(np.count_nonzero(active))
+        if nact == 0:
+            break
+        share = remaining / nact
+        unsat = active & (m > share)
+        nunsat = int(np.count_nonzero(unsat))
+        if nunsat == nact:
+            alloc[active] = total if total < share else share
+            return alloc
+        sat = active & ~unsat
+        ms = m[sat]
+        alloc[sat] = ms
+        remaining = float(np.subtract.accumulate(
+            np.concatenate(((remaining,), ms)))[-1])
+        active = unsat
+    return alloc
+
+
+def _waterfill_uniform_list(demand: list, total: float) -> list:
+    """:func:`_waterfill` with every per-key cap equal to ``total``,
+    over a positional demand column.
 
     The incremental allocator's within-group split always caps each
     task at the group share, so the cap dict collapses to a scalar —
     the arithmetic below mirrors :func:`_waterfill` term for term and
-    produces bit-identical allocations.
+    produces bit-identical allocations.  Pre-clamped ``(index, clamped)``
+    pairs replace the per-pass ``min(demand[k], total)`` recomputation
+    and dict lookups of the generic version.  Pair order is demand
+    index order — the same order the generic loop visits dict keys — so
+    the ``remaining`` subtraction sequence (and hence every rounded
+    intermediate) is identical.
     """
-    alloc = {k: 0.0 for k in demand}
-    # Pre-clamp each demand to the scalar cap once; (key, clamped) pairs
-    # replace the per-pass ``min(demand[k], total)`` recomputation and
-    # dict lookups of the generic version.  Pair order is demand-dict
-    # order, the same order the generic loop visits keys, so the
-    # ``remaining`` subtraction sequence (and hence every rounded
-    # intermediate) is identical.
-    active = [(k, d if d < total else total) for k, d in demand.items()
+    alloc = [0.0] * len(demand)
+    active = [(i, d if d < total else total) for i, d in enumerate(demand)
               if (d if d < total else total) > 0]
     remaining = total
+    # First-round saturation shortcut: when every active demand fits
+    # under the first share, the loop below allocates each key exactly
+    # its clamped demand in one pass and terminates — the ``remaining``
+    # subtractions never feed back into any allocation, so returning
+    # the clamped demands directly is bit-identical.  This is the
+    # common case when the group share equals the demand sum.
+    if active and total > 0.0:
+        share0 = total / len(active)
+        if max(m for _, m in active) <= share0:
+            for i, m in active:
+                alloc[i] = m
+            return alloc
     while active and remaining > 0.0:
         share = remaining / len(active)
-        unsatisfied = [km for km in active if km[1] > share]
-        if len(unsatisfied) == len(active):
+        # Single-pass partition: the generic loop's list comprehension
+        # plus re-scan visit the same keys in the same order, so the
+        # ``remaining`` subtraction sequence is unchanged.
+        unsatisfied = []
+        unsat_append = unsatisfied.append
+        satisfied = []
+        sat_append = satisfied.append
+        for im in active:
+            if im[1] > share:
+                unsat_append(im)
+            else:
+                sat_append(im)
+        if not satisfied:
             final = total if total < share else share
-            for k, _ in active:
-                alloc[k] = final
+            for i, _ in active:
+                alloc[i] = final
             return alloc
-        for k, m in active:
-            if m <= share:
-                alloc[k] = m
-                remaining -= m
+        for i, m in satisfied:
+            alloc[i] = m
+            remaining -= m
         active = unsatisfied
     return alloc
 

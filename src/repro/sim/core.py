@@ -42,6 +42,13 @@ NORMAL = 1
 #: active, ``None`` otherwise (so the hot loop never pays for it).
 RUN_LISTENER: Optional[Callable[["Environment"], None]] = None
 
+#: Optional callback ``fn(env)`` invoked when an :class:`Environment` is
+#: constructed — installed by :mod:`repro.profile` while a profiling
+#: context is active so every environment built inside it (including the
+#: per-cell environments of a sharded run) gets a profiler attached.
+#: ``None`` otherwise; construction is cold, so the check is free.
+ENV_CREATED_HOOK: Optional[Callable[["Environment"], None]] = None
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (not model errors)."""
@@ -255,6 +262,14 @@ class Environment:
         #: Free list of processed recyclable timeouts.
         self._tpool: list[Timeout] = []
         self._pooling = bool(pooling)
+        #: Attached :class:`repro.profile.EventLoopProfiler`, or ``None``.
+        #: While ``None`` (the default) the drain loops take the inlined
+        #: fast path and :meth:`step` skips all instrumentation — the
+        #: disabled profiler costs one attribute load per run/advance
+        #: call, not per event.
+        self._profiler = None
+        if ENV_CREATED_HOOK is not None:
+            ENV_CREATED_HOOK(self)
 
     # -- clock ------------------------------------------------------------
     @property
@@ -321,6 +336,61 @@ class Environment:
         self._seq = seq
         _heappush(self._queue, (self._now + delay, priority, seq, event))
 
+    def schedule_batch(self, times, callback: Optional[Callable[["Event"], None]] = None,
+                       priority: int = NORMAL) -> list[Event]:
+        """Schedule one event per *absolute* timestamp in a single call.
+
+        ``times`` is a sequence (list or numpy array) of non-decreasing
+        absolute simulation times, all ``>= now``.  Each event fires with
+        its timestamp as value and ``callback`` (if given) pre-installed.
+        Returns the created events in input order.
+
+        This is the bulk counterpart of :meth:`timeout`: instead of one
+        ``heappush`` per event, the whole batch is appended to the queue
+        and the heap invariant restored with a single ``heapify`` —
+        O(n + m) for m pending events instead of O(n log m).  Sequence
+        numbers are assigned in input order, so two same-time events from
+        one batch process in input order, and an event enqueued *later*
+        at the same timestamp (e.g. by a callback) processes after the
+        rest of the batch — exactly as if each event had been scheduled
+        individually at batch-creation time.
+        """
+        if hasattr(times, "tolist"):
+            times = times.tolist()
+        now = self._now
+        queue = self._queue
+        seq0 = seq = self._seq
+        start = len(queue)
+        events: list[Event] = []
+        prev = now
+        for t in times:
+            if t < prev:
+                # Discard the partial batch: nothing was heapified yet,
+                # so the appended tail can simply be cut off.
+                del queue[start:]
+                self._seq = seq0
+                raise SimulationError(
+                    f"schedule_batch times must be non-decreasing and >= now "
+                    f"(got {t!r} after {prev!r})"
+                )
+            prev = t
+            ev = Event.__new__(Event)
+            ev.env = self
+            ev.callbacks = [callback] if callback is not None else []
+            ev._value = t
+            ev._ok = True
+            ev._scheduled = True
+            ev._defused = False
+            ev._recycle = False
+            ev.name = None
+            seq += 1
+            queue.append((t, priority, seq, ev))
+            events.append(ev)
+        self._seq = seq
+        if events:
+            heapq.heapify(queue)
+        return events
+
     def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` simulated seconds; returns the event."""
         ev = self.timeout(delay)
@@ -342,14 +412,83 @@ class Environment:
             raise SimulationError("event scheduled in the past")
         callbacks, event.callbacks = event.callbacks, None
         self.events_processed += 1
-        for cb in callbacks:
-            cb(event)
+        prof = self._profiler
+        if prof is None:
+            for cb in callbacks:
+                cb(event)
+        else:
+            prof.record(self, when, event, callbacks)
         if not event._ok and not event._defused:
             # An un-waited-on failure must not pass silently.
             exc = event._value
             raise exc
         if event._recycle and len(self._tpool) < self._POOL_LIMIT:
             self._tpool.append(event)
+
+    def _drain(self, horizon: float) -> None:
+        """Inlined :meth:`step` loop: run every event due by ``horizon``.
+
+        Semantically identical to ``while queue and queue[0][0] <=
+        horizon: self.step()`` — same event order, same clock updates,
+        same ``events_processed``, same recycling — but the per-event
+        method call and attribute traffic are hoisted, and events sharing
+        a timestamp are popped as a batch (the horizon comparison and
+        clock update run once per distinct timestamp, not once per
+        event).  Only valid for pure time horizons; ``until=Event`` /
+        ``advance(stop=...)`` loops need a per-event stop check and use
+        :meth:`step`.
+        """
+        queue = self._queue
+        pop = _heappop
+        tpool = self._tpool
+        pool_limit = self._POOL_LIMIT
+        while queue:
+            when = queue[0][0]
+            if when > horizon:
+                return
+            if when > self._now:
+                self._now = when
+            elif when < self._now - 1e-12:
+                raise SimulationError("event scheduled in the past")
+            while True:
+                event = pop(queue)[3]
+                callbacks, event.callbacks = event.callbacks, None
+                self.events_processed += 1
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if event._recycle and len(tpool) < pool_limit:
+                    tpool.append(event)
+                if not queue or queue[0][0] != when:
+                    break
+
+    def _drain_until_event(self, stop_holder: list) -> None:
+        """Inlined :meth:`step` loop halting once ``stop_holder`` fills.
+
+        Same per-event semantics as :meth:`step`; the stop check must
+        stay per-event (the event *after* the stop event, even at the
+        same timestamp, must not be processed early).
+        """
+        queue = self._queue
+        pop = _heappop
+        tpool = self._tpool
+        pool_limit = self._POOL_LIMIT
+        while queue and not stop_holder:
+            when = queue[0][0]
+            if when > self._now:
+                self._now = when
+            elif when < self._now - 1e-12:
+                raise SimulationError("event scheduled in the past")
+            event = pop(queue)[3]
+            callbacks, event.callbacks = event.callbacks, None
+            self.events_processed += 1
+            for cb in callbacks:
+                cb(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if event._recycle and len(tpool) < pool_limit:
+                tpool.append(event)
 
     def advance(self, horizon: float, stop: Optional[Event] = None) -> bool:
         """Step every event due at or before ``horizon``; clock never jumps.
@@ -372,8 +511,11 @@ class Environment:
         horizon = float(horizon)
         queue, step = self._queue, self.step
         if stop is None:
-            while queue and queue[0][0] <= horizon:
-                step()
+            if self._profiler is None:
+                self._drain(horizon)
+            else:
+                while queue and queue[0][0] <= horizon:
+                    step()
             return False
         if stop.processed:
             return True
@@ -405,9 +547,12 @@ class Environment:
             if stop.processed:
                 return stop.value if stop.ok else _raise(stop.value)
             stop.callbacks.append(_capture)
-            queue, step = self._queue, self.step
-            while queue and not stop_holder:
-                step()
+            if self._profiler is None:
+                self._drain_until_event(stop_holder)
+            else:
+                queue, step = self._queue, self.step
+                while queue and not stop_holder:
+                    step()
             if not stop_holder:
                 raise SimulationError(
                     "event queue drained before the 'until' event fired"
@@ -417,9 +562,12 @@ class Environment:
         horizon = float("inf") if until is None else float(until)
         if horizon != float("inf") and horizon < self._now:
             raise ValueError(f"until={horizon!r} is in the past (now={self._now!r})")
-        queue, step = self._queue, self.step
-        while queue and queue[0][0] <= horizon:
-            step()
+        if self._profiler is None:
+            self._drain(horizon)
+        else:
+            queue, step = self._queue, self.step
+            while queue and queue[0][0] <= horizon:
+                step()
         if horizon != float("inf"):
             self._now = max(self._now, horizon)
         return None

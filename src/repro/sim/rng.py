@@ -25,13 +25,34 @@ import numpy as np
 
 __all__ = ["RngRegistry", "substream_seed"]
 
+# sha256 spawn keys and derived child seeds are pure functions of their
+# inputs, and fleet builders re-derive the same (root, path) pairs for
+# every cell/replica on every build/repartition — memoise both.  The
+# key space is tiny in practice (one entry per named component), so the
+# caches are unbounded.
+_SPAWN_KEY_CACHE: dict[tuple, tuple[int, ...]] = {}
+_SEED_CACHE: dict[tuple, int] = {}
+
 
 def _spawn_key(*path) -> tuple[int, ...]:
     """sha256 of the name path as eight 32-bit SeedSequence key words."""
+    hashable = True
+    try:
+        cached = _SPAWN_KEY_CACHE.get(path)
+    except TypeError:
+        cached = None  # unhashable path element: derive uncached
+        hashable = False
+    if cached is not None:
+        return cached
     blob = "\x1f".join(str(p) for p in path).encode("utf-8")
     digest = hashlib.sha256(blob).digest()
-    return tuple(int.from_bytes(digest[i:i + 4], "big")
-                 for i in range(0, 32, 4))
+    key = tuple(int.from_bytes(digest[i:i + 4], "big")
+                for i in range(0, 32, 4))
+    if hashable:
+        # Two paths hash identically only if their str() forms match,
+        # in which case the derivation is identical too — safe to share.
+        _SPAWN_KEY_CACHE[path] = key
+    return key
 
 
 def substream_seed(root: int, *path) -> int:
@@ -50,9 +71,21 @@ def substream_seed(root: int, *path) -> int:
     seed for ``numpy.random.default_rng``, ``random.Random``, and every
     ``seed=`` parameter in this package.
     """
+    hashable = True
+    key = (int(root),) + path
+    try:
+        cached = _SEED_CACHE.get(key)
+    except TypeError:
+        cached = None  # unhashable path element: derive uncached
+        hashable = False
+    if cached is not None:
+        return cached
     seq = np.random.SeedSequence(entropy=int(root),
                                  spawn_key=_spawn_key(*path))
-    return int(seq.generate_state(1, np.uint64)[0] >> np.uint64(1))
+    seed = int(seq.generate_state(1, np.uint64)[0] >> np.uint64(1))
+    if hashable:
+        _SEED_CACHE[key] = seed
+    return seed
 
 
 class RngRegistry:

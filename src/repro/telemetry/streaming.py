@@ -21,6 +21,13 @@ P² estimates are approximate (typically within a percent or two of the
 exact sample quantile for unimodal data); ``count``/``mean``/``min``/
 ``max`` are exact (the mean is compensated — see
 :mod:`repro.sim.numerics`).
+
+Every accumulator also has an ``add_many`` batch path that is
+bit-identical to the equivalent sequence of ``add`` calls (RNG draws
+included, for the reservoir): order-free reductions are vectorised,
+while the sequential recurrences (Kahan compensation, P2 markers,
+Algorithm R draws) run as tight loops over locals.  The property suite
+pins each batch path against its scalar twin.
 """
 
 from __future__ import annotations
@@ -156,6 +163,40 @@ class ReservoirSample:
             if j < self.k:
                 self.sample[j] = x
 
+    def add_many(self, xs) -> None:
+        """Batch ingest, bit-identical to repeated :meth:`add` — RNG
+        draw sequence included.
+
+        Algorithm R's replacement draw is ``randrange(count)`` with
+        ``count`` incrementing per element — a sequential RNG recurrence
+        that cannot be batched without changing which elements survive.
+        The batch path vectorises what it can: values are staged through
+        one float64 array (as :meth:`StreamingLatencyStats.add_many`
+        does), the draw-free pre-fill prefix is spliced in wholesale,
+        and the replacement phase runs as a tight loop over locals.
+        """
+        arr = np.asarray(xs, dtype=np.float64)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if arr.size == 0:
+            return
+        vals = arr.tolist()
+        sample = self.sample
+        k = self.k
+        start = 0
+        if len(sample) < k:
+            start = min(k - len(sample), len(vals))
+            sample.extend(vals[:start])
+            self.count += start
+        count = self.count
+        randrange = self._rng.randrange
+        for x in vals[start:]:
+            count += 1
+            j = randrange(count)
+            if j < k:
+                sample[j] = x
+        self.count = count
+
 
 class StreamingLatencyStats:
     """One-pass replacement for ``summarize(list_of_latencies)``.
@@ -285,6 +326,52 @@ class WindowedRates:
             self._cur_idx = idx
         self._cur_count += 1
         self.count += 1
+
+    def add_many(self, times) -> None:
+        """Batch ingest of a non-decreasing run, bit-identical to
+        repeated :meth:`add`.
+
+        Window indices for the whole batch come from one vectorised
+        floor-divide (``numpy.float64.__floordiv__`` matches Python's
+        ``//`` semantics), and consecutive equal indices collapse into a
+        single counter update — one Python-level step per *window
+        boundary* instead of per event, while the flush order (hence
+        the ring contents and peak) is exactly the scalar loop's.
+
+        The one divergence from the scalar loop is error timing: the
+        batch is validated up front, so an out-of-order element raises
+        before *any* element is ingested, where sequential :meth:`add`
+        calls would have consumed the prefix first.
+        """
+        arr = np.asarray(times, dtype=np.float64)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if arr.size == 0:
+            return
+        if arr[0] < self._last_t:
+            raise ValueError(
+                f"out-of-order observation {float(arr[0])!r} "
+                f"after {self._last_t!r}"
+            )
+        bad = np.flatnonzero(arr[1:] < arr[:-1])
+        if bad.size:
+            i = int(bad[0])
+            raise ValueError(
+                f"out-of-order observation {float(arr[i + 1])!r} "
+                f"after {float(arr[i])!r}"
+            )
+        idx = (arr // self.window).astype(np.int64)
+        cut = np.flatnonzero(idx[1:] != idx[:-1]) + 1
+        starts = np.concatenate(([0], cut)).tolist()
+        ends = np.concatenate((cut, [idx.size])).tolist()
+        for s, e in zip(starts, ends):
+            win = int(idx[s])
+            if win != self._cur_idx:
+                self._flush()
+                self._cur_idx = win
+            self._cur_count += e - s
+        self.count += arr.size
+        self._last_t = float(arr[-1])
 
     def _flush(self) -> None:
         if self._cur_idx is not None and self._cur_count:

@@ -62,6 +62,7 @@ from repro.workloads.traces import (
     iter_bursty_trace,
     iter_diurnal_trace,
     iter_poisson_trace,
+    iter_poisson_trace_chunks,
     poisson_trace,
     streaming_trace_stats,
     to_rate_series,
@@ -111,6 +112,7 @@ __all__ = [
     "iter_bursty_trace",
     "iter_diurnal_trace",
     "iter_poisson_trace",
+    "iter_poisson_trace_chunks",
     "poisson_trace",
     "simulate_ionization_potential",
     "streaming_trace_stats",

@@ -531,6 +531,69 @@ class OpenLoopClient:
                 yield float(g)
             remaining -= min(_GAP_CHUNK, remaining)
 
+    def _arrival_time_chunks(self) -> Iterator:
+        """Absolute arrival times in chunks, for batched heap injection.
+
+        Each chunk's times are exactly the values the per-gap path would
+        have scheduled: the k-th arrival time is the (k-1)-th plus the
+        k-th gap, accumulated with ``np.add.accumulate`` — a sequential
+        left-to-right sum, so every float is bit-identical to the scalar
+        ``t += gap`` chain.  The ``arrivals`` source may mix scalar
+        timestamps and numpy chunk arrays (see
+        :func:`repro.workloads.traces.iter_poisson_trace_chunks`).
+        """
+        env = self.env
+        if self.arrivals is not None:
+            prev = env.now   # raw previous arrival (clamping reference)
+            s = env.now      # scheduled-time accumulator
+            chunk: list[float] = []
+            for t in self.arrivals:
+                if isinstance(t, np.ndarray):
+                    if t.size == 0:
+                        continue
+                    if chunk:
+                        yield chunk
+                        chunk = []
+                    gaps = np.maximum(np.diff(t, prepend=prev), 0.0)
+                    times = np.add.accumulate(
+                        np.concatenate(((s,), gaps)))[1:]
+                    prev = float(t[-1])
+                    s = float(times[-1])
+                    yield times
+                else:
+                    gap = t - prev
+                    if gap < 0.0:
+                        gap = 0.0
+                    prev = t
+                    s = s + gap
+                    chunk.append(s)
+                    if len(chunk) >= _GAP_CHUNK:
+                        yield chunk
+                        chunk = []
+            if chunk:
+                yield chunk
+            return
+        remaining = self.n_requests
+        carry = env.now
+        if self.rng is None:
+            gap = 1.0 / self.rate
+            while remaining > 0:
+                n = min(_GAP_CHUNK, remaining)
+                times = np.add.accumulate(
+                    np.concatenate(((carry,), np.full(n, gap))))[1:]
+                carry = float(times[-1])
+                yield times
+                remaining -= n
+            return
+        scale = 1.0 / self.rate
+        while remaining > 0:
+            n = min(_GAP_CHUNK, remaining)
+            gaps = self.rng.exponential(scale, size=n)
+            times = np.add.accumulate(np.concatenate(((carry,), gaps)))[1:]
+            carry = float(times[-1])
+            yield times
+            remaining -= n
+
     def _generate(self):
         env = self.env
         if not self.streaming:
@@ -555,11 +618,23 @@ class OpenLoopClient:
                     and self.n_completed == self.n_submitted):
                 all_done.succeed()
 
-        for gap in self._gaps():
-            yield env.timeout_pooled(gap)
-            request = self.server.submit(self.n_tokens)
+        submit = self.server.submit
+        n_tokens = self.n_tokens
+
+        def _submit_one(_ev: Event) -> None:
+            request = submit(n_tokens)
             self.n_submitted += 1
             request.done.callbacks.append(_on_done)
+
+        # Batched injection: one pre-scheduled event per arrival (the
+        # same event count as the per-gap path — the differential
+        # harness counts them), heapified in one schedule_batch call per
+        # chunk.  The chunk's last event doubles as the generator's
+        # resume point: its _submit_one callback was installed at
+        # creation, so it runs before the process resumes and computes
+        # the next chunk from the final arrival time.
+        for chunk in self._arrival_time_chunks():
+            yield env.schedule_batch(chunk, _submit_one)[-1]
         state["submitting"] = False
         if self.n_completed == self.n_submitted:
             all_done.succeed()

@@ -19,10 +19,12 @@ each generator has a streaming twin (``iter_*``) yielding timestamps
 one at a time.  ``iter_poisson_trace`` draws inter-arrival gaps in
 numpy chunks — a ``Generator.exponential(scale, size=n)`` draw is
 bit-identical to ``n`` sequential scalar draws, so the iterator yields
-exactly the timestamps ``poisson_trace`` returns.  The diurnal and
-bursty processes interleave draw kinds (gap, then thinning coin or
-phase length), which cannot be batched without reordering the RNG
-stream; their iterators run the same scalar loop and are therefore
+exactly the timestamps ``poisson_trace`` returns
+(``iter_poisson_trace_chunks`` exposes the same stream as whole numpy
+arrays, the form the batched heap-injection path consumes).  The
+diurnal and bursty processes interleave draw kinds (gap, then thinning
+coin or phase length), which cannot be batched without reordering the
+RNG stream; their iterators run the same scalar loop and are therefore
 also bit-identical to the list builders, just O(1) in memory.
 """
 
@@ -41,6 +43,7 @@ __all__ = [
     "iter_bursty_trace",
     "iter_diurnal_trace",
     "iter_poisson_trace",
+    "iter_poisson_trace_chunks",
     "poisson_trace",
     "streaming_trace_stats",
     "trace_stats",
@@ -76,6 +79,39 @@ def iter_poisson_trace(rate_rps: float, horizon: float, seed: int = 0,
             if t >= horizon:
                 return
             yield t
+
+
+def iter_poisson_trace_chunks(rate_rps: float, horizon: float,
+                              seed: int = 0,
+                              chunk: int = 4096) -> Iterator[np.ndarray]:
+    """Chunked :func:`iter_poisson_trace`: numpy arrays of arrival times.
+
+    Concatenating the yielded arrays reproduces the scalar stream
+    bit-for-bit: gaps come from the same chunked generator draws, and
+    the running timestamp is accumulated with ``np.add.accumulate`` — a
+    sequential left-to-right float64 sum, identical to the scalar
+    ``t += gap`` chain.  The array form feeds
+    :class:`~repro.workloads.serving.OpenLoopClient` (whose ``arrivals``
+    source accepts ndarray chunks for batched heap injection) without
+    ever materialising the per-timestamp Python floats.
+    """
+    if rate_rps <= 0 or horizon <= 0:
+        raise ValueError("rate and horizon must be positive")
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / rate_rps
+    t = 0.0
+    while True:
+        gaps = rng.exponential(scale, size=chunk)
+        times = np.add.accumulate(np.concatenate(((t,), gaps)))[1:]
+        cut = int(np.searchsorted(times, horizon, side="left"))
+        if cut < times.size:
+            if cut:
+                yield times[:cut]
+            return
+        t = float(times[-1])
+        yield times
 
 
 def diurnal_trace(mean_rate_rps: float, horizon: float,

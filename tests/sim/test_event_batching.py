@@ -1,0 +1,245 @@
+"""Batched scheduling and batched-drain edge cases.
+
+``schedule_batch`` and the inlined drain loops (same-timestamp batch
+popping) are pure speedups: every test here pins their observable
+behaviour to what per-event ``timeout`` + ``step`` would have done.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+# ------------------------------------------------------------ schedule_batch
+
+def test_schedule_batch_matches_individual_timeouts():
+    """Same times via schedule_batch and via timeout() process in the
+    same order with the same clock trajectory."""
+    times = [1.0, 2.0, 2.0, 3.5, 3.5, 3.5, 10.0]
+
+    ref_env = Environment()
+    ref = []
+    for i, t in enumerate(times):
+        ev = ref_env.timeout(t)
+        ev.callbacks.append(lambda e, i=i: ref.append((ref_env.now, i)))
+    ref_env.run()
+
+    env = Environment()
+    got = []
+    events = env.schedule_batch(times)
+    for i, ev in enumerate(events):
+        ev.callbacks.append(lambda e, i=i: got.append((env.now, i)))
+    env.run()
+
+    assert got == ref
+    assert env.now == ref_env.now
+    assert env.events_processed == ref_env.events_processed
+
+
+def test_schedule_batch_event_value_is_timestamp():
+    env = Environment()
+    seen = []
+    env.schedule_batch([0.5, 1.5], callback=lambda ev: seen.append(ev.value))
+    env.run()
+    assert seen == [0.5, 1.5]
+
+
+def test_schedule_batch_accepts_numpy_array():
+    env = Environment()
+    seen = []
+    env.schedule_batch(np.array([1.0, 2.0, 3.0]),
+                       callback=lambda ev: seen.append(env.now))
+    env.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_schedule_batch_interleaves_with_existing_events():
+    """Batch events merge correctly into a non-empty heap."""
+    env = Environment()
+    order = []
+    for d in (0.5, 2.5, 9.0):
+        env.timeout(d).callbacks.append(
+            lambda e, d=d: order.append(("timeout", d)))
+    env.schedule_batch([1.0, 2.5, 8.0],
+                       callback=lambda ev: order.append(("batch", ev.value)))
+    env.run()
+    assert order == [("timeout", 0.5), ("batch", 1.0), ("timeout", 2.5),
+                     ("batch", 2.5), ("batch", 8.0), ("timeout", 9.0)]
+
+
+def test_schedule_batch_same_time_later_enqueue_processes_after():
+    """An event enqueued *after* the batch at one of the batch's
+    timestamps processes after the whole batch at that timestamp —
+    exactly as with individual scheduling."""
+    env = Environment()
+    order = []
+    env.schedule_batch([1.0, 1.0], callback=lambda ev: order.append("batch"))
+    env.timeout(1.0).callbacks.append(lambda e: order.append("later"))
+    env.run()
+    assert order == ["batch", "batch", "later"]
+
+
+def test_schedule_batch_callback_scheduling_at_same_time():
+    """A batch callback that enqueues a new event at the *current*
+    timestamp: the new event still runs (same timestamp batch pop must
+    re-check the heap), after the remaining batch events."""
+    env = Environment()
+    order = []
+
+    def cb(ev):
+        order.append(("batch", ev.value))
+        if ev.value == 1.0 and len(order) == 1:
+            env.timeout(0.0).callbacks.append(
+                lambda e: order.append(("child", env.now)))
+
+    env.schedule_batch([1.0, 1.0], callback=cb)
+    env.run()
+    assert order == [("batch", 1.0), ("batch", 1.0), ("child", 1.0)]
+
+
+def test_schedule_batch_rejects_decreasing_times():
+    env = Environment()
+    with pytest.raises(SimulationError, match="non-decreasing"):
+        env.schedule_batch([1.0, 2.0, 1.5])
+
+
+def test_schedule_batch_rejects_times_before_now():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(SimulationError, match="non-decreasing"):
+        env.schedule_batch([4.0])
+
+
+def test_schedule_batch_failed_call_leaves_queue_intact():
+    """A rejected batch must not leave partial events behind (the heap
+    would be unheapified garbage)."""
+    env = Environment()
+    env.timeout(3.0).callbacks.append(lambda e: None)
+    seq_before = env._seq
+    with pytest.raises(SimulationError):
+        env.schedule_batch([1.0, 2.0, 0.5])
+    assert len(env._queue) == 1
+    assert env._seq == seq_before
+    env.run()
+    assert env.now == 3.0
+    assert env.events_processed == 1
+
+
+def test_schedule_batch_empty():
+    env = Environment()
+    assert env.schedule_batch([]) == []
+    assert env.schedule_batch(np.empty(0)) == []
+    env.run()
+    assert env.events_processed == 0
+
+
+# --------------------------------------------------- advance/step edge cases
+
+def test_advance_event_exactly_at_horizon_is_processed():
+    env = Environment()
+    fired = []
+    env.timeout(2.0).callbacks.append(lambda e: fired.append(env.now))
+    env.advance(2.0)
+    assert fired == [2.0]
+    # advance never jumps the clock past the last event.
+    assert env.now == 2.0
+
+
+def test_advance_event_just_past_horizon_is_not_processed():
+    env = Environment()
+    fired = []
+    env.timeout(2.0).callbacks.append(lambda e: fired.append(env.now))
+    env.advance(2.0 - 1e-9)
+    assert fired == []
+    assert env.now == 0.0
+    env.advance(2.0)
+    assert fired == [2.0]
+
+
+def test_advance_with_stop_already_processed_returns_true():
+    env = Environment()
+    stop = env.timeout(1.0)
+    env.run(until=1.5)
+    assert stop.processed
+    fired = []
+    env.timeout(2.0).callbacks.append(lambda e: fired.append(env.now))
+    assert env.advance(10.0, stop=stop) is True
+    # Nothing was processed: the stop condition held before the loop.
+    assert fired == []
+
+
+def test_advance_stop_halts_midway_same_timestamp():
+    """The event after the stop event — even at the same timestamp —
+    must not be processed early."""
+    env = Environment()
+    order = []
+    env.timeout(1.0).callbacks.append(lambda e: order.append("a"))
+    stop = env.timeout(1.0)
+    stop.callbacks.append(lambda e: order.append("stop"))
+    env.timeout(1.0).callbacks.append(lambda e: order.append("b"))
+    assert env.advance(5.0, stop=stop) is True
+    assert order == ["a", "stop"]
+    env.advance(5.0)
+    assert order == ["a", "stop", "b"]
+
+
+def test_same_timestamp_batch_pop_preserves_seq_order():
+    """The drain's same-timestamp inner loop pops strictly in sequence
+    order across priorities and sources."""
+    env = Environment()
+    order = []
+    n = 50
+    for i in range(n):
+        env.timeout(1.0).callbacks.append(lambda e, i=i: order.append(i))
+    env.run()
+    assert order == list(range(n))
+
+
+def test_pooled_events_recycled_under_batch_pop():
+    """timeout_pooled events popped in a same-timestamp batch go back
+    to the free list and are reborn correctly."""
+    env = Environment()
+    fired = []
+    evs = [env.timeout_pooled(1.0) for _ in range(8)]
+    for i, ev in enumerate(evs):
+        ev.callbacks.append(lambda e, i=i: fired.append(i))
+    env.run()
+    assert fired == list(range(8))
+    assert len(env._tpool) == 8
+    # Rebirth: the recycled objects are reused, state fully reset.
+    again = [env.timeout_pooled(1.0) for _ in range(8)]
+    assert set(map(id, again)) == set(map(id, evs))
+    for ev in again:
+        ev.callbacks.append(lambda e: fired.append("again"))
+    env.run()
+    assert fired[8:] == ["again"] * 8
+
+
+def test_pool_limit_respected_under_batch_pop():
+    env = Environment()
+    n = Environment._POOL_LIMIT + 10
+    for _ in range(n):
+        env.timeout_pooled(1.0)
+    env.run()
+    assert len(env._tpool) == Environment._POOL_LIMIT
+
+
+def test_advance_in_epochs_identical_to_single_run():
+    """Epoch-sliced advance == one run: same clock, same event count."""
+    def build():
+        env = Environment()
+        order = []
+        env.schedule_batch([0.5, 1.0, 1.0, 2.5, 4.0],
+                           callback=lambda ev: order.append(ev.value))
+        return env, order
+
+    env1, order1 = build()
+    env1.run()
+
+    env2, order2 = build()
+    for h in (0.7, 1.0, 1.3, 5.0):
+        env2.advance(h)
+    assert order2 == order1
+    assert env2.now == 4.0
+    assert env2.events_processed == env1.events_processed

@@ -109,13 +109,19 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
     import json
 
     out_path = tmp_path / "bench.json"
-    out = run_cli(capsys, "--jobs", "1", "bench", "--quick",
+    out = run_cli(capsys, "--jobs", "1", "bench", "--quick", "--profile",
                   "--out", str(out_path))
     assert "wrote" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro-bench/5"
+    assert report["schema"] == "repro-bench/6"
     assert report["quick"] is True
     assert report["micro"]["event_queue"]["events_per_sec"] > 0
+    # repro-bench/6: provenance SHA and (with --profile) the event-loop
+    # profiler's per-site attribution summary.
+    assert "git_sha" in report
+    prof = report["profile"]
+    assert prof["events"] > 0
+    assert prof["top_sites"] and all("site" in r for r in prof["top_sites"])
     for sweep in report["sweeps"].values():
         assert sweep["configs"] > 0
         assert sweep["cache_hit_rate"] == 1.0

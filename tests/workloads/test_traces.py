@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.workloads import traces
+
 from repro.workloads import (
     bursty_trace,
     diurnal_trace,
@@ -118,3 +120,30 @@ def test_streaming_trace_stats_matches_batch():
     assert stream.mean_rate == batch.mean_rate
     assert stream.peak_rate == batch.peak_rate
     assert stream.burstiness == pytest.approx(batch.burstiness, rel=1e-9)
+
+
+def test_iter_poisson_trace_chunks_bit_identical():
+    """Concatenated chunk arrays == the scalar stream, for any chunk
+    size (including chunk=1 and chunks that straddle the horizon)."""
+    scalar = list(traces.iter_poisson_trace(50.0, 30.0, seed=11))
+    for chunk in (1, 7, 64, 4096):
+        arrays = list(traces.iter_poisson_trace_chunks(
+            50.0, 30.0, seed=11, chunk=chunk))
+        assert all(isinstance(a, np.ndarray) for a in arrays)
+        flat = np.concatenate(arrays).tolist() if arrays else []
+        assert flat == scalar
+
+
+def test_iter_poisson_trace_chunks_empty_when_first_gap_past_horizon():
+    # A horizon shorter than any plausible first gap yields no chunks.
+    arrays = list(traces.iter_poisson_trace_chunks(1e-6, 1e-9, seed=0))
+    assert arrays == []
+
+
+def test_iter_poisson_trace_chunks_validation():
+    with pytest.raises(ValueError):
+        list(traces.iter_poisson_trace_chunks(0.0, 10.0))
+    with pytest.raises(ValueError):
+        list(traces.iter_poisson_trace_chunks(1.0, -1.0))
+    with pytest.raises(ValueError):
+        list(traces.iter_poisson_trace_chunks(1.0, 10.0, chunk=0))
