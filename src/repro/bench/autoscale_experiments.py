@@ -21,6 +21,16 @@ beat both statics, its GPU-seconds to stay within tolerance of theirs,
 the weight cache to strictly shrink mean restart downtime versus a
 cache-off twin, zero lost requests everywhere, and twin closed-loop
 runs to be bit-identical (determinism survives resize events).
+
+The ``chaos`` subsection replays the closed loop under the *canonical
+control-plane fault plan* (:func:`canonical_control_plane_plan`): stuck
+resize drains, corrupt weight-cache entries, telemetry dropouts, and
+inflated offered counters, all seeded and replayable.  Its gate demands
+the serving plane conserve every request (zero lost), every aborted
+resize prove its rollback, the controller actually detect the bad
+sensors (>= 1 degraded tick), the in-SLO fraction stay at or above
+``SLO_CHAOS_FLOOR`` x the fault-free closed loop, and twin chaos runs
+stay bit-identical.
 """
 
 from __future__ import annotations
@@ -28,8 +38,9 @@ from __future__ import annotations
 import json
 import math
 
-__all__ = ["autoscale_fleet_report", "autoscale_report",
-           "build_autoscale_fleet", "run_autoscale_fleet"]
+__all__ = ["autoscale_chaos_report", "autoscale_fleet_report",
+           "autoscale_report", "build_autoscale_fleet",
+           "canonical_control_plane_plan", "run_autoscale_fleet"]
 
 #: Two functions x three replicas over one A100-80GB.
 N_REPLICAS = 3
@@ -56,6 +67,47 @@ COOLDOWN_SECONDS = 120.0
 #: GPU-seconds fairness tolerance between layouts.
 GPU_SECONDS_TOLERANCE = 0.10
 
+#: Canonical control-plane fault plan (the ``chaos`` subsection): MTBFs
+#: sized so a quick 600 s run still sees stuck drains collide with
+#: resizes and at least one telemetry fault span a control tick.
+CHAOS_STUCK_MTBF = 100.0
+CHAOS_STUCK_DURATION = 150.0
+CHAOS_CACHE_MTBF = 300.0
+CHAOS_DROPOUT_MTBF = 300.0
+CHAOS_DROPOUT_DURATION = 75.0
+CHAOS_CORRUPT_MTBF = 250.0
+CHAOS_CORRUPT_DURATION = 60.0
+CHAOS_CORRUPT_FACTOR = 8.0
+#: The chaos run must keep at least this fraction of the fault-free
+#: closed loop's in-SLO fraction.
+SLO_CHAOS_FLOOR = 0.8
+
+
+def canonical_control_plane_plan(horizon: float, seed: int = 0):
+    """The control-plane chaos schedule the bench and CI replay.
+
+    Four independent Poisson fault classes, one sub-seed each (so
+    adding a class never perturbs the others), merged by time:
+    ``resize_stuck`` holds, ``cache_load_failure`` corruptions,
+    ``sensor_dropout`` freezes, and ``telemetry_corruption`` inflation.
+    """
+    from repro.faas.chaos import FaultPlan
+
+    stuck = FaultPlan.exponential(
+        "resize_stuck", CHAOS_STUCK_MTBF, horizon, seed=seed * 10 + 2,
+        duration=CHAOS_STUCK_DURATION)
+    cache = FaultPlan.exponential(
+        "cache_load_failure", CHAOS_CACHE_MTBF, horizon,
+        seed=seed * 10 + 3)
+    dropout = FaultPlan.exponential(
+        "sensor_dropout", CHAOS_DROPOUT_MTBF, horizon, seed=seed * 10 + 5,
+        duration=CHAOS_DROPOUT_DURATION)
+    corrupt = FaultPlan.exponential(
+        "telemetry_corruption", CHAOS_CORRUPT_MTBF, horizon,
+        seed=seed * 10 + 7, duration=CHAOS_CORRUPT_DURATION,
+        factor=CHAOS_CORRUPT_FACTOR)
+    return stuck.merge(cache, dropout, corrupt)
+
 
 def _clients(env, fleet, horizon: float, trace_seeds: tuple = (1, 2)):
     from repro.workloads.serving import OpenLoopClient
@@ -78,18 +130,22 @@ def build_autoscale_fleet(env, horizon: float, autoscale: bool,
                           pcts: dict[str, int],
                           weight_cache: bool = True, seed: int = 0,
                           trace_seeds: tuple = (1, 2),
-                          on_completion=None) -> tuple:
+                          on_completion=None, plan=None) -> tuple:
     """Construct one diurnal contest scenario inside ``env``.
 
-    Returns ``(fleet, autoscaler, clients)``.  Shared by the
+    Returns ``(fleet, autoscaler, clients, chaos)``.  Shared by the
     single-process runner and the sharded simulation's autoscale cells
     — one construction path, so the differential tests can demand
     bit-identity.  ``on_completion`` taps every function group's stats
     *before* the autoscaler attaches its monitors (the autoscaler
     chains onto an installed tap rather than replacing it);
     ``trace_seeds`` re-seeds the hot/cold diurnal arrival traces so
-    extra cells carry independent demand.
+    extra cells carry independent demand.  ``plan`` (a
+    :class:`~repro.faas.chaos.FaultPlan`) attaches a
+    :class:`~repro.faas.chaos.ChaosController` replaying it against the
+    fleet; ``chaos`` is ``None`` without one.
     """
+    from repro.faas.chaos import ChaosController
     from repro.workloads.autoscale import FleetAutoscaler
     from repro.workloads.fleet import AutoscaledServingFleet, FleetFunction
 
@@ -110,13 +166,16 @@ def build_autoscale_fleet(env, horizon: float, autoscale: bool,
             fleet, interval_seconds=INTERVAL_SECONDS,
             cooldown_seconds=COOLDOWN_SECONDS)
         autoscaler.start()
+    chaos = None
+    if plan is not None:
+        chaos = ChaosController(env, fleet, plan, horizon=horizon)
     clients = _clients(env, fleet, horizon, trace_seeds)
-    return fleet, autoscaler, clients
+    return fleet, autoscaler, clients, chaos
 
 
 def autoscale_fleet_report(env, fleet, autoscaler, autoscale: bool,
                            weight_cache: bool,
-                           pcts: dict[str, int]) -> dict:
+                           pcts: dict[str, int], chaos=None) -> dict:
     """Assemble the comparable report dict for a finished run."""
     functions_report = fleet.report(env.now)
     offered = sum(r["offered"] for r in functions_report.values())
@@ -135,6 +194,10 @@ def autoscale_fleet_report(env, fleet, autoscaler, autoscale: bool,
         "gpu_seconds": fleet.provisioned_gpu_seconds(),
         "sim_seconds": env.now,
         "events": env.events_processed,
+        "faults": dict(sorted(fleet.faults.items())),
+        "faults_applied": sum(fleet.faults.values()),
+        "chaos_log": None if chaos is None else [
+            [t, kind, desc] for t, kind, desc in chaos.applied],
         "functions": functions_report,
         "autoscaler": None if autoscaler is None else autoscaler.summary(),
     }
@@ -143,25 +206,66 @@ def autoscale_fleet_report(env, fleet, autoscaler, autoscale: bool,
 def run_autoscale_fleet(horizon: float, autoscale: bool,
                         pcts: dict[str, int],
                         weight_cache: bool = True,
-                        seed: int = 0) -> dict:
+                        seed: int = 0, plan=None) -> dict:
     """One diurnal serving run; returns the comparable report dict.
 
     ``pcts`` sets the initial per-replica MPS percentages; with
-    ``autoscale=False`` they are also final (a static layout).  The
-    returned dict is the payload the determinism gate compares verbatim
-    across twin runs.
+    ``autoscale=False`` they are also final (a static layout).  ``plan``
+    replays a fault plan against the fleet.  The returned dict is the
+    payload the determinism gate compares verbatim across twin runs.
     """
     from repro.sim.core import Environment
 
     env = Environment()
-    fleet, autoscaler, clients = build_autoscale_fleet(
+    fleet, autoscaler, clients, chaos = build_autoscale_fleet(
         env, horizon, autoscale, pcts, weight_cache=weight_cache,
-        seed=seed)
+        seed=seed, plan=plan)
     env.run(until=env.all_of([c.done for c in clients]))
     if autoscaler is not None:
         autoscaler.stop()
     return autoscale_fleet_report(env, fleet, autoscaler, autoscale,
-                                  weight_cache, pcts)
+                                  weight_cache, pcts, chaos=chaos)
+
+
+def autoscale_chaos_report(horizon: float, fault_free: dict,
+                           seed: int = 0) -> dict:
+    """The ``chaos`` subsection: the closed loop under control-plane
+    faults, scored against its own fault-free run."""
+    plan = canonical_control_plane_plan(horizon, seed=seed)
+    chaos = run_autoscale_fleet(horizon, True, STATIC_SMALL, seed=seed,
+                                plan=plan)
+    twin = run_autoscale_fleet(horizon, True, STATIC_SMALL, seed=seed,
+                               plan=plan)
+    twin_identical = (json.dumps(chaos, sort_keys=True)
+                      == json.dumps(twin, sort_keys=True))
+    ctrl = chaos["autoscaler"]
+    base = fault_free["slo_good_fraction"]
+    slo_ratio = chaos["slo_good_fraction"] / base if base else 0.0
+    gate = {
+        "lost": chaos["lost"],
+        "resize_aborted": ctrl["resize_aborts"] >= 1,
+        "rollbacks_verified": (ctrl["resize_rollbacks"]
+                               == ctrl["resize_aborts"]),
+        "degraded_detected": ctrl["degraded_ticks"] >= 1,
+        "slo_ratio_vs_fault_free": slo_ratio,
+        "slo_floor": SLO_CHAOS_FLOOR,
+        "twin_identical": twin_identical,
+    }
+    gate["pass"] = (gate["lost"] == 0
+                    and gate["resize_aborted"]
+                    and gate["rollbacks_verified"]
+                    and gate["degraded_detected"]
+                    and slo_ratio >= SLO_CHAOS_FLOOR
+                    and twin_identical)
+    kinds: dict[str, int] = {}
+    for event in plan:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    return {
+        "plan_events": len(plan),
+        "plan_kinds": dict(sorted(kinds.items())),
+        "run": chaos,
+        "gate": gate,
+    }
 
 
 def autoscale_report(quick: bool = False, seed: int = 0) -> dict:
@@ -229,5 +333,6 @@ def autoscale_report(quick: bool = False, seed: int = 0) -> dict:
         "static_small": small,
         "static_large": large,
         "gpu_seconds_ratio": gpu_ratios,
+        "chaos": autoscale_chaos_report(horizon, closed, seed=seed),
         "gate": gate,
     }

@@ -7,10 +7,10 @@ PR gives future changes a trajectory to regress against: if events/sec
 or a sweep wall-clock moves the wrong way, the diff that did it is one
 ``git log BENCH_*.json`` away.
 
-Schema (``repro-bench/6``)::
+Schema (``repro-bench/7``)::
 
     {
-      "schema": "repro-bench/6",
+      "schema": "repro-bench/7",
       "date": "YYYY-MM-DD",
       "git_sha": str | null,          # HEAD at collection time
       "quick": bool,                  # reduced sizes (CI smoke)
@@ -64,15 +64,25 @@ Schema (``repro-bench/6``)::
         "gate": {"beats_static_small": bool, "beats_static_large": bool,
                  "gpu_seconds_matched": bool,
                  "cache_shrinks_downtime": bool, "reconfigured": bool,
-                 "twin_identical": bool, "lost": int, "pass": bool}
+                 "twin_identical": bool, "lost": int, "pass": bool},
+        "chaos": {                    # control-plane chaos gate
+          "plan_events": int,         # canonical fault plan size
+          "plan_kinds": {...},        # events per fault kind
+          "run": {...},               # closed loop under the plan
+          "gate": {"lost": int, "resize_aborted": bool,
+                   "rollbacks_verified": bool, "degraded_detected": bool,
+                   "slo_ratio_vs_fault_free": float, "slo_floor": float,
+                   "twin_identical": bool, "pass": bool}
+        }
       }
     }
 
 ``/1`` reports lack the ``scale`` section, ``/2`` reports the
 ``resilience`` section, ``/3`` reports the ``autoscale`` section, ``/4``
-reports the ``scale.sharded`` subsection, and ``/5`` reports
-``git_sha``/``profile``; everything else is unchanged, so trajectory
-tooling can read all six (readers must tolerate missing keys).
+reports the ``scale.sharded`` subsection, ``/5`` reports
+``git_sha``/``profile``, and ``/6`` reports the ``autoscale.chaos``
+subsection; everything else is unchanged, so trajectory tooling can
+read all seven (readers must tolerate missing keys).
 """
 
 from __future__ import annotations
@@ -288,7 +298,7 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None,
     resilience = resilience_report(quick=quick)
     autoscale = autoscale_report(quick=quick)
     return {
-        "schema": "repro-bench/6",
+        "schema": "repro-bench/7",
         "date": datetime.date.today().isoformat(),
         "git_sha": _git_sha(),
         "quick": quick,

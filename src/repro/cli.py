@@ -413,6 +413,21 @@ def _serve_sharded(args, rate: float, slo: float) -> str:
     return table
 
 
+def _autoscale_plan(args):
+    """Resolve ``--faults``/``--chaos`` for the autoscale serve paths."""
+    from repro.faas.chaos import FaultPlan
+
+    if args.faults:
+        return FaultPlan.load(args.faults)
+    if args.chaos:
+        from repro.bench.autoscale_experiments import (
+            canonical_control_plane_plan,
+        )
+
+        return canonical_control_plane_plan(args.horizon, seed=args.seed)
+    return None
+
+
 def _serve_autoscale(args) -> str:
     """``repro serve --autoscale``: the closed loop on the diurnal trace."""
     import json
@@ -424,8 +439,9 @@ def _serve_autoscale(args) -> str:
 
     if args.shards is not None or args.cells is not None:
         return _serve_autoscale_sharded(args)
+    plan = _autoscale_plan(args)
     report = run_autoscale_fleet(args.horizon, True, STATIC_SMALL,
-                                 seed=args.seed)
+                                 seed=args.seed, plan=plan)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -446,6 +462,15 @@ def _serve_autoscale(args) -> str:
         ["mean restart downtime s",
          f"{ctrl['mean_restart_downtime']:.2f}"],
     ]
+    if plan is not None:
+        rows += [
+            ["faults applied", report["faults_applied"]],
+            ["resize aborts", ctrl["resize_aborts"]],
+            ["rollbacks verified", ctrl["resize_rollbacks"]],
+            ["resize retries", ctrl["resize_retries"]],
+            ["breaker opens", ctrl["resize_breaker_opens"]],
+            ["degraded ticks", ctrl["degraded_ticks"]],
+        ]
     for name, pct in report["final_pcts"].items():
         rows.append([f"final pct {name}",
                      f"{pct}% (from {report['initial_pcts'][name]}%)"])
@@ -467,9 +492,11 @@ def _serve_autoscale_sharded(args) -> str:
 
     n_shards = args.shards if args.shards is not None else 1
     n_cells = args.cells if args.cells is not None else max(1, n_shards)
+    plan = _autoscale_plan(args)
     report = sharded_autoscale_report(
         args.horizon, True, STATIC_SMALL, n_cells=n_cells,
-        n_shards=n_shards, seed=args.seed, epoch_seconds=args.epoch)
+        n_shards=n_shards, seed=args.seed, epoch_seconds=args.epoch,
+        fault_plan_json=None if plan is None else plan.to_json())
     merged = report["merged"]
     if args.out:
         payload = {k: v for k, v in report.items()
@@ -490,10 +517,17 @@ def _serve_autoscale_sharded(args) -> str:
         ["merged completions", merged["n_events"]],
         ["events digest", merged["events_digest"][:16]],
     ]
+    if plan is not None:
+        rows += [
+            ["faults applied", merged["faults_applied"]],
+            ["resize aborts", merged["resize_aborts"]],
+            ["rollbacks verified", merged["resize_rollbacks"]],
+        ]
     table = format_table(
         ["metric", "value"], rows,
         title=f"Sharded online repartitioning — {n_cells} cells, "
-              f"{args.horizon:g}s horizon")
+              f"{args.horizon:g}s horizon"
+              + (", faulted" if plan is not None else ""))
     if args.out:
         table += f"\nwrote {args.out}"
     return table
@@ -578,10 +612,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline (default: bench scenario SLO)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--faults", default=None, metavar="PLAN.json",
-                   help="fault plan to replay (see repro.faas.chaos)")
+                   help="fault plan to replay (see repro.faas.chaos); "
+                        "with --autoscale, control-plane kinds hit the "
+                        "resize/telemetry machinery")
     p.add_argument("--chaos", action="store_true",
                    help="replay the canonical bench fault plan (per "
-                        "cell when sharded)")
+                        "cell when sharded; with --autoscale, the "
+                        "canonical control-plane plan)")
     p.add_argument("--shards", type=int, default=None, metavar="N",
                    help="run the scenario sharded over N worker "
                         "processes (default: legacy single process)")

@@ -11,8 +11,12 @@ twin-run determinism tests (and CI chaos gates) possible.  Plans are
   independent fault classes (ECC errors, crashes, stragglers) are built
   separately and combined;
 - **JSON-serialisable**: :meth:`save`/:meth:`load` round-trip through a
-  ``repro-faultplan/1`` document, so a CI job can generate a plan file
-  and hand it to ``repro serve --faults plan.json``.
+  ``repro-faultplan/2`` document (``/1`` documents still load), so a CI
+  job can generate a plan file and hand it to
+  ``repro serve --faults plan.json``.  Loading *validates*: an unknown
+  ``kind`` or a negative duration is rejected with an error naming the
+  offending event, not a mid-run ``ValueError`` deep in
+  ``apply_fault``.
 
 Fault targets are stored as raw non-negative integers and resolved
 *modulo the victim pool size* at application time, so one plan applies
@@ -38,7 +42,11 @@ from repro.sim.core import Environment
 
 __all__ = ["FAULT_KINDS", "ChaosController", "FaultEvent", "FaultPlan"]
 
-_SCHEMA = "repro-faultplan/1"
+_SCHEMA = "repro-faultplan/2"
+#: Schemas :meth:`FaultPlan.from_json` accepts.  ``/2`` added the four
+#: control-plane kinds; ``/1`` documents are a strict subset and load
+#: unchanged.
+_ACCEPTED_SCHEMAS = ("repro-faultplan/1", _SCHEMA)
 
 #: The fault classes a plan may schedule.
 FAULT_KINDS = (
@@ -48,6 +56,14 @@ FAULT_KINDS = (
     "straggler_device",    # a whole device slows down for `duration`
     "launch_failure",      # one replica's next kernel launch is rejected
     "reconfig_stall",      # one replica stops admitting batches briefly
+    # -- control-plane kinds (repro-faultplan/2) ----------------------------
+    "resize_stuck",        # one replica's resize drain never completes
+                           # (`duration` seconds; 0 = until further notice)
+    "cache_load_failure",  # one function's cached weights are corrupt: the
+                           # next resize-restart misses and reloads
+    "sensor_dropout",      # one function's telemetry freezes for `duration`
+    "telemetry_corruption",  # one function's offered counter is inflated
+                             # by `factor` for `duration` seconds
 )
 
 
@@ -154,9 +170,21 @@ class FaultPlan:
     def from_json(cls, text: str) -> "FaultPlan":
         doc = json.loads(text)
         schema = doc.get("schema")
-        if schema != _SCHEMA:
+        if schema not in _ACCEPTED_SCHEMAS:
             raise ValueError(f"expected schema {_SCHEMA!r}, got {schema!r}")
-        return cls(FaultEvent(**ev) for ev in doc["events"])
+        raw = doc.get("events")
+        if not isinstance(raw, list):
+            raise ValueError("fault plan document has no 'events' list")
+        events = []
+        for i, ev in enumerate(raw):
+            try:
+                events.append(FaultEvent(**ev))
+            except (TypeError, ValueError) as exc:
+                # Name the offending event: a plan is authored/generated
+                # once and replayed many times, so a load-time rejection
+                # with an index beats a mid-run ValueError in apply_fault.
+                raise ValueError(f"fault plan event {i}: {exc}") from None
+        return cls(events)
 
     def save(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:

@@ -125,6 +125,19 @@ class WeightCache:
         return pool.fits(needed)
 
     # -- introspection -----------------------------------------------------
+    def refcounts(self) -> dict[str, int]:
+        """Live references per model key, summed across pools, sorted.
+
+        Pool identities are process-local (``id()``), so cross-run state
+        comparisons — e.g. the resize-rollback verification in
+        :mod:`repro.workloads.fleet` — use this key-level view.
+        """
+        out: dict[str, int] = {}
+        for (_pool, key), entry in sorted(self._entries.items(),
+                                          key=lambda kv: kv[0][1]):
+            out[key] = out.get(key, 0) + entry.refcount
+        return out
+
     def resident_keys(self, client: GpuClient) -> list[str]:
         pk = self._pool_key(client)
         return [k for (p, k) in self._entries if p == pk]

@@ -34,7 +34,9 @@ class ResilienceStats:
     __slots__ = ("offered", "completed", "shed", "failed", "slo_ok",
                  "attempts", "attempt_failures", "retries", "hedges",
                  "hedge_wins", "wasted_attempts", "breaker_opens",
-                 "faults", "latency", "on_completion")
+                 "resize_attempts", "resize_aborts", "resize_rollbacks",
+                 "cache_load_failures", "faults", "latency",
+                 "on_completion")
 
     def __init__(self) -> None:
         #: Requests submitted to the router.
@@ -61,6 +63,16 @@ class ResilienceStats:
         self.wasted_attempts = 0
         #: Circuit-breaker open transitions.
         self.breaker_opens = 0
+        #: Per-replica resize transactions started against this function.
+        self.resize_attempts = 0
+        #: Resize transactions aborted by the drain watchdog.
+        self.resize_aborts = 0
+        #: Aborted transactions whose rollback verified bit-identical
+        #: pre-resize state (must equal :attr:`resize_aborts`).
+        self.resize_rollbacks = 0
+        #: Resize restarts that found the weight cache corrupt and paid
+        #: a full reload to repair it.
+        self.cache_load_failures = 0
         #: Injected faults by fault class.
         self.faults: dict[str, int] = {}
         #: Latency distribution of completed requests.
@@ -132,6 +144,10 @@ class ResilienceStats:
             "hedge_wins": self.hedge_wins,
             "wasted_attempts": self.wasted_attempts,
             "breaker_opens": self.breaker_opens,
+            "resize_attempts": self.resize_attempts,
+            "resize_aborts": self.resize_aborts,
+            "resize_rollbacks": self.resize_rollbacks,
+            "cache_load_failures": self.cache_load_failures,
             "amplification": self.amplification,
             "faults": dict(sorted(self.faults.items())),
             "latency": None if lat is None else {

@@ -130,6 +130,15 @@ class CircuitBreaker:
     def available(self, now: float) -> bool:
         return now >= self.open_until
 
+    def state(self, now: float) -> str:
+        """``"open"`` (cooling down), ``"half-open"`` (cooldown elapsed
+        with the failure counter still saturated), or ``"closed"``."""
+        if not self.available(now):
+            return "open"
+        if self.consecutive_failures >= self.threshold:
+            return "half-open"
+        return "closed"
+
     def record_success(self) -> None:
         self.consecutive_failures = 0
 

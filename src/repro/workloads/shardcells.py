@@ -199,7 +199,8 @@ class AutoscaleCell(_ScenarioCell):
 
     def __init__(self, horizon: float, autoscale: bool,
                  pcts: dict[str, int], weight_cache: bool = True,
-                 seed: int = 0, trace_seeds: tuple = (1, 2)):
+                 seed: int = 0, trace_seeds: tuple = (1, 2),
+                 fault_plan_json: Optional[str] = None):
         super().__init__()
         from repro.bench.autoscale_experiments import build_autoscale_fleet
         from repro.sim.core import Environment
@@ -213,9 +214,21 @@ class AutoscaleCell(_ScenarioCell):
         def tap(latency: float, in_slo: bool) -> None:
             buffer.append((env.now, float(latency), bool(in_slo)))
 
-        self.fleet, self.autoscaler, clients = build_autoscale_fleet(
-            self.env, horizon, autoscale, pcts, weight_cache=weight_cache,
-            seed=seed, trace_seeds=tuple(trace_seeds), on_completion=tap)
+        # Plans travel as JSON text: cell specs must pickle cleanly
+        # into worker processes, and the serialised form is exactly the
+        # replayable artifact (every cell replays the same plan against
+        # its own fleet).
+        plan = None
+        if fault_plan_json is not None:
+            from repro.faas.chaos import FaultPlan
+
+            plan = FaultPlan.from_json(fault_plan_json)
+        self.fleet, self.autoscaler, clients, self.chaos = \
+            build_autoscale_fleet(
+                self.env, horizon, autoscale, pcts,
+                weight_cache=weight_cache, seed=seed,
+                trace_seeds=tuple(trace_seeds), on_completion=tap,
+                plan=plan)
         self._stop = self.env.all_of([c.done for c in clients])
 
     def _on_finished(self) -> None:
@@ -227,7 +240,7 @@ class AutoscaleCell(_ScenarioCell):
 
         return autoscale_fleet_report(self.env, self.fleet, self.autoscaler,
                                       self.autoscale, self.weight_cache,
-                                      self.pcts)
+                                      self.pcts, chaos=self.chaos)
 
 
 # -- sharded scenario runners -----------------------------------------------
@@ -362,11 +375,16 @@ def sharded_autoscale_report(horizon: float, autoscale: bool,
                              pcts: dict[str, int], n_cells: int = 1,
                              n_shards: int = 1, weight_cache: bool = True,
                              seed: int = 0, epoch_seconds: float = 60.0,
-                             use_processes: Optional[bool] = None) -> dict:
+                             use_processes: Optional[bool] = None,
+                             fault_plan_json: Optional[str] = None) -> dict:
     """Run ``n_cells`` diurnal-contest fleets sharded ``n_shards`` ways.
 
     Cell 0 carries the legacy hot/cold trace seeds (1, 2); later cells
     draw their diurnal traces from named substreams.
+    ``fault_plan_json`` (a serialised :class:`~repro.faas.chaos.FaultPlan`)
+    is replayed by *every* cell against its own fleet — cells are
+    independent universes, so a shared schedule keeps any cell count
+    comparable against a single-process run of the same plan.
     """
     from repro.sim.sharded import CellSpec
 
@@ -380,19 +398,27 @@ def sharded_autoscale_report(horizon: float, autoscale: bool,
                       {"horizon": horizon, "autoscale": autoscale,
                        "pcts": dict(pcts), "weight_cache": weight_cache,
                        "seed": cell_seed(seed, "autoscale", i),
-                       "trace_seeds": trace_seeds(i)},
+                       "trace_seeds": trace_seeds(i),
+                       "fault_plan_json": fault_plan_json},
                       name=f"autoscale-{i}")
              for i in range(n_cells)]
     out = _run_sharded(specs, n_shards, epoch_seconds, use_processes)
     out["config"] = {"scenario": "autoscale", "horizon": horizon,
                      "autoscale": autoscale, "pcts": dict(pcts),
                      "n_cells": n_cells, "weight_cache": weight_cache,
-                     "seed": seed}
+                     "seed": seed,
+                     "faults": fault_plan_json is not None}
     merged = out["merged"]
-    for key in ("offered", "slo_ok", "lost"):
+    for key in ("offered", "slo_ok", "lost", "faults_applied"):
         merged[key] = sum(c[key] for c in out["cells"])
     merged["events_processed"] = sum(c["events"] for c in out["cells"])
     merged["slo_good_fraction"] = (merged["slo_ok"] / merged["offered"]
                                    if merged["offered"] else 0.0)
     merged["gpu_seconds"] = sum(c["gpu_seconds"] for c in out["cells"])
+    merged["resize_aborts"] = sum(
+        (c["autoscaler"] or {}).get("resize_aborts", 0)
+        for c in out["cells"])
+    merged["resize_rollbacks"] = sum(
+        (c["autoscaler"] or {}).get("resize_rollbacks", 0)
+        for c in out["cells"])
     return out

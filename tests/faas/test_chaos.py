@@ -1,5 +1,7 @@
 """Tests for fault plans and the chaos controller (repro.faas.chaos)."""
 
+import json
+
 import pytest
 
 from repro.faas import ChaosController, FaultEvent, FaultPlan
@@ -81,6 +83,52 @@ def test_validation():
         FaultPlan.exponential("ecc", mtbf_seconds=0.0, horizon=10.0)
     with pytest.raises(ValueError):
         FaultPlan.exponential("ecc", mtbf_seconds=1.0, horizon=0.0)
+
+
+# --------------------------------- control-plane kinds (repro-faultplan/2)
+
+def test_control_plane_kinds_round_trip():
+    plan = FaultPlan([
+        FaultEvent(time=1.0, kind="resize_stuck", target=3, duration=0.0),
+        FaultEvent(time=2.0, kind="cache_load_failure", target=1),
+        FaultEvent(time=3.0, kind="sensor_dropout", duration=40.0),
+        FaultEvent(time=4.0, kind="telemetry_corruption", duration=30.0,
+                   factor=8.0),
+    ])
+    text = plan.to_json()
+    assert json.loads(text)["schema"] == "repro-faultplan/2"
+    assert FaultPlan.from_json(text) == plan
+    assert plan == FaultPlan.from_json(
+        FaultPlan.from_json(plan.to_json()).to_json())
+
+
+def test_from_json_accepts_schema_1_documents():
+    doc = json.dumps({"schema": "repro-faultplan/1",
+                      "events": [{"time": 5.0, "kind": "ecc", "target": 3}]})
+    plan = FaultPlan.from_json(doc)
+    assert plan.events == (FaultEvent(time=5.0, kind="ecc", target=3),)
+
+
+def test_from_json_names_the_offending_event():
+    bad_kind = json.dumps({
+        "schema": "repro-faultplan/2",
+        "events": [{"time": 1.0, "kind": "ecc"},
+                   {"time": 2.0, "kind": "quantum-flux"}]})
+    with pytest.raises(ValueError, match=r"fault plan event 1: .*quantum"):
+        FaultPlan.from_json(bad_kind)
+    bad_duration = json.dumps({
+        "schema": "repro-faultplan/2",
+        "events": [{"time": 1.0, "kind": "sensor_dropout",
+                    "duration": -3.0}]})
+    with pytest.raises(ValueError, match=r"fault plan event 0: .*duration"):
+        FaultPlan.from_json(bad_duration)
+
+
+def test_until_boundary_excludes_event_at_horizon():
+    plan = FaultPlan([FaultEvent(time=10.0, kind="ecc"),
+                      FaultEvent(time=20.0, kind="ecc")])
+    assert [ev.time for ev in plan.until(20.0)] == [10.0]
+    assert len(plan.until(20.0 + 1e-9)) == 2
 
 
 # -------------------------------------------------------- ChaosController

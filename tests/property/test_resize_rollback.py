@@ -1,0 +1,157 @@
+"""Property tests: an aborted resize leaves no trace.
+
+The rollback contract of :class:`ResizeTransaction` (and the MIG
+global-teardown abort path) is that a drain-watchdog abort restores the
+fleet's control plane *bit for bit* — compared via
+``AutoscaledServingFleet.control_state()`` serialised to JSON — so an
+aborted resize is indistinguishable from one never attempted, and twin
+runs of the same aborted scenario stay bit-identical.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas import FaultEvent
+from repro.partition.reconfig import ReconfigurationPlanner
+from repro.sim import Environment
+from repro.workloads import (
+    AutoscaledServingFleet,
+    FleetAutoscaler,
+    FleetFunction,
+    OpenLoopClient,
+    iter_poisson_trace,
+)
+
+
+def build(n_replicas, pct, seed, weight_cache=True):
+    env = Environment()
+    functions = [
+        FleetFunction("hot", n_replicas, slo_seconds=6.0, initial_pct=pct,
+                      n_tokens=8),
+        FleetFunction("cold", n_replicas, slo_seconds=6.0, initial_pct=pct,
+                      n_tokens=8),
+    ]
+    fleet = AutoscaledServingFleet(env, functions, seed=seed,
+                                   weight_cache=weight_cache)
+    return env, fleet
+
+
+def state_json(fleet):
+    return json.dumps(fleet.control_state(), sort_keys=True)
+
+
+@st.composite
+def abort_cases(draw):
+    return {
+        "n_replicas": draw(st.integers(min_value=1, max_value=3)),
+        "pct": draw(st.integers(min_value=5, max_value=30)),
+        "target": draw(st.integers(min_value=0, max_value=7)),
+        "new_pct": draw(st.integers(min_value=1, max_value=60)),
+        "watchdog": draw(st.floats(min_value=1.0, max_value=30.0)),
+        "warmup": draw(st.integers(min_value=0, max_value=6)),
+        "weight_cache": draw(st.booleans()),
+        "seed": draw(st.integers(min_value=0, max_value=2**16)),
+    }
+
+
+def run_aborted_mps(case):
+    env, fleet = build(case["n_replicas"], case["pct"], case["seed"],
+                       case["weight_cache"])
+    planner = ReconfigurationPlanner(fleet.device.spec)
+    for _ in range(case["warmup"]):
+        fleet.submit("hot")
+    env.run(until=1.0)
+    # The same modulo arithmetic the fault handler uses picks the victim.
+    pairs = [(name, r) for name, g in fleet.groups.items()
+             for r in g.replicas]
+    name, replica = pairs[case["target"] % len(pairs)]
+    fleet.apply_fault(FaultEvent(time=env.now, kind="resize_stuck",
+                                 target=case["target"], duration=0.0))
+    before = state_json(fleet)
+    new_pct = case["new_pct"]
+    if new_pct == fleet.groups[name].pct_by_replica[replica.index]:
+        new_pct += 1  # a resize must actually change something
+    proc = env.process(fleet.resize_replica(
+        name, replica, new_pct, planner,
+        watchdog_seconds=case["watchdog"]))
+    result = env.run(until=proc)
+    env.run()  # let any queued warmup traffic finish
+    return before, state_json(fleet), result, fleet
+
+
+@given(abort_cases())
+@settings(max_examples=15, deadline=None)
+def test_aborted_mps_resize_is_invisible(case):
+    before, after, result, fleet = run_aborted_mps(case)
+    assert result["aborted"] is True
+    assert result["rollback_verified"] is True
+    assert after == before
+    # Exactly-once survived the pause/resume around the abort.
+    reports = fleet.report(fleet.env.now)
+    assert sum(r["lost"] for r in reports.values()) == 0
+
+
+@given(abort_cases())
+@settings(max_examples=8, deadline=None)
+def test_aborted_mps_resize_twin_runs_are_bit_identical(case):
+    def payload():
+        before, after, result, fleet = run_aborted_mps(case)
+        return json.dumps({"before": before, "after": after,
+                           "result": result,
+                           "events": fleet.env.events_processed},
+                          sort_keys=True)
+
+    assert payload() == payload()
+
+
+def run_mig_abort(seed, rate):
+    env, fleet = build(2, 20, seed)
+    # Hold every drain until further notice: the global MIG teardown can
+    # only end in its watchdog abort.
+    for target in range(4):
+        fleet.apply_fault(FaultEvent(time=0.0, kind="resize_stuck",
+                                     target=target, duration=0.0))
+    before = state_json(fleet)
+    scaler = FleetAutoscaler(fleet, technique="mig", interval_seconds=20.0,
+                             cooldown_seconds=0.0,
+                             resize_watchdog_seconds=5.0,
+                             resize_max_retries=1,
+                             resize_breaker_threshold=3)
+    scaler.start()
+    group = fleet.groups["hot"]
+    client = OpenLoopClient(env, group.router, n_tokens=group.n_tokens,
+                            streaming=True,
+                            arrivals=iter_poisson_trace(rate, 100.0,
+                                                        seed=seed + 1))
+    env.run(until=client.done)
+    scaler.stop()
+    return before, state_json(fleet), scaler.summary(), fleet
+
+
+@given(seed=st.integers(min_value=0, max_value=50),
+       rate=st.floats(min_value=0.5, max_value=1.2))
+@settings(max_examples=8, deadline=None)
+def test_aborted_mig_teardown_is_invisible(seed, rate):
+    before, after, summary, fleet = run_mig_abort(seed, rate)
+    if summary["resize_aborts"] == 0:
+        return  # demand never warranted a repartition this draw
+    assert summary["resize_rollbacks"] == summary["resize_aborts"]
+    assert summary["reconfigurations"] == 0  # nothing ever committed
+    assert after == before
+    reports = fleet.report(fleet.env.now)
+    assert sum(r["lost"] for r in reports.values()) == 0
+
+
+def test_aborted_mig_teardown_twin_runs_are_bit_identical():
+    def payload():
+        before, after, summary, fleet = run_mig_abort(seed=7, rate=1.0)
+        return json.dumps({"before": before, "after": after,
+                           "summary": summary,
+                           "events": fleet.env.events_processed},
+                          sort_keys=True)
+
+    first = payload()
+    assert first == payload()
+    assert json.loads(first)["summary"]["resize_aborts"] >= 1

@@ -113,7 +113,7 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
                   "--out", str(out_path))
     assert "wrote" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro-bench/6"
+    assert report["schema"] == "repro-bench/7"
     assert report["quick"] is True
     assert report["micro"]["event_queue"]["events_per_sec"] > 0
     # repro-bench/6: provenance SHA and (with --profile) the event-loop
@@ -152,6 +152,12 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
     autoscale = report["autoscale"]
     assert autoscale["gate"]["lost"] == 0
     assert autoscale["gate"]["pass"] is True
+    # repro-bench/7: the control-plane chaos subsection and its gate.
+    chaos = autoscale["chaos"]
+    assert chaos["gate"]["lost"] == 0
+    assert chaos["gate"]["rollbacks_verified"] is True
+    assert chaos["gate"]["twin_identical"] is True
+    assert chaos["gate"]["pass"] is True
     assert "Online repartitioning" in out
 
 

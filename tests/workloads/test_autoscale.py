@@ -284,6 +284,92 @@ def test_quiet_fleet_never_reconfigures():
                for d in scaler.decisions)
 
 
+# ------------------------------------------------ control-plane resilience
+
+def test_autoscaler_resilience_knob_validation():
+    env, fleet = make_fleet()
+    with pytest.raises(ValueError, match="watchdog"):
+        FleetAutoscaler(fleet, resize_watchdog_seconds=0.0)
+    with pytest.raises(ValueError, match="breaker_threshold"):
+        FleetAutoscaler(fleet, resize_breaker_threshold=0)
+    with pytest.raises(ValueError, match="stale"):
+        FleetAutoscaler(fleet, sensor_stale_after_seconds=0.0)
+
+
+def test_sensor_dropout_puts_the_loop_in_degraded_mode():
+    from repro.faas import FaultEvent
+    env, fleet = make_fleet(pct=20)
+    scaler = FleetAutoscaler(fleet, interval_seconds=20.0,
+                             cooldown_seconds=0.0)
+    scaler.start()
+    hot = drive(env, fleet, "hot", rate=1.0, horizon=150.0, seed=1)
+    env.run(until=30.0)
+    fleet.apply_fault(FaultEvent(time=env.now, kind="sensor_dropout",
+                                 target=0, duration=80.0))
+    env.run(until=hot.done)
+    scaler.stop()
+    degraded = [d for d in scaler.decisions
+                if d.reason.startswith("degraded")]
+    assert degraded
+    assert any("hot: stale sensor" in d.reason for d in degraded)
+    # Recovery step absorbed: the tick after the fault clears re-baselines
+    # instead of reading the catch-up delta as a demand spike.
+    assert any("sensor re-baseline" in d.reason for d in degraded)
+    # Degraded ticks hold the last safe shares and actuate nothing.
+    for d in degraded:
+        assert not d.applied
+    summary = scaler.summary()
+    assert summary["degraded_ticks"] == len(degraded)
+    assert summary["degraded_seconds"] == pytest.approx(
+        len(degraded) * 20.0)
+    assert 0.0 < summary["degraded_fraction"] < 1.0
+    reports = fleet.report(env.now)
+    assert sum(r["lost"] for r in reports.values()) == 0
+
+
+def test_repeated_drain_timeouts_trip_the_resize_breaker():
+    from repro.faas import FaultEvent
+    env, fleet = make_fleet(pct=20)
+    # Hold every replica's drain until further notice: every resize
+    # cycle can only end in a watchdog abort.
+    for target in range(4):
+        fleet.apply_fault(FaultEvent(time=0.0, kind="resize_stuck",
+                                     target=target, duration=0.0))
+    scaler = FleetAutoscaler(fleet, interval_seconds=20.0,
+                             cooldown_seconds=0.0,
+                             resize_watchdog_seconds=4.0,
+                             resize_max_retries=1,
+                             resize_breaker_threshold=2)
+    scaler.start()
+    hot = drive(env, fleet, "hot", rate=1.2, horizon=200.0, seed=1)
+    env.run(until=hot.done)
+    scaler.stop()
+    summary = scaler.summary()
+    assert summary["resize_attempts"] >= summary["resize_aborts"] >= 2
+    # Every abort rolled back provably clean.
+    assert summary["resize_rollbacks"] == summary["resize_aborts"]
+    assert summary["resize_breaker_opens"] >= 1
+    assert scaler.reconfigurations == 0  # nothing ever committed
+    assert any(d.reason == "resize aborted: drain watchdog"
+               for d in scaler.decisions)
+    # Once open, the breaker takes the function out of actuation.
+    assert any(d.reason.startswith("resize-breaker open")
+               for d in scaler.decisions)
+    # Shares never moved and nothing was lost while the loop flailed.
+    assert all(g.current_pct == 20 for g in fleet.groups.values())
+    reports = fleet.report(env.now)
+    assert sum(r["lost"] for r in reports.values()) == 0
+
+
+def test_desired_percentages_guards_empty_pools_and_missing_rates():
+    env, fleet = make_fleet()
+    scaler = FleetAutoscaler(fleet)
+    fleet.groups["hot"].replicas.clear()  # pathological: no pool at all
+    desired = scaler.desired_percentages({"cold": 0.5})  # "hot" missing too
+    assert set(desired) == {"hot", "cold"}
+    assert all(pct >= scaler.min_percentage for pct in desired.values())
+
+
 def test_summary_counters_are_consistent():
     env, fleet = make_fleet(pct=20)
     scaler = FleetAutoscaler(fleet, interval_seconds=20.0,

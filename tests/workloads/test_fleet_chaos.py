@@ -1,0 +1,226 @@
+"""Tests for control-plane fault injection on the autoscaled fleet.
+
+Covers the four ``repro-faultplan/2`` kinds end to end against
+:class:`AutoscaledServingFleet` — stuck drains aborting a
+:class:`ResizeTransaction` with a verified rollback, weight-cache
+corruption forcing a cold reload, and the two telemetry faults as seen
+through :meth:`sensor_snapshot` — plus the data-plane ``replica_crash``
+respawn path and the :meth:`control_state` snapshot the rollback
+verification compares against.
+"""
+
+import json
+
+import pytest
+
+from repro.faas import FaultEvent
+from repro.partition.reconfig import ReconfigurationPlanner
+from repro.sim import Environment
+from repro.workloads import (
+    AutoscaledServingFleet,
+    FleetFunction,
+    ServingFleet,
+)
+
+
+def make_fleet(weight_cache=True, n_replicas=2, pct=20, seed=0):
+    env = Environment()
+    functions = [
+        FleetFunction("hot", n_replicas, slo_seconds=6.0, initial_pct=pct,
+                      n_tokens=8),
+        FleetFunction("cold", n_replicas, slo_seconds=6.0, initial_pct=pct,
+                      n_tokens=8),
+    ]
+    fleet = AutoscaledServingFleet(env, functions, seed=seed,
+                                   weight_cache=weight_cache)
+    return env, fleet
+
+
+# ------------------------------------------------------------ resize_stuck
+
+def test_stuck_drain_aborts_with_a_verified_rollback():
+    env, fleet = make_fleet()
+    planner = ReconfigurationPlanner(fleet.device.spec)
+    group = fleet.groups["hot"]
+    # Targets resolve modulo the flat (function, replica) pool; with two
+    # functions of two replicas each, target 0 is hot-r0.
+    fleet.apply_fault(FaultEvent(time=0.0, kind="resize_stuck", target=0,
+                                 duration=0.0))  # held until further notice
+    before = fleet.control_state()
+    proc = env.process(fleet.resize_replica("hot", group.replicas[0], 35,
+                                            planner, watchdog_seconds=10.0))
+    result = env.run(until=proc)
+    assert result["aborted"] is True
+    assert result["rollback_verified"] is True
+    assert env.now == pytest.approx(10.0)  # the watchdog decided
+    # The abort restored the whole control plane bit for bit.
+    assert fleet.control_state() == before
+    assert group.pct_by_replica[0] == 20
+    stats = group.stats
+    assert stats.resize_attempts == 1
+    assert stats.resize_aborts == 1
+    assert stats.resize_rollbacks == 1
+    # Admission resumed at the old percentage: traffic still flows.
+    req = fleet.submit("hot")
+    env.run(until=req.done)
+    assert req.outcome == "ok"
+    assert group.stats.lost == 0
+
+
+def test_bounded_stuck_drain_delays_but_commits():
+    env, fleet = make_fleet()
+    planner = ReconfigurationPlanner(fleet.device.spec)
+    group = fleet.groups["hot"]
+    fleet.apply_fault(FaultEvent(time=0.0, kind="resize_stuck", target=0,
+                                 duration=5.0))
+    proc = env.process(fleet.resize_replica("hot", group.replicas[0], 35,
+                                            planner, watchdog_seconds=30.0))
+    result = env.run(until=proc)
+    # The hold expired before the watchdog: a slow commit, not an abort.
+    assert result["aborted"] is False
+    assert result["to_pct"] == 35
+    assert result["downtime_seconds"] >= 5.0
+    assert group.pct_by_replica[0] == 35
+    assert group.stats.resize_aborts == 0
+
+
+def test_resize_transaction_validation():
+    from repro.workloads.fleet import ResizeTransaction
+    env, fleet = make_fleet()
+    planner = ReconfigurationPlanner(fleet.device.spec)
+    replica = fleet.groups["hot"].replicas[0]
+    with pytest.raises(ValueError, match="new_pct"):
+        ResizeTransaction(fleet, "hot", replica, 0, planner)
+    with pytest.raises(ValueError, match="watchdog"):
+        ResizeTransaction(fleet, "hot", replica, 30, planner,
+                          watchdog_seconds=0.0)
+
+
+# ------------------------------------------------------ cache_load_failure
+
+def test_cache_corruption_forces_one_cold_reload():
+    env, fleet = make_fleet(weight_cache=True)
+    planner = ReconfigurationPlanner(fleet.device.spec)
+    group = fleet.groups["hot"]
+    refs_before = fleet.weight_cache.refcounts()
+    # Group targets resolve modulo the function list: target 0 is hot.
+    fleet.apply_fault(FaultEvent(time=0.0, kind="cache_load_failure",
+                                 target=0))
+    proc = env.process(fleet.resize_replica("hot", group.replicas[0], 35,
+                                            planner))
+    result = env.run(until=proc)
+    # The corrupt entry cost the full reload despite the standing cache.
+    assert result["weight_cache_hit"] is False
+    expected = planner.TEARDOWN_SECONDS + \
+        planner.cold_start.worker_start_seconds(True) + \
+        group.model_load_seconds
+    assert result["downtime_seconds"] == pytest.approx(expected)
+    assert group.stats.cache_load_failures == 1
+    # Reloading repaired the entry: the next restart hits again, and the
+    # standing refcounts never moved.
+    proc = env.process(fleet.resize_replica("hot", group.replicas[1], 35,
+                                            planner))
+    result = env.run(until=proc)
+    assert result["weight_cache_hit"] is True
+    assert group.stats.cache_load_failures == 1
+    assert fleet.weight_cache.refcounts() == refs_before
+
+
+# -------------------------------------------- sensor_dropout / corruption
+
+def test_sensor_dropout_freezes_the_published_snapshot():
+    env, fleet = make_fleet()
+    for _ in range(3):
+        fleet.submit("hot")
+    env.run(until=5.0)
+    fleet.apply_fault(FaultEvent(time=5.0, kind="sensor_dropout", target=0,
+                                 duration=10.0))
+    assert fleet.sensor_snapshot("hot") == (3, 5.0)
+    for _ in range(2):
+        fleet.submit("hot")
+    env.run(until=10.0)
+    # Mid-fault: both the count and the as-of timestamp stay frozen.
+    assert fleet.sensor_snapshot("hot") == (3, 5.0)
+    assert fleet.groups["hot"].stats.offered == 5  # ground truth moved on
+    env.run(until=16.0)
+    # Expired: the snapshot self-cleans back to ground truth.
+    assert fleet.sensor_snapshot("hot") == (5, 16.0)
+    assert "hot" not in fleet._sensor_dropout
+
+
+def test_telemetry_corruption_inflates_the_offered_delta():
+    env, fleet = make_fleet()
+    env.run(until=2.0)
+    fleet.apply_fault(FaultEvent(time=2.0, kind="telemetry_corruption",
+                                 target=0, duration=20.0, factor=4.0))
+    for _ in range(4):
+        fleet.submit("hot")
+    env.run(until=3.0)
+    offered, as_of = fleet.sensor_snapshot("hot")
+    assert offered == 16  # 0 at onset + (4 - 0) x 4
+    assert as_of == 3.0   # corruption lies about the value, not the time
+    env.run(until=30.0)
+    assert fleet.sensor_snapshot("hot") == (4, 30.0)
+
+
+# ----------------------------------------------- data-plane kinds (PR 4)
+
+def test_replica_crash_respawns_with_the_ledger_intact():
+    env, fleet = make_fleet()
+    group = fleet.groups["hot"]
+    replica = group.replicas[0]
+    fleet.apply_fault(FaultEvent(time=0.0, kind="replica_crash", target=0,
+                                 duration=7.0))
+    env.run(until=1.0)
+    assert not replica.alive
+    # Down replicas provision nothing.
+    assert fleet.control_state()["provisioned"]["hot/0"] == 0
+    env.run(until=8.0)
+    assert replica.alive
+    assert replica.incarnations == 2
+    # Identity survives the respawn: same Replica object, same router slot.
+    assert group.router.replicas[0] is replica
+    assert fleet.control_state()["provisioned"]["hot/0"] == 20
+    req = fleet.submit("hot")
+    env.run(until=req.done)
+    assert req.outcome == "ok"
+
+
+def test_fault_counters_and_unknown_kinds():
+    env, fleet = make_fleet()
+    fleet.apply_fault(FaultEvent(time=0.0, kind="sensor_dropout",
+                                 duration=5.0))
+    fleet.apply_fault(FaultEvent(time=0.0, kind="cache_load_failure"))
+    assert fleet.faults == {"sensor_dropout": 1, "cache_load_failure": 1}
+
+    class Rogue:
+        kind = "meteor-strike"
+    with pytest.raises(ValueError, match="meteor-strike"):
+        fleet.apply_fault(Rogue())
+
+
+# ----------------------------------------------------------- control_state
+
+def test_control_state_is_json_able_and_stable_when_idle():
+    env, fleet = make_fleet()
+    state = fleet.control_state()
+    # The rollback property tests compare this verbatim — it must be
+    # JSON-able and must not drift while nothing happens.
+    text = json.dumps(state, sort_keys=True)
+    env.run(until=50.0)
+    assert json.dumps(fleet.control_state(), sort_keys=True) == text
+    assert state["alloc_total_pct"] == 80  # 2 functions x 2 replicas x 20%
+    assert state["provisioned"] == {"hot/0": 20, "hot/1": 20,
+                                    "cold/0": 20, "cold/1": 20}
+
+
+# ---------------------------------------- static fleet: graceful no-ops
+
+def test_static_fleet_skips_control_plane_kinds():
+    env = Environment()
+    fleet = ServingFleet(env, mode="mps", n_partitions=2,
+                         servers_per_partition=1)
+    for kind in ("resize_stuck", "cache_load_failure", "sensor_dropout",
+                 "telemetry_corruption"):
+        desc = fleet.apply_fault(FaultEvent(time=0.0, kind=kind))
+        assert "no control plane" in desc
