@@ -41,7 +41,7 @@ def main() -> None:
         rec = sizer.recommend(latency_fn)
         rows.append([
             name, rec.knee_sms, f"{rec.mps_percentage}%",
-            rec.mig_profile or "-",
+            rec.mig_profile or rec.placement.value,
             f"{rec.predicted_latency * 1000:.0f} ms",
             f"{100 * rec.freed_fraction:.0f}%",
         ])

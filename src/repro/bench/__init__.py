@@ -44,12 +44,14 @@ from repro.bench.autoscale_experiments import (
     autoscale_report,
     run_autoscale_fleet,
 )
+from repro.bench.cluster_experiments import cluster_report, run_contest
 
 __all__ = [
     "MultiplexResult",
     "autoscale_report",
     "blast_radius_experiment",
     "canonical_fault_plan",
+    "cluster_report",
     "collect_bench",
     "discussion_overheads",
     "fig1_layer_flops",
@@ -60,6 +62,7 @@ __all__ = [
     "resilience_report",
     "rightsizing_study",
     "run_autoscale_fleet",
+    "run_contest",
     "run_llm_multiplexing",
     "run_resilient_fleet",
     "save_results",

@@ -272,6 +272,9 @@ class RightsizingRow:
     knee_sms: int
     mps_percentage: int
     mig_profile: str | None
+    #: Typed verdict (:class:`~repro.partition.PlacementNeed` value) so
+    #: a missing MIG profile is never ambiguous in reports.
+    placement: str
     latency_penalty_pct: float
     freed_fraction: float
 
@@ -308,6 +311,7 @@ def _rightsizing_task(config: dict) -> RightsizingRow:
         knee_sms=rec.knee_sms,
         mps_percentage=rec.mps_percentage,
         mig_profile=rec.mig_profile,
+        placement=rec.placement.value,
         latency_penalty_pct=penalty,
         freed_fraction=rec.freed_fraction,
     )

@@ -7,10 +7,10 @@ PR gives future changes a trajectory to regress against: if events/sec
 or a sweep wall-clock moves the wrong way, the diff that did it is one
 ``git log BENCH_*.json`` away.
 
-Schema (``repro-bench/7``)::
+Schema (``repro-bench/8``)::
 
     {
-      "schema": "repro-bench/7",
+      "schema": "repro-bench/8",
       "date": "YYYY-MM-DD",
       "git_sha": str | null,          # HEAD at collection time
       "quick": bool,                  # reduced sizes (CI smoke)
@@ -74,15 +74,30 @@ Schema (``repro-bench/7``)::
                    "slo_ratio_vs_fault_free": float, "slo_floor": float,
                    "twin_identical": bool, "pass": bool}
         }
+      },
+      "cluster": {                    # cluster-scale placement contest
+        "contest": {                  # 500-GPU / 50-function packing
+          "inventory": {spec: int}, "n_gpus": int, "n_functions": int,
+          "greedy": {..., "gpus_used": int, "in_slo_fraction": float,
+                     "digest": str},
+          "optimized": {...},         # tail right-sizing + repacking
+          "mps_caps": {...},          # per-packer worst weighted cap sum
+          "max_weighted_cap_sum": int
+        },
+        "feedback": {...},            # fleet->cluster drift replanning
+        "gate": {"fewer_gpus": bool, "in_slo_within_tolerance": bool,
+                 "rejections_match": bool, "caps_bounded": bool,
+                 "twin_identical": bool, "pass": bool}
       }
     }
 
 ``/1`` reports lack the ``scale`` section, ``/2`` reports the
 ``resilience`` section, ``/3`` reports the ``autoscale`` section, ``/4``
 reports the ``scale.sharded`` subsection, ``/5`` reports
-``git_sha``/``profile``, and ``/6`` reports the ``autoscale.chaos``
-subsection; everything else is unchanged, so trajectory tooling can
-read all seven (readers must tolerate missing keys).
+``git_sha``/``profile``, ``/7`` reports the ``autoscale.chaos``
+subsection, and ``/8`` reports the ``cluster`` section; everything else
+is unchanged, so trajectory tooling can read all eight (readers must
+tolerate missing keys).
 """
 
 from __future__ import annotations
@@ -291,14 +306,16 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None,
     sweeps = {name: _time_sweep(fn, jobs)
               for name, fn in _sweep_fns(quick).items()}
     from repro.bench.autoscale_experiments import autoscale_report
+    from repro.bench.cluster_experiments import cluster_report
     from repro.bench.resilience_experiments import resilience_report
     from repro.bench.scale_experiments import scale_report
 
     scale = scale_report(quick=quick)
     resilience = resilience_report(quick=quick)
     autoscale = autoscale_report(quick=quick)
+    cluster = cluster_report(quick=quick)
     return {
-        "schema": "repro-bench/7",
+        "schema": "repro-bench/8",
         "date": datetime.date.today().isoformat(),
         "git_sha": _git_sha(),
         "quick": quick,
@@ -313,6 +330,7 @@ def collect_bench(quick: bool = False, jobs: Optional[int] = None,
         "scale": scale,
         "resilience": resilience,
         "autoscale": autoscale,
+        "cluster": cluster,
     }
 
 

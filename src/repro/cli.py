@@ -155,11 +155,13 @@ def _cmd_overheads(args, ctx) -> str:
 def _cmd_rightsizing(args, ctx) -> str:
     rows = [
         [r.workload, r.knee_sms, f"{r.mps_percentage}%",
-         r.mig_profile or "-", f"{100 * r.freed_fraction:.0f}%"]
+         r.mig_profile or "-", r.placement,
+         f"{100 * r.freed_fraction:.0f}%"]
         for r in rightsizing_study(runner=ctx.runner)
     ]
     return format_table(
-        ["workload", "knee SMs", "MPS %", "MIG profile", "GPU freed"],
+        ["workload", "knee SMs", "MPS %", "MIG profile", "placement",
+         "GPU freed"],
         rows, title="§7 — right-sizing study")
 
 
@@ -268,11 +270,34 @@ def _cmd_bench(args, ctx) -> str:
         ["autoscale (in-SLO fraction of offered)", "value", "note"], rows,
         title=f"Online repartitioning "
               f"(gate {'PASS' if asc_gate['pass'] else 'FAIL'})")
+    clu = report["cluster"]
+    clu_gate = clu["gate"]
+    contest = clu["contest"]
+    rows = [
+        ["greedy FFD", contest["greedy"]["gpus_used"],
+         f"{contest['greedy']['in_slo_fraction']:.3f}",
+         f"{contest['greedy']['wall_seconds']:.2f}s"],
+        ["repacking optimiser", contest["optimized"]["gpus_used"],
+         f"{contest['optimized']['in_slo_fraction']:.3f}",
+         f"{contest['optimized']['wall_seconds']:.2f}s"],
+        ["rejected functions", len(contest["optimized"]["rejected"]),
+         "typed infeasible", ""],
+        ["max weighted MPS cap sum", contest["max_weighted_cap_sum"],
+         "must be <= 100", ""],
+        ["twin runs identical", clu_gate["twin_identical"],
+         "determinism", ""],
+    ]
+    clu_table = format_table(
+        ["cluster packer", "GPUs used", "in-SLO", "note"], rows,
+        title=f"Cluster placement ({contest['n_gpus']} GPUs, "
+              f"{contest['n_functions']} functions, "
+              f"gate {'PASS' if clu_gate['pass'] else 'FAIL'})")
     out = (f"{micro}\n\n{sweeps}\n\n{scale_table}\n"
            f"streaming vs legacy speedup: {scale['speedup']:.2f}x"
            f"\n\n{sharded_table}\n{sharded_note}"
            f"\n\n{res_table}"
-           f"\n\n{asc_table}")
+           f"\n\n{asc_table}"
+           f"\n\n{clu_table}")
     if report.get("profile"):
         prof = report["profile"]
         rows = [[s["site"].split("/src/")[-1], f"{s['events']:,}",
@@ -285,6 +310,51 @@ def _cmd_bench(args, ctx) -> str:
                   f"{prof['wall_seconds_in_callbacks']:.2f}s in callbacks)")
         out += f"\n\n{prof_table}"
     return out + f"\n\nwrote {path}"
+
+
+def _cmd_cluster(args, ctx) -> str:
+    """``repro cluster``: pack the placement contest, print the score.
+
+    The written JSON strips the ``wall_seconds`` timings — everything
+    else in the contest payload is deterministic arithmetic, so twin
+    invocations at the same ``--functions``/``--seed`` must produce
+    byte-identical files (the CI cluster smoke diffs exactly that).
+    """
+    import json
+
+    from repro.bench.cluster_experiments import run_contest
+
+    contest = run_contest(n_functions=args.functions, seed=args.seed)
+    if args.out:
+        payload = json.loads(json.dumps(contest))  # deep copy
+        for packer in ("greedy", "optimized"):
+            payload[packer].pop("wall_seconds", None)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    rows = []
+    for label, key in (("greedy FFD", "greedy"),
+                       ("repacking optimiser", "optimized")):
+        score = contest[key]
+        rows.append([label, score["gpus_used"],
+                     f"{score['in_slo_fraction']:.3f}",
+                     f"{score['served_in_slo_rps']:.1f}",
+                     len(score["rejected"]),
+                     f"{score['wall_seconds']:.2f}s"])
+    table = format_table(
+        ["packer", "GPUs used", "in-SLO", "served rps", "rejected", "wall"],
+        rows,
+        title=f"Cluster placement — {contest['n_gpus']} GPUs, "
+              f"{contest['n_functions']} functions, seed {contest['seed']}")
+    saved = contest["greedy"]["gpus_used"] - contest["optimized"]["gpus_used"]
+    table += (f"\nrepacking freed {saved} GPUs; max weighted MPS cap sum "
+              f"{contest['max_weighted_cap_sum']} (bound 100)")
+    if contest["optimized"]["rejected"]:
+        table += ("\nrejected: "
+                  + ", ".join(contest["optimized"]["rejected"]))
+    if args.out:
+        table += f"\nwrote {args.out}"
+    return table
 
 
 def _cmd_serve(args, ctx) -> str:
@@ -599,6 +669,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path (default: BENCH_<date>.json)")
     p.set_defaults(fn=_cmd_bench)
 
+    p = sub.add_parser("cluster",
+                       help="pack the fleet-scale placement contest")
+    p.add_argument("--functions", type=int, default=50, metavar="N",
+                   help="contest size in functions (default: 50)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the deterministic contest JSON "
+                        "(timings stripped; twin runs diff identical)")
+    p.set_defaults(fn=_cmd_cluster)
+
     p = sub.add_parser("serve",
                        help="fault-tolerant serving fleet, optional chaos")
     p.add_argument("--mode", default="mig-mps",
@@ -647,7 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 #: Subcommand names, used to split a multi-command argv into groups.
 COMMANDS = ("fig1", "fig2", "fig3", "fig4", "fig5", "table1", "overheads",
-            "rightsizing", "weightcache", "bench", "serve")
+            "rightsizing", "weightcache", "bench", "cluster", "serve")
 
 
 def _split_commands(argv: Sequence[str]) -> tuple[list[str], list[list[str]]]:

@@ -1,0 +1,346 @@
+"""Cluster placement data model: demands, segments, GPUs, placements.
+
+The ParvaGPU framing: a *GPU segment* is the unit the cluster hands a
+function — either one MIG instance (so many compute/memory slices of a
+MIG-capable device) or one MPS share (a percentage cap plus a model-
+weight reservation) — and a *placement* is an assignment of segments to
+concrete GPUs such that no device is over-committed in any dimension:
+compute slices and memory slices for MIG, summed percentage caps and
+HBM bytes for MPS.  Everything here is pure data + invariant checking;
+the sizing lives in :mod:`repro.cluster.oracle` and the packing in
+:mod:`repro.cluster.packing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.gpu.specs import GPUSpec, get_spec
+from repro.partition.autoscaler import scaled_percentages
+
+__all__ = [
+    "ClusterGpu",
+    "ClusterPlacement",
+    "FunctionDemand",
+    "GpuSegment",
+    "LatencyCurve",
+    "build_fleet",
+]
+
+#: Float slack for capacity-vs-rate comparisons (rates are sums of
+#: per-segment capacities, so exact equality is one ulp away).
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class LatencyCurve:
+    """The saturating latency law ``T(s) = work / min(s, saturation) +
+    serial`` — the same shape :class:`~repro.partition.predictor.
+    RuntimePredictor` fits from profiles, kept frozen/hashable here so a
+    :class:`FunctionDemand` can key oracle caches."""
+
+    #: Parallelisable seconds at one SM.
+    work: float
+    #: Serial floor, seconds (the latency at infinite SMs).
+    serial: float
+    #: SMs past which more compute stops helping (Fig. 2's plateau).
+    saturation: int
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or self.serial < 0:
+            raise ValueError("work and serial must be non-negative")
+        if self.saturation < 1:
+            raise ValueError("saturation must be at least 1")
+
+    def __call__(self, sms: int) -> float:
+        if sms < 1:
+            raise ValueError("sms must be at least 1")
+        return self.work / min(sms, self.saturation) + self.serial
+
+
+@dataclass(frozen=True)
+class FunctionDemand:
+    """One function's ask: an SLO, a latency curve, a rate forecast."""
+
+    name: str
+    #: Latency SLO, seconds.
+    slo_seconds: float
+    #: Forecast arrival rate, requests per second (0 = keep warm only).
+    rate_rps: float
+    #: Isolated latency vs SMs (frozen so demands are hashable).
+    curve: LatencyCurve
+    #: GPU-resident weight footprint each instance must hold, bytes.
+    model_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if self.rate_rps < 0:
+            raise ValueError("rate_rps must be non-negative")
+        if self.model_bytes < 0:
+            raise ValueError("model_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class GpuSegment:
+    """One slice of one GPU granted to one function instance."""
+
+    function: str
+    #: ``"mig"`` or ``"mps"``.
+    kind: str
+    #: MIG profile name (``"2g.20gb"``) or MPS share tag (``"mps:25"``).
+    geometry: str
+    #: SMs this segment delivers to the instance.
+    sms: int
+    #: MIG footprint (both 0 for MPS segments).
+    compute_slices: int
+    memory_slices: int
+    #: MPS percentage cap (0 for MIG segments).
+    mps_percentage: int
+    #: HBM reserved for the instance (profile capacity for MIG, the
+    #: model weights for MPS).
+    memory_bytes: float
+    #: Sustained request rate one instance absorbs inside the SLO.
+    capacity_rps: float
+    #: Isolated latency at ``sms``, seconds.
+    latency_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mig", "mps"):
+            raise ValueError(f"unknown segment kind {self.kind!r}")
+        if self.kind == "mig" and self.compute_slices < 1:
+            raise ValueError("MIG segments need at least one compute slice")
+        if self.kind == "mps" and not 1 <= self.mps_percentage <= 100:
+            raise ValueError("MPS percentage must be in [1, 100]")
+
+    def payload(self) -> dict:
+        """JSON-stable description (for digests and reports)."""
+        return {
+            "function": self.function,
+            "kind": self.kind,
+            "geometry": self.geometry,
+            "sms": self.sms,
+            "compute_slices": self.compute_slices,
+            "memory_slices": self.memory_slices,
+            "mps_percentage": self.mps_percentage,
+            "memory_bytes": self.memory_bytes,
+            "capacity_rps": self.capacity_rps,
+            "latency_seconds": self.latency_seconds,
+        }
+
+
+class ClusterGpu:
+    """One simulated device plus the segments currently packed on it.
+
+    A MIG-capable device runs in MIG mode and hosts MIG segments only;
+    a non-MIG device hosts MPS segments only — mixing isolation domains
+    on one physical GPU is exactly what PR 4's fault model penalises.
+    Occupancy counters are maintained incrementally so the packer's
+    inner ``fits`` loop is O(1).
+    """
+
+    def __init__(self, gpu_id: str, spec: GPUSpec):
+        self.gpu_id = gpu_id
+        self.spec = spec
+        self.segments: list[GpuSegment] = []
+        self.used_compute_slices = 0
+        self.used_memory_slices = 0
+        self.used_percentage = 0
+        self.used_memory_bytes = 0.0
+
+    def __repr__(self) -> str:
+        return (f"ClusterGpu({self.gpu_id}, {len(self.segments)} segments, "
+                f"{self.compute_fraction():.2f} full)")
+
+    @property
+    def used(self) -> bool:
+        return bool(self.segments)
+
+    def fits(self, segment: GpuSegment) -> bool:
+        """Whether ``segment`` can land here without over-commitment."""
+        if segment.kind == "mig":
+            if not self.spec.mig_capable:
+                return False
+            return (self.used_compute_slices + segment.compute_slices
+                    <= self.spec.mig_compute_slices
+                    and self.used_memory_slices + segment.memory_slices
+                    <= self.spec.mig_memory_slices)
+        if self.spec.mig_capable:
+            return False
+        return (self.used_percentage + segment.mps_percentage <= 100
+                and self.used_memory_bytes + segment.memory_bytes
+                <= self.spec.memory_bytes + EPS)
+
+    def place(self, segment: GpuSegment) -> None:
+        if not self.fits(segment):
+            raise ValueError(f"{segment.geometry} does not fit {self.gpu_id}")
+        self.segments.append(segment)
+        self.used_compute_slices += segment.compute_slices
+        self.used_memory_slices += segment.memory_slices
+        self.used_percentage += segment.mps_percentage
+        self.used_memory_bytes += segment.memory_bytes
+
+    def remove(self, segment: GpuSegment) -> None:
+        self.segments.remove(segment)  # ValueError if absent — intended
+        self.used_compute_slices -= segment.compute_slices
+        self.used_memory_slices -= segment.memory_slices
+        self.used_percentage -= segment.mps_percentage
+        self.used_memory_bytes -= segment.memory_bytes
+
+    def compute_fraction(self) -> float:
+        """Occupied fraction of the device's compute (packing order key)."""
+        if self.spec.mig_capable:
+            return self.used_compute_slices / self.spec.mig_compute_slices
+        return self.used_percentage / 100.0
+
+    def payload(self) -> dict:
+        return {
+            "gpu_id": self.gpu_id,
+            "spec": self.spec.name,
+            "segments": [s.payload() for s in sorted(
+                self.segments, key=lambda s: (s.function, s.geometry))],
+        }
+
+
+def build_fleet(inventory: Sequence[tuple[GPUSpec | str, int]]
+                ) -> list[ClusterGpu]:
+    """Materialise ``[(spec, count), ...]`` into addressable devices."""
+    gpus: list[ClusterGpu] = []
+    for spec, count in inventory:
+        if isinstance(spec, str):
+            spec = get_spec(spec)
+        if count < 0:
+            raise ValueError("GPU counts must be non-negative")
+        for i in range(count):
+            gpus.append(ClusterGpu(f"{spec.name}/{i:04d}", spec))
+    return gpus
+
+
+class ClusterPlacement:
+    """An assignment of segments to GPUs, with invariant checking."""
+
+    def __init__(self, gpus: Sequence[ClusterGpu],
+                 demands: Mapping[str, FunctionDemand]):
+        self.gpus = list(gpus)
+        self.demands = dict(demands)
+        #: Functions the oracle/packer refused, name -> reason.
+        self.rejected: dict[str, str] = {}
+
+    # -- queries -------------------------------------------------------------
+    def segments_of(self, name: str) -> list[tuple[ClusterGpu, GpuSegment]]:
+        return [(gpu, seg) for gpu in self.gpus
+                for seg in gpu.segments if seg.function == name]
+
+    def capacity_of(self, name: str) -> float:
+        return sum(seg.capacity_rps for _, seg in self.segments_of(name))
+
+    @property
+    def gpus_used(self) -> int:
+        return sum(1 for gpu in self.gpus if gpu.used)
+
+    def fragmentation(self) -> dict:
+        """Stranded space on *used* devices (what repacking reclaims)."""
+        free_slices = 0
+        free_pct = 0
+        for gpu in self.gpus:
+            if not gpu.used:
+                continue
+            if gpu.spec.mig_capable:
+                free_slices += (gpu.spec.mig_compute_slices
+                                - gpu.used_compute_slices)
+            else:
+                free_pct += 100 - gpu.used_percentage
+        return {"free_compute_slices": free_slices,
+                "free_mps_percentage": free_pct}
+
+    # -- invariants ----------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``AssertionError`` on any violated packing invariant."""
+        placed = {seg.function for gpu in self.gpus for seg in gpu.segments}
+        overlap = placed & set(self.rejected)
+        assert not overlap, f"rejected functions still placed: {overlap}"
+        unknown = placed - set(self.demands)
+        assert not unknown, f"segments for unknown functions: {unknown}"
+        for gpu in self.gpus:
+            c = sum(s.compute_slices for s in gpu.segments)
+            m = sum(s.memory_slices for s in gpu.segments)
+            p = sum(s.mps_percentage for s in gpu.segments)
+            b = sum(s.memory_bytes for s in gpu.segments)
+            assert c == gpu.used_compute_slices, gpu.gpu_id
+            assert m == gpu.used_memory_slices, gpu.gpu_id
+            assert p == gpu.used_percentage, gpu.gpu_id
+            assert abs(b - gpu.used_memory_bytes) < 1.0, gpu.gpu_id
+            for seg in gpu.segments:
+                assert (seg.kind == "mig") == gpu.spec.mig_capable, \
+                    f"{seg.geometry} on {gpu.gpu_id}"
+            if gpu.spec.mig_capable:
+                assert c <= gpu.spec.mig_compute_slices, \
+                    f"{gpu.gpu_id} over-committed: {c} compute slices"
+                assert m <= gpu.spec.mig_memory_slices, \
+                    f"{gpu.gpu_id} over-committed: {m} memory slices"
+            else:
+                assert p <= 100, \
+                    f"{gpu.gpu_id} over-committed: {p}% summed MPS caps"
+                assert b <= gpu.spec.memory_bytes + 1.0, \
+                    f"{gpu.gpu_id} over-committed: {b:.0f} bytes"
+        for name in placed:
+            demand = self.demands[name]
+            assert self.capacity_of(name) + EPS >= demand.rate_rps, \
+                f"{name} under-provisioned"
+            for _, seg in self.segments_of(name):
+                assert seg.latency_seconds <= demand.slo_seconds + EPS, \
+                    f"{name} segment {seg.geometry} violates its SLO"
+
+    # -- derived artefacts ---------------------------------------------------
+    def mps_caps(self) -> dict[str, dict]:
+        """Per-GPU MPS caps for every shared device, via the repaired
+        :func:`~repro.partition.autoscaler.scaled_percentages` (so the
+        replica-weighted sum is provably <= 100 on every GPU)."""
+        caps: dict[str, dict] = {}
+        for gpu in self.gpus:
+            shares = [s for s in gpu.segments if s.kind == "mps"]
+            if not shares:
+                continue
+            needed = {f"{seg.function}/{i}": seg.sms
+                      for i, seg in enumerate(sorted(
+                          shares, key=lambda s: (s.function, -s.sms)))}
+            pcts = scaled_percentages(gpu.spec, needed, expand=True)
+            caps[gpu.gpu_id] = {
+                "caps": pcts,
+                "weighted_sum": sum(pcts.values()),
+            }
+        return caps
+
+    def score(self) -> dict:
+        """Analytic contest score: GPUs used + in-SLO served fraction.
+
+        Served-in-SLO rate for a placed function is ``min(rate,
+        capacity)`` — every placed segment already meets the SLO by
+        construction (``validate`` checks it), so the only way to miss
+        is insufficient capacity.  Rejected functions serve nothing and
+        their whole rate counts against the placement, so a packer
+        cannot reject its way to a smaller fleet.
+        """
+        offered = sum(d.rate_rps for d in self.demands.values())
+        served = 0.0
+        for name, demand in self.demands.items():
+            if name in self.rejected:
+                continue
+            served += min(demand.rate_rps, self.capacity_of(name))
+        return {
+            "gpus_used": self.gpus_used,
+            "offered_rps": offered,
+            "served_in_slo_rps": served,
+            "in_slo_fraction": served / offered if offered else 1.0,
+            "rejected": sorted(self.rejected),
+            "fragmentation": self.fragmentation(),
+        }
+
+    def payload(self) -> dict:
+        """Canonical JSON-stable payload (twin-run identity gate)."""
+        return {
+            "gpus": [gpu.payload() for gpu in self.gpus if gpu.used],
+            "rejected": dict(sorted(self.rejected.items())),
+            "score": self.score(),
+        }

@@ -1,0 +1,271 @@
+"""MISO-style sizing oracle: (SLO, rate) -> candidate slice geometries.
+
+MISO's insight, transplanted: profile (here: evaluate the latency law)
+under fractional shares to predict the best MIG slice *before* placing
+the function.  For each GPU model the oracle enumerates the deployable
+geometries — the MIG profile table for MIG-capable devices, an MPS
+percentage grid for the rest — keeps those that hold the function's SLO
+and model weights, prunes everything past the latency knee (reusing
+:class:`~repro.partition.rightsizing.RightSizer`), and derives each
+geometry's sustained per-instance capacity from the stability ceiling
+(``rate * latency <= ceiling``, the same arithmetic as
+:func:`~repro.partition.autoscaler.required_sms_for`).  Functions whose
+SLO no whole device can meet — or whose weights no slice can hold — get
+an explicit typed rejection instead of a silent whole-GPU fallback.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.gpu.specs import GPUSpec
+from repro.partition.autoscaler import required_sms_for
+from repro.partition.rightsizing import PlacementNeed, RightSizer
+from repro.cluster.model import ClusterGpu, FunctionDemand, GpuSegment
+
+__all__ = ["FunctionPlan", "SizingOracle", "SliceCandidate"]
+
+#: Probe rate that makes the utilisation ceiling inactive, so
+#: :func:`required_sms_for` answers the pure-SLO question "smallest SM
+#: count whose latency meets the SLO" (and whether one exists at all).
+_SLO_PROBE_RPS = 1e-12
+
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SliceCandidate:
+    """One deployable geometry for one function on one GPU model."""
+
+    spec_name: str
+    #: ``"mig"`` or ``"mps"``.
+    kind: str
+    #: MIG profile name or ``"mps:<pct>"``.
+    geometry: str
+    sms: int
+    compute_slices: int
+    memory_slices: int
+    mps_percentage: int
+    #: HBM one instance reserves, bytes.
+    memory_bytes: float
+    latency_seconds: float
+    #: Sustained rate one instance absorbs inside the SLO, rps.
+    capacity_rps: float
+    #: Fraction of one device an instance occupies (packing cost).
+    gpu_fraction: float
+
+    def segment(self, function: str) -> GpuSegment:
+        return GpuSegment(
+            function=function,
+            kind=self.kind,
+            geometry=self.geometry,
+            sms=self.sms,
+            compute_slices=self.compute_slices,
+            memory_slices=self.memory_slices,
+            mps_percentage=self.mps_percentage,
+            memory_bytes=self.memory_bytes,
+            capacity_rps=self.capacity_rps,
+            latency_seconds=self.latency_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class FunctionPlan:
+    """The oracle's verdict for one function across the whole catalog."""
+
+    function: str
+    feasible: bool
+    #: Why the function was refused ("" when feasible).
+    reason: str
+    #: Typed placement verdict (None only when infeasible).
+    placement: Optional[PlacementNeed]
+    #: Uniform-slice choice on the preferred GPU model.
+    candidate: Optional[SliceCandidate]
+    #: Best candidate per GPU model, preferred first (spill-over order
+    #: when the preferred model's devices run out).
+    alternatives: tuple[SliceCandidate, ...]
+    #: Instances of ``candidate`` needed to absorb the forecast rate.
+    replicas: int
+    #: ``replicas * gpu_fraction`` — whole-GPU equivalents consumed.
+    cost: float
+
+
+class SizingOracle:
+    """Maps :class:`FunctionDemand` to slice geometries per GPU model."""
+
+    def __init__(self, specs: Sequence[GPUSpec],
+                 utilization_ceiling: float = 0.8,
+                 mps_step: int = 5,
+                 knee_tolerance: float = 0.05):
+        if not specs:
+            raise ValueError("need at least one GPU spec")
+        if not 0 < utilization_ceiling <= 1:
+            raise ValueError("utilization_ceiling must be in (0, 1]")
+        if not 1 <= mps_step <= 100:
+            raise ValueError("mps_step must be in [1, 100]")
+        # De-duplicate by name, preserving caller preference order.
+        seen: dict[str, GPUSpec] = {}
+        for spec in specs:
+            seen.setdefault(spec.name, spec)
+        self.specs = tuple(seen.values())
+        self.utilization_ceiling = utilization_ceiling
+        self.mps_step = mps_step
+        self.knee_tolerance = knee_tolerance
+        self._candidates: dict[tuple, tuple[SliceCandidate, ...]] = {}
+        self._plans: dict[FunctionDemand, FunctionPlan] = {}
+
+    # -- candidate enumeration ----------------------------------------------
+    def candidates(self, demand: FunctionDemand,
+                   spec: GPUSpec) -> tuple[SliceCandidate, ...]:
+        """SLO-holding, memory-fitting, knee-pruned geometries on
+        ``spec``, smallest footprint first (empty when none work)."""
+        key = (demand, spec.name)
+        if key not in self._candidates:
+            self._candidates[key] = self._enumerate(demand, spec)
+        return self._candidates[key]
+
+    def _enumerate(self, demand: FunctionDemand,
+                   spec: GPUSpec) -> tuple[SliceCandidate, ...]:
+        sizing = required_sms_for(spec, demand.curve, demand.slo_seconds,
+                                  _SLO_PROBE_RPS, self.utilization_ceiling)
+        if not sizing.feasible:
+            return ()
+        min_sms = int(sizing)
+        raw: list[tuple] = []  # (footprint sort key, candidate fields)
+        if spec.mig_capable:
+            for profile in spec.mig_profiles:
+                sms = profile.sm_count(spec)
+                raw.append((sms, profile.name, profile.compute_slices,
+                            profile.memory_slices, 0, profile.memory_bytes,
+                            profile.compute_slices
+                            / spec.mig_compute_slices, "mig"))
+        else:
+            if demand.model_bytes > spec.memory_bytes + EPS:
+                return ()  # the weights do not fit the device at all
+            for pct in range(self.mps_step, 101, self.mps_step):
+                sms = max(1, spec.sms * pct // 100)
+                raw.append((sms, f"mps:{pct}", 0, 0, pct,
+                            demand.model_bytes, pct / 100.0, "mps"))
+        # The knee caps useful slice size: past it, extra SMs buy
+        # latency inside the RightSizer tolerance but cost real GPU.
+        sizer = RightSizer(spec, tolerance=self.knee_tolerance)
+        grid = sorted({sms for sms, *_ in raw} | {spec.sms})
+        knee_sms = sizer.knee(sizer.profile_curve(demand.curve, grid))
+        ceiling_sms = max(min_sms, knee_sms)
+        out = []
+        for (sms, geometry, cslices, mslices, pct,
+             memory, fraction, kind) in raw:
+            if sms < min_sms:
+                continue  # latency misses the SLO
+            if demand.model_bytes > memory + EPS:
+                continue  # weights do not fit the slice
+            if sms > ceiling_sms and any(
+                    r[0] >= ceiling_sms and r[0] < sms
+                    and demand.model_bytes <= r[5] + EPS for r in raw):
+                continue  # a smaller adequate geometry exists past the knee
+            latency = demand.curve(sms)
+            out.append(SliceCandidate(
+                spec_name=spec.name, kind=kind, geometry=geometry,
+                sms=sms, compute_slices=cslices, memory_slices=mslices,
+                mps_percentage=pct, memory_bytes=memory,
+                latency_seconds=latency,
+                capacity_rps=self.utilization_ceiling / latency,
+                gpu_fraction=fraction))
+        out.sort(key=lambda c: (c.gpu_fraction, c.memory_slices, c.sms,
+                                c.geometry))
+        return tuple(out)
+
+    # -- whole-catalog planning ----------------------------------------------
+    def plan(self, demand: FunctionDemand) -> FunctionPlan:
+        """Preferred geometry + per-model alternatives, or a typed
+        rejection naming why every model was refused."""
+        if demand in self._plans:
+            return self._plans[demand]
+        per_spec: list[tuple[tuple, SliceCandidate, int]] = []
+        slo_misses = 0
+        memory_misses = 0
+        for spec in self.specs:
+            cands = self.candidates(demand, spec)
+            if not cands:
+                sizing = required_sms_for(
+                    spec, demand.curve, demand.slo_seconds, _SLO_PROBE_RPS,
+                    self.utilization_ceiling)
+                if sizing.feasible:
+                    memory_misses += 1
+                else:
+                    slo_misses += 1
+                continue
+            best_key, best, best_n = None, None, 0
+            for cand in cands:
+                replicas = (1 if demand.rate_rps == 0 else
+                            max(1, math.ceil(
+                                demand.rate_rps / cand.capacity_rps - EPS)))
+                key = (replicas * cand.gpu_fraction, replicas,
+                       cand.memory_slices, cand.sms, cand.geometry)
+                if best_key is None or key < best_key:
+                    best_key, best, best_n = key, cand, replicas
+            per_spec.append(((best_key[0], best_key[1], best.spec_name),
+                             best, best_n))
+        if not per_spec:
+            if slo_misses and not memory_misses:
+                reason = "SLO unachievable on every GPU model"
+            elif memory_misses and not slo_misses:
+                reason = "model weights fit no slice on any GPU model"
+            else:
+                reason = "no GPU model offers an SLO- and memory-feasible slice"
+            plan = FunctionPlan(
+                function=demand.name, feasible=False, reason=reason,
+                placement=None, candidate=None, alternatives=(),
+                replicas=0, cost=0.0)
+        else:
+            per_spec.sort(key=lambda t: t[0])
+            _, primary, replicas = per_spec[0]
+            if replicas > 1:
+                placement = PlacementNeed.MULTI_GPU
+            elif primary.kind == "mps":
+                placement = PlacementNeed.MPS_ONLY
+            elif primary.gpu_fraction >= 1.0 - EPS:
+                placement = PlacementNeed.WHOLE_GPU
+            else:
+                placement = PlacementNeed.MIG_SLICE
+            plan = FunctionPlan(
+                function=demand.name, feasible=True, reason="",
+                placement=placement, candidate=primary,
+                alternatives=tuple(c for _, c, _ in per_spec),
+                replicas=replicas,
+                cost=replicas * primary.gpu_fraction)
+        self._plans[demand] = plan
+        return plan
+
+    # -- packer helpers -------------------------------------------------------
+    def tail_candidate(self, demand: FunctionDemand, spec_name: str,
+                       residual_rps: float) -> Optional[SliceCandidate]:
+        """Smallest geometry on ``spec_name`` absorbing ``residual_rps``
+        (the optimiser right-sizes a function's last instance instead of
+        rounding the tail up to a full uniform slice)."""
+        spec = self._spec(spec_name)
+        if spec is None:
+            return None
+        for cand in self.candidates(demand, spec):  # smallest first
+            if cand.capacity_rps + EPS >= residual_rps:
+                return cand
+        return None
+
+    def fit_candidate(self, demand: FunctionDemand, gpu: ClusterGpu,
+                      min_capacity_rps: float) -> Optional[SliceCandidate]:
+        """Smallest geometry for ``demand`` that both absorbs
+        ``min_capacity_rps`` and fits ``gpu``'s free space right now."""
+        for cand in self.candidates(demand, gpu.spec):
+            if cand.capacity_rps + EPS < min_capacity_rps:
+                continue
+            if gpu.fits(cand.segment(demand.name)):
+                return cand
+        return None
+
+    def _spec(self, name: str) -> Optional[GPUSpec]:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        return None

@@ -1,0 +1,187 @@
+"""ParvaGPU-style segment packing: FFD baseline + repacking optimiser.
+
+Two packers share one oracle and one admission rule (reject exactly the
+functions the oracle calls infeasible, so their in-SLO scores are
+directly comparable):
+
+- :func:`greedy_pack` — classic first-fit-decreasing: functions sorted
+  by whole-GPU-equivalent cost, each deployed as ``ceil(rate /
+  capacity)`` *uniform* slices onto the first device with room.
+- :func:`optimize_pack` — the same order, plus (a) *tail right-sizing*:
+  a function's last instance shrinks to the smallest geometry covering
+  the residual rate instead of rounding up to a full uniform slice, and
+  (b) *segment repacking*: emptiest devices are evacuated one at a time
+  — each segment is dropped outright when the function already has
+  surplus capacity, or recreated (possibly smaller) in a fuller
+  device's hole — merging fragmented slices until no device can be
+  freed.  Fewer GPUs at identical served capacity is the whole game
+  (ParvaGPU's objective).
+
+Both packers are deterministic: every ordering is keyed on stable
+(cost, name, id) tuples and no randomness enters anywhere, so twin runs
+are byte-identical — the bench gates on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gpu.specs import GPUSpec
+from repro.cluster.model import (
+    ClusterGpu,
+    ClusterPlacement,
+    FunctionDemand,
+    build_fleet,
+)
+from repro.cluster.oracle import FunctionPlan, SizingOracle, SliceCandidate
+
+__all__ = ["greedy_pack", "optimize_pack"]
+
+EPS = 1e-9
+
+
+def _prepare(demands: Sequence[FunctionDemand],
+             inventory: Sequence[tuple[GPUSpec, int]],
+             oracle: Optional[SizingOracle],
+             ) -> tuple[ClusterPlacement, SizingOracle,
+                        list[FunctionDemand], dict[str, FunctionPlan]]:
+    names = [d.name for d in demands]
+    if len(set(names)) != len(names):
+        raise ValueError("function names must be unique")
+    if oracle is None:
+        oracle = SizingOracle([spec for spec, _ in inventory])
+    placement = ClusterPlacement(build_fleet(inventory),
+                                 {d.name: d for d in demands})
+    plans = {d.name: oracle.plan(d) for d in demands}
+    # First-fit-*decreasing*: big asks first, slivers fill the holes.
+    order = sorted(demands,
+                   key=lambda d: (-plans[d.name].cost, d.name))
+    return placement, oracle, order, plans
+
+
+def _place_function(placement: ClusterPlacement, demand: FunctionDemand,
+                    plan: FunctionPlan, oracle: SizingOracle,
+                    rightsize_tail: bool) -> bool:
+    """Deploy one function; all-or-nothing (rolls back on failure)."""
+    residual = demand.rate_rps
+    placed: list[tuple[ClusterGpu, object]] = []
+    for cand in plan.alternatives:
+        spec_gpus = [g for g in placement.gpus
+                     if g.spec.name == cand.spec_name]
+        while residual > EPS or not placed:
+            chosen = cand
+            if rightsize_tail and residual <= cand.capacity_rps - EPS:
+                tail = oracle.tail_candidate(demand, cand.spec_name,
+                                             residual)
+                if tail is not None:
+                    chosen = tail
+            segment = chosen.segment(demand.name)
+            target = next((g for g in spec_gpus if g.fits(segment)), None)
+            if target is None:
+                break  # this model's devices are full; spill over
+            target.place(segment)
+            placed.append((target, segment))
+            residual -= segment.capacity_rps
+            if demand.rate_rps == 0:
+                return True  # one keep-warm sliver is the whole ask
+        if residual <= EPS and placed:
+            return True
+    for gpu, segment in placed:
+        gpu.remove(segment)
+    return False
+
+
+def _pack(demands: Sequence[FunctionDemand],
+          inventory: Sequence[tuple[GPUSpec, int]],
+          oracle: Optional[SizingOracle],
+          rightsize_tail: bool) -> tuple[ClusterPlacement, SizingOracle]:
+    placement, oracle, order, plans = _prepare(demands, inventory, oracle)
+    for demand in order:
+        plan = plans[demand.name]
+        if not plan.feasible:
+            placement.rejected[demand.name] = plan.reason
+            continue
+        if not _place_function(placement, demand, plan, oracle,
+                               rightsize_tail):
+            placement.rejected[demand.name] = \
+                "insufficient cluster capacity"
+    return placement, oracle
+
+
+def greedy_pack(demands: Sequence[FunctionDemand],
+                inventory: Sequence[tuple[GPUSpec, int]],
+                oracle: Optional[SizingOracle] = None) -> ClusterPlacement:
+    """First-fit-decreasing with uniform slices (the baseline)."""
+    placement, _ = _pack(demands, inventory, oracle, rightsize_tail=False)
+    return placement
+
+
+def optimize_pack(demands: Sequence[FunctionDemand],
+                  inventory: Sequence[tuple[GPUSpec, int]],
+                  oracle: Optional[SizingOracle] = None) -> ClusterPlacement:
+    """Tail-right-sized FFD followed by segment repacking."""
+    placement, oracle = _pack(demands, inventory, oracle,
+                              rightsize_tail=True)
+    _repack(placement, oracle)
+    return placement
+
+
+# -- segment repacking --------------------------------------------------------
+
+def _repack(placement: ClusterPlacement, oracle: SizingOracle) -> int:
+    """Evacuate emptiest devices into fuller ones until none frees.
+
+    Each successful evacuation empties one device without touching any
+    unused one, so the used-GPU count strictly decreases — termination
+    is structural, not heuristic.  Returns the number of GPUs freed.
+    """
+    freed = 0
+    while True:
+        donors = sorted((g for g in placement.gpus if g.used),
+                        key=lambda g: (g.compute_fraction(), g.gpu_id))
+        for donor in donors:
+            if _evacuate(placement, donor, oracle):
+                freed += 1
+                break  # re-rank: occupancies changed
+        else:
+            return freed
+
+
+def _evacuate(placement: ClusterPlacement, donor: ClusterGpu,
+              oracle: SizingOracle) -> bool:
+    """Move/shrink/drop every segment off ``donor``; all-or-nothing."""
+    surplus: dict[str, float] = {}
+    moved: list[tuple[ClusterGpu, object]] = []
+    for segment in sorted(donor.segments,
+                          key=lambda s: (s.function, -s.sms, s.geometry)):
+        name = segment.function
+        if name not in surplus:
+            surplus[name] = (placement.capacity_of(name)
+                             - placement.demands[name].rate_rps)
+        deficit = segment.capacity_rps - surplus[name]
+        if deficit <= EPS:
+            # The function over-provisions by at least this segment
+            # (tail rounding, earlier repacks): drop it outright.
+            surplus[name] -= segment.capacity_rps
+            continue
+        demand = placement.demands[name]
+        targets = sorted(
+            (g for g in placement.gpus if g is not donor and g.used),
+            key=lambda g: (-g.compute_fraction(), g.gpu_id))
+        replacement = None
+        for target in targets:
+            candidate = oracle.fit_candidate(demand, target, deficit)
+            if candidate is not None:
+                replacement = candidate.segment(name)
+                target.place(replacement)
+                moved.append((target, replacement))
+                surplus[name] += replacement.capacity_rps \
+                    - segment.capacity_rps
+                break
+        if replacement is None:
+            for gpu, seg in moved:
+                gpu.remove(seg)
+            return False
+    for segment in list(donor.segments):
+        donor.remove(segment)
+    return True

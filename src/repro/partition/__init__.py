@@ -32,13 +32,18 @@ from repro.partition.autoscaler import (
     ManagedFunction,
     PartitionAutoscaler,
     ScalingDecision,
+    SizingResult,
     cooldown_elapsed,
     required_sms_for,
     scaled_percentages,
 )
 from repro.partition.reconfig import ReconfigCost, ReconfigurationPlanner
 from repro.partition.weightcache import WeightCache
-from repro.partition.rightsizing import PartitionRecommendation, RightSizer
+from repro.partition.rightsizing import (
+    PartitionRecommendation,
+    PlacementNeed,
+    RightSizer,
+)
 from repro.partition.predictor import RuntimePredictor, StaticAnalyzer
 from repro.partition.profiler import PartitionProfiler, ProfileReport
 from repro.partition.layout import (
@@ -56,8 +61,10 @@ __all__ = [
     "PartitionAutoscaler",
     "PartitionProfiler",
     "PartitionRecommendation",
+    "PlacementNeed",
     "ProfileReport",
     "ScalingDecision",
+    "SizingResult",
     "ReconfigCost",
     "ReconfigurationPlanner",
     "RightSizer",

@@ -28,7 +28,8 @@ from repro.gpu.specs import GPUSpec
 from repro.partition.reconfig import ReconfigurationPlanner
 
 __all__ = ["ManagedFunction", "PartitionAutoscaler", "ScalingDecision",
-           "cooldown_elapsed", "required_sms_for", "scaled_percentages"]
+           "SizingResult", "cooldown_elapsed", "required_sms_for",
+           "scaled_percentages"]
 
 
 # -- shared sizing and gating helpers ---------------------------------------
@@ -38,23 +39,89 @@ __all__ = ["ManagedFunction", "PartitionAutoscaler", "ScalingDecision",
 # :class:`~repro.workloads.autoscale.FleetAutoscaler` (replicated serving)
 # — size partitions and gate reconfigurations with identical arithmetic.
 
+class SizingResult(int):
+    """An SM count that also carries an explicit feasibility verdict.
+
+    Subclasses :class:`int` so every existing arithmetic consumer of
+    :func:`required_sms_for` keeps working unchanged, while callers that
+    must not over-provision infeasible functions (the cluster packer)
+    can reject on ``.feasible`` instead of silently receiving the
+    whole-GPU best effort.
+    """
+
+    feasible: bool
+
+    def __new__(cls, sms: int, feasible: bool = True) -> "SizingResult":
+        self = super().__new__(cls, sms)
+        self.feasible = bool(feasible)
+        return self
+
+    def __repr__(self) -> str:
+        return f"SizingResult({int(self)}, feasible={self.feasible})"
+
+
 def required_sms_for(spec: GPUSpec, latency_fn: Callable[[int], float],
                      slo_seconds: float, demand_rps: float,
-                     utilization_ceiling: float = 0.8) -> int:
+                     utilization_ceiling: float = 0.8) -> SizingResult:
     """Smallest SM count meeting the SLO and the stability ceiling.
 
     Stability: at ``demand_rps`` each server must spend less than
     ``utilization_ceiling`` of its time serving, i.e.
     ``demand_rps * latency(sms) <= utilization_ceiling``.
+
+    Latency curves here are non-increasing in SMs (more compute never
+    slows a request down — the same law :class:`RuntimePredictor` fits),
+    which makes the acceptance predicate monotone, so the smallest
+    feasible size is found by bisection in O(log sms) evaluations
+    instead of the previous full linear scan.  Monotonicity is verified
+    on the points actually evaluated; if the curve wobbles, the exact
+    linear scan runs as a fallback.  When even the whole GPU cannot
+    meet the SLO the result is ``spec.sms`` with ``feasible=False`` —
+    best effort for the reactive controllers, an explicit rejection
+    signal for the cluster packer.
     """
     if demand_rps == 0:
-        return 1  # keep the model warm on a sliver
-    for sms in range(1, spec.sms + 1):
-        latency = latency_fn(sms)
-        if latency <= slo_seconds and \
-                demand_rps * latency <= utilization_ceiling:
-            return sms
-    return spec.sms  # best effort: the SLO is infeasible
+        return SizingResult(1)  # keep the model warm on a sliver
+
+    def acceptable(latency: float) -> bool:
+        return latency <= slo_seconds and \
+            demand_rps * latency <= utilization_ceiling
+
+    evaluated: dict[int, float] = {}
+
+    def latency_at(sms: int) -> float:
+        if sms not in evaluated:
+            evaluated[sms] = latency_fn(sms)
+        return evaluated[sms]
+
+    def linear_scan() -> SizingResult:
+        for sms in range(1, spec.sms + 1):
+            if acceptable(latency_at(sms)):
+                return SizingResult(sms)
+        return SizingResult(spec.sms, feasible=False)
+
+    if not acceptable(latency_at(spec.sms)):
+        # Even the whole GPU misses.  A monotone curve makes that a
+        # proof of infeasibility, but the scan settles it exactly even
+        # if the curve dips somewhere in the middle.
+        return linear_scan()
+    if acceptable(latency_at(1)):
+        result = 1
+    else:
+        lo, hi = 1, spec.sms  # invariant: lo unacceptable, hi acceptable
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if acceptable(latency_at(mid)):
+                hi = mid
+            else:
+                lo = mid
+        result = hi
+    points = sorted(evaluated.items())
+    monotone = all(later <= earlier + 1e-12
+                   for (_, earlier), (_, later) in zip(points, points[1:]))
+    if not monotone:
+        return linear_scan()
+    return SizingResult(result)
 
 
 def scaled_percentages(spec: GPUSpec, needed: dict[str, int],
@@ -68,21 +135,70 @@ def scaled_percentages(spec: GPUSpec, needed: dict[str, int],
     *per replica*.  When the total requirement exceeds the GPU, shares
     shrink proportionally.  With ``expand=True`` surplus SMs are also
     handed out proportionally (work-conserving: a provisioned GPU
-    should not idle), so the summed caps track 100% either way.
+    should not idle).
+
+    The replica-weighted sum ``sum(pct[f] * counts[f])`` never exceeds
+    100 — caps are apportioned by the largest-remainder method rather
+    than per-function ``ceil``, whose rounding slack (up to one point
+    per function, on top of the ``min_percentage`` floor) previously
+    let co-resident caps sum well past 100% and oversubscribe the GPU.
+    With ``expand=True`` the sum lands exactly on 100 whenever replica
+    granularity allows (a +1 on a ``counts[f]``-replica function costs
+    ``counts[f]`` weighted points, so a smaller remainder can be
+    unreachable).  The floor is preserved as
+    ``min(min_percentage, 100 // total_replicas)`` — the largest
+    uniform keep-warm share that still fits — and more than 100 total
+    replicas cannot share one GPU at integer percentages at all, which
+    raises :class:`ValueError`.
     """
     counts = counts if counts is not None else {name: 1 for name in needed}
+    if any(counts[name] < 1 for name in needed):
+        raise ValueError("every function needs at least one replica")
+    replicas = sum(counts[name] for name in needed)
+    if replicas == 0:
+        return {}
+    if replicas > 100:
+        raise ValueError(
+            f"{replicas} replicas cannot share one GPU at integer MPS "
+            f"percentages (at most 100 at 1% each)")
+    floor_pct = max(1, min(min_percentage, 100 // replicas))
+    budget = 100 - floor_pct * replicas
     total = sum(sms * counts[name] for name, sms in needed.items())
-    if total == 0:
-        scale = 1.0
-    elif expand:
-        scale = spec.sms / total
+    if total > 0:
+        denominator = total if expand else max(total, spec.sms)
+        quotas = {name: 100.0 * sms / denominator
+                  for name, sms in needed.items()}
     else:
-        scale = min(1.0, spec.sms / total)
-    return {
-        name: max(min_percentage,
-                  min(100, math.ceil(100 * sms * scale / spec.sms)))
-        for name, sms in needed.items()
-    }
+        # Nothing asked for anything: keep-warm floors only, spread the
+        # whole budget evenly when expanding.
+        quotas = {name: (100.0 / replicas if expand else 0.0)
+                  for name in needed}
+    excess = {name: max(0.0, quotas[name] - floor_pct) for name in needed}
+    weighted_excess = sum(excess[name] * counts[name] for name in needed)
+    if weighted_excess > 0:
+        scale = budget / weighted_excess
+        if not expand:
+            scale = min(1.0, scale)
+        targets = {name: floor_pct + scale * excess[name] for name in needed}
+    else:
+        targets = {name: float(floor_pct) for name in needed}
+    # Integerise by largest remainder: floors first, then +1 points to
+    # the function whose integer cap lags its real target the most
+    # (each +1 costs counts[f] weighted points).
+    pcts = {name: min(100, int(targets[name] + 1e-9)) for name in needed}
+    cap = min(100, int(sum(targets[name] * counts[name]
+                           for name in needed) + 1e-6))
+    remaining = cap - sum(pcts[name] * counts[name] for name in needed)
+    while remaining > 0:
+        candidates = [name for name in needed
+                      if counts[name] <= remaining and pcts[name] < 100]
+        if not candidates:
+            break
+        pick = min(candidates,
+                   key=lambda name: (pcts[name] - targets[name], name))
+        pcts[pick] += 1
+        remaining -= counts[pick]
+    return pcts
 
 
 def cooldown_elapsed(now: float, last_applied: float, cooldown: float,

@@ -10,13 +10,36 @@ percentage and the smallest adequate MIG profile.
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.gpu.specs import GPUSpec
 
-__all__ = ["PartitionRecommendation", "RightSizer"]
+__all__ = ["PartitionRecommendation", "PlacementNeed", "RightSizer"]
+
+
+class PlacementNeed(enum.Enum):
+    """What kind of device slice a right-sized workload actually needs.
+
+    ``_smallest_profile`` returning ``None`` used to conflate two very
+    different situations — "this GPU has no MIG at all" and "the knee
+    exceeds every MIG profile" — and callers silently printed a dash
+    either way.  The cluster packer must tell them apart: the former
+    still shares fine under MPS, the latter needs a whole GPU (or more
+    than one).
+    """
+
+    #: The knee fits inside some MIG profile of this GPU model.
+    MIG_SLICE = "mig-slice"
+    #: MIG-capable GPU, but the knee exceeds every profile: dedicate
+    #: the whole device.
+    WHOLE_GPU = "whole-gpu"
+    #: The GPU model has no MIG; share via MPS percentages only.
+    MPS_ONLY = "mps-only"
+    #: The knee exceeds the whole device — one GPU is not enough.
+    MULTI_GPU = "multi-gpu"
 
 
 @dataclass(frozen=True)
@@ -27,8 +50,8 @@ class PartitionRecommendation:
     knee_sms: int
     #: ``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`` realising the knee.
     mps_percentage: int
-    #: Smallest MIG profile with at least ``knee_sms`` SMs (None if the
-    #: workload needs more than the largest profile provides).
+    #: Smallest MIG profile with at least ``knee_sms`` SMs (None when
+    #: ``placement`` says the workload cannot land on a MIG slice).
     mig_profile: Optional[str]
     #: Predicted latency at the knee and on the full GPU, seconds.
     predicted_latency: float
@@ -37,6 +60,14 @@ class PartitionRecommendation:
     tolerance: float
     #: Fraction of the device the workload can release to co-tenants.
     freed_fraction: float
+    #: Typed placement verdict (see :class:`PlacementNeed`).
+    placement: PlacementNeed = PlacementNeed.MIG_SLICE
+
+    @property
+    def needs_whole_gpu(self) -> bool:
+        """True when no MIG slice of this model can hold the knee."""
+        return self.placement in (PlacementNeed.WHOLE_GPU,
+                                  PlacementNeed.MULTI_GPU)
 
 
 class RightSizer:
@@ -85,7 +116,7 @@ class RightSizer:
         by_sms = dict(curve)
         full_sms = max(by_sms)
         mps_pct = max(1, min(100, math.ceil(100.0 * knee_sms / self.spec.sms)))
-        mig_profile = self._smallest_profile(knee_sms)
+        mig_profile, placement = self._profile_placement(knee_sms)
         return PartitionRecommendation(
             knee_sms=knee_sms,
             mps_percentage=mps_pct,
@@ -94,16 +125,27 @@ class RightSizer:
             full_gpu_latency=by_sms[full_sms],
             tolerance=self.tolerance,
             freed_fraction=1.0 - knee_sms / self.spec.sms,
+            placement=placement,
         )
 
-    def _smallest_profile(self, knee_sms: int) -> Optional[str]:
+    def _profile_placement(
+            self, knee_sms: int) -> tuple[Optional[str], PlacementNeed]:
+        """Map the knee to (MIG profile, typed placement verdict)."""
+        if knee_sms > self.spec.sms:
+            return None, PlacementNeed.MULTI_GPU
         if not self.spec.mig_capable:
-            return None
+            return None, PlacementNeed.MPS_ONLY
         fitting = [
             p for p in self.spec.mig_profiles
             if p.sm_count(self.spec) >= knee_sms
         ]
         if not fitting:
-            return None
+            # MIG reserves SMs for isolation (mig_usable_sms < sms), so
+            # a knee past the largest profile still fits the bare GPU.
+            return None, PlacementNeed.WHOLE_GPU
         best = min(fitting, key=lambda p: p.compute_slices)
-        return best.name
+        return best.name, PlacementNeed.MIG_SLICE
+
+    def _smallest_profile(self, knee_sms: int) -> Optional[str]:
+        """Smallest fitting MIG profile name (kept for compatibility)."""
+        return self._profile_placement(knee_sms)[0]

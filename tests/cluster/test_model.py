@@ -1,0 +1,199 @@
+"""Tests for the cluster placement data model."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterGpu,
+    ClusterPlacement,
+    FunctionDemand,
+    GpuSegment,
+    LatencyCurve,
+    build_fleet,
+)
+from repro.gpu import A100_40GB, V100_32GB
+from repro.gpu.specs import GB
+
+
+def curve(work=2.0, serial=0.05, saturation=40):
+    return LatencyCurve(work=work, serial=serial, saturation=saturation)
+
+
+def demand(name="fn", slo=0.5, rate=2.0, model_gb=1.0):
+    return FunctionDemand(name=name, slo_seconds=slo, rate_rps=rate,
+                          curve=curve(), model_bytes=model_gb * GB)
+
+
+def mig_segment(fn="fn", profile="1g.5gb", cslices=1, mslices=1,
+                sms=14, capacity=4.0, latency=0.2):
+    return GpuSegment(function=fn, kind="mig", geometry=profile, sms=sms,
+                      compute_slices=cslices, memory_slices=mslices,
+                      mps_percentage=0, memory_bytes=5 * GB,
+                      capacity_rps=capacity, latency_seconds=latency)
+
+
+def mps_segment(fn="fn", pct=25, sms=20, capacity=4.0, latency=0.2,
+                model_gb=1.0):
+    return GpuSegment(function=fn, kind="mps", geometry=f"mps:{pct}",
+                      sms=sms, compute_slices=0, memory_slices=0,
+                      mps_percentage=pct, memory_bytes=model_gb * GB,
+                      capacity_rps=capacity, latency_seconds=latency)
+
+
+# ------------------------------------------------------------- latency curve
+
+def test_latency_curve_shape_and_validation():
+    c = curve(work=4.0, serial=0.1, saturation=20)
+    assert c(1) == pytest.approx(4.1)
+    assert c(20) == c(100) == pytest.approx(0.3)  # saturates
+    with pytest.raises(ValueError):
+        c(0)
+    with pytest.raises(ValueError):
+        LatencyCurve(work=-1.0, serial=0.0, saturation=10)
+    with pytest.raises(ValueError):
+        LatencyCurve(work=1.0, serial=0.0, saturation=0)
+    # Frozen and hashable: usable as an oracle cache key.
+    assert hash(c) == hash(curve(work=4.0, serial=0.1, saturation=20))
+
+
+def test_function_demand_validation():
+    with pytest.raises(ValueError):
+        FunctionDemand("f", slo_seconds=0.0, rate_rps=1.0, curve=curve())
+    with pytest.raises(ValueError):
+        FunctionDemand("f", slo_seconds=1.0, rate_rps=-1.0, curve=curve())
+    with pytest.raises(ValueError):
+        FunctionDemand("f", slo_seconds=1.0, rate_rps=1.0, curve=curve(),
+                       model_bytes=-1.0)
+
+
+# --------------------------------------------------------------- cluster GPU
+
+def test_mig_gpu_hosts_mig_segments_only():
+    gpu = ClusterGpu("a100/0000", A100_40GB)
+    assert gpu.fits(mig_segment())
+    assert not gpu.fits(mps_segment())  # isolation domains never mix
+    mps_gpu = ClusterGpu("v100/0000", V100_32GB)
+    assert mps_gpu.fits(mps_segment())
+    assert not mps_gpu.fits(mig_segment())
+
+
+def test_mig_slice_accounting_and_limits():
+    gpu = ClusterGpu("a100/0000", A100_40GB)
+    # 7 compute slices, 8 memory slices on an A100.
+    for _ in range(4):
+        gpu.place(mig_segment(mslices=2))
+    assert gpu.used_compute_slices == 4
+    assert gpu.used_memory_slices == 8
+    # Memory slices are exhausted before compute slices.
+    assert not gpu.fits(mig_segment(mslices=1))
+    assert gpu.compute_fraction() == pytest.approx(4 / 7)
+    seg = gpu.segments[0]
+    gpu.remove(seg)
+    assert gpu.used_memory_slices == 6
+    assert gpu.fits(mig_segment(mslices=2))
+    with pytest.raises(ValueError):
+        gpu.remove(mig_segment("absent"))  # not on this device
+
+
+def test_mps_percentage_and_hbm_limits():
+    gpu = ClusterGpu("v100/0000", V100_32GB)
+    gpu.place(mps_segment(pct=60))
+    assert not gpu.fits(mps_segment(pct=41))  # 60 + 41 > 100
+    assert gpu.fits(mps_segment(pct=40))
+    # HBM is a hard dimension too: 32 GB device.
+    assert not gpu.fits(mps_segment(pct=10, model_gb=32.0))
+    with pytest.raises(ValueError):
+        gpu.place(mps_segment(pct=41))
+
+
+def test_segment_validation():
+    with pytest.raises(ValueError, match="kind"):
+        GpuSegment(function="f", kind="vgpu", geometry="x", sms=1,
+                   compute_slices=0, memory_slices=0, mps_percentage=0,
+                   memory_bytes=0, capacity_rps=1.0, latency_seconds=0.1)
+    with pytest.raises(ValueError, match="compute slice"):
+        mig_segment(cslices=0)
+    with pytest.raises(ValueError, match="percentage"):
+        mps_segment(pct=0)
+
+
+def test_build_fleet_addresses_devices():
+    fleet = build_fleet([(A100_40GB, 2), (V100_32GB, 1)])
+    assert [g.gpu_id for g in fleet] == [
+        "A100-SXM4-40GB/0000", "A100-SXM4-40GB/0001",
+        "V100-SXM2-32GB/0000"]
+    # Spec names resolve too.
+    assert build_fleet([("V100-SXM2-32GB", 1)])[0].spec is V100_32GB
+    with pytest.raises(ValueError):
+        build_fleet([(A100_40GB, -1)])
+
+
+# ---------------------------------------------------------------- placement
+
+def make_placement():
+    fleet = build_fleet([(A100_40GB, 1), (V100_32GB, 1)])
+    demands = {"f": demand("f", rate=3.0), "g": demand("g", rate=3.0)}
+    return ClusterPlacement(fleet, demands), fleet
+
+
+def test_placement_validate_catches_overcommit():
+    placement, fleet = make_placement()
+    placement.validate()  # empty placement is fine
+    fleet[0].place(mig_segment("f"))
+    fleet[1].place(mps_segment("g", capacity=4.0))
+    placement.validate()
+    # Sneak past place() by mutating the list directly: validate recomputes.
+    fleet[1].segments.append(mps_segment("g", pct=90))
+    with pytest.raises(AssertionError):
+        placement.validate()
+
+
+def test_placement_validate_catches_underprovision_and_slo():
+    placement, fleet = make_placement()
+    fleet[0].place(mig_segment("f", capacity=1.0))  # rate 3.0 > 1.0
+    with pytest.raises(AssertionError, match="under-provisioned"):
+        placement.validate()
+    fleet[0].place(mig_segment("f", capacity=4.0, latency=0.9))  # SLO 0.5
+    with pytest.raises(AssertionError, match="SLO"):
+        placement.validate()
+
+
+def test_placement_validate_rejected_must_not_be_placed():
+    placement, fleet = make_placement()
+    fleet[0].place(mig_segment("f", capacity=4.0))
+    placement.rejected["f"] = "test"
+    with pytest.raises(AssertionError, match="rejected"):
+        placement.validate()
+
+
+def test_placement_score_counts_rejections_against():
+    placement, fleet = make_placement()
+    fleet[0].place(mig_segment("f", capacity=4.0))
+    placement.rejected["g"] = "infeasible"
+    score = placement.score()
+    assert score["gpus_used"] == 1
+    assert score["served_in_slo_rps"] == pytest.approx(3.0)
+    assert score["in_slo_fraction"] == pytest.approx(0.5)
+    assert score["rejected"] == ["g"]
+
+
+def test_placement_mps_caps_weighted_sum_bounded():
+    placement, fleet = make_placement()
+    for pct, sms in ((30, 24), (30, 24), (30, 16)):
+        fleet[1].place(mps_segment("g", pct=pct, sms=sms, capacity=2.0))
+    caps = placement.mps_caps()
+    per_gpu = caps["V100-SXM2-32GB/0000"]
+    assert per_gpu["weighted_sum"] <= 100
+    assert len(per_gpu["caps"]) == 3  # one cap per instance
+    # MIG devices never appear: caps are an MPS artefact.
+    assert len(caps) == 1
+
+
+def test_placement_payload_is_json_stable():
+    import json
+
+    placement, fleet = make_placement()
+    fleet[0].place(mig_segment("f", capacity=4.0))
+    payload = placement.payload()
+    assert json.dumps(payload, sort_keys=True)  # serialisable
+    assert payload["gpus"][0]["gpu_id"] == "A100-SXM4-40GB/0000"
+    assert payload["score"]["gpus_used"] == 1

@@ -1,0 +1,146 @@
+"""Tests for the MISO-style sizing oracle."""
+
+import pytest
+
+from repro.cluster import (
+    FunctionDemand,
+    LatencyCurve,
+    SizingOracle,
+    build_fleet,
+)
+from repro.gpu import A100_40GB, A100_80GB, V100_32GB
+from repro.gpu.specs import GB
+from repro.partition import PlacementNeed
+
+SPECS = [A100_80GB, A100_40GB, V100_32GB]
+
+
+def demand(name="fn", slo=0.5, rate=2.0, model_gb=4.0,
+           work=2.0, serial=0.05, saturation=40):
+    return FunctionDemand(
+        name=name, slo_seconds=slo, rate_rps=rate,
+        curve=LatencyCurve(work=work, serial=serial, saturation=saturation),
+        model_bytes=model_gb * GB)
+
+
+def test_candidates_hold_slo_and_memory():
+    oracle = SizingOracle(SPECS)
+    d = demand(slo=0.2, model_gb=8.0)
+    for spec in SPECS:
+        for cand in oracle.candidates(d, spec):
+            assert cand.latency_seconds <= d.slo_seconds
+            assert cand.memory_bytes + 1e-9 >= d.model_bytes
+            assert cand.capacity_rps == pytest.approx(
+                oracle.utilization_ceiling / cand.latency_seconds)
+            assert 0 < cand.gpu_fraction <= 1.0
+
+
+def test_candidates_sorted_smallest_first_and_knee_pruned():
+    oracle = SizingOracle([A100_40GB])
+    d = demand(slo=1.0, model_gb=4.0)  # a tiny slice suffices
+    cands = oracle.candidates(d, A100_40GB)
+    assert cands
+    fractions = [c.gpu_fraction for c in cands]
+    assert fractions == sorted(fractions)
+    # The curve saturates at 40 SMs; slices far past the knee that have
+    # a smaller adequate sibling are pruned.
+    assert cands[0].geometry == "1g.5gb"
+    assert all(c.sms <= 98 for c in cands)
+
+
+def test_mps_grid_on_non_mig_device():
+    oracle = SizingOracle([V100_32GB], mps_step=10)
+    d = demand(slo=1.0, model_gb=4.0)
+    cands = oracle.candidates(d, V100_32GB)
+    assert cands
+    assert all(c.kind == "mps" for c in cands)
+    assert all(c.mps_percentage % 10 == 0 for c in cands)
+    # MPS reserves the model weights, not a slice capacity.
+    assert all(c.memory_bytes == d.model_bytes for c in cands)
+
+
+def test_oracle_rejects_impossible_slo():
+    oracle = SizingOracle(SPECS)
+    plan = oracle.plan(demand(slo=0.01, serial=0.2))  # serial floor 0.2 s
+    assert not plan.feasible
+    assert "SLO" in plan.reason
+    assert plan.candidate is None and plan.replicas == 0
+
+
+def test_oracle_rejects_oversized_weights():
+    oracle = SizingOracle(SPECS)
+    plan = oracle.plan(demand(model_gb=200.0))  # fits no slice anywhere
+    assert not plan.feasible
+    assert "weights" in plan.reason
+
+
+def test_oracle_plan_replicas_cover_rate():
+    oracle = SizingOracle(SPECS)
+    d = demand(rate=40.0, slo=0.3)
+    plan = oracle.plan(d)
+    assert plan.feasible
+    assert plan.replicas * plan.candidate.capacity_rps + 1e-9 >= d.rate_rps
+    assert plan.cost == pytest.approx(
+        plan.replicas * plan.candidate.gpu_fraction)
+    # Alternatives span the catalog, preferred model first.
+    assert plan.alternatives[0] == plan.candidate
+    assert len({c.spec_name for c in plan.alternatives}) \
+        == len(plan.alternatives)
+
+
+def test_oracle_placement_verdicts():
+    oracle = SizingOracle(SPECS)
+    assert oracle.plan(demand(rate=0.5, slo=1.0)).placement in (
+        PlacementNeed.MIG_SLICE, PlacementNeed.MPS_ONLY)
+    many = oracle.plan(demand(name="whale", rate=500.0, slo=0.3))
+    assert many.placement is PlacementNeed.MULTI_GPU
+    assert many.replicas > 1
+
+
+def test_oracle_keep_warm_gets_one_replica():
+    oracle = SizingOracle(SPECS)
+    plan = oracle.plan(demand(rate=0.0))
+    assert plan.feasible and plan.replicas == 1
+
+
+def test_tail_candidate_is_smaller_than_uniform():
+    oracle = SizingOracle(SPECS)
+    d = demand(rate=40.0, slo=0.3)
+    plan = oracle.plan(d)
+    tail = oracle.tail_candidate(d, plan.candidate.spec_name, 0.5)
+    assert tail is not None
+    assert tail.gpu_fraction <= plan.candidate.gpu_fraction
+    assert tail.capacity_rps + 1e-9 >= 0.5
+    assert oracle.tail_candidate(d, "no-such-model", 0.5) is None
+
+
+def test_fit_candidate_respects_current_occupancy():
+    oracle = SizingOracle([A100_40GB])
+    d = demand(slo=1.0, model_gb=4.0, rate=1.0)
+    gpu = build_fleet([(A100_40GB, 1)])[0]
+    first = oracle.fit_candidate(d, gpu, 1.0)
+    assert first is not None
+    # Fill the device completely: nothing fits any more.
+    while True:
+        cand = oracle.fit_candidate(d, gpu, 0.0)
+        if cand is None:
+            break
+        gpu.place(cand.segment(d.name))
+    assert gpu.used_compute_slices > 0
+    assert oracle.fit_candidate(d, gpu, 1.0) is None
+
+
+def test_oracle_caches_plans_per_demand():
+    oracle = SizingOracle(SPECS)
+    d = demand()
+    assert oracle.plan(d) is oracle.plan(d)
+    assert oracle.candidates(d, A100_40GB) is oracle.candidates(d, A100_40GB)
+
+
+def test_oracle_validation():
+    with pytest.raises(ValueError):
+        SizingOracle([])
+    with pytest.raises(ValueError):
+        SizingOracle(SPECS, utilization_ceiling=0.0)
+    with pytest.raises(ValueError):
+        SizingOracle(SPECS, mps_step=0)

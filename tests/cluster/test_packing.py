@@ -1,0 +1,139 @@
+"""Tests for the ParvaGPU-style packers (greedy FFD + repacking)."""
+
+import pytest
+
+from repro.cluster import (
+    FunctionDemand,
+    LatencyCurve,
+    SizingOracle,
+    greedy_pack,
+    optimize_pack,
+)
+from repro.gpu import A100_40GB, A100_80GB, V100_32GB
+from repro.gpu.specs import GB
+
+INVENTORY = [(A100_80GB, 20), (A100_40GB, 10), (V100_32GB, 5)]
+
+
+def demand(name, slo=0.5, rate=2.0, model_gb=4.0,
+           work=2.0, serial=0.05, saturation=40):
+    return FunctionDemand(
+        name=name, slo_seconds=slo, rate_rps=rate,
+        curve=LatencyCurve(work=work, serial=serial, saturation=saturation),
+        model_bytes=model_gb * GB)
+
+
+def mixed_demands():
+    return [
+        demand("whale", rate=60.0, slo=0.3, model_gb=16.0),
+        demand("mid-a", rate=8.0, slo=0.4),
+        demand("mid-b", rate=6.0, slo=0.6, model_gb=8.0),
+        demand("sliver-a", rate=0.5, slo=1.0, model_gb=1.0),
+        demand("sliver-b", rate=0.2, slo=2.0, model_gb=1.0),
+        demand("keepwarm", rate=0.0, slo=1.0, model_gb=1.0),
+    ]
+
+
+def test_both_packers_produce_valid_placements():
+    for pack in (greedy_pack, optimize_pack):
+        placement = pack(mixed_demands(), INVENTORY)
+        placement.validate()
+        assert not placement.rejected
+        # Every demand is fully covered.
+        for d in mixed_demands():
+            assert placement.capacity_of(d.name) + 1e-9 >= d.rate_rps
+
+
+def test_optimizer_never_uses_more_gpus():
+    demands = mixed_demands()
+    greedy = greedy_pack(demands, INVENTORY)
+    optimized = optimize_pack(demands, INVENTORY)
+    assert optimized.gpus_used <= greedy.gpus_used
+    assert optimized.score()["in_slo_fraction"] == pytest.approx(
+        greedy.score()["in_slo_fraction"])
+
+
+def test_packers_are_deterministic():
+    a = optimize_pack(mixed_demands(), INVENTORY).payload()
+    b = optimize_pack(mixed_demands(), INVENTORY).payload()
+    assert a == b
+
+
+def test_infeasible_functions_get_typed_rejections():
+    demands = mixed_demands() + [
+        demand("bad-slo", slo=0.01, serial=0.2),
+        demand("bad-mem", model_gb=200.0),
+    ]
+    placement = optimize_pack(demands, INVENTORY)
+    placement.validate()
+    assert "SLO" in placement.rejected["bad-slo"]
+    assert "weights" in placement.rejected["bad-mem"]
+    # Rejections never leak segments.
+    assert not placement.segments_of("bad-slo")
+    assert not placement.segments_of("bad-mem")
+
+
+def test_capacity_exhaustion_rejects_not_overcommits():
+    tiny = [(A100_40GB, 1)]
+    demands = [demand(f"f{i}", rate=30.0, slo=0.3) for i in range(4)]
+    placement = optimize_pack(demands, tiny)
+    placement.validate()  # whatever landed is still sound
+    assert placement.rejected  # not everything fits one device
+    for name, reason in placement.rejected.items():
+        assert reason == "insufficient cluster capacity"
+
+
+def test_spillover_crosses_gpu_models():
+    # 1 A100 cannot hold four 3g.40gb-sized asks; the rest spill to the
+    # V100s via each plan's alternatives.
+    inventory = [(A100_80GB, 1), (V100_32GB, 4)]
+    demands = [demand(f"f{i}", rate=6.0, slo=0.4, model_gb=20.0)
+               for i in range(4)]
+    placement = optimize_pack(demands, inventory)
+    placement.validate()
+    assert not placement.rejected
+    models = {gpu.spec.name for gpu in placement.gpus if gpu.used}
+    assert len(models) == 2
+
+
+def test_tail_rightsizing_shrinks_the_last_instance():
+    # rate 9 with uniform capacity ~4/instance: greedy deploys 3 full
+    # slices; the optimiser's tail instance is smaller.
+    inventory = [(A100_80GB, 4)]
+    demands = [demand("f", rate=9.0, slo=0.3)]
+    greedy = greedy_pack(demands, inventory)
+    optimized = optimize_pack(demands, inventory)
+    g_sms = sorted(s.sms for _, s in greedy.segments_of("f"))
+    o_sms = sorted(s.sms for _, s in optimized.segments_of("f"))
+    assert len(set(g_sms)) == 1  # uniform slices
+    assert sum(o_sms) <= sum(g_sms)
+    assert optimized.capacity_of("f") + 1e-9 >= 9.0
+
+
+def test_repacking_frees_fragmented_gpus():
+    # Many slivers first land beside big asks; repacking coalesces
+    # them and returns whole devices to the free pool.
+    demands = ([demand(f"big{i}", rate=12.0, slo=0.3) for i in range(3)]
+               + [demand(f"tiny{i}", rate=0.3, slo=2.0, model_gb=1.0)
+                  for i in range(12)])
+    greedy = greedy_pack(demands, INVENTORY)
+    optimized = optimize_pack(demands, INVENTORY)
+    optimized.validate()
+    assert optimized.gpus_used < greedy.gpus_used
+    frag = optimized.fragmentation()
+    assert frag["free_compute_slices"] <= \
+        greedy.fragmentation()["free_compute_slices"]
+
+
+def test_shared_oracle_reuses_caches():
+    oracle = SizingOracle([spec for spec, _ in INVENTORY])
+    demands = mixed_demands()
+    greedy_pack(demands, INVENTORY, oracle)
+    cached = len(oracle._plans)
+    optimize_pack(demands, INVENTORY, oracle)
+    assert len(oracle._plans) == cached  # second pack hit the cache
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError, match="unique"):
+        greedy_pack([demand("f"), demand("f")], INVENTORY)

@@ -9,12 +9,20 @@ from repro.gpu import A100_40GB
 from repro.partition import (
     ManagedFunction,
     PartitionAutoscaler,
+    SizingResult,
     cooldown_elapsed,
+    required_sms_for,
+    scaled_percentages,
 )
 from repro.partition.reconfig import ReconfigurationPlanner
 from repro.sim import Environment
 
 FAST_COLD = ColdStartModel(function_init_seconds=0.5, gpu_context_seconds=0.5)
+
+
+def weighted_sum(pcts, counts=None):
+    counts = counts or {name: 1 for name in pcts}
+    return sum(pcts[name] * counts[name] for name in pcts)
 
 
 def latency_law(serial=0.05, work=2.0, saturation=40):
@@ -72,7 +80,9 @@ def test_desired_percentages_normalised():
     scaler.set_demand("fn0", 12.0)
     scaler.set_demand("fn1", 12.0)
     pct = scaler.desired_percentages()
-    assert sum(pct.values()) <= 120  # bounded even when oversubscribed
+    # The repaired apportionment bounds the sum by the GPU itself, not
+    # the old per-function-ceil "roughly 100 plus rounding slack".
+    assert sum(pct.values()) <= 100
     assert all(p >= scaler.min_percentage for p in pct.values())
 
 
@@ -230,3 +240,125 @@ def test_validation():
     with pytest.raises(RuntimeError, match="already started"):
         scaler.start()
         scaler.start()
+
+
+# -------------------------------------- sizing arithmetic (bugfix sweep)
+#
+# The three regressions below all passed the *old* arithmetic's own
+# tests while oversubscribing or misreporting: per-function ``ceil``
+# caps summing past 100%, and ``required_sms_for`` silently returning a
+# whole GPU for functions no GPU can serve.
+
+def test_scaled_percentages_regression_ceil_overshoot():
+    """Seven 16-SM functions on a 108-SM GPU, expand=True.
+
+    The old code gave each function ``ceil(100 * 16/112) = 15%``:
+    7 x 15 = 105% of the GPU promised to co-residents.  Largest
+    remainder hands out 100 exactly.
+    """
+    needed = {f"fn{i}": 16 for i in range(7)}
+    pcts = scaled_percentages(A100_40GB, needed, expand=True)
+    assert weighted_sum(pcts) == 100
+    assert max(pcts.values()) - min(pcts.values()) <= 1  # equal demand
+
+
+def test_scaled_percentages_regression_floor_plus_ceil_overshoot():
+    """Replicated shares: the overshoot compounded per *replica*.
+
+    Three functions needing 30 SMs at 2 replicas each previously got
+    ``ceil(100 * 30/180) = 17%`` per replica: 6 x 17 = 102%.
+    """
+    needed = {name: 30 for name in ("a", "b", "c")}
+    counts = {name: 2 for name in needed}
+    pcts = scaled_percentages(A100_40GB, needed, counts, expand=True)
+    assert weighted_sum(pcts, counts) <= 100
+    # Granularity: every +1 costs 2 weighted points, so the closest
+    # reachable total is 100 exactly here (16/17/17 per replica).
+    assert weighted_sum(pcts, counts) == 100
+
+
+def test_scaled_percentages_never_oversubscribes_without_expand():
+    needed = {"hot": 200, "cold": 90}  # far beyond one GPU
+    pcts = scaled_percentages(A100_40GB, needed)
+    assert weighted_sum(pcts) <= 100
+    assert pcts["hot"] > pcts["cold"]
+
+
+def test_scaled_percentages_floor_preserved():
+    needed = {"whale": 500, **{f"krill{i}": 0 for i in range(6)}}
+    pcts = scaled_percentages(A100_40GB, needed, expand=True)
+    # 7 functions: the keep-warm floor min(5, 100 // 7) = 5 holds even
+    # though the whale wants everything.
+    assert all(p >= 5 for p in pcts.values())
+    assert weighted_sum(pcts) <= 100
+    assert pcts["whale"] == max(pcts.values())
+
+
+def test_scaled_percentages_granularity_can_undershoot_100():
+    """3+3 replicas: +1 costs 3 weighted points, so 99 is the max."""
+    needed = {"hot": 40, "cold": 40}
+    counts = {"hot": 3, "cold": 3}
+    pcts = scaled_percentages(A100_40GB, needed, counts, expand=True)
+    assert weighted_sum(pcts, counts) == 99
+
+
+def test_scaled_percentages_rejects_impossible_replica_counts():
+    with pytest.raises(ValueError, match="101 replicas"):
+        scaled_percentages(A100_40GB, {"f": 10}, {"f": 101})
+    with pytest.raises(ValueError, match="at least one replica"):
+        scaled_percentages(A100_40GB, {"f": 10}, {"f": 0})
+
+
+def test_required_sms_for_reports_infeasible():
+    law = latency_law()  # serial floor 0.05 s
+    sizing = required_sms_for(A100_40GB, law, slo_seconds=0.01,
+                              demand_rps=1.0)
+    assert sizing == A100_40GB.sms  # best effort unchanged
+    assert isinstance(sizing, SizingResult)
+    assert not sizing.feasible
+    # And the happy path still carries an affirmative verdict.
+    ok = required_sms_for(A100_40GB, law, slo_seconds=1.0, demand_rps=1.0)
+    assert ok.feasible
+    assert 1 <= ok < A100_40GB.sms
+
+
+def test_sizing_result_is_arithmetically_an_int():
+    sizing = SizingResult(40, feasible=False)
+    assert sizing + 2 == 42
+    assert sizing * 2 == 80
+    assert round(100 * sizing / A100_40GB.sms) == 37
+    assert "feasible=False" in repr(sizing)
+
+
+def test_required_sms_for_bisect_matches_linear_scan():
+    """The bisection answers exactly what the old scan answered."""
+    law = latency_law(serial=0.02, work=3.0, saturation=60)
+
+    def linear(slo, rps, ceiling=0.8):
+        for sms in range(1, A100_40GB.sms + 1):
+            lat = law(sms)
+            if lat <= slo and rps * lat <= ceiling:
+                return sms
+        return A100_40GB.sms
+
+    for slo in (0.05, 0.08, 0.1, 0.3, 1.0):
+        for rps in (0.5, 2.0, 8.0, 20.0):
+            got = required_sms_for(A100_40GB, law, slo, rps)
+            assert got == linear(slo, rps), (slo, rps)
+
+
+def test_required_sms_for_nonmonotone_curve_falls_back_to_scan():
+    """A wobbly curve (cache cliff) must still get the exact answer."""
+
+    def wobble(sms):
+        # Non-monotone: a latency spike at 40-49 SMs.
+        base = 2.0 / min(sms, 60) + 0.02
+        return base + (0.5 if 40 <= sms < 50 else 0.0)
+
+    got = required_sms_for(A100_40GB, wobble, slo_seconds=0.1,
+                           demand_rps=1.0)
+    # Exact smallest acceptable size, even though bisection landed
+    # inside the spike region.
+    assert got == min(s for s in range(1, A100_40GB.sms + 1)
+                      if wobble(s) <= 0.1)
+    assert got.feasible

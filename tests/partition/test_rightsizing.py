@@ -6,6 +6,7 @@ from repro.faas import ColdStartModel
 from repro.gpu import A100_40GB, V100_32GB
 from repro.partition import (
     PartitionRecommendation,
+    PlacementNeed,
     ReconfigurationPlanner,
     RightSizer,
     RuntimePredictor,
@@ -56,6 +57,29 @@ def test_rightsizer_non_mig_device():
     llm = LlamaInference(LLAMA2_7B, FP32)
     rec = sizer.recommend(lambda sms: llm.completion_seconds(V100_32GB, sms))
     assert rec.mig_profile is None
+    # Regression: a dash used to be all callers got.  No MIG on a V100
+    # means "share via MPS", not "needs a whole GPU".
+    assert rec.placement is PlacementNeed.MPS_ONLY
+    assert not rec.needs_whole_gpu
+
+
+def test_rightsizer_placement_typed_verdicts():
+    """The two cases ``_smallest_profile``'s None used to conflate."""
+    # A knee inside a MIG profile: the common case.
+    sizer = RightSizer(A100_40GB, tolerance=0.05)
+    rec = sizer.recommend(llama_latency_fn())
+    assert rec.placement is PlacementNeed.MIG_SLICE
+    assert rec.mig_profile is not None
+    assert not rec.needs_whole_gpu
+    # A curve that only flattens at the very top: the knee exceeds the
+    # largest MIG profile (98 usable SMs) but still fits the bare GPU.
+    flat_late = lambda sms: 10.0 / min(sms, A100_40GB.sms) + 0.01
+    rec = RightSizer(A100_40GB, tolerance=0.0).recommend(flat_late)
+    assert rec.knee_sms > max(p.sm_count(A100_40GB)
+                              for p in A100_40GB.mig_profiles)
+    assert rec.placement is PlacementNeed.WHOLE_GPU
+    assert rec.mig_profile is None
+    assert rec.needs_whole_gpu
 
 
 def test_rightsizer_validation():

@@ -1,0 +1,91 @@
+"""Property-based tests for the largest-remainder MPS apportionment.
+
+The bugfix these pin: per-function ``ceil`` rounding let co-resident
+caps (weighted by replica counts) sum past 100%, oversubscribing the
+GPU.  The repaired :func:`~repro.partition.autoscaler.
+scaled_percentages` must keep the replica-weighted sum bounded by 100
+for *every* demand vector, preserve the keep-warm floor, and stay
+monotone in any one function's demand.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100_40GB
+from repro.partition import scaled_percentages
+
+
+@st.composite
+def apportionment_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    names = [f"fn{i}" for i in range(n)]
+    needed = {name: draw(st.integers(min_value=0, max_value=400))
+              for name in names}
+    counts = {name: draw(st.integers(min_value=1, max_value=8))
+              for name in names}
+    # Stay within the 100-replica feasibility bound.
+    while sum(counts.values()) > 100:
+        counts = {name: max(1, c // 2) for name, c in counts.items()}
+    expand = draw(st.booleans())
+    min_pct = draw(st.integers(min_value=1, max_value=20))
+    return needed, counts, expand, min_pct
+
+
+def weighted_sum(pcts, counts):
+    return sum(pcts[name] * counts[name] for name in pcts)
+
+
+@given(apportionment_cases())
+@settings(max_examples=200, deadline=None)
+def test_weighted_sum_never_exceeds_100(case):
+    needed, counts, expand, min_pct = case
+    pcts = scaled_percentages(A100_40GB, needed, counts,
+                              min_percentage=min_pct, expand=expand)
+    assert set(pcts) == set(needed)
+    assert weighted_sum(pcts, counts) <= 100
+
+
+@given(apportionment_cases())
+@settings(max_examples=200, deadline=None)
+def test_floor_and_range_preserved(case):
+    needed, counts, expand, min_pct = case
+    pcts = scaled_percentages(A100_40GB, needed, counts,
+                              min_percentage=min_pct, expand=expand)
+    replicas = sum(counts.values())
+    floor = max(1, min(min_pct, 100 // replicas))
+    for pct in pcts.values():
+        assert floor <= pct <= 100
+
+
+@given(apportionment_cases(), st.integers(min_value=1, max_value=200))
+@settings(max_examples=150, deadline=None)
+def test_monotone_in_own_demand(case, bump):
+    """Asking for more SMs never shrinks your own cap."""
+    needed, counts, expand, min_pct = case
+    name = sorted(needed)[0]
+    before = scaled_percentages(A100_40GB, needed, counts,
+                                min_percentage=min_pct, expand=expand)
+    grown = {**needed, name: needed[name] + bump}
+    after = scaled_percentages(A100_40GB, grown, counts,
+                               min_percentage=min_pct, expand=expand)
+    assert after[name] + 1 >= before[name]  # +-1 integerisation slack
+    assert weighted_sum(after, counts) <= 100
+
+
+@given(apportionment_cases())
+@settings(max_examples=100, deadline=None)
+def test_expand_reaches_100_when_granularity_allows(case):
+    """With expand=True and any singleton-replica function present, the
+    apportionment is work-conserving: +1 to a singleton costs exactly
+    one weighted point, so the sum lands on 100 exactly."""
+    needed, counts, _, min_pct = case
+    if not any(c == 1 for c in counts.values()):
+        counts = {**counts, sorted(counts)[0]: 1}
+    if sum(counts.values()) > 100:
+        return
+    pcts = scaled_percentages(A100_40GB, needed, counts,
+                              min_percentage=min_pct, expand=True)
+    if any(pcts[n] < 100 for n, c in counts.items() if c == 1):
+        assert weighted_sum(pcts, counts) == 100

@@ -1,0 +1,104 @@
+"""Property-based tests for the cluster packers.
+
+The invariants the bench's 500-GPU contest gates on, checked across
+randomly drawn (but seeded, via hypothesis) demand mixes and fleets:
+
+- neither packer ever over-commits a device in any dimension, serves a
+  placed function below its rate, or violates a placed SLO
+  (``ClusterPlacement.validate`` recomputes all of it from scratch);
+- the repacking optimiser never uses more GPUs than greedy FFD, at an
+  identical rejection set;
+- packing is a pure function of its inputs: twin runs produce equal
+  canonical payloads.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    FunctionDemand,
+    LatencyCurve,
+    greedy_pack,
+    optimize_pack,
+)
+from repro.gpu import A100_40GB, A100_80GB, H100_80GB, V100_32GB
+from repro.gpu.specs import GB
+
+
+@st.composite
+def contest_cases(draw):
+    inventory = []
+    for spec in (A100_80GB, A100_40GB, H100_80GB, V100_32GB):
+        count = draw(st.integers(min_value=0, max_value=12))
+        if count:
+            inventory.append((spec, count))
+    if not inventory:
+        inventory = [(A100_80GB, 4)]
+    n = draw(st.integers(min_value=1, max_value=8))
+    demands = []
+    for i in range(n):
+        work = draw(st.floats(min_value=0.2, max_value=8.0))
+        serial = draw(st.floats(min_value=0.005, max_value=0.1))
+        saturation = draw(st.integers(min_value=4, max_value=100))
+        floor = serial + work / saturation
+        slo = floor * draw(st.floats(min_value=1.05, max_value=6.0))
+        rate = draw(st.floats(min_value=0.0, max_value=40.0))
+        model_gb = draw(st.floats(min_value=0.1, max_value=60.0))
+        demands.append(FunctionDemand(
+            name=f"fn{i}", slo_seconds=slo, rate_rps=rate,
+            curve=LatencyCurve(work=work, serial=serial,
+                               saturation=saturation),
+            model_bytes=model_gb * GB))
+    return demands, inventory
+
+
+@given(contest_cases())
+@settings(max_examples=25, deadline=None)
+def test_packers_never_overcommit(case):
+    demands, inventory = case
+    for pack in (greedy_pack, optimize_pack):
+        placement = pack(demands, inventory)
+        placement.validate()  # over-commit, capacity, SLO, rejections
+        # Placed rate is covered; rejected functions have a reason.
+        for d in demands:
+            if d.name in placement.rejected:
+                assert placement.rejected[d.name]
+            else:
+                assert placement.capacity_of(d.name) + 1e-9 >= d.rate_rps
+
+
+@given(contest_cases())
+@settings(max_examples=25, deadline=None)
+def test_optimizer_dominates_greedy_on_gpu_count(case):
+    demands, inventory = case
+    greedy = greedy_pack(demands, inventory)
+    optimized = optimize_pack(demands, inventory)
+    # The oracle-infeasible set is admission, not packing: identical.
+    oracle_rejects = {n for n, r in greedy.rejected.items()
+                      if "capacity" not in r}
+    assert oracle_rejects == {n for n, r in optimized.rejected.items()
+                              if "capacity" not in r}
+    if greedy.rejected == optimized.rejected:
+        assert optimized.gpus_used <= greedy.gpus_used
+
+
+@given(contest_cases())
+@settings(max_examples=15, deadline=None)
+def test_packing_is_deterministic(case):
+    demands, inventory = case
+    assert optimize_pack(demands, inventory).payload() \
+        == optimize_pack(demands, inventory).payload()
+    assert greedy_pack(demands, inventory).payload() \
+        == greedy_pack(demands, inventory).payload()
+
+
+@given(contest_cases())
+@settings(max_examples=20, deadline=None)
+def test_mps_caps_bounded_on_every_shared_device(case):
+    demands, inventory = case
+    placement = optimize_pack(demands, inventory)
+    for per_gpu in placement.mps_caps().values():
+        assert per_gpu["weighted_sum"] <= 100
+        assert all(1 <= pct <= 100 for pct in per_gpu["caps"].values())

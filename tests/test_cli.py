@@ -113,7 +113,7 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
                   "--out", str(out_path))
     assert "wrote" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro-bench/7"
+    assert report["schema"] == "repro-bench/8"
     assert report["quick"] is True
     assert report["micro"]["event_queue"]["events_per_sec"] > 0
     # repro-bench/6: provenance SHA and (with --profile) the event-loop
@@ -159,6 +159,14 @@ def test_bench_quick_writes_wellformed_json(capsys, tmp_path):
     assert chaos["gate"]["twin_identical"] is True
     assert chaos["gate"]["pass"] is True
     assert "Online repartitioning" in out
+    # repro-bench/8: the cluster placement contest and its gate.
+    cluster = report["cluster"]
+    assert cluster["gate"]["fewer_gpus"] is True
+    assert cluster["gate"]["caps_bounded"] is True
+    assert cluster["gate"]["twin_identical"] is True
+    assert cluster["gate"]["pass"] is True
+    assert cluster["feedback"]["drift_triggered"] is True
+    assert "Cluster placement" in out
 
 
 def test_serve_command_writes_report(capsys, tmp_path):
@@ -203,6 +211,24 @@ def test_serve_sharded_twin_runs_write_identical_json(capsys, tmp_path):
     assert twin_a == paths["single"].read_bytes()
 
 
+def test_cluster_command_twin_runs_identical(capsys, tmp_path):
+    """Twin ``repro cluster`` invocations write byte-identical JSON
+    (timings stripped) — the CI cluster smoke in miniature."""
+    import json
+
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for path in paths:
+        out = run_cli(capsys, "cluster", "--functions", "6", "--seed", "2",
+                      "--out", str(path))
+        assert "Cluster placement" in out
+        assert "greedy FFD" in out and "repacking optimiser" in out
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+    contest = json.loads(paths[0].read_text())
+    assert "wall_seconds" not in contest["greedy"]
+    assert contest["optimized"]["gpus_used"] <= contest["greedy"]["gpus_used"]
+    assert contest["max_weighted_cap_sum"] <= 100
+
+
 def test_serve_sharded_rejects_faults_file(capsys, tmp_path):
     from repro.bench.resilience_experiments import canonical_fault_plan
 
@@ -236,7 +262,7 @@ def test_parser_lists_all_commands():
     text = parser.format_help()
     for cmd in ("fig1", "fig2", "fig3", "fig4", "fig5", "table1",
                 "overheads", "rightsizing", "weightcache", "bench",
-                "serve"):
+                "cluster", "serve"):
         assert cmd in text
     assert "--jobs" in text
     assert "--no-cache" in text
